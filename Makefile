@@ -1,0 +1,41 @@
+# hetsyslog — build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table and figure (laptop scale; SCALE=196393 for the
+# paper's full corpus).
+SCALE ?= 20000
+experiments:
+	$(GO) run ./cmd/experiments -scale $(SCALE)
+
+# One benchmark per table/figure plus the per-package ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/llmcompare
+	$(GO) run ./examples/monitoring
+	$(GO) run ./examples/driftretrain
+	$(GO) run ./examples/summarize
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

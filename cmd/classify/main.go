@@ -1,0 +1,126 @@
+// Command classify trains one of the paper's classifiers on a labelled
+// corpus and then classifies syslog message text, either from the command
+// line, from stdin (one message per line), or in an evaluation run.
+//
+// Usage:
+//
+//	classify -eval                              # train + held-out report
+//	echo "CPU 3 throttling" | classify          # classify stdin lines
+//	classify -model "Random Forest" -eval
+//	classify -train-tsv corpus.tsv -eval        # category<TAB>...<TAB>text
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/loggen"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "Complement Naive Bayes",
+			"classifier: "+strings.Join(core.ModelNames(), " | "))
+		scale    = flag.Int("train-scale", 20000, "synthetic training corpus size")
+		trainTSV = flag.String("train-tsv", "", "train from TSV (category<TAB>[...<TAB>]text) instead of synthetic data")
+		seed     = flag.Int64("seed", 1, "generator/split seed")
+		eval     = flag.Bool("eval", false, "hold out 20% and print the evaluation report")
+		savePath = flag.String("save", "", "write the trained pipeline to this file")
+		loadPath = flag.String("load", "", "load a previously saved pipeline instead of training")
+	)
+	flag.Parse()
+
+	var tc *core.TextClassifier
+	var test *core.Corpus
+	if *loadPath != "" {
+		var err error
+		tc, err = core.LoadClassifierFile(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "classify: loaded %s pipeline from %s (%d features)\n",
+			tc.Model.Name(), *loadPath, tc.Vectorizer.Dims())
+		if *eval {
+			corpus, err := loadCorpus(*trainTSV, *scale, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			_, test = corpus.Split(0.2, *seed)
+		}
+	} else {
+		corpus, err := loadCorpus(*trainTSV, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		train := corpus
+		if *eval {
+			train, test = corpus.Split(0.2, *seed)
+		}
+		model, err := core.NewModel(*modelName)
+		if err != nil {
+			fatal(err)
+		}
+		tc, err = core.Train(model, train, core.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "classify: trained %s on %d messages in %v (%d features)\n",
+			model.Name(), train.Len(), tc.TrainTime.Round(1e6), tc.Vectorizer.Dims())
+	}
+	if *savePath != "" {
+		if err := tc.SaveFile(*savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "classify: pipeline saved to %s\n", *savePath)
+	}
+
+	if *eval {
+		res, err := tc.Evaluate(test)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("weighted F1 = %.6f, test time = %v over %d messages\n\n",
+			res.WeightedF1, res.TestTime.Round(1e6), test.Len())
+		fmt.Println(res.Confusion.Report())
+		fmt.Println(res.Confusion.String())
+		return
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		fmt.Printf("%s\t%s\n", tc.Classify(strings.Join(args, " ")), strings.Join(args, " "))
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fmt.Printf("%s\t%s\n", tc.Classify(line), line)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func loadCorpus(tsv string, scale int, seed int64) (*core.Corpus, error) {
+	if tsv == "" {
+		g := loggen.NewGenerator(seed)
+		examples, err := g.Dataset(loggen.ScaledPaperCounts(scale))
+		if err != nil {
+			return nil, err
+		}
+		return core.FromExamples(examples), nil
+	}
+	return core.ReadCorpusTSVFile(tsv)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "classify:", err)
+	os.Exit(1)
+}

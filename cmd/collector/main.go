@@ -1,0 +1,178 @@
+// Command collector runs the full real-time classification service: it
+// listens for syslog, classifies every message with a trained model,
+// indexes the results (with categories) into an embedded Tivan store
+// exposed over HTTP, and prints notification-worthy alerts — the deployed
+// system the paper describes, in one process.
+//
+// Usage:
+//
+//	collector [-udp :5514] [-tcp :5514] [-http :9200] [-model "Random Forest"]
+//	          [-train-scale 20000] [-cooldown 1m]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hetsyslog/internal/collector"
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/llm"
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/taxonomy"
+)
+
+func main() {
+	var (
+		udpAddr   = flag.String("udp", ":5514", "syslog UDP listen address")
+		tcpAddr   = flag.String("tcp", ":5514", "syslog TCP listen address")
+		httpAddr  = flag.String("http", ":9200", "store HTTP API address")
+		modelName = flag.String("model", "Complement Naive Bayes", "classifier to deploy")
+		scale     = flag.Int("train-scale", 20000, "training corpus size")
+		seed      = flag.Int64("seed", 1, "training seed")
+		cooldown  = flag.Duration("cooldown", time.Minute, "per-category alert cooldown")
+		shards    = flag.Int("shards", 6, "store shard count")
+		blacklist = flag.String("blacklist", "", "file of noise exemplars to drop pre-classification (one per line, §5.1)")
+	)
+	flag.Parse()
+
+	// Train the deployed model.
+	fmt.Fprintf(os.Stderr, "collector: training %s on %d synthetic messages...\n", *modelName, *scale)
+	g := loggen.NewGenerator(*seed)
+	examples, err := g.Dataset(loggen.ScaledPaperCounts(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	model, err := core.NewModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	tc, err := core.Train(model, core.FromExamples(examples), core.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "collector: trained in %v (%d features)\n",
+		tc.TrainTime.Round(time.Millisecond), tc.Vectorizer.Dims())
+
+	st := store.New(*shards)
+	alerts := &monitor.AlertManager{
+		Cooldown: *cooldown,
+		Notifier: monitor.NotifierFunc(func(a monitor.Alert) {
+			fmt.Println("ALERT", a)
+		}),
+	}
+	svc := &core.Service{Classifier: tc, Store: st, Alerts: alerts}
+
+	// Topology enrichment from the simulated cluster (in a real
+	// deployment this reads the site inventory).
+	cluster := g.Cluster
+	enrich := collector.TopologyEnricher(func(host string) (string, string, bool) {
+		n, ok := cluster.Lookup(host)
+		if !ok {
+			return "", "", false
+		}
+		return fmt.Sprintf("r%d", n.Rack), string(n.Arch), true
+	})
+
+	filters := []collector.Filter{collector.NewDedup(time.Second), enrich}
+	if *blacklist != "" {
+		nf := core.NewNoiseFilter(0)
+		data, err := os.ReadFile(*blacklist)
+		if err != nil {
+			fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				nf.Blacklist(line)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "collector: %d noise exemplars blacklisted\n", nf.Exemplars())
+		filters = append(filters, nf)
+	}
+
+	src := collector.NewSyslogSource(*udpAddr, *tcpAddr)
+	pipe := &collector.Pipeline{
+		Source: src,
+		// rsyslog-style dedup in front of classification keeps identical
+		// message storms from flooding the store; the optional blacklist
+		// drops administrator-listed noise before classification (§5.1).
+		Filters: filters,
+		Sink:    svc,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One HTTP surface: store API at the root, dashboard views at
+	// /views/..., LLM status summaries at /views/summary.
+	mux := http.NewServeMux()
+	mux.Handle("/", st.Handler())
+	dash := &monitor.Dashboard{
+		Store: st,
+		Archs: func(arch string) (int, bool) {
+			n := len(cluster.NodesWithArch(loggen.Arch(arch)))
+			return n, n > 0
+		},
+	}
+	mux.Handle("/views/", dash.Handler())
+	summarizer := llm.NewSummarizer(llm.Falcon40B(), llm.A100Node(), *seed)
+	mux.HandleFunc("GET /views/summary", func(w http.ResponseWriter, r *http.Request) {
+		text, latency := summarizer.SummarizeSystem(nodeStatuses(st))
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"summary\": %q, \"modelled_latency_sec\": %.3f}\n",
+			text, latency.Seconds())
+	})
+
+	errCh := make(chan error, 2)
+	go func() { errCh <- pipe.Run(ctx) }()
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() {
+		<-src.Ready()
+		fmt.Fprintf(os.Stderr, "collector: syslog udp=%s tcp=%s, store http=%s\n",
+			src.BoundUDP, src.BoundTCP, *httpAddr)
+	}()
+
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+	classified, actionable := svc.Counts()
+	sent, muted := alerts.Counts()
+	fmt.Fprintf(os.Stderr, "\ncollector: classified=%d actionable=%d alerts sent=%d muted=%d; %s\n",
+		classified, actionable, sent, muted, st.String())
+	shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+}
+
+// nodeStatuses aggregates per-node per-category counts from the store for
+// the summarizer.
+func nodeStatuses(st *store.Store) []llm.NodeStatus {
+	var out []llm.NodeStatus
+	for _, nb := range st.Terms(store.MatchAll{}, "hostname", 0) {
+		ns := llm.NodeStatus{Node: nb.Value, Counts: map[taxonomy.Category]int{}}
+		nodeQ := store.Term{Field: "hostname", Value: nb.Value}
+		for _, cb := range st.Terms(nodeQ, "category", 0) {
+			ns.Counts[taxonomy.Category(cb.Value)] = cb.Count
+		}
+		out = append(out, ns)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "collector:", err)
+	os.Exit(1)
+}

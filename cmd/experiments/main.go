@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run id] [-scale n] [-seed n] [-models csv] [-out file]
+//
+// With no -run flag every experiment runs in order. -scale 196393
+// reproduces the full-size corpus of the paper (Table 2); the default of
+// 20000 preserves the class imbalance at laptop scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hetsyslog/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run    = flag.String("run", "", "experiment id to run (default: all); one of "+strings.Join(experiments.Names(), ","))
+		scale  = flag.Int("scale", 20000, "approximate corpus size (paper: 196393)")
+		seed   = flag.Int64("seed", 1, "generator/split seed")
+		models = flag.String("models", "", "comma-separated model subset for figure3/ablation")
+		out    = flag.String("out", "", "also append results to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Names() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *models != "" {
+		cfg.Models = strings.Split(*models, ",")
+	}
+	r := experiments.NewRunner(cfg)
+
+	ids := experiments.Names()
+	if *run != "" {
+		ids = []string{*run}
+	}
+
+	var sink *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		txt, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		block := fmt.Sprintf("=== %s (scale=%d seed=%d, took %v) ===\n%s\n",
+			id, *scale, *seed, time.Since(start).Round(time.Millisecond), txt)
+		fmt.Print(block)
+		if sink != nil {
+			if _, err := sink.WriteString(block); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: write:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

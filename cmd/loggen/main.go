@@ -1,0 +1,151 @@
+// Command loggen emits synthetic heterogeneous-cluster syslog, either to
+// stdout or to a syslog server over UDP/TCP — the workload driver standing
+// in for the Darwin test-bed (DESIGN.md §2).
+//
+// Usage:
+//
+//	loggen -n 100                       # print 100 labelled messages
+//	loggen -n 0 -rate 10ms -send udp:127.0.0.1:5514   # stream forever
+//	loggen -dataset 20000               # dump a scaled Table 2 corpus as TSV
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/syslog"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 100, "number of messages (0 = unlimited stream)")
+		rate    = flag.Duration("rate", 0, "inter-message delay (0 = full speed)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		send    = flag.String("send", "", "forward as syslog to net:addr, e.g. udp:127.0.0.1:5514")
+		dataset = flag.Int("dataset", 0, "emit a unique-message corpus of ~this size as TSV and exit")
+		replay  = flag.String("replay", "", "replay a TSV corpus file instead of generating")
+		drift   = flag.Bool("drift", false, "apply a firmware update to every architecture halfway through")
+	)
+	flag.Parse()
+
+	g := loggen.NewGenerator(*seed)
+
+	if *replay != "" {
+		if err := replayTSV(*replay, *send, *rate); err != nil {
+			fmt.Fprintln(os.Stderr, "loggen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *dataset > 0 {
+		examples, err := g.Dataset(loggen.ScaledPaperCounts(*dataset))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggen:", err)
+			os.Exit(1)
+		}
+		for _, ex := range examples {
+			fmt.Printf("%s\t%s\t%s\t%s\n", ex.Category, ex.Node.Name, ex.Node.Arch, ex.Text)
+		}
+		return
+	}
+
+	var sender *syslog.Sender
+	if *send != "" {
+		parts := strings.SplitN(*send, ":", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "loggen: -send wants net:addr")
+			os.Exit(1)
+		}
+		var err error
+		sender, err = syslog.DialSender(parts[0], parts[1], syslog.FormatRFC5424)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggen:", err)
+			os.Exit(1)
+		}
+		defer sender.Close()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	emitted := 0
+	for *n == 0 || emitted < *n {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if *drift && *n > 0 && emitted == *n/2 {
+			for _, a := range loggen.Arches() {
+				g.ApplyFirmwareUpdate(a)
+			}
+			fmt.Fprintln(os.Stderr, "loggen: firmware updated on all architectures")
+		}
+		ex := g.Example()
+		if sender != nil {
+			if err := sender.Send(ex.Message()); err != nil {
+				fmt.Fprintln(os.Stderr, "loggen: send:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("[%-19s] %s %s: %s\n", ex.Category, ex.Node.Name, ex.App, ex.Text)
+		}
+		emitted++
+		if *rate > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(*rate):
+			}
+		}
+	}
+}
+
+// replayTSV reads a cmd/loggen -dataset style TSV and either prints it or
+// replays it as syslog toward -send.
+func replayTSV(path, send string, rate time.Duration) error {
+	corpus, err := core.ReadCorpusTSVFile(path)
+	if err != nil {
+		return err
+	}
+	var sender *syslog.Sender
+	if send != "" {
+		parts := strings.SplitN(send, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-send wants net:addr")
+		}
+		sender, err = syslog.DialSender(parts[0], parts[1], syslog.FormatRFC5424)
+		if err != nil {
+			return err
+		}
+		defer sender.Close()
+	}
+	now := time.Now()
+	for i, text := range corpus.Texts {
+		if sender != nil {
+			m := &syslog.Message{
+				Facility: syslog.Daemon, Severity: syslog.Info,
+				Timestamp: now, Hostname: "replay", AppName: "loggen",
+				Content: text,
+			}
+			if err := sender.Send(m); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("[%-19s] %s\n", corpus.Labels[i], text)
+		}
+		if rate > 0 {
+			time.Sleep(rate)
+		}
+	}
+	return nil
+}

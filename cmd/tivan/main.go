@@ -1,0 +1,111 @@
+// Command tivan runs the log store server: syslog listeners on the front,
+// the collector pipeline in the middle, the sharded document store with its
+// HTTP search/aggregation API on the back — the single-binary equivalent of
+// the paper's rsyslog + Fluentd + OpenSearch stack (§4.2).
+//
+// Usage:
+//
+//	tivan [-http :9200] [-udp :5514] [-tcp :5514] [-shards 6]
+//
+// Try it:
+//
+//	logger -n 127.0.0.1 -P 5514 -d "CPU 3 temperature above threshold"
+//	curl -s localhost:9200/stats
+//	curl -s -X POST localhost:9200/search -d '{"query":{"match":{"text":"temperature"}},"size":5}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetsyslog/internal/collector"
+	"hetsyslog/internal/store"
+)
+
+func main() {
+	var (
+		httpAddr  = flag.String("http", ":9200", "HTTP API listen address")
+		udpAddr   = flag.String("udp", ":5514", "syslog UDP listen address (empty disables)")
+		tcpAddr   = flag.String("tcp", ":5514", "syslog TCP listen address (empty disables)")
+		shards    = flag.Int("shards", 6, "index shard count (the paper ran 6 OpenSearch nodes)")
+		dataFile  = flag.String("data", "", "snapshot file: loaded at startup, written at shutdown")
+		retention = flag.Duration("retention", 0, "drop documents older than this (0 = keep forever)")
+	)
+	flag.Parse()
+
+	st := store.New(*shards)
+	if *dataFile != "" {
+		if err := st.LoadFile(*dataFile); err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "tivan: load snapshot:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("tivan: restored %d docs from %s\n", st.Count(), *dataFile)
+		}
+	}
+	src := collector.NewSyslogSource(*udpAddr, *tcpAddr)
+	pipe := &collector.Pipeline{
+		Source: src,
+		Sink:   &collector.StoreSink{Store: st},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 2)
+	go func() { errCh <- pipe.Run(ctx) }()
+
+	if *retention > 0 {
+		go func() {
+			tick := time.NewTicker(time.Minute)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n := st.DeleteBefore(time.Now().Add(-*retention)); n > 0 {
+						st.Compact()
+						fmt.Printf("tivan: retention dropped %d docs\n", n)
+					}
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: st.Handler()}
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	go func() {
+		<-src.Ready()
+		fmt.Printf("tivan: syslog udp=%s tcp=%s, http=%s, %d shards\n",
+			src.BoundUDP, src.BoundTCP, *httpAddr, *shards)
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("\ntivan: shutting down;", st.String())
+		if *dataFile != "" {
+			if err := st.SaveFile(*dataFile); err != nil {
+				fmt.Fprintln(os.Stderr, "tivan: snapshot:", err)
+			} else {
+				fmt.Printf("tivan: snapshot written to %s\n", *dataFile)
+			}
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "tivan:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package hetsyslog reproduces "Heterogeneous Syslog Analysis: There Is
+// Hope" (Quan, Howell, Greenberg — LANL; SC 2023 SYSPROS workshop): a
+// real-time syslog classification system for heterogeneous test-bed
+// clusters, built entirely from the standard library.
+//
+// The library lives under internal/ (see DESIGN.md for the module
+// inventory), runnable binaries under cmd/, worked examples under
+// examples/, and the benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation (EXPERIMENTS.md records the
+// paper-vs-measured comparison).
+package hetsyslog

@@ -1,0 +1,131 @@
+// Drift & retrain: the operational lifecycle the paper motivates. A model
+// is trained and deployed; a fleet-wide firmware update rewords messages;
+// the bucketing baseline starts opening unlabelled buckets (administrator
+// labelling debt) while the classifier degrades only slightly; finally the
+// triage queue is used to label the few new exemplars, the corpus is
+// extended, and the model is retrained — demonstrating why the ML pipeline
+// is cheap to maintain where edit-distance bucketing was not (§3, §7).
+//
+//	go run ./examples/driftretrain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetsyslog/internal/bucket"
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/taxonomy"
+)
+
+func accuracy(tc *core.TextClassifier, c *core.Corpus) float64 {
+	correct := 0
+	for i, text := range c.Texts {
+		if tc.Classify(text) == c.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(c.Len())
+}
+
+func sample(g *loggen.Generator, n int) *core.Corpus {
+	out := &core.Corpus{}
+	for i := 0; i < n; i++ {
+		ex := g.Example()
+		out.Append(ex.Text, string(ex.Category))
+	}
+	return out
+}
+
+func main() {
+	gen := loggen.NewGenerator(33)
+
+	// --- Initial training, exactly as on Darwin: bucket a year of
+	// traffic, label the exemplars, train the classifier. ---
+	examples, err := gen.Dataset(loggen.ScaledPaperCounts(6000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := core.FromExamples(examples)
+
+	bk := bucket.NewBucketer()
+	labelled := 0
+	for i, text := range corpus.Texts {
+		b, _ := bk.Assign(text)
+		if !b.Labeled() {
+			bk.Label(b.ID, taxonomy.Category(corpus.Labels[i]))
+			labelled++
+		}
+	}
+	fmt.Printf("initial corpus: %d messages covered by %d labelled buckets (%.1f%% labelling effort)\n",
+		corpus.Len(), labelled, 100*float64(labelled)/float64(corpus.Len()))
+
+	model, _ := core.NewModel("Complement Naive Bayes")
+	clf, err := core.Train(model, corpus, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pre := sample(gen, 1000)
+	fmt.Printf("\npre-drift:  classifier accuracy %.3f, bucket coverage %.1f%%\n",
+		accuracy(clf, pre), 100*coverage(bk, pre))
+
+	// --- The drift event. ---
+	for _, a := range loggen.Arches() {
+		gen.ApplyFirmwareUpdate(a)
+	}
+	fmt.Println("\n*** firmware update applied to every architecture ***")
+
+	post := sample(gen, 1000)
+	fmt.Printf("post-drift: classifier accuracy %.3f, bucket coverage %.1f%%\n",
+		accuracy(clf, post), 100*coverage(bk, post))
+
+	// --- The old maintenance loop: route drifted traffic through the
+	// bucketer and inspect the triage queue. ---
+	for _, text := range post.Texts {
+		bk.Assign(text)
+	}
+	queue := bk.Unlabeled()
+	fmt.Printf("\ntriage queue after drift: %d new unlabelled buckets; top exemplars:\n", len(queue))
+	for i, b := range queue {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  [%3d msgs] %s\n", b.Count, b.Exemplar)
+	}
+
+	// --- The cheap fix: label the queue (an administrator pass), extend
+	// the corpus with the newly covered messages, retrain. ---
+	relabelled := 0
+	for _, b := range queue {
+		// In production an administrator answers; here the classifier's
+		// own (still mostly correct) prediction plays that role.
+		bk.Label(b.ID, clf.ClassifyCategory(b.Exemplar))
+		relabelled++
+	}
+	extended := &core.Corpus{
+		Texts:  append(append([]string{}, corpus.Texts...), post.Texts...),
+		Labels: append(append([]string{}, corpus.Labels...), post.Labels...),
+	}
+	model2, _ := core.NewModel("Complement Naive Bayes")
+	clf2, err := core.Train(model2, extended, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	post2 := sample(gen, 1000)
+	fmt.Printf("\nafter relabelling %d buckets and retraining on %d messages:\n",
+		relabelled, extended.Len())
+	fmt.Printf("  classifier accuracy %.3f, bucket coverage %.1f%%\n",
+		accuracy(clf2, post2), 100*coverage(bk, post2))
+}
+
+func coverage(bk *bucket.Bucketer, c *core.Corpus) float64 {
+	covered := 0
+	for _, text := range c.Texts {
+		if cat, ok := bk.Peek(text); ok && cat != "" {
+			covered++
+		}
+	}
+	return float64(covered) / float64(c.Len())
+}

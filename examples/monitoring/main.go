@@ -1,0 +1,117 @@
+// Monitoring: the three §4.5 analyses on a simulated incident timeline —
+// someone leaves the cold-aisle door open and one rack overheats, one node
+// develops a memory fault, and a whole architecture reports a bogus fan
+// reading after a firmware update.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/taxonomy"
+)
+
+func main() {
+	gen := loggen.NewGenerator(21)
+	trainEx, err := gen.Dataset(loggen.ScaledPaperCounts(4000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _ := core.NewModel("Complement Naive Bayes")
+	clf, err := core.Train(model, core.FromExamples(trainEx), core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := store.New(4)
+	index := func(ex loggen.Example) {
+		cat := clf.ClassifyCategory(ex.Text)
+		st.Index(store.Doc{
+			Time: ex.Time,
+			Fields: map[string]string{
+				"hostname": ex.Node.Name,
+				"app":      ex.App,
+				"rack":     fmt.Sprintf("r%d", ex.Node.Rack),
+				"arch":     string(ex.Node.Arch),
+				"category": string(cat),
+			},
+			Body: ex.Text,
+		})
+	}
+
+	// --- Background traffic: 30 minutes of normal chatter. ---
+	for i := 0; i < 600; i++ {
+		ex := gen.Example()
+		index(ex)
+		gen.Advance(time.Second)
+	}
+
+	// --- Incident 1 (§4.5.1): cold-aisle door open, rack 2 overheats. ---
+	rack2 := gen.Cluster.NodesInRack(2)
+	for _, node := range rack2[:4] {
+		for _, ex := range gen.Burst(taxonomy.ThermalIssue, node, 80, 20*time.Second) {
+			index(ex)
+		}
+	}
+
+	// --- Incident 2: one node spews memory errors. ---
+	badNode := gen.Cluster.Nodes[37]
+	for _, ex := range gen.Burst(taxonomy.MemoryIssue, badNode, 60, time.Minute) {
+		index(ex)
+	}
+
+	// --- Incident 3 (§4.5.3): every cavium node reports the same missing
+	// fan after a firmware update — a false indication. ---
+	cavium := gen.Cluster.NodesWithArch(loggen.ARMCav)
+	for _, node := range cavium {
+		ex := loggen.Example{
+			Text: "Fan 3 speed reading absent on system board, hardware event timestamp 99120",
+			Node: node, App: "ipmiseld", Time: gen.Now(),
+		}
+		index(ex)
+	}
+
+	// =========== The three monitoring views ===========
+
+	fmt.Println("== Frequency / temporal analysis (§4.5.1) ==")
+	rep := monitor.Frequency(st, store.MatchAll{}, time.Minute, 3, 30)
+	fmt.Printf("volume: %s\n", monitor.Sparkline(rep.Buckets))
+	fmt.Printf("%d histogram buckets, %d surge(s) detected\n", len(rep.Buckets), len(rep.Surges))
+	for _, s := range rep.Surges {
+		fmt.Printf("  surge at %s: %d msgs (%.1fx baseline)\n",
+			s.Start.Format("15:04"), s.Count, s.Factor)
+	}
+	fmt.Println("  noisiest nodes in surge window:")
+	fmt.Print(monitor.RenderTerms(rep.TopNodes, 24))
+
+	fmt.Println("\n== Positional analysis (§4.5.2) ==")
+	racks := monitor.BusiestRacks(monitor.Positional(st, monitor.CategoryQuery(taxonomy.ThermalIssue)), 3)
+	for _, r := range racks {
+		fmt.Printf("  rack %-4s thermal msgs=%-5d nodes reporting=%d\n",
+			r.Rack, r.Total, r.NodesReporting)
+	}
+	if len(racks) > 0 && racks[0].NodesReporting > 1 {
+		fmt.Printf("  -> rack %s is hot across %d nodes: check the cold aisle, not the nodes\n",
+			racks[0].Rack, racks[0].NodesReporting)
+	}
+
+	fmt.Println("\n== Per-architecture analysis (§4.5.3) ==")
+	fanQ := store.Match{Text: "Fan 3 speed reading absent"}
+	v := monitor.PerArch(st, fanQ, string(loggen.ARMCav), len(cavium), 0.8)
+	fmt.Printf("  %q reported by %d/%d %s nodes -> likely false indication: %v\n",
+		"Fan 3 reading absent", v.NodesReporting, v.NodesTotal, v.Arch, v.LikelyFalseIndication)
+	memQ := monitor.CategoryQuery(taxonomy.MemoryIssue)
+	badArch := string(badNode.Arch)
+	archTotal := len(gen.Cluster.NodesWithArch(badNode.Arch))
+	v2 := monitor.PerArch(st, memQ, badArch, archTotal, 0.8)
+	fmt.Printf("  memory errors reported by %d/%d %s nodes -> likely false indication: %v\n",
+		v2.NodesReporting, v2.NodesTotal, v2.Arch, v2.LikelyFalseIndication)
+	fmt.Printf("  -> %s alone is erroring: drain it and run memory diagnostics\n", badNode.Name)
+}

@@ -1,0 +1,135 @@
+// Pipeline: the full deployed system end to end, over real sockets —
+// generator nodes emit syslog over TCP, a relay forwards to the collector,
+// the collector enriches with rack/arch topology, the trained classifier
+// labels each message, everything lands in the Tivan store, and actionable
+// categories raise alerts. Afterwards the store is queried the way the
+// Grafana dashboards of §4.2 would.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"hetsyslog/internal/collector"
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/syslog"
+	"hetsyslog/internal/taxonomy"
+)
+
+func main() {
+	// --- Train the classifier offline (the paper's year of labelled data,
+	// compressed into a synthetic corpus). ---
+	gen := loggen.NewGenerator(7)
+	examples, err := gen.Dataset(loggen.ScaledPaperCounts(5000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _ := core.NewModel("Logistic Regression")
+	clf, err := core.Train(model, core.FromExamples(examples), core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s in %v\n", model.Name(), clf.TrainTime.Round(time.Millisecond))
+
+	// --- Stand up the service: store + alerts + classification sink. ---
+	st := store.New(4)
+	alertCount := 0
+	alerts := &monitor.AlertManager{
+		Cooldown: 500 * time.Millisecond,
+		Notifier: monitor.NotifierFunc(func(a monitor.Alert) {
+			alertCount++
+			if alertCount <= 5 {
+				fmt.Println("ALERT", a)
+			}
+		}),
+	}
+	svc := &core.Service{Classifier: clf, Store: st, Alerts: alerts}
+
+	cluster := gen.Cluster
+	enrich := collector.TopologyEnricher(func(host string) (string, string, bool) {
+		n, ok := cluster.Lookup(host)
+		if !ok {
+			return "", "", false
+		}
+		return fmt.Sprintf("r%d", n.Rack), string(n.Arch), true
+	})
+
+	src := collector.NewSyslogSource("", "127.0.0.1:0")
+	pipe := &collector.Pipeline{
+		Source:    src,
+		Filters:   []collector.Filter{enrich},
+		Sink:      svc,
+		BatchSize: 32, FlushInterval: 20 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pipeDone := make(chan error, 1)
+	go func() { pipeDone <- pipe.Run(ctx) }()
+	<-src.Ready()
+
+	// --- A relay in front (the primary syslog server of §4.2.2). ---
+	downstream, err := syslog.DialSender("tcp", src.BoundTCP, syslog.FormatRFC5424)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relay := syslog.NewRelay(downstream)
+	relayAddr, err := relay.Server().ListenTCP("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer relay.Close()
+
+	// --- "Compute nodes" send 2000 messages through the relay. ---
+	nodeSender, err := syslog.DialSender("tcp", relayAddr.String(), syslog.FormatRFC5424)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nodeSender.Close()
+	const total = 2000
+	for i := 0; i < total; i++ {
+		ex := gen.Example()
+		if err := nodeSender.Send(ex.Message()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Wait for the stream to drain (UDP may drop a few under burst).
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, _ := svc.Counts(); c >= total {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	if err := <-pipeDone; err != nil {
+		log.Fatal(err)
+	}
+
+	classified, actionable := svc.Counts()
+	sent, muted := alerts.Counts()
+	fmt.Printf("\nclassified=%d actionable=%d alerts sent=%d muted=%d\n",
+		classified, actionable, sent, muted)
+	fmt.Println(st)
+
+	// --- Dashboard-style queries (§4.2, §4.5.1). ---
+	fmt.Println("\nmessages per category:")
+	for _, b := range st.Terms(store.MatchAll{}, "category", 0) {
+		fmt.Printf("  %-20s %d\n", b.Value, b.Count)
+	}
+	fmt.Println("\nnoisiest nodes for Thermal Issue:")
+	for _, b := range st.Terms(monitor.CategoryQuery(taxonomy.ThermalIssue), "hostname", 3) {
+		fmt.Printf("  %-8s %d\n", b.Value, b.Count)
+	}
+	fmt.Println("\nper-architecture volume:")
+	for _, b := range st.Terms(store.MatchAll{}, "arch", 0) {
+		fmt.Printf("  %-22s %d\n", b.Value, b.Count)
+	}
+}

@@ -1,0 +1,92 @@
+// Summarize: the paper's §7 future-work use-cases for LLMs — cluster
+// status summaries, per-node explanations, and drafted replies to admin
+// email — where per-message cost no longer matters because the tasks are
+// low-frequency. Everything is grounded in classified log data pulled
+// from the Tivan store.
+//
+//	go run ./examples/summarize
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/llm"
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/taxonomy"
+)
+
+func main() {
+	// Train and classify a day of traffic into the store.
+	gen := loggen.NewGenerator(55)
+	examples, err := gen.Dataset(loggen.ScaledPaperCounts(4000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _ := core.NewModel("Complement Naive Bayes")
+	clf, err := core.Train(model, core.FromExamples(examples), core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := store.New(4)
+	for i := 0; i < 3000; i++ {
+		ex := gen.Example()
+		st.Index(store.Doc{
+			Time: ex.Time,
+			Fields: map[string]string{
+				"hostname": ex.Node.Name,
+				"category": string(clf.ClassifyCategory(ex.Text)),
+			},
+			Body: ex.Text,
+		})
+	}
+	// Plus a concentrated memory problem on one node.
+	bad := gen.Cluster.Nodes[11]
+	for _, ex := range gen.Burst(taxonomy.MemoryIssue, bad, 40, time.Minute) {
+		st.Index(store.Doc{
+			Time: ex.Time,
+			Fields: map[string]string{
+				"hostname": ex.Node.Name,
+				"category": string(clf.ClassifyCategory(ex.Text)),
+			},
+			Body: ex.Text,
+		})
+	}
+
+	// Build per-node statuses from store aggregations.
+	var statuses []llm.NodeStatus
+	for _, nb := range st.Terms(store.MatchAll{}, "hostname", 0) {
+		ns := llm.NodeStatus{Node: nb.Value, Counts: map[taxonomy.Category]int{}}
+		for _, cb := range st.Terms(store.Term{Field: "hostname", Value: nb.Value}, "category", 0) {
+			ns.Counts[taxonomy.Category(cb.Value)] = cb.Count
+		}
+		statuses = append(statuses, ns)
+	}
+
+	s := llm.NewSummarizer(llm.Falcon40B(), llm.A100Node(), 1)
+
+	fmt.Println("== Cluster status summary ==")
+	text, lat := s.SummarizeSystem(statuses)
+	fmt.Println(text)
+	fmt.Printf("(modelled generation cost: %v — fine for a few times per day)\n", lat.Round(time.Millisecond))
+
+	fmt.Printf("\n== Node summary for %s ==\n", bad.Name)
+	for _, ns := range statuses {
+		if ns.Node == bad.Name {
+			text, lat = s.SummarizeNode(ns)
+			fmt.Println(text)
+			fmt.Printf("(modelled cost: %v)\n", lat.Round(time.Millisecond))
+		}
+	}
+
+	fmt.Println("\n== Drafted reply to an admin email ==")
+	question := fmt.Sprintf("Hi team, a user reports jobs dying on %s — anything in the logs?", bad.Name)
+	fmt.Printf("> %s\n\n", question)
+	reply, lat := s.DraftReply(question, statuses)
+	fmt.Println(reply)
+	fmt.Printf("\n(modelled cost: %v)\n", lat.Round(time.Millisecond))
+}

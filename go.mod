@@ -1,0 +1,3 @@
+module hetsyslog
+
+go 1.22

@@ -1,0 +1,198 @@
+// Package bucket implements the Levenshtein-distance bucketing scheme that
+// preceded the ML classifiers on Darwin (§3) and that labelled the paper's
+// dataset (§4.4.1): messages within edit distance 7 of a bucket's exemplar
+// join that bucket; a message matching no bucket opens a new one, which an
+// administrator must then label. The paper labelled 3 415 exemplars to
+// cover 196k messages this way.
+//
+// The matcher prunes candidates by length band before running the banded
+// Levenshtein check, since |len(a)-len(b)| > k implies distance > k.
+package bucket
+
+import (
+	"sort"
+	"sync"
+
+	"hetsyslog/internal/editdist"
+	"hetsyslog/internal/taxonomy"
+)
+
+// DefaultThreshold is the similarity threshold used on Darwin (§4.4.1).
+const DefaultThreshold = 7
+
+// Bucket groups messages within Threshold edits of its exemplar.
+type Bucket struct {
+	ID       int
+	Exemplar string
+	// Category is empty until an administrator labels the bucket.
+	Category taxonomy.Category
+	// Count is the number of messages assigned (including the exemplar).
+	Count int
+}
+
+// Labeled reports whether an administrator has categorized the bucket.
+func (b *Bucket) Labeled() bool { return b.Category != "" }
+
+// Bucketer assigns messages to buckets by minimum edit distance. It is safe
+// for concurrent use.
+type Bucketer struct {
+	// Threshold is the maximum Levenshtein distance to join a bucket
+	// (default DefaultThreshold).
+	Threshold int
+
+	mu      sync.RWMutex
+	buckets []*Bucket
+	// byLen indexes bucket ids by exemplar rune length for band pruning.
+	byLen map[int][]int
+}
+
+// NewBucketer returns a Bucketer with the paper's threshold.
+func NewBucketer() *Bucketer {
+	return &Bucketer{Threshold: DefaultThreshold, byLen: make(map[int][]int)}
+}
+
+// Len returns the number of buckets.
+func (bk *Bucketer) Len() int {
+	bk.mu.RLock()
+	defer bk.mu.RUnlock()
+	return len(bk.buckets)
+}
+
+// Buckets returns a snapshot of all buckets ordered by ID.
+func (bk *Bucketer) Buckets() []*Bucket {
+	bk.mu.RLock()
+	defer bk.mu.RUnlock()
+	out := make([]*Bucket, len(bk.buckets))
+	copy(out, bk.buckets)
+	return out
+}
+
+// match finds the id of the closest bucket within Threshold, or -1.
+// Caller must hold at least the read lock.
+func (bk *Bucketer) match(msg string) int {
+	k := bk.Threshold
+	n := len([]rune(msg))
+	bestID, bestDist := -1, k+1
+	for l := n - k; l <= n+k; l++ {
+		for _, id := range bk.byLen[l] {
+			ex := bk.buckets[id].Exemplar
+			d, ok := editdist.BandedLevenshtein([]rune(ex), []rune(msg), k)
+			if ok && d < bestDist {
+				bestDist, bestID = d, id
+				if d == 0 {
+					return id
+				}
+			}
+		}
+	}
+	return bestID
+}
+
+// Assign routes msg to its bucket, creating a new bucket (with msg as
+// exemplar) when nothing matches. isNew reports whether a bucket was
+// created — the event that costs administrator labelling time.
+func (bk *Bucketer) Assign(msg string) (b *Bucket, isNew bool) {
+	// Fast path under read lock.
+	bk.mu.RLock()
+	if id := bk.match(msg); id >= 0 {
+		bucket := bk.buckets[id]
+		bk.mu.RUnlock()
+		bk.mu.Lock()
+		bucket.Count++
+		bk.mu.Unlock()
+		return bucket, false
+	}
+	bk.mu.RUnlock()
+
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	// Re-check: another goroutine may have created a matching bucket.
+	if id := bk.match(msg); id >= 0 {
+		bk.buckets[id].Count++
+		return bk.buckets[id], false
+	}
+	nb := &Bucket{ID: len(bk.buckets), Exemplar: msg, Count: 1}
+	bk.buckets = append(bk.buckets, nb)
+	if bk.byLen == nil {
+		bk.byLen = make(map[int][]int)
+	}
+	l := len([]rune(msg))
+	bk.byLen[l] = append(bk.byLen[l], nb.ID)
+	return nb, true
+}
+
+// Label assigns a category to bucket id, the administrator's action.
+func (bk *Bucketer) Label(id int, cat taxonomy.Category) bool {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if id < 0 || id >= len(bk.buckets) {
+		return false
+	}
+	bk.buckets[id].Category = cat
+	return true
+}
+
+// Peek reports how msg would classify without mutating any bucket:
+// the matched bucket's category (empty if the bucket is unlabelled) and
+// whether any bucket matched at all.
+func (bk *Bucketer) Peek(msg string) (cat taxonomy.Category, matched bool) {
+	bk.mu.RLock()
+	defer bk.mu.RUnlock()
+	id := bk.match(msg)
+	if id < 0 {
+		return "", false
+	}
+	return bk.buckets[id].Category, true
+}
+
+// Classify returns the category for msg. ok is false when the message
+// opens a new (unlabelled) bucket or lands in a bucket the administrator
+// has not labelled yet — the re-training burden the paper set out to
+// eliminate.
+func (bk *Bucketer) Classify(msg string) (taxonomy.Category, bool) {
+	b, _ := bk.Assign(msg)
+	if !b.Labeled() {
+		return "", false
+	}
+	return b.Category, true
+}
+
+// Unlabeled returns the buckets still awaiting administrator labels,
+// largest first — the triage queue.
+func (bk *Bucketer) Unlabeled() []*Bucket {
+	bk.mu.RLock()
+	defer bk.mu.RUnlock()
+	var out []*Bucket
+	for _, b := range bk.buckets {
+		if !b.Labeled() {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Stats summarizes the bucketing state.
+type Stats struct {
+	Buckets  int
+	Labeled  int
+	Messages int
+	PerClass map[taxonomy.Category]int
+}
+
+// Stats returns counts of buckets, labelled buckets, total messages and
+// per-category message totals.
+func (bk *Bucketer) Stats() Stats {
+	bk.mu.RLock()
+	defer bk.mu.RUnlock()
+	s := Stats{PerClass: make(map[taxonomy.Category]int)}
+	s.Buckets = len(bk.buckets)
+	for _, b := range bk.buckets {
+		s.Messages += b.Count
+		if b.Labeled() {
+			s.Labeled++
+			s.PerClass[b.Category] += b.Count
+		}
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package bucket
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hetsyslog/internal/taxonomy"
+)
+
+func TestAssignGroupsSimilarMessages(t *testing.T) {
+	bk := NewBucketer()
+	b1, isNew := bk.Assign("error: Node cn101 has low real_memory size")
+	if !isNew {
+		t.Fatal("first message must open a bucket")
+	}
+	// Same message with different node id: distance 2 < 7.
+	b2, isNew := bk.Assign("error: Node cn107 has low real_memory size")
+	if isNew {
+		t.Fatal("near-duplicate opened a new bucket")
+	}
+	if b1.ID != b2.ID {
+		t.Fatal("similar messages in different buckets")
+	}
+	if b1.Count != 2 {
+		t.Errorf("count = %d", b1.Count)
+	}
+}
+
+func TestAssignSeparatesDifferentMessages(t *testing.T) {
+	bk := NewBucketer()
+	bk.Assign("CPU temperature above threshold, cpu clock throttled.")
+	_, isNew := bk.Assign("CPU 1 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C")
+	if !isNew {
+		t.Error("the paper's §4.3.1 example pair should split into two buckets")
+	}
+	if bk.Len() != 2 {
+		t.Errorf("buckets = %d", bk.Len())
+	}
+}
+
+func TestClassifyRequiresLabel(t *testing.T) {
+	bk := NewBucketer()
+	b, _ := bk.Assign("usb 1-1: new high-speed USB device number 4")
+	if _, ok := bk.Classify("usb 1-1: new high-speed USB device number 7"); ok {
+		t.Fatal("unlabelled bucket must not classify")
+	}
+	bk.Label(b.ID, taxonomy.USBDevice)
+	cat, ok := bk.Classify("usb 1-1: new high-speed USB device number 9")
+	if !ok || cat != taxonomy.USBDevice {
+		t.Fatalf("Classify = %q, %v", cat, ok)
+	}
+}
+
+func TestLabelOutOfRange(t *testing.T) {
+	bk := NewBucketer()
+	if bk.Label(0, taxonomy.USBDevice) {
+		t.Error("labelling a missing bucket should fail")
+	}
+	if bk.Label(-1, taxonomy.USBDevice) {
+		t.Error("negative id should fail")
+	}
+}
+
+func TestUnlabeledTriageOrder(t *testing.T) {
+	bk := NewBucketer()
+	for i := 0; i < 5; i++ {
+		bk.Assign("frequent message about the fan tray beeping loudly")
+	}
+	bk.Assign("rare one-off message mentioning a novel subsystem entirely")
+	un := bk.Unlabeled()
+	if len(un) != 2 {
+		t.Fatalf("unlabeled = %d", len(un))
+	}
+	if un[0].Count < un[1].Count {
+		t.Error("triage queue not sorted by count")
+	}
+	b, _ := bk.Assign("frequent message about the fan tray beeping loudly")
+	bk.Label(b.ID, taxonomy.HardwareIssue)
+	if len(bk.Unlabeled()) != 1 {
+		t.Error("labelled bucket still in queue")
+	}
+}
+
+func TestStats(t *testing.T) {
+	bk := NewBucketer()
+	b, _ := bk.Assign("Connection closed by 10.0.0.1 port 22 [preauth]")
+	bk.Assign("Connection closed by 10.0.0.9 port 44 [preauth]")
+	bk.Label(b.ID, taxonomy.SSHConnection)
+	bk.Assign("a completely different unlabelled message about nothing")
+	s := bk.Stats()
+	if s.Buckets != 2 || s.Labeled != 1 || s.Messages != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.PerClass[taxonomy.SSHConnection] != 2 {
+		t.Errorf("per-class = %v", s.PerClass)
+	}
+}
+
+// TestDriftOpensNewBuckets reproduces the paper's core complaint (§3): a
+// firmware update that rewords messages forces new buckets that need
+// re-labelling.
+func TestDriftOpensNewBuckets(t *testing.T) {
+	bk := NewBucketer()
+	b, _ := bk.Assign("CPU 3 temperature above threshold, clock throttled")
+	bk.Label(b.ID, taxonomy.ThermalIssue)
+	// New firmware rephrases the same condition.
+	_, isNew := bk.Assign("Processor #3 thermal threshold exceeded; frequency reduced by firmware")
+	if !isNew {
+		t.Fatal("reworded message should not match the old bucket")
+	}
+	if _, ok := bk.Classify("Processor #4 thermal threshold exceeded; frequency reduced by firmware"); ok {
+		t.Fatal("drifted messages must be unclassifiable until re-labelled")
+	}
+}
+
+func TestConcurrentAssign(t *testing.T) {
+	bk := NewBucketer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				bk.Assign(fmt.Sprintf("worker %d message body number %d", g, i%5))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := bk.Stats()
+	if s.Messages != 400 {
+		t.Errorf("messages = %d, want 400", s.Messages)
+	}
+	// All "worker X message body number Y" strings are within distance 7
+	// of each other (two digits differ), so exactly one bucket exists.
+	if s.Buckets != 1 {
+		t.Errorf("buckets = %d, want 1", s.Buckets)
+	}
+}
+
+func TestZeroThresholdExactMatchOnly(t *testing.T) {
+	bk := &Bucketer{Threshold: 0, byLen: map[int][]int{}}
+	bk.Assign("exact message")
+	_, isNew := bk.Assign("exact message")
+	if isNew {
+		t.Error("identical message should match at threshold 0")
+	}
+	_, isNew = bk.Assign("exact messagE")
+	if !isNew {
+		t.Error("one-char difference should not match at threshold 0")
+	}
+}
+
+func BenchmarkAssignAgainstManyBuckets(b *testing.B) {
+	bk := NewBucketer()
+	for i := 0; i < 2000; i++ {
+		bk.Assign(fmt.Sprintf("unique synthetic exemplar %d with content block %d%d", i*37, i*13, i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bk.Assign("error: Node cn101 has low real_memory size (190000 < 256000)")
+	}
+}
+
+func TestPeekDoesNotMutate(t *testing.T) {
+	bk := NewBucketer()
+	b, _ := bk.Assign("usb 1-1: new high-speed USB device number 4")
+	bk.Label(b.ID, taxonomy.USBDevice)
+	before := bk.Len()
+	if cat, ok := bk.Peek("usb 1-1: new high-speed USB device number 9"); !ok || cat != taxonomy.USBDevice {
+		t.Errorf("Peek = %q, %v", cat, ok)
+	}
+	if cat, ok := bk.Peek("a wholly different message about nothing at all"); ok || cat != "" {
+		t.Errorf("Peek of novel message = %q, %v", cat, ok)
+	}
+	if bk.Len() != before {
+		t.Error("Peek created buckets")
+	}
+	if b.Count != 1 {
+		t.Error("Peek incremented counts")
+	}
+}
+
+func TestBucketsSnapshot(t *testing.T) {
+	bk := NewBucketer()
+	bk.Assign("first exemplar message about a fan")
+	bk.Assign("a second very different exemplar about networking gear")
+	bs := bk.Buckets()
+	if len(bs) != 2 || bs[0].ID != 0 || bs[1].ID != 1 {
+		t.Errorf("Buckets = %+v", bs)
+	}
+}

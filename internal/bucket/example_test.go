@@ -1,0 +1,31 @@
+package bucket_test
+
+import (
+	"fmt"
+
+	"hetsyslog/internal/bucket"
+	"hetsyslog/internal/taxonomy"
+)
+
+func ExampleBucketer() {
+	bk := bucket.NewBucketer()
+
+	// The first message of a new shape opens a bucket the administrator
+	// must label.
+	b, isNew := bk.Assign("usb 1-1: new high-speed USB device number 4")
+	fmt.Println("new bucket:", isNew)
+	bk.Label(b.ID, taxonomy.USBDevice)
+
+	// Near-duplicates (within Levenshtein distance 7) classify for free.
+	cat, ok := bk.Classify("usb 1-2: new high-speed USB device number 9")
+	fmt.Println(cat, ok)
+
+	// A reworded message (firmware drift) opens a fresh, unlabelled
+	// bucket: the maintenance burden the paper set out to eliminate.
+	_, ok = bk.Classify("USB subsystem: enumerated device 9 on hub 1-2 (high speed)")
+	fmt.Println("drifted message classified:", ok)
+	// Output:
+	// new bucket: true
+	// USB-Device true
+	// drifted message classified: false
+}

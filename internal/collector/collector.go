@@ -1,0 +1,233 @@
+// Package collector implements the Fluentd role from the paper's
+// infrastructure (§4.2): it ingests records from a source (typically the
+// syslog listener), runs them through a filter chain (parsing, metadata
+// enrichment, noise dropping), buffers them, and flushes batches to a sink
+// (typically the Tivan store) with bounded retry and backpressure.
+package collector
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetsyslog/internal/syslog"
+)
+
+// Record is the unit flowing through the pipeline.
+type Record struct {
+	// Tag routes records, Fluentd-style ("syslog.cn101").
+	Tag  string
+	Time time.Time
+	// Msg is the parsed syslog message.
+	Msg *syslog.Message
+	// Meta carries enrichment added by filters (rack, arch, category...).
+	Meta map[string]string
+}
+
+// WithMeta returns a copy of r with key=value added to Meta.
+func (r Record) WithMeta(key, value string) Record {
+	meta := make(map[string]string, len(r.Meta)+1)
+	for k, v := range r.Meta {
+		meta[k] = v
+	}
+	meta[key] = value
+	r.Meta = meta
+	return r
+}
+
+// Source produces records until ctx is cancelled.
+type Source interface {
+	// Run blocks, calling emit for each record, until ctx is done.
+	Run(ctx context.Context, emit func(Record)) error
+}
+
+// Filter transforms or drops records.
+type Filter interface {
+	// Apply returns the (possibly modified) record and whether to keep it.
+	Apply(r Record) (Record, bool)
+}
+
+// FilterFunc adapts a function to Filter.
+type FilterFunc func(r Record) (Record, bool)
+
+// Apply calls f.
+func (f FilterFunc) Apply(r Record) (Record, bool) { return f(r) }
+
+// Sink receives flushed batches. Write must be safe to retry: the pipeline
+// re-delivers the whole batch on error.
+type Sink interface {
+	Write(batch []Record) error
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(batch []Record) error
+
+// Write calls f.
+func (f SinkFunc) Write(batch []Record) error { return f(batch) }
+
+// Stats counts pipeline activity.
+type Stats struct {
+	Ingested int64 // records emitted by the source
+	Filtered int64 // records dropped by the filter chain
+	Flushed  int64 // records successfully written to the sink
+	Retries  int64 // batch write retries
+	Dropped  int64 // records dropped after exhausting retries
+}
+
+// Pipeline wires source -> filters -> buffer -> sink.
+type Pipeline struct {
+	Source  Source
+	Filters []Filter
+	Sink    Sink
+
+	// BatchSize flushes when the buffer reaches this many records
+	// (default 128).
+	BatchSize int
+	// FlushInterval flushes a partial buffer after this long
+	// (default 250ms).
+	FlushInterval time.Duration
+	// MaxRetries bounds redelivery attempts per batch (default 3).
+	MaxRetries int
+	// RetryBackoff is the initial backoff, doubled per attempt
+	// (default 10ms).
+	RetryBackoff time.Duration
+	// QueueDepth is the buffered-channel depth between ingest and flush;
+	// when full the source's emit blocks (backpressure, default 1024).
+	QueueDepth int
+
+	ingested atomic.Int64
+	filtered atomic.Int64
+	flushed  atomic.Int64
+	retries  atomic.Int64
+	dropped  atomic.Int64
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Ingested: p.ingested.Load(),
+		Filtered: p.filtered.Load(),
+		Flushed:  p.flushed.Load(),
+		Retries:  p.retries.Load(),
+		Dropped:  p.dropped.Load(),
+	}
+}
+
+func (p *Pipeline) defaults() error {
+	if p.Source == nil || p.Sink == nil {
+		return errors.New("collector: pipeline needs a Source and a Sink")
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = 128
+	}
+	if p.FlushInterval <= 0 {
+		p.FlushInterval = 250 * time.Millisecond
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 3
+	}
+	if p.RetryBackoff <= 0 {
+		p.RetryBackoff = 10 * time.Millisecond
+	}
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 1024
+	}
+	return nil
+}
+
+// Run operates the pipeline until ctx is cancelled, then drains the buffer
+// and returns the source's error (nil on clean shutdown).
+func (p *Pipeline) Run(ctx context.Context) error {
+	if err := p.defaults(); err != nil {
+		return err
+	}
+	queue := make(chan Record, p.QueueDepth)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.flusher(queue)
+	}()
+
+	emit := func(r Record) {
+		p.ingested.Add(1)
+		for _, f := range p.Filters {
+			var keep bool
+			r, keep = f.Apply(r)
+			if !keep {
+				p.filtered.Add(1)
+				return
+			}
+		}
+		select {
+		case queue <- r:
+		case <-ctx.Done():
+		}
+	}
+
+	err := p.Source.Run(ctx, emit)
+	close(queue)
+	wg.Wait()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
+}
+
+// flusher drains the queue into batches and writes them with retry.
+func (p *Pipeline) flusher(queue <-chan Record) {
+	batch := make([]Record, 0, p.BatchSize)
+	timer := time.NewTimer(p.FlushInterval)
+	defer timer.Stop()
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		p.writeWithRetry(batch)
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case r, ok := <-queue:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, r)
+			if len(batch) >= p.BatchSize {
+				flush()
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(p.FlushInterval)
+			}
+		case <-timer.C:
+			flush()
+			timer.Reset(p.FlushInterval)
+		}
+	}
+}
+
+func (p *Pipeline) writeWithRetry(batch []Record) {
+	backoff := p.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := p.Sink.Write(batch)
+		if err == nil {
+			p.flushed.Add(int64(len(batch)))
+			return
+		}
+		if attempt >= p.MaxRetries {
+			p.dropped.Add(int64(len(batch)))
+			return
+		}
+		p.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}

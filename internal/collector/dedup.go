@@ -1,0 +1,84 @@
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Dedup suppresses repeated identical messages per (host, app, content)
+// within a window, emitting a classic "message repeated N times" record
+// when the burst ends — the behaviour rsyslogd applies before forwarding,
+// which keeps a thermal storm from flooding the store (§4.5.1 surges can
+// exceed thousands of identical lines per minute).
+type Dedup struct {
+	// Window is how long a message suppresses its duplicates
+	// (default 1s).
+	Window time.Duration
+	// Now allows tests to control the clock.
+	Now func() time.Time
+
+	mu   sync.Mutex
+	last map[string]*dedupEntry
+}
+
+type dedupEntry struct {
+	first      time.Time
+	suppressed int
+}
+
+// NewDedup returns a Dedup filter with the given window.
+func NewDedup(window time.Duration) *Dedup {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &Dedup{Window: window, last: make(map[string]*dedupEntry)}
+}
+
+func (d *Dedup) now() time.Time {
+	if d.Now != nil {
+		return d.Now()
+	}
+	return time.Now()
+}
+
+// Apply implements Filter. The first occurrence passes; duplicates inside
+// the window are dropped; the first occurrence after the window passes
+// with a Meta["repeated"] annotation carrying the suppressed count.
+func (d *Dedup) Apply(r Record) (Record, bool) {
+	if r.Msg == nil {
+		return r, false
+	}
+	key := r.Msg.Hostname + "\x00" + r.Msg.AppName + "\x00" + r.Msg.Content
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.last[key]
+	if !ok || now.Sub(e.first) >= d.Window {
+		var repeated int
+		if ok {
+			repeated = e.suppressed
+		}
+		d.last[key] = &dedupEntry{first: now}
+		if repeated > 0 {
+			r = r.WithMeta("repeated", fmt.Sprintf("%d", repeated))
+		}
+		return r, true
+	}
+	e.suppressed++
+	return r, false
+}
+
+// Suppressed returns the number of currently-tracked suppressed duplicates
+// (diagnostics).
+func (d *Dedup) Suppressed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, e := range d.last {
+		n += e.suppressed
+	}
+	return n
+}
+
+var _ Filter = (*Dedup)(nil)

@@ -1,0 +1,189 @@
+package collector
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/syslog"
+)
+
+// SyslogSource ingests from network syslog listeners (the paper's
+// rsyslog -> Fluentd hop).
+type SyslogSource struct {
+	// UDPAddr and TCPAddr are listen addresses; empty disables that
+	// listener. Use "127.0.0.1:0" to pick free ports.
+	UDPAddr string
+	TCPAddr string
+	// Tag stamps every record (default "syslog").
+	Tag string
+
+	server *syslog.Server
+	// BoundUDP/BoundTCP expose the actual addresses after Run starts
+	// (for tests and examples using port 0).
+	BoundUDP string
+	BoundTCP string
+	ready    chan struct{}
+}
+
+// NewSyslogSource returns a source listening on the given addresses.
+func NewSyslogSource(udpAddr, tcpAddr string) *SyslogSource {
+	return &SyslogSource{UDPAddr: udpAddr, TCPAddr: tcpAddr, Tag: "syslog", ready: make(chan struct{})}
+}
+
+// Ready is closed once the listeners are bound.
+func (s *SyslogSource) Ready() <-chan struct{} { return s.ready }
+
+// Run implements Source.
+func (s *SyslogSource) Run(ctx context.Context, emit func(Record)) error {
+	s.server = &syslog.Server{Handler: syslog.HandlerFunc(func(m *syslog.Message) {
+		emit(Record{Tag: s.Tag, Time: m.Timestamp, Msg: m})
+	})}
+	if s.UDPAddr != "" {
+		addr, err := s.server.ListenUDP(s.UDPAddr)
+		if err != nil {
+			return err
+		}
+		s.BoundUDP = addr.String()
+	}
+	if s.TCPAddr != "" {
+		addr, err := s.server.ListenTCP(s.TCPAddr)
+		if err != nil {
+			return err
+		}
+		s.BoundTCP = addr.String()
+	}
+	close(s.ready)
+	<-ctx.Done()
+	return s.server.Close()
+}
+
+// ChannelSource ingests records from a Go channel (generator-driven
+// pipelines and tests).
+type ChannelSource struct {
+	Ch <-chan Record
+}
+
+// Run implements Source: it forwards until the channel closes or ctx ends.
+func (s *ChannelSource) Run(ctx context.Context, emit func(Record)) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case r, ok := <-s.Ch:
+			if !ok {
+				return nil
+			}
+			emit(r)
+		}
+	}
+}
+
+// SeverityFilter drops records less severe than Max (remember: higher
+// numeric severity = less severe).
+func SeverityFilter(max syslog.Severity) Filter {
+	return FilterFunc(func(r Record) (Record, bool) {
+		if r.Msg == nil {
+			return r, false
+		}
+		return r, r.Msg.Severity <= max
+	})
+}
+
+// AppFilter keeps only records from the given applications.
+func AppFilter(apps ...string) Filter {
+	set := make(map[string]bool, len(apps))
+	for _, a := range apps {
+		set[a] = true
+	}
+	return FilterFunc(func(r Record) (Record, bool) {
+		return r, r.Msg != nil && set[r.Msg.AppName]
+	})
+}
+
+// TopologyEnricher annotates records with rack/arch metadata looked up by
+// hostname — the positional context §4.5.2 needs. lookup returns
+// (rack, arch, ok).
+func TopologyEnricher(lookup func(host string) (rack, arch string, ok bool)) Filter {
+	return FilterFunc(func(r Record) (Record, bool) {
+		if r.Msg == nil {
+			return r, false
+		}
+		if rack, arch, ok := lookup(r.Msg.Hostname); ok {
+			r = r.WithMeta("rack", rack).WithMeta("arch", arch)
+		}
+		return r, true
+	})
+}
+
+// StoreSink writes batches into a Tivan store, mapping syslog fields and
+// filter metadata to document fields.
+type StoreSink struct {
+	Store *store.Store
+}
+
+// Write implements Sink.
+func (s *StoreSink) Write(batch []Record) error {
+	for _, r := range batch {
+		s.Store.Index(RecordToDoc(r))
+	}
+	return nil
+}
+
+// RecordToDoc converts a pipeline record to a store document.
+func RecordToDoc(r Record) store.Doc {
+	fields := map[string]string{"tag": r.Tag}
+	if r.Msg != nil {
+		fields["hostname"] = r.Msg.Hostname
+		fields["app"] = r.Msg.AppName
+		fields["severity"] = r.Msg.Severity.String()
+		fields["facility"] = r.Msg.Facility.String()
+	}
+	for k, v := range r.Meta {
+		fields[k] = v
+	}
+	t := r.Time
+	if t.IsZero() && r.Msg != nil {
+		t = r.Msg.Timestamp
+	}
+	body := ""
+	if r.Msg != nil {
+		body = r.Msg.Content
+	}
+	return store.Doc{Time: t, Fields: fields, Body: body}
+}
+
+// MemorySink accumulates batches for tests and small tools. The zero value
+// is ready to use.
+type MemorySink struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Write implements Sink.
+func (s *MemorySink) Write(batch []Record) error {
+	s.mu.Lock()
+	s.records = append(s.records, batch...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Records returns a snapshot of everything written.
+func (s *MemorySink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.records...)
+}
+
+// WaitFor polls until at least n records arrived or the timeout passes.
+func (s *MemorySink) WaitFor(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(s.Records()) >= n {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return len(s.Records()) >= n
+}

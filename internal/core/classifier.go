@@ -1,0 +1,248 @@
+// Package core implements the paper's primary contribution: a real-time
+// syslog classification pipeline for heterogeneous clusters. Raw message
+// text flows through lemmatizing preprocessing (§4.3.2) and TF-IDF
+// vectorization (§4.3.1) into one of the eight traditional classifiers
+// evaluated in Figure 3; classified messages land in the Tivan store with
+// their category, and actionable categories trigger administrator
+// notifications (§3, §4.5).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/ml/bayes"
+	"hetsyslog/internal/ml/forest"
+	"hetsyslog/internal/ml/linear"
+	"hetsyslog/internal/ml/metrics"
+	"hetsyslog/internal/ml/neighbors"
+	"hetsyslog/internal/sparse"
+	"hetsyslog/internal/taxonomy"
+	"hetsyslog/internal/textproc"
+	"hetsyslog/internal/tfidf"
+)
+
+// Corpus is a labelled text dataset.
+type Corpus struct {
+	Texts  []string
+	Labels []string
+}
+
+// Len returns the number of samples.
+func (c *Corpus) Len() int { return len(c.Texts) }
+
+// Append adds one labelled text.
+func (c *Corpus) Append(text, label string) {
+	c.Texts = append(c.Texts, text)
+	c.Labels = append(c.Labels, label)
+}
+
+// FromExamples builds a corpus from generator output.
+func FromExamples(examples []loggen.Example) *Corpus {
+	c := &Corpus{
+		Texts:  make([]string, len(examples)),
+		Labels: make([]string, len(examples)),
+	}
+	for i, ex := range examples {
+		c.Texts[i] = ex.Text
+		c.Labels[i] = string(ex.Category)
+	}
+	return c
+}
+
+// Split partitions the corpus by a stratified split into train and test
+// portions (testFrac per class to test).
+func (c *Corpus) Split(testFrac float64, seed int64) (train, test *Corpus) {
+	enc := ml.NewLabelEncoder()
+	y := make([]int, len(c.Labels))
+	for i, l := range c.Labels {
+		y[i] = enc.Encode(l)
+	}
+	// Reuse ml.StratifiedSplit machinery through a dataset of indices.
+	ds := &ml.Dataset{
+		X:      &sparse.Matrix{Rows: make([]sparse.Vector, len(y))},
+		Y:      y,
+		Labels: enc.Labels(),
+	}
+	for i := range ds.X.Rows {
+		ds.X.Rows[i] = sparse.NewVectorFromMap(map[int32]float64{0: float64(i + 1)})
+	}
+	tr, te := ml.StratifiedSplit(ds, testFrac, seed)
+	extract := func(sub *ml.Dataset) *Corpus {
+		out := &Corpus{}
+		for k := range sub.Y {
+			idx := int(sub.X.Rows[k].Val[0]) - 1
+			out.Append(c.Texts[idx], c.Labels[idx])
+		}
+		return out
+	}
+	return extract(tr), extract(te)
+}
+
+// Options configures training.
+type Options struct {
+	// Sublinear applies log-damped term frequency (default true via
+	// DefaultOptions).
+	Sublinear bool
+	// MinDF prunes rare terms (0 keeps all).
+	MinDF int
+	// MaxFeatures caps the vocabulary (0 = unlimited).
+	MaxFeatures int
+	// SkipLemmas disables lemmatization (ablation).
+	SkipLemmas bool
+}
+
+// DefaultOptions returns the configuration used in the evaluation.
+func DefaultOptions() Options { return Options{Sublinear: true, MinDF: 2} }
+
+// TextClassifier is a fitted preprocessing + TF-IDF + model pipeline.
+type TextClassifier struct {
+	Prep       *textproc.Preprocessor
+	Vectorizer *tfidf.Vectorizer
+	Model      ml.Classifier
+	Labels     []string
+
+	// TrainTime records the wall-clock cost of Fit (the Figure 3
+	// "Training Time" column).
+	TrainTime time.Duration
+}
+
+// Train fits the full pipeline on the corpus.
+func Train(model ml.Classifier, corpus *Corpus, opts Options) (*TextClassifier, error) {
+	if corpus.Len() == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	prep := textproc.NewPreprocessor()
+	prep.SkipLemmas = opts.SkipLemmas
+
+	tokenized := make([][]string, corpus.Len())
+	for i, t := range corpus.Texts {
+		tokenized[i] = prep.Process(t)
+	}
+	vz := &tfidf.Vectorizer{
+		Sublinear:   opts.Sublinear,
+		MinDF:       opts.MinDF,
+		MaxFeatures: opts.MaxFeatures,
+	}
+
+	start := time.Now()
+	X := vz.FitTransform(tokenized)
+	enc := ml.NewLabelEncoder()
+	y := make([]int, corpus.Len())
+	for i, l := range corpus.Labels {
+		y[i] = enc.Encode(l)
+	}
+	ds := &ml.Dataset{X: X, Y: y, Labels: enc.Labels()}
+	if err := model.Fit(ds); err != nil {
+		return nil, fmt.Errorf("core: training %s: %w", model.Name(), err)
+	}
+	return &TextClassifier{
+		Prep: prep, Vectorizer: vz, Model: model, Labels: enc.Labels(),
+		TrainTime: time.Since(start),
+	}, nil
+}
+
+// Vectorize converts raw text to its feature vector.
+func (tc *TextClassifier) Vectorize(text string) sparse.Vector {
+	return tc.Vectorizer.Transform(tc.Prep.Process(text))
+}
+
+// Classify predicts the category label for one message.
+func (tc *TextClassifier) Classify(text string) string {
+	return tc.Labels[tc.Model.Predict(tc.Vectorize(text))]
+}
+
+// ClassifyCategory returns the prediction as a taxonomy.Category.
+func (tc *TextClassifier) ClassifyCategory(text string) taxonomy.Category {
+	return taxonomy.Category(tc.Classify(text))
+}
+
+// EvalResult bundles the evaluation outputs for one model — one row of
+// Figure 3.
+type EvalResult struct {
+	ModelName  string
+	WeightedF1 float64
+	MacroF1    float64
+	Accuracy   float64
+	TrainTime  time.Duration
+	TestTime   time.Duration
+	Confusion  *metrics.ConfusionMatrix
+}
+
+// Evaluate classifies the test corpus and computes the paper's metrics.
+// Labels unseen at training time are rejected with an error.
+func (tc *TextClassifier) Evaluate(test *Corpus) (*EvalResult, error) {
+	labelIdx := make(map[string]int, len(tc.Labels))
+	for i, l := range tc.Labels {
+		labelIdx[l] = i
+	}
+	yTrue := make([]int, test.Len())
+	for i, l := range test.Labels {
+		idx, ok := labelIdx[l]
+		if !ok {
+			return nil, fmt.Errorf("core: test label %q unseen in training", l)
+		}
+		yTrue[i] = idx
+	}
+
+	start := time.Now()
+	yPred := make([]int, test.Len())
+	for i, text := range test.Texts {
+		yPred[i] = tc.Model.Predict(tc.Vectorize(text))
+	}
+	testTime := time.Since(start)
+
+	cm, err := metrics.NewConfusionMatrix(tc.Labels, yTrue, yPred)
+	if err != nil {
+		return nil, err
+	}
+	return &EvalResult{
+		ModelName:  tc.Model.Name(),
+		WeightedF1: cm.WeightedF1(),
+		MacroF1:    cm.MacroF1(),
+		Accuracy:   cm.Accuracy(),
+		TrainTime:  tc.TrainTime,
+		TestTime:   testTime,
+		Confusion:  cm,
+	}, nil
+}
+
+// ModelNames lists the eight Figure 3 classifiers in the paper's order.
+func ModelNames() []string {
+	return []string{
+		"Logistic Regression",
+		"Ridge Classifier",
+		"kNN",
+		"Random Forest",
+		"Linear SVC",
+		"Log-loss SGD",
+		"Nearest Centroid",
+		"Complement Naive Bayes",
+	}
+}
+
+// NewModel constructs a fresh classifier by its Figure 3 name.
+func NewModel(name string) (ml.Classifier, error) {
+	switch name {
+	case "Logistic Regression":
+		return &linear.LogisticRegression{}, nil
+	case "Ridge Classifier":
+		return &linear.Ridge{}, nil
+	case "kNN":
+		return &neighbors.KNN{}, nil
+	case "Random Forest":
+		return &forest.RandomForest{}, nil
+	case "Linear SVC":
+		return &linear.SVC{}, nil
+	case "Log-loss SGD":
+		return &linear.SGD{}, nil
+	case "Nearest Centroid":
+		return &neighbors.NearestCentroid{}, nil
+	case "Complement Naive Bayes":
+		return &bayes.ComplementNB{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown model %q (want one of %v)", name, ModelNames())
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"hetsyslog/internal/textproc"
+	"hetsyslog/internal/tfidf"
+)
+
+// pipelineState is the serialized form of a trained TextClassifier:
+// everything needed to classify on another machine or after a restart —
+// the §7 deployment scenario ("deploying our trained models on the new
+// data we stored in our collection system").
+type pipelineState struct {
+	ModelName     string
+	ModelBlob     []byte
+	Vectorizer    []byte
+	Labels        []string
+	KeepStopwords bool
+	SkipLemmas    bool
+}
+
+// Save writes the fitted pipeline to w. The model must support binary
+// marshaling (all eight registry models do).
+func (tc *TextClassifier) Save(w io.Writer) error {
+	bm, ok := tc.Model.(encoding.BinaryMarshaler)
+	if !ok {
+		return fmt.Errorf("core: model %s is not serializable", tc.Model.Name())
+	}
+	modelBlob, err := bm.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: serialize model: %w", err)
+	}
+	vzBlob, err := tc.Vectorizer.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: serialize vectorizer: %w", err)
+	}
+	st := pipelineState{
+		ModelName:     tc.Model.Name(),
+		ModelBlob:     modelBlob,
+		Vectorizer:    vzBlob,
+		Labels:        tc.Labels,
+		KeepStopwords: tc.Prep.KeepStopwords,
+		SkipLemmas:    tc.Prep.SkipLemmas,
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadClassifier restores a pipeline previously written by Save.
+func LoadClassifier(r io.Reader) (*TextClassifier, error) {
+	var st pipelineState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decode pipeline: %w", err)
+	}
+	model, err := NewModel(st.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	bu, ok := model.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return nil, fmt.Errorf("core: model %s is not deserializable", st.ModelName)
+	}
+	if err := bu.UnmarshalBinary(st.ModelBlob); err != nil {
+		return nil, fmt.Errorf("core: restore model: %w", err)
+	}
+	vz := &tfidf.Vectorizer{}
+	if err := vz.UnmarshalBinary(st.Vectorizer); err != nil {
+		return nil, fmt.Errorf("core: restore vectorizer: %w", err)
+	}
+	prep := textproc.NewPreprocessor()
+	prep.KeepStopwords = st.KeepStopwords
+	prep.SkipLemmas = st.SkipLemmas
+	return &TextClassifier{
+		Prep: prep, Vectorizer: vz, Model: model, Labels: st.Labels,
+	}, nil
+}
+
+// SaveFile persists the pipeline to path (atomic temp-file + rename).
+func (tc *TextClassifier) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := tc.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadClassifierFile restores a pipeline from a SaveFile artifact.
+func LoadClassifierFile(path string) (*TextClassifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadClassifier(f)
+}

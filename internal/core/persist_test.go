@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSaveLoadAllModels round-trips every registry model through
+// serialization and verifies prediction equivalence.
+func TestSaveLoadAllModels(t *testing.T) {
+	c := smallCorpus(t, 1500)
+	train, test := c.Split(0.2, 1)
+	for _, name := range ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			model, err := NewModel(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc, err := Train(model, train, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tc.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadClassifier(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Model.Name() != name {
+				t.Fatalf("restored model = %q", loaded.Model.Name())
+			}
+			for i, text := range test.Texts {
+				if i >= 200 {
+					break
+				}
+				if got, want := loaded.Classify(text), tc.Classify(text); got != want {
+					t.Fatalf("restored %s diverges on %q: %q vs %q", name, text, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSaveLoadFileRoundTrip(t *testing.T) {
+	c := smallCorpus(t, 1500)
+	model, _ := NewModel("Complement Naive Bayes")
+	tc, err := Train(model, c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := tc.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifierFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := "CPU 9 Temperature Above Non-Recoverable - Asserted. Current temperature: 98C"
+	if loaded.Classify(msg) != tc.Classify(msg) {
+		t.Error("file round trip diverges")
+	}
+	if _, err := LoadClassifierFile(filepath.Join(t.TempDir(), "absent.bin")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadClassifierCorrupt(t *testing.T) {
+	if _, err := LoadClassifier(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("corrupt stream should error")
+	}
+}
+
+func TestSaveLoadPreservesAblationFlags(t *testing.T) {
+	c := smallCorpus(t, 1500)
+	model, _ := NewModel("Nearest Centroid")
+	opts := DefaultOptions()
+	opts.SkipLemmas = true
+	tc, err := Train(model, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Prep.SkipLemmas {
+		t.Error("SkipLemmas flag lost in round trip")
+	}
+}
+
+func TestCorpusTSVRoundTrip(t *testing.T) {
+	c := &Corpus{}
+	c.Append("CPU 3 throttled", "Thermal Issue")
+	c.Append("usb 1-1: new device", "USB-Device")
+	var buf bytes.Buffer
+	if err := c.WriteCorpusTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpusTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Labels[0] != "Thermal Issue" || got.Texts[1] != "usb 1-1: new device" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestReadCorpusTSVMultiColumn(t *testing.T) {
+	// cmd/loggen -dataset emits category<TAB>node<TAB>arch<TAB>text.
+	in := "Thermal Issue\tcn001\tx86_64-dell\tCPU 3 throttled\n\nUSB-Device\tcn002\tarm\tusb attach\n"
+	c, err := ReadCorpusTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Texts[0] != "CPU 3 throttled" {
+		t.Errorf("parsed = %+v", c)
+	}
+}
+
+func TestReadCorpusTSVErrors(t *testing.T) {
+	if _, err := ReadCorpusTSV(strings.NewReader("only-one-field\n")); err == nil {
+		t.Error("missing tab should error")
+	}
+	if _, err := ReadCorpusTSV(strings.NewReader("\ttext-without-label\n")); err == nil {
+		t.Error("empty label should error")
+	}
+	if _, err := ReadCorpusTSVFile("/nonexistent/x.tsv"); err == nil {
+		t.Error("missing file should error")
+	}
+}

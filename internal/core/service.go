@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hetsyslog/internal/collector"
+	"hetsyslog/internal/ml/markov"
+	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/taxonomy"
+)
+
+// Service is the deployed system: each incoming record is classified in
+// real time, indexed into Tivan with its category (so every §4.5 view can
+// group by it), and routed to the alert manager when actionable. It
+// implements collector.Sink, slotting directly into the collection
+// pipeline as the terminal stage.
+type Service struct {
+	Classifier *TextClassifier
+	Store      *store.Store
+	Alerts     *monitor.AlertManager
+	// Sequences optionally watches each node's category sequence with a
+	// fitted markov.SequenceDetector (related work [15]): nodes whose
+	// event *dynamics* become improbable fire OnSequenceAnomaly even when
+	// every individual message is routine.
+	Sequences         *markov.SequenceDetector
+	OnSequenceAnomaly func(node string, surprise float64)
+
+	seqMu      sync.Mutex
+	classified atomic.Int64
+	actionable atomic.Int64
+	seqAnoms   atomic.Int64
+}
+
+// Write implements collector.Sink.
+func (s *Service) Write(batch []collector.Record) error {
+	for _, r := range batch {
+		s.handle(r)
+	}
+	return nil
+}
+
+func (s *Service) handle(r collector.Record) {
+	if r.Msg == nil {
+		return
+	}
+	cat := s.Classifier.ClassifyCategory(r.Msg.Content)
+	s.classified.Add(1)
+	if taxonomy.Actionable(cat) {
+		s.actionable.Add(1)
+	}
+	if s.Store != nil {
+		doc := collector.RecordToDoc(r)
+		doc.Fields["category"] = string(cat)
+		s.Store.Index(doc)
+	}
+	if s.Alerts != nil {
+		t := r.Time
+		if t.IsZero() {
+			t = r.Msg.Timestamp
+		}
+		s.Alerts.Consider(cat, r.Msg.Hostname, r.Msg.Content, t)
+	}
+	if s.Sequences != nil {
+		if state := s.categoryIndex(cat); state >= 0 {
+			s.seqMu.Lock()
+			surprise, anomalous, err := s.Sequences.Observe(r.Msg.Hostname, state)
+			s.seqMu.Unlock()
+			if err == nil && anomalous {
+				s.seqAnoms.Add(1)
+				if s.OnSequenceAnomaly != nil {
+					s.OnSequenceAnomaly(r.Msg.Hostname, surprise)
+				}
+			}
+		}
+	}
+}
+
+// categoryIndex maps a category to its index in the classifier's label
+// set (the Markov chain's state alphabet), or -1.
+func (s *Service) categoryIndex(cat taxonomy.Category) int {
+	for i, l := range s.Classifier.Labels {
+		if l == string(cat) {
+			return i
+		}
+	}
+	return -1
+}
+
+// SequenceAnomalies returns how many per-node sequence anomalies fired.
+func (s *Service) SequenceAnomalies() int64 { return s.seqAnoms.Load() }
+
+// Counts reports how many records were classified and how many fell into
+// actionable categories.
+func (s *Service) Counts() (classified, actionable int64) {
+	return s.classified.Load(), s.actionable.Load()
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadCorpusTSV parses a labelled corpus from tab-separated lines of the
+// form "category<TAB>[...ignored...<TAB>]text": the first field is the
+// label, the last is the message text (matching cmd/loggen -dataset
+// output, which puts node/arch columns in between). Blank lines are
+// skipped.
+func ReadCorpusTSV(r io.Reader) (*Corpus, error) {
+	c := &Corpus{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("core: line %d: want category<TAB>[...<TAB>]text", lineNo)
+		}
+		label := strings.TrimSpace(fields[0])
+		text := strings.TrimSpace(fields[len(fields)-1])
+		if label == "" || text == "" {
+			return nil, fmt.Errorf("core: line %d: empty label or text", lineNo)
+		}
+		c.Append(text, label)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReadCorpusTSVFile reads a TSV corpus from disk.
+func ReadCorpusTSVFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCorpusTSV(f)
+}
+
+// WriteCorpusTSV writes the corpus as "category<TAB>text" lines.
+func (c *Corpus) WriteCorpusTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, text := range c.Texts {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", c.Labels[i], text); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,235 @@
+// Package drain implements a fixed-depth online log-template miner in the
+// style of Drain (He et al., ICWS 2017) — the technique the LogPAI
+// ecosystem popularized and the modern successor to the paper's
+// Levenshtein bucketing (§3): instead of character edit distance against
+// every exemplar, messages route through a parse tree keyed on token count
+// and leading tokens, then match cluster templates by token-wise
+// similarity. Matching is O(depth + clusters-in-leaf), independent of the
+// total template count, and templates generalize by replacing divergent
+// positions with a wildcard — so "CPU 3 throttled" and "CPU 14 throttled"
+// share the template "CPU <*> throttled" without any retraining.
+package drain
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Wildcard is the template placeholder for variable tokens.
+const Wildcard = "<*>"
+
+// Cluster is one mined template with its usage count.
+type Cluster struct {
+	ID       int
+	Template []string
+	Count    int
+	// Label is optional user metadata (e.g., a taxonomy category), the
+	// equivalent of labelling a bucket exemplar.
+	Label string
+}
+
+// TemplateString renders the template tokens as one line.
+func (c *Cluster) TemplateString() string { return strings.Join(c.Template, " ") }
+
+// Miner is the online parser. It is safe for concurrent use.
+type Miner struct {
+	// Depth is the number of leading tokens used as tree keys
+	// (default 2, within the range Drain recommends).
+	Depth int
+	// SimThreshold is the minimum fraction of matching tokens to join a
+	// cluster (default 0.5).
+	SimThreshold float64
+	// MaxChildren caps branches per internal node; overflow routes
+	// through a wildcard branch (default 100).
+	MaxChildren int
+
+	mu       sync.Mutex
+	root     map[int]*node // token count -> subtree
+	clusters []*Cluster
+}
+
+type node struct {
+	children map[string]*node
+	clusters []*Cluster
+}
+
+// NewMiner returns a miner with Drain's usual defaults.
+func NewMiner() *Miner {
+	return &Miner{Depth: 2, SimThreshold: 0.5, MaxChildren: 100, root: make(map[int]*node)}
+}
+
+// numeric reports whether the token contains any digit; such tokens are
+// treated as parameters when used as tree keys (Drain's preprocessing).
+func numeric(tok string) bool {
+	for i := 0; i < len(tok); i++ {
+		if tok[i] >= '0' && tok[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// Observe routes one message, returning its cluster and whether the
+// message minted a new template.
+func (m *Miner) Observe(message string) (*Cluster, bool) {
+	tokens := strings.Fields(message)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	leaf := m.leafFor(tokens, true)
+	best, bestSim := (*Cluster)(nil), 0.0
+	for _, c := range leaf.clusters {
+		sim := similarity(c.Template, tokens)
+		if sim > bestSim {
+			bestSim, best = sim, c
+		}
+	}
+	if best != nil && bestSim >= m.simThreshold() {
+		best.Count++
+		merge(best.Template, tokens)
+		return best, false
+	}
+	c := &Cluster{ID: len(m.clusters), Template: append([]string(nil), tokens...), Count: 1}
+	m.clusters = append(m.clusters, c)
+	leaf.clusters = append(leaf.clusters, c)
+	return c, true
+}
+
+// Match routes a message without updating any state; nil when no template
+// is close enough.
+func (m *Miner) Match(message string) *Cluster {
+	tokens := strings.Fields(message)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	leaf := m.leafFor(tokens, false)
+	if leaf == nil {
+		return nil
+	}
+	best, bestSim := (*Cluster)(nil), 0.0
+	for _, c := range leaf.clusters {
+		sim := similarity(c.Template, tokens)
+		if sim > bestSim {
+			bestSim, best = sim, c
+		}
+	}
+	if best == nil || bestSim < m.simThreshold() {
+		return nil
+	}
+	return best
+}
+
+func (m *Miner) simThreshold() float64 {
+	if m.SimThreshold <= 0 || m.SimThreshold > 1 {
+		return 0.5
+	}
+	return m.SimThreshold
+}
+
+// leafFor walks (and optionally grows) the parse tree: token count first,
+// then Depth leading tokens (digit-bearing tokens and overflow collapse to
+// the wildcard branch).
+func (m *Miner) leafFor(tokens []string, create bool) *node {
+	if m.root == nil {
+		if !create {
+			return nil
+		}
+		m.root = make(map[int]*node)
+	}
+	depth := m.Depth
+	if depth <= 0 {
+		depth = 2
+	}
+	maxChildren := m.MaxChildren
+	if maxChildren <= 0 {
+		maxChildren = 100
+	}
+	cur, ok := m.root[len(tokens)]
+	if !ok {
+		if !create {
+			return nil
+		}
+		cur = &node{children: make(map[string]*node)}
+		m.root[len(tokens)] = cur
+	}
+	for d := 0; d < depth && d < len(tokens); d++ {
+		key := tokens[d]
+		if numeric(key) {
+			key = Wildcard
+		}
+		next, ok := cur.children[key]
+		if !ok {
+			if len(cur.children) >= maxChildren {
+				key = Wildcard
+				next, ok = cur.children[key]
+			}
+			if !ok {
+				if !create {
+					return nil
+				}
+				next = &node{children: make(map[string]*node)}
+				cur.children[key] = next
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// similarity is the fraction of positions where template and tokens agree
+// (wildcards count as matches). Lengths are equal by construction.
+func similarity(template, tokens []string) float64 {
+	if len(template) == 0 {
+		return 0
+	}
+	same := 0
+	for i := range template {
+		if template[i] == Wildcard || template[i] == tokens[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(template))
+}
+
+// merge generalizes the template in place: divergent positions become
+// wildcards.
+func merge(template, tokens []string) {
+	for i := range template {
+		if template[i] != Wildcard && template[i] != tokens[i] {
+			template[i] = Wildcard
+		}
+	}
+}
+
+// Clusters returns a snapshot of all templates, most frequent first.
+func (m *Miner) Clusters() []*Cluster {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Cluster, len(m.clusters))
+	copy(out, m.clusters)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Len returns the number of mined templates.
+func (m *Miner) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.clusters)
+}
+
+// Label attaches metadata to a cluster id.
+func (m *Miner) Label(id int, label string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || id >= len(m.clusters) {
+		return false
+	}
+	m.clusters[id].Label = label
+	return true
+}

@@ -1,0 +1,208 @@
+package drain
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"hetsyslog/internal/bucket"
+	"hetsyslog/internal/loggen"
+)
+
+func TestTemplateGeneralization(t *testing.T) {
+	m := NewMiner()
+	c1, isNew := m.Observe("CPU 3 temperature above threshold")
+	if !isNew {
+		t.Fatal("first message should mint a template")
+	}
+	c2, isNew := m.Observe("CPU 14 temperature above threshold")
+	if isNew || c2.ID != c1.ID {
+		t.Fatal("parameter variation should join the same template")
+	}
+	if got := c1.TemplateString(); got != "CPU <*> temperature above threshold" {
+		t.Errorf("template = %q", got)
+	}
+	if c1.Count != 2 {
+		t.Errorf("count = %d", c1.Count)
+	}
+}
+
+func TestDistinctShapesSeparate(t *testing.T) {
+	m := NewMiner()
+	m.Observe("Connection closed by 10.0.0.1 port 22 [preauth]")
+	_, isNew := m.Observe("usb 1-1: new high-speed USB device number 4 using xhci_hcd")
+	if !isNew {
+		t.Error("different shapes must not merge")
+	}
+	if m.Len() != 2 {
+		t.Errorf("templates = %d", m.Len())
+	}
+}
+
+func TestMatchIsReadOnly(t *testing.T) {
+	m := NewMiner()
+	c, _ := m.Observe("slurmd version 22.05 differs please update")
+	before := c.Count
+	got := m.Match("slurmd version 23.02 differs please update")
+	if got == nil || got.ID != c.ID {
+		t.Fatalf("Match = %+v", got)
+	}
+	if c.Count != before {
+		t.Error("Match mutated counts")
+	}
+	if m.Match("a completely different shape with many extra tokens here") != nil {
+		t.Error("unrelated message matched")
+	}
+	if NewMiner().Match("anything at all") != nil {
+		t.Error("empty miner matched")
+	}
+}
+
+func TestLabelPropagation(t *testing.T) {
+	m := NewMiner()
+	c, _ := m.Observe("CPU 3 temperature above threshold")
+	if !m.Label(c.ID, "Thermal Issue") {
+		t.Fatal("label failed")
+	}
+	if got := m.Match("CPU 99 temperature above threshold"); got == nil || got.Label != "Thermal Issue" {
+		t.Errorf("labelled match = %+v", got)
+	}
+	if m.Label(-1, "x") || m.Label(99, "x") {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestClustersOrdering(t *testing.T) {
+	m := NewMiner()
+	for i := 0; i < 5; i++ {
+		m.Observe(fmt.Sprintf("frequent event number %d", i))
+	}
+	m.Observe("rare single event shape")
+	cs := m.Clusters()
+	if len(cs) != 2 || cs[0].Count < cs[1].Count {
+		t.Errorf("clusters = %+v", cs)
+	}
+}
+
+// TestDrainHandlesSyntheticCorpus: the miner should compress the corpus
+// into far fewer templates than messages, and near the generator's actual
+// template count.
+func TestDrainHandlesSyntheticCorpus(t *testing.T) {
+	g := loggen.NewGenerator(7)
+	m := NewMiner()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m.Observe(g.Example().Text)
+	}
+	if m.Len() > n/10 {
+		t.Errorf("drain mined %d templates from %d messages; expected strong compression", m.Len(), n)
+	}
+	if m.Len() < 20 {
+		t.Errorf("only %d templates; heterogeneity lost", m.Len())
+	}
+	t.Logf("drain: %d messages -> %d templates", n, m.Len())
+}
+
+// TestDrainSurvivesDriftBetterThanBucketing quantifies why template mining
+// supersedes edit-distance bucketing: after a firmware update, wildcarded
+// templates still cover much of the reworded stream.
+func TestDrainSurvivesDriftBetterThanBucketing(t *testing.T) {
+	g := loggen.NewGenerator(9)
+	m := NewMiner()
+	bk := bucket.NewBucketer()
+	for i := 0; i < 4000; i++ {
+		text := g.Example().Text
+		m.Observe(text)
+		bk.Assign(text)
+	}
+	for _, a := range loggen.Arches() {
+		g.ApplyFirmwareUpdate(a)
+	}
+	drainHit, bucketHit := 0, 0
+	const probe = 800
+	for i := 0; i < probe; i++ {
+		text := g.Example().Text
+		if m.Match(text) != nil {
+			drainHit++
+		}
+		if _, matched := bk.Peek(text); matched {
+			bucketHit++
+		}
+	}
+	if drainHit <= bucketHit {
+		t.Errorf("drain coverage %d/%d should beat bucketing %d/%d post-drift",
+			drainHit, probe, bucketHit, probe)
+	}
+	t.Logf("post-drift coverage: drain %.1f%%, bucketing %.1f%%",
+		100*float64(drainHit)/probe, 100*float64(bucketHit)/probe)
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	m := NewMiner()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Observe(fmt.Sprintf("worker event %d in group %d", i%5, w%3))
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range m.Clusters() {
+		total += c.Count
+	}
+	if total != 1600 {
+		t.Errorf("counts total %d, want 1600", total)
+	}
+}
+
+func TestWildcardBranchOverflow(t *testing.T) {
+	m := NewMiner()
+	m.MaxChildren = 3
+	// More distinct leading tokens than MaxChildren: overflow must not
+	// lose messages.
+	for i := 0; i < 10; i++ {
+		m.Observe(strings.Repeat("x", i+1) + " common tail here")
+	}
+	total := 0
+	for _, c := range m.Clusters() {
+		total += c.Count
+	}
+	if total != 10 {
+		t.Errorf("lost messages under overflow: %d", total)
+	}
+}
+
+func BenchmarkDrainObserve(b *testing.B) {
+	g := loggen.NewGenerator(1)
+	msgs := make([]string, 2000)
+	for i := range msgs {
+		msgs[i] = g.Example().Text
+	}
+	m := NewMiner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(msgs[i%len(msgs)])
+	}
+}
+
+// BenchmarkBucketerAssign is the head-to-head cost comparison with the
+// paper's Levenshtein bucketing on the same stream.
+func BenchmarkBucketerAssign(b *testing.B) {
+	g := loggen.NewGenerator(1)
+	msgs := make([]string, 2000)
+	for i := range msgs {
+		msgs[i] = g.Example().Text
+	}
+	bk := bucket.NewBucketer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bk.Assign(msgs[i%len(msgs)])
+	}
+}

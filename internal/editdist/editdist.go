@@ -1,0 +1,224 @@
+// Package editdist implements the minimum-edit-distance metrics the paper's
+// legacy pipeline used to bucket syslog messages (§3): Levenshtein distance
+// (with a banded early-exit variant for the hot bucketing loop), Hamming
+// distance, and Damerau-Levenshtein with adjacent transpositions.
+//
+// All functions operate on runes so multi-byte UTF-8 in vendor messages is
+// measured per character, not per byte.
+package editdist
+
+// Levenshtein returns the minimum number of single-character insertions,
+// deletions and substitutions turning a into b. It uses the classic two-row
+// dynamic program: O(len(a)*len(b)) time, O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	return levRunes(ra, rb)
+}
+
+func levRunes(ra, rb []rune) int {
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the shorter string as the row to minimize memory.
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		ca := ra[i-1]
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ca == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+// WithinLevenshtein reports whether Levenshtein(a, b) <= k, using a banded
+// dynamic program that only fills cells within k of the diagonal. For the
+// bucketing workload (k = 7 against thousands of exemplars) this is the hot
+// path: strings whose lengths differ by more than k are rejected in O(1),
+// and the band costs O(k * max(len)) instead of O(len^2).
+func WithinLevenshtein(a, b string, k int) bool {
+	if k < 0 {
+		return false
+	}
+	ra, rb := []rune(a), []rune(b)
+	if abs(len(ra)-len(rb)) > k {
+		return false
+	}
+	d, ok := BandedLevenshtein(ra, rb, k)
+	return ok && d <= k
+}
+
+// BandedLevenshtein computes Levenshtein distance restricted to a diagonal
+// band of half-width k. The boolean result is false when the true distance
+// exceeds k (the returned int is then meaningless).
+func BandedLevenshtein(ra, rb []rune, k int) (int, bool) {
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	if len(ra)-len(rb) > k {
+		return 0, false
+	}
+	const inf = 1 << 30
+	n := len(rb)
+	if n == 0 {
+		return len(ra), len(ra) <= k
+	}
+	prev := make([]int, n+1)
+	curr := make([]int, n+1)
+	for j := 0; j <= n && j <= k; j++ {
+		prev[j] = j
+	}
+	for j := k + 1; j <= n; j++ {
+		prev[j] = inf
+	}
+	for i := 1; i <= len(ra); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > n {
+			hi = n
+		}
+		rowMin := inf
+		if lo > 1 {
+			curr[lo-1] = inf
+		} else {
+			curr[0] = i
+			if i > k {
+				curr[0] = inf
+			}
+			rowMin = curr[0]
+		}
+		ca := ra[i-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ca == rb[j-1] {
+				cost = 0
+			}
+			v := prev[j-1] + cost
+			if up := prev[j] + 1; up < v {
+				v = up
+			}
+			if left := curr[j-1] + 1; left < v {
+				v = left
+			}
+			curr[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi < n {
+			curr[hi+1] = inf
+		}
+		if rowMin > k {
+			return 0, false
+		}
+		prev, curr = curr, prev
+	}
+	if prev[n] > k {
+		return 0, false
+	}
+	return prev[n], true
+}
+
+// DamerauLevenshtein returns the edit distance allowing adjacent
+// transpositions in addition to insert/delete/substitute (the "optimal
+// string alignment" variant).
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Three rows: i-2, i-1, i.
+	n := len(rb)
+	prev2 := make([]int, n+1)
+	prev := make([]int, n+1)
+	curr := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < v {
+					v = t
+				}
+			}
+			curr[j] = v
+		}
+		prev2, prev, curr = prev, curr, prev2
+	}
+	return prev[n]
+}
+
+// Hamming returns the number of positions at which equal-length strings
+// differ; ok is false when lengths differ (Hamming distance is undefined).
+func Hamming(a, b string) (d int, ok bool) {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) != len(rb) {
+		return 0, false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			d++
+		}
+	}
+	return d, true
+}
+
+// Similarity returns a normalized similarity in [0,1]:
+// 1 - distance/max(len). Identical strings score 1; two empty strings
+// score 1 by convention.
+func Similarity(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	longest := len(ra)
+	if len(rb) > longest {
+		longest = len(rb)
+	}
+	if longest == 0 {
+		return 1
+	}
+	return 1 - float64(levRunes(ra, rb))/float64(longest)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,210 @@
+package editdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"saturday", "sunday", 3},
+		{"CPU temperature above threshold", "CPU temperature above threshold", 0},
+		{"héllo", "hello", 1}, // rune-wise, not byte-wise
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestPaperExample checks the distance-7 example from §4.3.1: the paper
+// states the two thermal sentences have a Levenshtein distance of 7 under
+// their tokenized metric; raw character distance is much larger, which is
+// exactly why character-level bucketing splits them into separate buckets.
+func TestPaperExample(t *testing.T) {
+	a := "CPU temperature above threshold, cpu clock throttled."
+	b := "CPU 1 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C"
+	if d := Levenshtein(a, b); d <= 7 {
+		t.Errorf("character-level distance = %d; expected > 7 (messages should land in different buckets)", d)
+	}
+	if WithinLevenshtein(a, b, 7) {
+		t.Error("WithinLevenshtein should reject the pair at threshold 7")
+	}
+}
+
+func TestWithinLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		k    int
+		want bool
+	}{
+		{"kitten", "sitting", 3, true},
+		{"kitten", "sitting", 2, false},
+		{"abc", "abc", 0, true},
+		{"abc", "abd", 0, false},
+		{"", "1234567", 7, true},
+		{"", "12345678", 7, false},
+		{"x", "y", -1, false},
+	}
+	for _, c := range cases {
+		if got := WithinLevenshtein(c.a, c.b, c.k); got != c.want {
+			t.Errorf("WithinLevenshtein(%q,%q,%d) = %v, want %v", c.a, c.b, c.k, got, c.want)
+		}
+	}
+}
+
+func TestDamerauLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"ca", "ac", 1}, // transposition
+		{"abcd", "acbd", 1},
+		{"kitten", "sitting", 3},
+		{"", "", 0},
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DamerauLevenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if d, ok := Hamming("karolin", "kathrin"); !ok || d != 3 {
+		t.Errorf("Hamming = %d,%v want 3,true", d, ok)
+	}
+	if _, ok := Hamming("abc", "ab"); ok {
+		t.Error("Hamming should reject unequal lengths")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity("", ""); s != 1 {
+		t.Errorf("Similarity of empties = %v", s)
+	}
+	if s := Similarity("abc", "abc"); s != 1 {
+		t.Errorf("identical similarity = %v", s)
+	}
+	if s := Similarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint similarity = %v", s)
+	}
+}
+
+// Property: metric axioms for Levenshtein on short random strings.
+func TestQuickMetricAxioms(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			return false // symmetry
+		}
+		if (d == 0) != (a == b) {
+			return false // identity of indiscernibles
+		}
+		return d >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality via a random third string.
+func TestQuickTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randWord := func() string {
+		n := rng.Intn(20)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte('a' + rng.Intn(6)))
+		}
+		return b.String()
+	}
+	for i := 0; i < 300; i++ {
+		a, b, c := randWord(), randWord(), randWord()
+		if Levenshtein(a, c) > Levenshtein(a, b)+Levenshtein(b, c) {
+			t.Fatalf("triangle inequality violated for %q %q %q", a, b, c)
+		}
+	}
+}
+
+// Property: the banded variant agrees with the full DP whenever it returns ok.
+func TestQuickBandedAgreesWithFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randWord := func() string {
+		n := rng.Intn(30)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte('a' + rng.Intn(4)))
+		}
+		return b.String()
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randWord(), randWord()
+		k := rng.Intn(10)
+		full := Levenshtein(a, b)
+		got := WithinLevenshtein(a, b, k)
+		want := full <= k
+		if got != want {
+			t.Fatalf("WithinLevenshtein(%q,%q,%d) = %v, full distance %d", a, b, k, got, full)
+		}
+	}
+}
+
+func TestQuickDamerauLeqLevenshtein(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		return DamerauLevenshtein(a, b) <= Levenshtein(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+var benchPairs = [][2]string{
+	{"error: Node cn101 has low real_memory size (190000 < 256000)",
+		"error: Node cn107 has low real_memory size (180000 < 256000)"},
+	{"CPU 12 temperature above threshold, cpu clock throttled",
+		"CPU 3 Temperature Above Non-Recoverable - Asserted"},
+}
+
+func BenchmarkLevenshteinFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range benchPairs {
+			Levenshtein(p[0], p[1])
+		}
+	}
+}
+
+// BenchmarkLevenshteinBanded measures the banded early-exit variant used in
+// the bucketing hot loop (DESIGN.md ablation: banded vs full DP).
+func BenchmarkLevenshteinBanded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range benchPairs {
+			WithinLevenshtein(p[0], p[1], 7)
+		}
+	}
+}

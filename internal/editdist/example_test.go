@@ -1,0 +1,27 @@
+package editdist_test
+
+import (
+	"fmt"
+
+	"hetsyslog/internal/editdist"
+)
+
+func ExampleLevenshtein() {
+	// Two slurmd messages differing only in node id and size.
+	a := "error: Node cn101 has low real_memory size (190000 < 256000)"
+	b := "error: Node cn107 has low real_memory size (180000 < 256000)"
+	fmt.Println(editdist.Levenshtein(a, b))
+	// Output: 2
+}
+
+func ExampleWithinLevenshtein() {
+	// The paper's bucketing threshold is 7: near-duplicates join the same
+	// bucket, differently-phrased messages do not.
+	fmt.Println(editdist.WithinLevenshtein("CPU 3 throttled", "CPU 14 throttled", 7))
+	fmt.Println(editdist.WithinLevenshtein(
+		"CPU temperature above threshold, cpu clock throttled.",
+		"CPU 1 Temperature Above Non-Recoverable - Asserted.", 7))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetsyslog/internal/taxonomy"
+)
+
+// testRunner uses a small corpus and the two fastest models so the suite
+// stays quick; the full sweep runs in cmd/experiments and the benches.
+func testRunner() *Runner {
+	return NewRunner(Config{
+		Scale:  3000,
+		Seed:   1,
+		Models: []string{"Complement Naive Bayes", "Nearest Centroid"},
+	})
+}
+
+func TestTable2(t *testing.T) {
+	r := testRunner()
+	res, txt, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[taxonomy.Unimportant] <= res.Counts[taxonomy.ThermalIssue] {
+		t.Errorf("imbalance shape broken: %v", res.Counts)
+	}
+	if res.Counts[taxonomy.SlurmIssue] == 0 {
+		t.Error("Slurm Issues empty")
+	}
+	if !strings.Contains(txt, "Thermal Issue") || !strings.Contains(txt, "59411") {
+		t.Errorf("Table 2 text missing content:\n%s", txt)
+	}
+}
+
+func TestTable1TokensMatchPaperShape(t *testing.T) {
+	r := testRunner()
+	top, txt, err := r.Table1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		string(taxonomy.ThermalIssue):  {"temperature", "throttle"},
+		string(taxonomy.USBDevice):     {"usb"},
+		string(taxonomy.SSHConnection): {"preauth"},
+		string(taxonomy.MemoryIssue):   {"real_memory"},
+		string(taxonomy.SlurmIssue):    {"slurm"},
+	}
+	for class, tokens := range want {
+		got := map[string]bool{}
+		for _, ts := range top[class] {
+			got[ts.Term] = true
+		}
+		for _, tok := range tokens {
+			if !got[tok] {
+				t.Errorf("Table 1 class %q missing token %q (got %v)", class, tok, top[class])
+			}
+		}
+	}
+	if !strings.Contains(txt, "Table 1") {
+		t.Error("missing title")
+	}
+}
+
+func TestFigure3ShapeHolds(t *testing.T) {
+	r := testRunner()
+	results, txt, err := r.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, res := range results {
+		if res.WeightedF1 < 0.9 {
+			t.Errorf("%s F1 = %.4f, want > 0.9", res.ModelName, res.WeightedF1)
+		}
+		if res.TrainTime <= 0 || res.TestTime <= 0 {
+			t.Errorf("%s times not recorded", res.ModelName)
+		}
+	}
+	if !strings.Contains(txt, "Weighted F1") {
+		t.Errorf("Figure 3 text:\n%s", txt)
+	}
+}
+
+func TestFigure2UnimportantConfusion(t *testing.T) {
+	r := testRunner()
+	res, txt, err := r.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelName != "Linear SVC" {
+		t.Errorf("model = %s", res.ModelName)
+	}
+	if !strings.Contains(txt, "confusion matrix") {
+		t.Error("missing matrix header")
+	}
+	// The paper's finding: when any confusion exists, "Unimportant" is
+	// the most frequently involved category.
+	total := totalErrors(res)
+	if total > 0 {
+		inv := res.Confusion.ConfusionInvolving(string(taxonomy.Unimportant))
+		if inv*2 < total {
+			t.Errorf("Unimportant involved in %d of %d errors; expected the majority", inv, total)
+		}
+	}
+}
+
+func TestAblationImproves(t *testing.T) {
+	r := testRunner()
+	results, txt, err := r.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range results {
+		if a.Without.WeightedF1+1e-9 < a.With.WeightedF1 {
+			t.Errorf("%s: F1 without Unimportant (%.5f) dropped below with (%.5f)",
+				name, a.Without.WeightedF1, a.With.WeightedF1)
+		}
+	}
+	if !strings.Contains(txt, "Unimportant") {
+		t.Error("missing title")
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	r := testRunner()
+	rows, txt, err := r.Table3(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ordering and rough magnitudes: each simulated cost within 35% of
+	// the paper's number.
+	for _, row := range rows {
+		ratio := row.InferenceSec / row.PaperSec
+		if ratio < 0.65 || ratio > 1.35 {
+			t.Errorf("%s inference = %.4fs vs paper %.4fs (ratio %.2f)",
+				row.Model, row.InferenceSec, row.PaperSec, ratio)
+		}
+	}
+	if !(rows[2].InferenceSec < rows[0].InferenceSec && rows[0].InferenceSec < rows[1].InferenceSec) {
+		t.Errorf("cost ordering broken: %+v", rows)
+	}
+	if !strings.Contains(txt, "Falcon-40b") {
+		t.Error("missing row")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	r := testRunner()
+	txt, err := r.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "Thermal Issue") || !strings.Contains(txt, "CPU 23 throttling") {
+		t.Errorf("Figure 1:\n%s", txt)
+	}
+}
+
+func TestFailuresSweep(t *testing.T) {
+	r := testRunner()
+	stats, txt, err := r.Failures(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	for _, s := range stats {
+		if s.Invented == 0 {
+			t.Errorf("%s: no invented categories; failure injection inactive", s.Model)
+		}
+		if s.MeanNewTokensNoCap <= s.MeanNewTokens {
+			t.Errorf("%s: cap did not reduce token usage (%f vs %f)",
+				s.Model, s.MeanNewTokens, s.MeanNewTokensNoCap)
+		}
+	}
+	// 40b should be at least as accurate as 7b on parsed answers.
+	if stats[1].Accuracy+0.05 < stats[0].Accuracy {
+		t.Errorf("Falcon-40b accuracy %.3f well below 7b %.3f", stats[1].Accuracy, stats[0].Accuracy)
+	}
+	if !strings.Contains(txt, "failure modes") {
+		t.Error("missing title")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	r := testRunner()
+	for _, name := range []string{"table2", "figure1"} {
+		txt, err := r.Run(name)
+		if err != nil || txt == "" {
+			t.Errorf("Run(%q): %v", name, err)
+		}
+	}
+	if _, err := r.Run("table9"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if len(Names()) != 12 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestDriftClassifierBeatsBucketing(t *testing.T) {
+	r := testRunner()
+	res, txt, err := r.Drift("Complement Naive Bayes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classifier's F1 should degrade gracefully under drift...
+	if res.F1After < 0.7 {
+		t.Errorf("post-drift F1 = %.3f; classifier should be robust", res.F1After)
+	}
+	// ...while the bucketing baseline loses coverage and accrues
+	// labelling debt (the paper's §3 complaint).
+	if res.BucketCoverageAfter >= res.BucketCoverageBefore {
+		t.Errorf("bucket coverage did not drop: %.3f -> %.3f",
+			res.BucketCoverageBefore, res.BucketCoverageAfter)
+	}
+	if res.NewBuckets == 0 {
+		t.Error("drift opened no new buckets")
+	}
+	if res.F1After < res.BucketCoverageAfter {
+		t.Errorf("classifier (%.3f) should out-cover drifted bucketing (%.3f)",
+			res.F1After, res.BucketCoverageAfter)
+	}
+	if !strings.Contains(txt, "firmware") {
+		t.Error("missing drift narrative")
+	}
+}
+
+func TestDriftUnknownModelErrors(t *testing.T) {
+	r := testRunner()
+	if _, _, err := r.Drift("No Such Model"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestBaselinesShape(t *testing.T) {
+	r := testRunner()
+	rows, txt, err := r.Baselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	bucketing, dr, ngram, pipeline := rows[0], rows[1], rows[2], rows[3]
+	// Template mining covers more than edit-distance bucketing.
+	if dr.Coverage <= bucketing.Coverage {
+		t.Errorf("drain coverage %.3f should beat bucketing %.3f", dr.Coverage, bucketing.Coverage)
+	}
+	// The modern pipeline must beat both historical baselines.
+	if pipeline.Accuracy <= ngram.Accuracy || pipeline.Accuracy <= bucketing.Accuracy {
+		t.Errorf("pipeline (%.3f) should beat n-grams (%.3f) and bucketing (%.3f)",
+			pipeline.Accuracy, ngram.Accuracy, bucketing.Accuracy)
+	}
+	// Bucketing cannot cover unseen phrasings; the others always answer.
+	if bucketing.Coverage >= 1 {
+		t.Errorf("bucketing coverage = %.3f, expected < 1", bucketing.Coverage)
+	}
+	if ngram.Coverage != 1 || pipeline.Coverage != 1 {
+		t.Error("classifiers should always produce a label")
+	}
+	if !strings.Contains(txt, "Cavnar-Trenkle") {
+		t.Error("missing baseline row")
+	}
+}
+
+func TestLemmaAblation(t *testing.T) {
+	r := testRunner()
+	rows, txt, err := r.LemmaAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.VocabWith >= row.VocabWithout {
+			t.Errorf("%s: lemmatized vocab %d should be smaller than raw %d",
+				row.Model, row.VocabWith, row.VocabWithout)
+		}
+		if row.F1With < 0.85 || row.F1Without < 0.85 {
+			t.Errorf("%s: ablation F1s too low: %.3f / %.3f",
+				row.Model, row.F1With, row.F1Without)
+		}
+	}
+	if !strings.Contains(txt, "Lemmatization") {
+		t.Error("missing title")
+	}
+}
+
+// TestRunAllNames executes every registered experiment id end to end at
+// test scale, guaranteeing the dispatch table stays complete.
+func TestRunAllNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	r := testRunner()
+	for _, name := range Names() {
+		txt, err := r.Run(name)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", name, err)
+		}
+		if len(txt) < 20 {
+			t.Errorf("Run(%q) produced suspiciously short output: %q", name, txt)
+		}
+	}
+}
+
+func TestStability(t *testing.T) {
+	r := testRunner()
+	rows, txt, err := r.Stability(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Mean < 0.85 {
+			t.Errorf("%s mean F1 = %.3f", row.Model, row.Mean)
+		}
+		if row.Std > 0.05 {
+			t.Errorf("%s F1 std = %.4f; results look seed-unstable", row.Model, row.Std)
+		}
+		if row.Min > row.Max || row.Mean < row.Min || row.Mean > row.Max {
+			t.Errorf("%s stats inconsistent: %+v", row.Model, row)
+		}
+	}
+	if !strings.Contains(txt, "stability") {
+		t.Error("missing title")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsyslog/internal/core"
+)
+
+// LemmaAblationRow compares the pipeline with and without the §4.3.2
+// lemmatization step for one model.
+type LemmaAblationRow struct {
+	Model        string
+	F1With       float64
+	F1Without    float64
+	VocabWith    int
+	VocabWithout int
+}
+
+// LemmaAblation quantifies what lemmatization buys: a smaller vocabulary
+// (different inflections of "fail" collapse) and robustness to vendors
+// that use different parts of speech for the same word (§4.3.2). The
+// classifiers are strong enough that F1 moves little on clean data; the
+// vocabulary compression is the observable effect.
+func (r *Runner) LemmaAblation() ([]LemmaAblationRow, string, error) {
+	c, err := r.Corpus()
+	if err != nil {
+		return nil, "", err
+	}
+	train, test := c.Split(r.Config.TestFrac, r.Config.Seed)
+
+	var rows []LemmaAblationRow
+	for _, name := range r.Config.Models {
+		withModel, err := core.NewModel(name)
+		if err != nil {
+			return nil, "", err
+		}
+		withTC, err := core.Train(withModel, train, core.DefaultOptions())
+		if err != nil {
+			return nil, "", err
+		}
+		withRes, err := withTC.Evaluate(test)
+		if err != nil {
+			return nil, "", err
+		}
+
+		withoutModel, _ := core.NewModel(name)
+		opts := core.DefaultOptions()
+		opts.SkipLemmas = true
+		withoutTC, err := core.Train(withoutModel, train, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		withoutRes, err := withoutTC.Evaluate(test)
+		if err != nil {
+			return nil, "", err
+		}
+
+		rows = append(rows, LemmaAblationRow{
+			Model:        name,
+			F1With:       withRes.WeightedF1,
+			F1Without:    withoutRes.WeightedF1,
+			VocabWith:    withTC.Vectorizer.Dims(),
+			VocabWithout: withoutTC.Vectorizer.Dims(),
+		})
+	}
+
+	var b strings.Builder
+	b.WriteString("Lemmatization ablation (§4.3.2)\n")
+	fmt.Fprintf(&b, "%-24s %12s %12s %12s %12s\n", "Classifier",
+		"F1 lemmas", "F1 raw", "vocab lemmas", "vocab raw")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-24s %12.6f %12.6f %12d %12d\n",
+			row.Model, row.F1With, row.F1Without, row.VocabWith, row.VocabWithout)
+	}
+	return rows, b.String(), nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/loggen"
+)
+
+// StabilityRow reports F1 variability across generator/split seeds for one
+// model — evidence the reproduction's conclusions are not seed luck.
+type StabilityRow struct {
+	Model string
+	Seeds int
+	Mean  float64
+	Std   float64
+	Min   float64
+	Max   float64
+}
+
+// Stability reruns train/evaluate over several seeds (fresh corpus and
+// split per seed) for each configured model.
+func (r *Runner) Stability(nSeeds int) ([]StabilityRow, string, error) {
+	if nSeeds <= 0 {
+		nSeeds = 3
+	}
+	scale := r.Config.Scale / 2
+	if scale < 2000 {
+		scale = 2000
+	}
+
+	var rows []StabilityRow
+	for _, name := range r.Config.Models {
+		row := StabilityRow{Model: name, Seeds: nSeeds, Min: 2}
+		var f1s []float64
+		for s := 0; s < nSeeds; s++ {
+			seed := r.Config.Seed + int64(s)*101
+			g := loggen.NewGenerator(seed)
+			examples, err := g.Dataset(loggen.ScaledPaperCounts(scale))
+			if err != nil {
+				return nil, "", err
+			}
+			corpus := core.FromExamples(examples)
+			train, test := corpus.Split(r.Config.TestFrac, seed)
+			model, err := core.NewModel(name)
+			if err != nil {
+				return nil, "", err
+			}
+			tc, err := core.Train(model, train, core.DefaultOptions())
+			if err != nil {
+				return nil, "", err
+			}
+			res, err := tc.Evaluate(test)
+			if err != nil {
+				return nil, "", err
+			}
+			f1s = append(f1s, res.WeightedF1)
+		}
+		var sum float64
+		for _, f := range f1s {
+			sum += f
+			if f < row.Min {
+				row.Min = f
+			}
+			if f > row.Max {
+				row.Max = f
+			}
+		}
+		row.Mean = sum / float64(len(f1s))
+		var sq float64
+		for _, f := range f1s {
+			d := f - row.Mean
+			sq += d * d
+		}
+		row.Std = math.Sqrt(sq / float64(len(f1s)))
+		rows = append(rows, row)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Seed stability: weighted F1 over %d seeds (scale %d)\n", nSeeds, scale)
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s %10s\n", "Classifier", "mean", "std", "min", "max")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-24s %10.6f %10.6f %10.6f %10.6f\n",
+			row.Model, row.Mean, row.Std, row.Min, row.Max)
+	}
+	return rows, b.String(), nil
+}

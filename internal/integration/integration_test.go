@@ -1,0 +1,209 @@
+// Package integration exercises the whole reproduction end to end over
+// real sockets and HTTP: workload generator -> syslog relay -> collector
+// pipeline (topology enrichment + dedup) -> classification service ->
+// Tivan store -> dashboard views and store API -> LLM status summary.
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/collector"
+	"hetsyslog/internal/core"
+	"hetsyslog/internal/llm"
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/syslog"
+	"hetsyslog/internal/taxonomy"
+)
+
+func TestFullSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+
+	// --- Train. ---
+	gen := loggen.NewGenerator(101)
+	examples, err := gen.Dataset(loggen.ScaledPaperCounts(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := core.NewModel("Complement Naive Bayes")
+	clf, err := core.Train(model, core.FromExamples(examples), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Service + store + alerts. ---
+	st := store.New(4)
+	alertCh := make(chan monitor.Alert, 1024)
+	alerts := &monitor.AlertManager{Notifier: monitor.NotifierFunc(func(a monitor.Alert) {
+		select {
+		case alertCh <- a:
+		default:
+		}
+	})}
+	svc := &core.Service{Classifier: clf, Store: st, Alerts: alerts}
+
+	cluster := gen.Cluster
+	enrich := collector.TopologyEnricher(func(host string) (string, string, bool) {
+		n, ok := cluster.Lookup(host)
+		if !ok {
+			return "", "", false
+		}
+		return fmt.Sprintf("r%d", n.Rack), string(n.Arch), true
+	})
+
+	src := collector.NewSyslogSource("", "127.0.0.1:0")
+	pipe := &collector.Pipeline{
+		Source:    src,
+		Filters:   []collector.Filter{enrich},
+		Sink:      svc,
+		BatchSize: 32, FlushInterval: 10 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pipeDone := make(chan error, 1)
+	go func() { pipeDone <- pipe.Run(ctx) }()
+	<-src.Ready()
+
+	// --- Relay in front, as in §4.2. ---
+	down, err := syslog.DialSender("tcp", src.BoundTCP, syslog.FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := syslog.NewRelay(down)
+	relayAddr, err := relay.Server().ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	// --- Drive traffic. ---
+	snd, err := syslog.DialSender("tcp", relayAddr.String(), syslog.FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	const total = 1000
+	for i := 0; i < total; i++ {
+		if err := snd.Send(gen.Example().Message()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, _ := svc.Counts(); c >= total {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-pipeDone; err != nil {
+		t.Fatal(err)
+	}
+	classified, actionable := svc.Counts()
+	if classified != total {
+		t.Fatalf("classified = %d, want %d", classified, total)
+	}
+	if actionable == 0 {
+		t.Fatal("no actionable classifications")
+	}
+	if st.Count() != total {
+		t.Fatalf("store count = %d", st.Count())
+	}
+	select {
+	case <-alertCh:
+	default:
+		t.Error("no alerts delivered")
+	}
+
+	// --- Store HTTP API. ---
+	apiSrv := httptest.NewServer(st.Handler())
+	defer apiSrv.Close()
+	resp, err := http.Post(apiSrv.URL+"/search", "application/json",
+		strings.NewReader(`{"query":{"term":{"field":"category","value":"Thermal Issue"}},"size":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var searchOut struct {
+		Total int `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&searchOut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if searchOut.Total == 0 {
+		t.Error("no thermal docs findable over HTTP")
+	}
+
+	// --- Dashboard views. ---
+	dash := &monitor.Dashboard{Store: st, Archs: func(arch string) (int, bool) {
+		n := len(cluster.NodesWithArch(loggen.Arch(arch)))
+		return n, n > 0
+	}}
+	dashSrv := httptest.NewServer(dash.Handler())
+	defer dashSrv.Close()
+
+	var cats []store.TermBucket
+	getJSON(t, dashSrv.URL+"/views/categories", &cats)
+	if len(cats) < 3 {
+		t.Errorf("dashboard categories = %+v", cats)
+	}
+	var racks []monitor.RackReport
+	getJSON(t, dashSrv.URL+"/views/positional?category="+url.QueryEscape(string(taxonomy.ThermalIssue)), &racks)
+	if len(racks) == 0 {
+		t.Error("no rack reports; topology enrichment broken?")
+	}
+
+	// --- LLM status summary over the same store. ---
+	s := llm.NewSummarizer(llm.Falcon40B(), llm.A100Node(), 1)
+	var statuses []llm.NodeStatus
+	for _, nb := range st.Terms(store.MatchAll{}, "hostname", 5) {
+		ns := llm.NodeStatus{Node: nb.Value, Counts: map[taxonomy.Category]int{}}
+		for _, cb := range st.Terms(store.Term{Field: "hostname", Value: nb.Value}, "category", 0) {
+			ns.Counts[taxonomy.Category(cb.Value)] = cb.Count
+		}
+		statuses = append(statuses, ns)
+	}
+	summary, lat := s.SummarizeSystem(statuses)
+	if summary == "" || lat <= 0 {
+		t.Error("summarizer produced nothing")
+	}
+
+	// --- Persistence round trip of the live store. ---
+	dir := t.TempDir()
+	if err := st.SaveFile(dir + "/snap.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	st2 := store.New(4)
+	if err := st2.LoadFile(dir + "/snap.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Count() != st.Count() {
+		t.Errorf("snapshot round trip: %d != %d", st2.Count(), st.Count())
+	}
+}
+
+func getJSON(t *testing.T, u string, out any) {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s -> %d", u, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package llm_test
+
+import (
+	"fmt"
+
+	"hetsyslog/internal/llm"
+)
+
+func ExampleModelSpec_InferenceTime() {
+	// Table 3's cost points from the analytic latency model: prompt of
+	// ~200 tokens, 64-token capped answer, the paper's 4xA100 node.
+	hw := llm.A100Node()
+	f7 := llm.Falcon7B().InferenceTime(hw, 200, 64)
+	f40 := llm.Falcon40B().InferenceTime(hw, 200, 64)
+	fmt.Printf("Falcon-7b within 20%% of paper 0.639s: %v\n", f7.Seconds() > 0.5 && f7.Seconds() < 0.77)
+	fmt.Printf("Falcon-40b within 20%% of paper 2.184s: %v\n", f40.Seconds() > 1.75 && f40.Seconds() < 2.62)
+	fmt.Println("msgs/hour at 7b rate above 4500:", llm.MessagesPerHour(f7) > 4500)
+	// Output:
+	// Falcon-7b within 20% of paper 0.639s: true
+	// Falcon-40b within 20% of paper 2.184s: true
+	// msgs/hour at 7b rate above 4500: true
+}
+
+func ExampleGenerative_Classify() {
+	// A perfectly aligned simulator (no failure modes) classifying the
+	// Figure 1 message.
+	g := llm.NewGenerative(llm.Falcon40B(), llm.A100Node(), llm.FailureModes{}, 1)
+	g.MaxNewTokens = 64
+	res := g.Classify("Warning: Socket 2 - CPU 23 throttling", llm.DefaultPrompt())
+	fmt.Println(res.Category, res.ParseOK)
+	// Output: Thermal Issue true
+}
+
+func ExampleZeroShot_Top() {
+	z := llm.NewZeroShot()
+	cat, _ := z.Top("usb 1-1: new USB device found, hub port 3")
+	fmt.Println(cat)
+	// Output: USB-Device
+}

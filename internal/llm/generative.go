@@ -1,0 +1,219 @@
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"hetsyslog/internal/taxonomy"
+	"hetsyslog/internal/textproc"
+)
+
+// FailureModes configures how often the simulator reproduces each
+// misbehaviour the paper documents for Falcon-7b/40b (§5.2). All values
+// are probabilities in [0,1].
+type FailureModes struct {
+	// InventCategory answers with a plausible but undefined category
+	// ("generated classification").
+	InventCategory float64
+	// ExcessJustification appends an unsolicited explanation paragraph.
+	ExcessJustification float64
+	// RolePlay continues with a fabricated system-administrator dialogue
+	// and a new artificial syslog message (the paper's most striking
+	// failure).
+	RolePlay float64
+	// Misclassify flips the answer to the second-best category (base
+	// error rate; larger models should set this lower).
+	Misclassify float64
+}
+
+// Falcon7BFailures returns the failure profile observed for the smaller
+// model: frequent alignment problems.
+func Falcon7BFailures() FailureModes {
+	return FailureModes{InventCategory: 0.18, ExcessJustification: 0.55, RolePlay: 0.08, Misclassify: 0.30}
+}
+
+// Falcon40BFailures returns the 40b profile: better accuracy, same
+// alignment problems ("this issue persisted on both Falcon-40b and
+// Falcon-7b").
+func Falcon40BFailures() FailureModes {
+	return FailureModes{InventCategory: 0.12, ExcessJustification: 0.50, RolePlay: 0.05, Misclassify: 0.18}
+}
+
+// Result is one simulated generative classification.
+type Result struct {
+	// RawOutput is the simulated model text (after any token cap).
+	RawOutput string
+	// Category is the parsed taxonomy label; valid only when ParseOK.
+	Category taxonomy.Category
+	// ParseOK is false when the model invented a category.
+	ParseOK bool
+	// Invented holds the out-of-taxonomy label when ParseOK is false.
+	Invented string
+	// Truncated reports that MaxNewTokens cut the output.
+	Truncated bool
+	// PromptTokens and NewTokens are the simulated token counts.
+	PromptTokens int
+	NewTokens    int
+	// Latency is the modelled inference time on the configured hardware.
+	Latency time.Duration
+}
+
+// Generative simulates prompting a generative LLM for classification. It
+// is safe for concurrent use.
+type Generative struct {
+	Spec     ModelSpec
+	HW       Hardware
+	Failures FailureModes
+	// MaxNewTokens caps generation; 0 means uncapped (reproducing the
+	// paper's initial runaway-generation runs). The paper resolved the
+	// excessive-generation problem "by placing a limit on the number of
+	// new tokens".
+	MaxNewTokens int
+	// Seed makes runs reproducible.
+	Seed int64
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	prep *textproc.Preprocessor
+}
+
+// NewGenerative builds a simulator for the given model profile.
+func NewGenerative(spec ModelSpec, hw Hardware, failures FailureModes, seed int64) *Generative {
+	return &Generative{
+		Spec: spec, HW: hw, Failures: failures, Seed: seed,
+		rng:  rand.New(rand.NewSource(seed + 1009)),
+		prep: textproc.NewPreprocessor(),
+	}
+}
+
+// inventedCategories is the pool of plausible-but-undefined labels the
+// simulator invents, echoing the paper's observation that invented
+// categories "make sense in the context of the message provided".
+var inventedCategories = []string{
+	"Power Issue", "Network Issue", "Cooling Failure", "Authentication Event",
+	"Disk Failure", "Firmware Problem", "Unimportant Noise", "Performance Degradation",
+}
+
+// Classify runs one simulated generative classification of msg using the
+// prompt p.
+func (g *Generative) Classify(msg string, p *Prompt) Result {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	promptText := p.Render(msg)
+	promptTokens := CountTokens(promptText)
+
+	// "Understanding": score categories by preprocessed keyword evidence
+	// from the prompt hints — the model can only be as aligned as the
+	// hints allow, which is exactly how the paper encoded TF-IDF
+	// knowledge into prompts.
+	best, second := g.scoreCategories(msg, p)
+
+	answer := best
+	if g.rng.Float64() < g.Failures.Misclassify && second != "" {
+		answer = second
+	}
+
+	var b strings.Builder
+	if g.rng.Float64() < g.Failures.InventCategory {
+		inv := inventedCategories[g.rng.Intn(len(inventedCategories))]
+		fmt.Fprintf(&b, "%q", inv)
+	} else {
+		fmt.Fprintf(&b, "%q", string(answer))
+	}
+
+	if g.rng.Float64() < g.Failures.ExcessJustification {
+		b.WriteString(". ")
+		b.WriteString(defaultLM.Generate(g.rng, "The message indicates", 40+g.rng.Intn(40)))
+	}
+	if g.rng.Float64() < g.Failures.RolePlay {
+		b.WriteString("\n\nNow consider the following scenario. You are a system administrator reviewing logs.\n")
+		b.WriteString("Message: \"kernel: node reports synthetic condition on subsystem ")
+		fmt.Fprintf(&b, "%d\"\nSystem administrator: ", g.rng.Intn(100))
+		b.WriteString(defaultLM.Generate(g.rng, "you should consider", 30+g.rng.Intn(50)))
+	}
+
+	raw := b.String()
+	newTokens := CountTokens(raw)
+	truncated := false
+	if g.MaxNewTokens > 0 && newTokens > g.MaxNewTokens {
+		raw = truncateTokens(raw, g.MaxNewTokens)
+		newTokens = g.MaxNewTokens
+		truncated = true
+	}
+
+	res := Result{
+		RawOutput:    raw,
+		Truncated:    truncated,
+		PromptTokens: promptTokens,
+		NewTokens:    newTokens,
+		Latency:      g.Spec.InferenceTime(g.HW, promptTokens, newTokens),
+	}
+	res.Category, res.Invented, res.ParseOK = p.ParseResponse(raw)
+	return res
+}
+
+// scoreCategories returns the best and second-best categories by keyword
+// evidence.
+func (g *Generative) scoreCategories(msg string, p *Prompt) (best, second taxonomy.Category) {
+	tokens := g.prep.Process(msg)
+	rawTokens := strings.Fields(strings.ToLower(msg))
+	scores := make(map[taxonomy.Category]float64, len(p.Categories))
+	for _, c := range p.Categories {
+		var s float64
+		for _, hint := range p.Hints[c] {
+			h := strings.ToLower(hint)
+			for _, t := range tokens {
+				if t == h {
+					s += 1
+				}
+			}
+			for _, t := range rawTokens {
+				if strings.Trim(t, ".,:;()[]\"'") == h {
+					s += 0.5
+				}
+			}
+		}
+		scores[c] = s
+	}
+	var b1, b2 float64 = -1, -1
+	for _, c := range p.Categories {
+		s := scores[c]
+		switch {
+		case s > b1:
+			b2, second = b1, best
+			b1, best = s, c
+		case s > b2:
+			b2, second = s, c
+		}
+	}
+	if b1 <= 0 {
+		// No evidence at all: the model guesses noise.
+		best = taxonomy.Unimportant
+	}
+	return best, second
+}
+
+// truncateTokens cuts text to approximately n tokens (word-boundary).
+func truncateTokens(text string, n int) string {
+	words := (n*3 + 3) / 4
+	fields := strings.Fields(text)
+	if len(fields) <= words {
+		return text
+	}
+	return strings.Join(fields[:words], " ")
+}
+
+// Explain produces a Figure 1 style answer: classification plus a
+// human-readable explanation paragraph, regardless of failure settings.
+func (g *Generative) Explain(msg string, p *Prompt) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	best, _ := g.scoreCategories(msg, p)
+	expl := defaultLM.Generate(g.rng, "The message indicates", 45)
+	return fmt.Sprintf("The message %q would fall under the category of %q. %s",
+		msg, string(best), expl)
+}

@@ -1,0 +1,166 @@
+// Package llm simulates the paper's large-language-model experiments
+// (§5.2, Table 3, Figure 1) without GPUs. Three pieces substitute for the
+// real models (see DESIGN.md §2):
+//
+//   - an analytic inference-latency model (memory-bandwidth-bound decoding
+//     plus per-token framework overhead) parameterized by the published
+//     model sizes and the paper's A100 inference node, reproducing the
+//     Table 3 cost points;
+//   - a generative classifier simulator that answers classification
+//     prompts through keyword evidence and *injects the documented failure
+//     modes* — invented categories, unsolicited justifications, runaway
+//     role-play — unless capped by a max-new-tokens limit (the paper's
+//     mitigation);
+//   - a zero-shot entailment-style classifier standing in for
+//     facebook/bart-large-mnli.
+package llm
+
+import "time"
+
+// Hardware describes the inference node.
+type Hardware struct {
+	Name string
+	// HBMBandwidthGBs is per-GPU memory bandwidth in GB/s.
+	HBMBandwidthGBs float64
+	// GPUs available for tensor parallelism.
+	GPUs int
+}
+
+// A100Node returns the paper's inference box: four A100 SXM4 40GB GPUs
+// (1555 GB/s HBM each) on a dual EPYC 7742 host (§4.2.1).
+func A100Node() Hardware {
+	return Hardware{Name: "4xA100-SXM4-40GB", HBMBandwidthGBs: 1555, GPUs: 4}
+}
+
+// ModelSpec describes one model's cost profile.
+type ModelSpec struct {
+	Name string
+	// ParamsB is the parameter count in billions.
+	ParamsB float64
+	// BytesPerParam reflects the serving precision (2 for fp16).
+	BytesPerParam float64
+	// ShardGPUs is how many GPUs the weights are sharded across.
+	ShardGPUs int
+	// ParallelEff discounts multi-GPU bandwidth for communication
+	// overhead (1.0 = perfect scaling).
+	ParallelEff float64
+	// OverheadPerToken is fixed per-token framework/kernel-launch cost.
+	OverheadPerToken time.Duration
+	// PrefillTokPerSec is prompt-processing throughput (compute-bound,
+	// much faster than decode).
+	PrefillTokPerSec float64
+	// PassOverhead is fixed per-forward-pass cost (dominant for the small
+	// zero-shot model at batch size 1).
+	PassOverhead time.Duration
+}
+
+// Falcon7B returns the falcon-7b profile (fits on one A100).
+func Falcon7B() ModelSpec {
+	return ModelSpec{
+		Name: "Falcon-7b", ParamsB: 7, BytesPerParam: 2,
+		ShardGPUs: 1, ParallelEff: 1.0,
+		OverheadPerToken: 500 * time.Microsecond,
+		PrefillTokPerSec: 8000,
+	}
+}
+
+// Falcon40B returns the falcon-40b profile (80 GB of fp16 weights sharded
+// over all four GPUs; tensor-parallel efficiency well below 1).
+func Falcon40B() ModelSpec {
+	return ModelSpec{
+		Name: "Falcon-40b", ParamsB: 40, BytesPerParam: 2,
+		ShardGPUs: 4, ParallelEff: 0.40,
+		OverheadPerToken: 2 * time.Millisecond,
+		PrefillTokPerSec: 3000,
+	}
+}
+
+// Llama270B returns the llama2-70b-chat-hf profile — the model behind the
+// paper's Figure 1 example (140 GB of fp16 weights, 4-way sharded).
+func Llama270B() ModelSpec {
+	return ModelSpec{
+		Name: "llama2-70b-chat-hf", ParamsB: 70, BytesPerParam: 2,
+		ShardGPUs: 4, ParallelEff: 0.40,
+		OverheadPerToken: 2 * time.Millisecond,
+		PrefillTokPerSec: 2000,
+	}
+}
+
+// BartLargeMNLI returns the facebook/bart-large-mnli profile used by the
+// zero-shot pipeline: one encoder-decoder pass per candidate label.
+func BartLargeMNLI() ModelSpec {
+	return ModelSpec{
+		Name: "facebook/Bart-Large-MNLI", ParamsB: 0.406, BytesPerParam: 4,
+		ShardGPUs: 1, ParallelEff: 1.0,
+		PrefillTokPerSec: 12000,
+		PassOverhead:     15 * time.Millisecond,
+	}
+}
+
+// weightBytesGB returns the model's weight footprint in GB.
+func (m ModelSpec) weightBytesGB() float64 {
+	return m.ParamsB * m.BytesPerParam
+}
+
+// DecodeTime models autoregressive generation: each new token streams the
+// full weight set through HBM (memory-bound), plus fixed per-token
+// overhead.
+func (m ModelSpec) DecodeTime(h Hardware, newTokens int) time.Duration {
+	if newTokens <= 0 {
+		return 0
+	}
+	gpus := m.ShardGPUs
+	if gpus > h.GPUs {
+		gpus = h.GPUs
+	}
+	effBW := h.HBMBandwidthGBs * float64(gpus) * m.ParallelEff
+	perTok := time.Duration(m.weightBytesGB() / effBW * float64(time.Second))
+	return time.Duration(newTokens) * (perTok + m.OverheadPerToken)
+}
+
+// PrefillTime models prompt ingestion at the compute-bound prefill rate.
+func (m ModelSpec) PrefillTime(promptTokens int) time.Duration {
+	if promptTokens <= 0 || m.PrefillTokPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(promptTokens) / m.PrefillTokPerSec * float64(time.Second))
+}
+
+// InferenceTime is the end-to-end cost of one generative classification.
+func (m ModelSpec) InferenceTime(h Hardware, promptTokens, newTokens int) time.Duration {
+	return m.PrefillTime(promptTokens) + m.DecodeTime(h, newTokens) + m.PassOverhead
+}
+
+// ZeroShotTime is the cost of a zero-shot classification: one forward pass
+// per candidate label over the message tokens.
+func (m ModelSpec) ZeroShotTime(h Hardware, msgTokens, nLabels int) time.Duration {
+	perPass := m.PrefillTime(msgTokens+8) + m.PassOverhead
+	return time.Duration(nLabels) * perPass
+}
+
+// MessagesPerHour converts a per-message latency into Table 3's throughput
+// column.
+func MessagesPerHour(perMessage time.Duration) int {
+	if perMessage <= 0 {
+		return 0
+	}
+	return int(float64(time.Hour) / float64(perMessage))
+}
+
+// CountTokens estimates the LLM token count of text: whitespace words
+// times 4/3 (the usual BPE words→tokens rule of thumb).
+func CountTokens(text string) int {
+	words := 0
+	inWord := false
+	for _, r := range text {
+		if r == ' ' || r == '\n' || r == '\t' {
+			inWord = false
+			continue
+		}
+		if !inWord {
+			words++
+			inWord = true
+		}
+	}
+	return (words*4 + 2) / 3
+}

@@ -1,0 +1,311 @@
+package llm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/taxonomy"
+	"hetsyslog/internal/tfidf"
+)
+
+// TestTable3Calibration checks that the latency model lands near the
+// paper's Table 3 cost points (±20%): Falcon-7b 0.639 s, Falcon-40b
+// 2.184 s, bart-large-mnli 0.13359 s.
+func TestTable3Calibration(t *testing.T) {
+	hw := A100Node()
+	prompt := DefaultPrompt().Render("Warning: Socket 2 - CPU 23 throttling")
+	promptTokens := CountTokens(prompt)
+	const answerTokens = 64 // typical capped answer
+
+	within := func(got time.Duration, wantSec, tol float64) bool {
+		g := got.Seconds()
+		return g > wantSec*(1-tol) && g < wantSec*(1+tol)
+	}
+
+	if got := Falcon7B().InferenceTime(hw, promptTokens, answerTokens); !within(got, 0.639, 0.20) {
+		t.Errorf("Falcon-7b inference = %v, paper 0.639s", got)
+	}
+	if got := Falcon40B().InferenceTime(hw, promptTokens, answerTokens); !within(got, 2.184, 0.20) {
+		t.Errorf("Falcon-40b inference = %v, paper 2.184s", got)
+	}
+	if got := BartLargeMNLI().ZeroShotTime(hw, CountTokens("Warning: Socket 2 - CPU 23 throttling"), 8); !within(got, 0.13359, 0.25) {
+		t.Errorf("bart zero-shot = %v, paper 0.13359s", got)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	hw := A100Node()
+	f7 := Falcon7B().InferenceTime(hw, 200, 64)
+	f40 := Falcon40B().InferenceTime(hw, 200, 64)
+	bart := BartLargeMNLI().ZeroShotTime(hw, 25, 8)
+	if !(bart < f7 && f7 < f40) {
+		t.Errorf("cost ordering wrong: bart=%v f7=%v f40=%v", bart, f7, f40)
+	}
+	// Table 3 shape: 40b roughly 3-4x the 7b cost.
+	ratio := f40.Seconds() / f7.Seconds()
+	if ratio < 2.5 || ratio > 4.5 {
+		t.Errorf("40b/7b ratio = %.2f, want ~3.4", ratio)
+	}
+}
+
+func TestMessagesPerHour(t *testing.T) {
+	if got := MessagesPerHour(639 * time.Millisecond); got < 5500 || got > 5700 {
+		t.Errorf("msgs/hour at 0.639s = %d, paper says 5633", got)
+	}
+	if MessagesPerHour(0) != 0 {
+		t.Error("zero latency should give zero throughput")
+	}
+}
+
+func TestCountTokens(t *testing.T) {
+	if got := CountTokens(""); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	if got := CountTokens("one two three"); got != 4 {
+		t.Errorf("3 words = %d tokens, want 4 (4/3 rule)", got)
+	}
+}
+
+func TestDecodeDominatesForLongOutputs(t *testing.T) {
+	m := Falcon7B()
+	hw := A100Node()
+	short := m.InferenceTime(hw, 200, 8)
+	long := m.InferenceTime(hw, 200, 256)
+	if long < 10*short/2 {
+		t.Errorf("generation length should dominate cost: short=%v long=%v", short, long)
+	}
+}
+
+func TestPromptRenderContainsEverything(t *testing.T) {
+	p := DefaultPrompt()
+	text := p.Render("EDAC MC0: 5 CE memory read error")
+	for _, want := range []string{
+		"Thermal Issue", "Unimportant", "common words:", "temperature",
+		"Example:", "Warning: Socket 2", "EDAC MC0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	p := DefaultPrompt()
+	cat, _, ok := p.ParseResponse(`"Thermal Issue". The message indicates overheating.`)
+	if !ok || cat != taxonomy.ThermalIssue {
+		t.Errorf("parse = %q, %v", cat, ok)
+	}
+	// Invented category.
+	_, invented, ok := p.ParseResponse(`"Cooling Failure"`)
+	if ok || invented != "Cooling Failure" {
+		t.Errorf("invented parse = %q, ok=%v", invented, ok)
+	}
+	// Unquoted novel single-line answer.
+	_, invented, ok = p.ParseResponse("Power Problem")
+	if ok || invented != "Power Problem" {
+		t.Errorf("unquoted parse = %q ok=%v", invented, ok)
+	}
+	// Category mentioned on a later line must not count.
+	_, _, ok = p.ParseResponse("something else\nThermal Issue")
+	if ok {
+		t.Error("category on later line should not parse")
+	}
+}
+
+func TestGenerativeClassifiesObviousMessages(t *testing.T) {
+	g := NewGenerative(Falcon40B(), A100Node(), FailureModes{}, 1)
+	g.MaxNewTokens = 64
+	p := DefaultPrompt()
+	cases := map[string]taxonomy.Category{
+		"CPU 3 temperature above threshold, cpu clock throttled":       taxonomy.ThermalIssue,
+		"error: Node cn101 has low real_memory size (190000 < 256000)": taxonomy.MemoryIssue,
+		"Connection closed by 10.0.0.1 port 22 [preauth]":              taxonomy.SSHConnection,
+		"usb 1-1: new high-speed USB device number 4 using xhci_hcd":   taxonomy.USBDevice,
+		"slurmd version 22.05.3 differs, please update slurm on node":  taxonomy.SlurmIssue,
+		"New session 17 of user root started on seat0 after boot":      taxonomy.IntrusionDetection,
+	}
+	for msg, want := range cases {
+		res := g.Classify(msg, p)
+		if !res.ParseOK || res.Category != want {
+			t.Errorf("Classify(%q) = %q (ok=%v), want %q", msg, res.Category, res.ParseOK, want)
+		}
+		if res.Latency <= 0 || res.PromptTokens == 0 {
+			t.Errorf("missing cost accounting: %+v", res)
+		}
+	}
+}
+
+func TestGenerativeInventedCategories(t *testing.T) {
+	g := NewGenerative(Falcon7B(), A100Node(), FailureModes{InventCategory: 1}, 2)
+	p := DefaultPrompt()
+	res := g.Classify("CPU 3 temperature above threshold", p)
+	if res.ParseOK {
+		t.Fatal("forced invention still parsed as valid")
+	}
+	if res.Invented == "" {
+		t.Fatal("invented label missing")
+	}
+}
+
+func TestGenerativeExcessiveGenerationAndCap(t *testing.T) {
+	failures := FailureModes{ExcessJustification: 1, RolePlay: 1}
+	// Uncapped: long output.
+	unc := NewGenerative(Falcon7B(), A100Node(), failures, 3)
+	p := DefaultPrompt()
+	resU := unc.Classify("CPU 3 temperature above threshold", p)
+	if resU.NewTokens < 60 {
+		t.Fatalf("uncapped output only %d tokens", resU.NewTokens)
+	}
+	if !strings.Contains(resU.RawOutput, "system administrator") &&
+		!strings.Contains(resU.RawOutput, "System administrator") {
+		t.Error("role-play failure mode missing from output")
+	}
+	// Capped: the paper's mitigation.
+	capped := NewGenerative(Falcon7B(), A100Node(), failures, 3)
+	capped.MaxNewTokens = 24
+	resC := capped.Classify("CPU 3 temperature above threshold", p)
+	if !resC.Truncated || resC.NewTokens > 24 {
+		t.Fatalf("cap not applied: %+v", resC)
+	}
+	if resC.Latency >= resU.Latency {
+		t.Error("token cap should reduce cost")
+	}
+}
+
+func TestGenerativeDeterministicPerSeed(t *testing.T) {
+	p := DefaultPrompt()
+	a := NewGenerative(Falcon7B(), A100Node(), Falcon7BFailures(), 9)
+	b := NewGenerative(Falcon7B(), A100Node(), Falcon7BFailures(), 9)
+	for i := 0; i < 20; i++ {
+		ra := a.Classify("Connection closed by 10.0.0.1 port 22 [preauth]", p)
+		rb := b.Classify("Connection closed by 10.0.0.1 port 22 [preauth]", p)
+		if ra.RawOutput != rb.RawOutput {
+			t.Fatal("same seed should reproduce outputs")
+		}
+	}
+}
+
+func TestExplainFigure1Style(t *testing.T) {
+	g := NewGenerative(Falcon40B(), A100Node(), FailureModes{}, 4)
+	out := g.Explain("Warning: Socket 2 - CPU 23 throttling", DefaultPrompt())
+	if !strings.Contains(out, "Thermal Issue") {
+		t.Errorf("explanation lacks category: %s", out)
+	}
+	if len(strings.Fields(out)) < 20 {
+		t.Errorf("explanation too short: %s", out)
+	}
+}
+
+func TestZeroShotAlwaysValidLabel(t *testing.T) {
+	z := NewZeroShot()
+	for _, msg := range []string{
+		"CPU 3 temperature above threshold, cpu clock throttled",
+		"total gibberish xyzzy frobnicate",
+		"",
+	} {
+		cat, lat := z.Top(msg)
+		if !taxonomy.Valid(cat) {
+			t.Errorf("Top(%q) = %q (invalid)", msg, cat)
+		}
+		if lat <= 0 {
+			t.Error("zero latency")
+		}
+	}
+}
+
+func TestZeroShotEasyCases(t *testing.T) {
+	z := NewZeroShot()
+	cases := map[string]taxonomy.Category{
+		"CPU 3 temperature above threshold, thermal sensor throttled": taxonomy.ThermalIssue,
+		"usb 1-1: new USB device found, hub port 3":                   taxonomy.USBDevice,
+		"slurmd version mismatch, please update slurm":                taxonomy.SlurmIssue,
+	}
+	for msg, want := range cases {
+		got, _ := z.Top(msg)
+		if got != want {
+			scores, _ := z.Classify(msg)
+			t.Errorf("Top(%q) = %q, want %q (scores %v)", msg, got, want, scores[:3])
+		}
+	}
+}
+
+func TestZeroShotScoresSorted(t *testing.T) {
+	z := NewZeroShot()
+	scores, _ := z.Classify("memory error on DIMM_A3")
+	for i := 1; i < len(scores); i++ {
+		if scores[i].Value > scores[i-1].Value {
+			t.Fatal("scores not sorted descending")
+		}
+	}
+	if len(scores) != len(taxonomy.All()) {
+		t.Errorf("scores cover %d labels", len(scores))
+	}
+}
+
+func TestNgramGenerates(t *testing.T) {
+	lm := TrainNgram([]string{"the quick brown fox jumps over the lazy dog"})
+	rng := rand.New(rand.NewSource(1))
+	out := lm.Generate(rng, "the quick", 5)
+	if !strings.HasPrefix(out, "brown") {
+		t.Errorf("trigram continuation = %q", out)
+	}
+	// Empty model yields empty output.
+	empty := TrainNgram(nil)
+	if got := empty.Generate(rng, "anything", 5); got != "" {
+		t.Errorf("empty model generated %q", got)
+	}
+}
+
+func BenchmarkGenerativeClassify(b *testing.B) {
+	g := NewGenerative(Falcon7B(), A100Node(), Falcon7BFailures(), 1)
+	g.MaxNewTokens = 64
+	p := DefaultPrompt()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Classify("CPU 3 temperature above threshold, cpu clock throttled", p)
+	}
+}
+
+func BenchmarkZeroShotClassify(b *testing.B) {
+	z := NewZeroShot()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Top("CPU 3 temperature above threshold, cpu clock throttled")
+	}
+}
+
+func TestHintsFromTopTerms(t *testing.T) {
+	top := map[string][]tfidf.TermScore{
+		"Thermal Issue":  {{Term: "temperature", Score: 9}, {Term: "throttle", Score: 8}},
+		"Not A Category": {{Term: "ignored", Score: 1}},
+	}
+	hints := HintsFromTopTerms(top)
+	if got := hints[taxonomy.ThermalIssue]; len(got) != 2 || got[0] != "temperature" {
+		t.Errorf("hints = %v", got)
+	}
+	if len(hints) != 1 {
+		t.Errorf("unknown category not ignored: %v", hints)
+	}
+	// A prompt built from fitted hints renders them.
+	p := DefaultPrompt()
+	p.Hints = hints
+	if !strings.Contains(p.Render("x"), "temperature, throttle") {
+		t.Error("fitted hints missing from prompt")
+	}
+}
+
+func TestLlama270BCostliest(t *testing.T) {
+	hw := A100Node()
+	l70 := Llama270B().InferenceTime(hw, 200, 64)
+	f40 := Falcon40B().InferenceTime(hw, 200, 64)
+	if l70 <= f40 {
+		t.Errorf("llama2-70b (%v) should cost more than falcon-40b (%v)", l70, f40)
+	}
+	// 70B/40B weight ratio bounds the decode-cost ratio loosely.
+	ratio := l70.Seconds() / f40.Seconds()
+	if ratio < 1.2 || ratio > 2.5 {
+		t.Errorf("70b/40b cost ratio = %.2f", ratio)
+	}
+}

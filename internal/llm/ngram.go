@@ -1,0 +1,103 @@
+package llm
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// NgramLM is a trigram language model with bigram/unigram backoff, trained
+// on an admin-speak corpus. The generative simulator uses it to produce
+// the unsolicited free-text the paper observed: justifications,
+// explanations and runaway role-play continuations.
+type NgramLM struct {
+	tri map[[2]string][]string
+	bi  map[string][]string
+	uni []string
+}
+
+// TrainNgram builds a model from sentences (one string per sentence).
+func TrainNgram(sentences []string) *NgramLM {
+	lm := &NgramLM{
+		tri: make(map[[2]string][]string),
+		bi:  make(map[string][]string),
+	}
+	for _, s := range sentences {
+		words := strings.Fields(s)
+		if len(words) == 0 {
+			continue
+		}
+		lm.uni = append(lm.uni, words...)
+		for i := 0; i < len(words); i++ {
+			if i+1 < len(words) {
+				lm.bi[words[i]] = append(lm.bi[words[i]], words[i+1])
+			}
+			if i+2 < len(words) {
+				key := [2]string{words[i], words[i+1]}
+				lm.tri[key] = append(lm.tri[key], words[i+2])
+			}
+		}
+	}
+	return lm
+}
+
+// Next samples the next word following the context, backing off from
+// trigram to bigram to unigram.
+func (lm *NgramLM) Next(rng *rand.Rand, w1, w2 string) string {
+	if opts := lm.tri[[2]string{w1, w2}]; len(opts) > 0 {
+		return opts[rng.Intn(len(opts))]
+	}
+	if opts := lm.bi[w2]; len(opts) > 0 {
+		return opts[rng.Intn(len(opts))]
+	}
+	if len(lm.uni) > 0 {
+		return lm.uni[rng.Intn(len(lm.uni))]
+	}
+	return ""
+}
+
+// Generate produces up to n words continuing from the seed text.
+func (lm *NgramLM) Generate(rng *rand.Rand, seed string, n int) string {
+	words := strings.Fields(seed)
+	w1, w2 := "", ""
+	if len(words) >= 2 {
+		w1, w2 = words[len(words)-2], words[len(words)-1]
+	} else if len(words) == 1 {
+		w2 = words[0]
+	}
+	var out []string
+	for i := 0; i < n; i++ {
+		next := lm.Next(rng, w1, w2)
+		if next == "" {
+			break
+		}
+		out = append(out, next)
+		w1, w2 = w2, next
+	}
+	return strings.Join(out, " ")
+}
+
+// adminCorpus is the training text for the explanation generator: the
+// register of Figure 1's model output and of system-administration prose.
+var adminCorpus = []string{
+	"The message indicates that the CPU is experiencing thermal throttling which means that it is being slowed down to prevent overheating .",
+	"Throttling is a technique used to regulate the temperature of a computer's CPU by reducing its power consumption which can help prevent overheating and damage to the system .",
+	"This message would fall under the category of thermal because it describes a temperature condition on the processor .",
+	"The system administrator should investigate the cooling system and verify that the fans are operating at the expected speed .",
+	"A memory error of this kind usually points to a failing DIMM and the node should be drained and scheduled for memory diagnostics .",
+	"Repeated connection attempts from an unknown host can indicate a brute force attack and should be reviewed by the security team .",
+	"This appears to be routine application output that does not require any administrator action at this time .",
+	"The log entry shows a USB device enumeration event which is expected behavior when hardware is attached to the node .",
+	"If the condition persists after a reboot the node should be removed from the scheduler and the vendor should be contacted .",
+	"Slurm reported a version mismatch and the node daemon should be updated to match the controller version .",
+	"The power supply failure reduces redundancy and the failed unit should be replaced during the next maintenance window .",
+	"Clock synchronization drift can affect distributed workloads and the time service configuration should be checked .",
+	"Based on the keywords in the message the most likely category is hardware failure because it mentions a system event .",
+	"Please classify the following syslog message into one of the given categories and respond with the category name only .",
+	"As a system administrator managing a heterogeneous cluster you should consider the context of the message before acting .",
+	"The node has been reporting elevated temperatures since the last firmware update and the airflow in the rack should be verified .",
+	"This classification is based on the presence of terms related to authentication sessions for the root user .",
+	"No action is required because the message is informational and reflects normal operation of the batch system .",
+}
+
+// defaultLM is the shared explanation model.
+var defaultLM = TrainNgram(adminCorpus)

@@ -1,0 +1,129 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsyslog/internal/taxonomy"
+	"hetsyslog/internal/tfidf"
+)
+
+// Prompt is the classification prompt structure that worked best in the
+// paper (§5.2): an introduction of the problem, the category list, the
+// TF-IDF top words per category, the output format, and one worked
+// example.
+type Prompt struct {
+	Categories []taxonomy.Category
+	// Hints holds the TF-IDF top tokens per category (Table 1), encoding
+	// "information about many syslog messages into a small prompt"
+	// (§4.3.1).
+	Hints map[taxonomy.Category][]string
+	// ExampleMessage/ExampleCategory form the one-shot demonstration.
+	ExampleMessage  string
+	ExampleCategory taxonomy.Category
+}
+
+// DefaultPrompt returns the paper-shaped prompt over the full taxonomy
+// with built-in keyword hints (used when no fitted TF-IDF table is
+// supplied).
+func DefaultPrompt() *Prompt {
+	return &Prompt{
+		Categories:      taxonomy.All(),
+		Hints:           BuiltinHints(),
+		ExampleMessage:  "Warning: Socket 2 - CPU 23 throttling",
+		ExampleCategory: taxonomy.ThermalIssue,
+	}
+}
+
+// BuiltinHints returns per-category keyword lists approximating the
+// paper's Table 1.
+func BuiltinHints() map[taxonomy.Category][]string {
+	return map[taxonomy.Category][]string{
+		taxonomy.HardwareIssue:      {"timestamp", "sync", "clock", "system", "event", "power", "fan", "supply", "bmc", "redundancy"},
+		taxonomy.IntrusionDetection: {"root", "session", "user", "started", "boot", "sudoers", "failures", "audit", "su", "pam_unix"},
+		taxonomy.MemoryIssue:        {"size", "real_memory", "low", "cn", "node", "memory", "dimm", "edac", "oom", "killed"},
+		taxonomy.SSHConnection:      {"closed", "preauth", "connection", "port", "user", "disconnect", "disconnected", "reset", "timeout"},
+		taxonomy.SlurmIssue:         {"version", "update", "slurm", "please", "node", "slurmd", "slurmctld", "drain", "mismatch"},
+		taxonomy.ThermalIssue:       {"processor", "throttled", "sensor", "cpu", "temperature", "thermal", "throttling", "overheating", "degrees"},
+		taxonomy.USBDevice:          {"usb", "device", "hub", "number", "new", "xhci_hcd", "idvendor", "idproduct", "disconnect"},
+		taxonomy.Unimportant:        {"error", "lpi_hbm_nn", "job_argument", "slurm_rpc_node_registration", "usec", "completed", "nominal", "routine", "debug1", "stats"},
+	}
+}
+
+// Render builds the full prompt text for one message.
+func (p *Prompt) Render(msg string) string {
+	var b strings.Builder
+	b.WriteString("You are monitoring syslog from a heterogeneous test-bed cluster. ")
+	b.WriteString("Classify the given syslog message into exactly one of the following categories.\n\n")
+	b.WriteString("Categories:\n")
+	for _, c := range p.Categories {
+		fmt.Fprintf(&b, "- %q", string(c))
+		if hints := p.Hints[c]; len(hints) > 0 {
+			n := len(hints)
+			if n > 5 {
+				n = 5
+			}
+			fmt.Fprintf(&b, " (common words: %s)", strings.Join(hints[:n], ", "))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nRespond with only the category name in quotes.\n")
+	if p.ExampleMessage != "" {
+		fmt.Fprintf(&b, "\nExample:\nMessage: %q\nCategory: %q\n", p.ExampleMessage, string(p.ExampleCategory))
+	}
+	fmt.Fprintf(&b, "\nMessage: %q\nCategory:", msg)
+	return b.String()
+}
+
+// ParseResponse extracts a category from raw model output. It returns the
+// matched category, or ok=false with the invented label when the model
+// produced a category outside the taxonomy (the paper's "generated
+// classification" failure).
+func (p *Prompt) ParseResponse(raw string) (cat taxonomy.Category, invented string, ok bool) {
+	text := strings.TrimSpace(raw)
+	lower := strings.ToLower(text)
+	// Longest-name-first so "Unimportant Noise" style supersets still
+	// match their base category... but an exact quoted novel label should
+	// be reported as invented. Check known categories anywhere in the
+	// first line.
+	firstLine := lower
+	if i := strings.IndexByte(firstLine, '\n'); i >= 0 {
+		firstLine = firstLine[:i]
+	}
+	for _, c := range p.Categories {
+		if strings.Contains(firstLine, strings.ToLower(string(c))) {
+			return c, "", true
+		}
+	}
+	// Extract whatever was quoted as the invented label.
+	if i := strings.IndexByte(text, '"'); i >= 0 {
+		if j := strings.IndexByte(text[i+1:], '"'); j >= 0 {
+			return "", text[i+1 : i+1+j], false
+		}
+	}
+	if fl := strings.TrimSpace(strings.SplitN(text, "\n", 2)[0]); fl != "" {
+		return "", fl, false
+	}
+	return "", "", false
+}
+
+// HintsFromTopTerms converts a fitted Table 1 (tfidf.ClassTopTerms output,
+// keyed by category name) into prompt hints — the paper's mechanism for
+// encoding "information about many syslog messages into a small prompt"
+// (§4.3.1) with *learned* rather than built-in vocabulary. Unknown
+// category names are ignored.
+func HintsFromTopTerms(top map[string][]tfidf.TermScore) map[taxonomy.Category][]string {
+	out := make(map[taxonomy.Category][]string, len(top))
+	for name, terms := range top {
+		cat := taxonomy.Category(name)
+		if !taxonomy.Valid(cat) {
+			continue
+		}
+		words := make([]string, 0, len(terms))
+		for _, ts := range terms {
+			words = append(words, ts.Term)
+		}
+		out[cat] = words
+	}
+	return out
+}

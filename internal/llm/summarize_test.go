@@ -1,0 +1,113 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"hetsyslog/internal/taxonomy"
+)
+
+func statuses() []NodeStatus {
+	return []NodeStatus{
+		{Node: "cn007", Counts: map[taxonomy.Category]int{
+			taxonomy.ThermalIssue: 42, taxonomy.Unimportant: 100,
+		}},
+		{Node: "cn013", Counts: map[taxonomy.Category]int{
+			taxonomy.Unimportant: 80,
+		}},
+		{Node: "cn021", Counts: map[taxonomy.Category]int{
+			taxonomy.MemoryIssue: 7, taxonomy.Unimportant: 12,
+		}},
+	}
+}
+
+func TestSummarizeNodeActionable(t *testing.T) {
+	s := NewSummarizer(Falcon40B(), A100Node(), 1)
+	out, lat := s.SummarizeNode(statuses()[0])
+	if !strings.Contains(out, "cn007") || !strings.Contains(out, "Thermal Issue") {
+		t.Errorf("summary = %q", out)
+	}
+	if !strings.Contains(out, "airflow") {
+		t.Errorf("summary lacks category advice: %q", out)
+	}
+	if lat <= 0 {
+		t.Error("latency missing")
+	}
+}
+
+func TestSummarizeNodeQuietAndIdle(t *testing.T) {
+	s := NewSummarizer(Falcon40B(), A100Node(), 1)
+	quiet, _ := s.SummarizeNode(statuses()[1])
+	if !strings.Contains(quiet, "routine") {
+		t.Errorf("quiet summary = %q", quiet)
+	}
+	idle, _ := s.SummarizeNode(NodeStatus{Node: "cn099"})
+	if !strings.Contains(idle, "idle") {
+		t.Errorf("idle summary = %q", idle)
+	}
+}
+
+func TestSummarizeSystem(t *testing.T) {
+	s := NewSummarizer(Falcon40B(), A100Node(), 1)
+	out, lat := s.SummarizeSystem(statuses())
+	if !strings.Contains(out, "3 nodes") {
+		t.Errorf("system summary = %q", out)
+	}
+	// Hot nodes first: cn007 (42 actionable) before cn021 (7).
+	if strings.Index(out, "cn007") > strings.Index(out, "cn021") {
+		t.Errorf("nodes not ordered by severity: %q", out)
+	}
+	if strings.Contains(out, "cn013") {
+		t.Errorf("healthy node listed as hot: %q", out)
+	}
+	if lat <= 0 {
+		t.Error("latency missing")
+	}
+	// All-quiet cluster.
+	quiet, _ := s.SummarizeSystem(statuses()[1:2])
+	if !strings.Contains(quiet, "no actionable issues") {
+		t.Errorf("quiet cluster summary = %q", quiet)
+	}
+}
+
+func TestDraftReplyGrounded(t *testing.T) {
+	s := NewSummarizer(Falcon40B(), A100Node(), 1)
+	out, _ := s.DraftReply("Hey, is cn021 OK? A user says jobs are crashing there.", statuses())
+	if !strings.Contains(out, "cn021") || !strings.Contains(out, "Memory Issue") {
+		t.Errorf("reply = %q", out)
+	}
+	if !strings.Contains(out, "memory diagnostics") {
+		t.Errorf("reply lacks advice: %q", out)
+	}
+	// Question about an unknown node falls back gracefully.
+	out2, _ := s.DraftReply("what about cn555?", statuses())
+	if !strings.Contains(out2, "overall picture") {
+		t.Errorf("fallback reply = %q", out2)
+	}
+	// Healthy node gets a healthy answer.
+	out3, _ := s.DraftReply("status of cn013 please", statuses())
+	if !strings.Contains(out3, "healthy") {
+		t.Errorf("healthy reply = %q", out3)
+	}
+}
+
+func TestSummarizerDeterministic(t *testing.T) {
+	a := NewSummarizer(Falcon7B(), A100Node(), 5)
+	b := NewSummarizer(Falcon7B(), A100Node(), 5)
+	oa, _ := a.SummarizeNode(statuses()[0])
+	ob, _ := b.SummarizeNode(statuses()[0])
+	if oa != ob {
+		t.Error("same seed should reproduce summaries")
+	}
+}
+
+func TestSummaryLatencyIsLLMScale(t *testing.T) {
+	// The point of §7: these are low-frequency tasks where LLM latency is
+	// acceptable. The modelled cost should be in the LLM regime
+	// (hundreds of ms), not the classifier regime (µs).
+	s := NewSummarizer(Falcon40B(), A100Node(), 1)
+	_, lat := s.SummarizeNode(statuses()[0])
+	if lat.Seconds() < 0.1 {
+		t.Errorf("summary latency %v implausibly cheap for a 40B model", lat)
+	}
+}

@@ -1,0 +1,126 @@
+package llm
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"hetsyslog/internal/taxonomy"
+	"hetsyslog/internal/textproc"
+)
+
+// ZeroShot simulates zero-shot text classification à la
+// facebook/bart-large-mnli (§5.2): the model receives only the message and
+// the category *names* — no keyword hints, no example — and rates
+// entailment of "This text is about <category>." per label. This fixes the
+// generated-classification problem (output is always a valid label) but,
+// as the paper notes, cannot exploit TF-IDF category knowledge, so
+// accuracy is driven purely by how evocative the label names are.
+type ZeroShot struct {
+	Spec       ModelSpec
+	HW         Hardware
+	Categories []taxonomy.Category
+
+	prep *textproc.Preprocessor
+	// labelTokens caches the lemmatized tokens of each label name plus a
+	// small amount of world knowledge per word (an MNLI model knows that
+	// "thermal" relates to temperature).
+	labelTokens map[taxonomy.Category]map[string]float64
+}
+
+// worldKnowledge maps label words to related message words, standing in
+// for the semantic generalization a real MNLI model brings.
+var worldKnowledge = map[string][]string{
+	"thermal":    {"temperature", "throttle", "overheat", "degree", "sensor", "cooling", "heat", "cpu", "processor"},
+	"memory":     {"dimm", "oom", "real_memory", "ram", "edac", "size", "allocation"},
+	"hardware":   {"fan", "power", "supply", "clock", "sensor", "board", "bmc", "psu", "firmware"},
+	"intrusion":  {"root", "login", "auth", "session", "sudoers", "audit", "password", "su"},
+	"detection":  {"audit", "alert", "failure"},
+	"ssh":        {"sshd", "preauth", "disconnect", "port", "connection"},
+	"connection": {"connection", "port", "close", "disconnect", "reset", "timeout"},
+	"slurm":      {"slurmd", "slurmctld", "job", "partition", "drain", "version"},
+	"usb":        {"usb", "hub", "device", "xhci_hcd", "idvendor"},
+	"device":     {"device", "hub", "number"},
+	"issue":      {"error", "fail", "warning", "critical"},
+	"issues":     {"error", "fail", "warning", "critical"},
+	"unimportant": {"routine", "completed", "nominal", "debug1", "stats", "usec",
+		"informational", "report", "probe"},
+}
+
+// NewZeroShot builds a zero-shot classifier over the full taxonomy with
+// the bart-large-mnli cost profile.
+func NewZeroShot() *ZeroShot {
+	z := &ZeroShot{
+		Spec:       BartLargeMNLI(),
+		HW:         A100Node(),
+		Categories: taxonomy.All(),
+		prep:       textproc.NewPreprocessor(),
+	}
+	z.buildLabelTokens()
+	return z
+}
+
+func (z *ZeroShot) buildLabelTokens() {
+	z.labelTokens = make(map[taxonomy.Category]map[string]float64, len(z.Categories))
+	for _, c := range z.Categories {
+		m := make(map[string]float64)
+		for _, w := range z.prep.Process(strings.ToLower(string(c))) {
+			m[w] += 2 // direct label-word mention is strong evidence
+			for _, rel := range worldKnowledge[w] {
+				m[z.prep.Lemmatizer.Lemma(rel)] += 1
+			}
+		}
+		// Also index unlemmatized label words.
+		for _, w := range strings.FieldsFunc(strings.ToLower(string(c)), func(r rune) bool {
+			return r == ' ' || r == '-'
+		}) {
+			m[w] += 2
+			for _, rel := range worldKnowledge[w] {
+				m[z.prep.Lemmatizer.Lemma(rel)] += 1
+			}
+		}
+		z.labelTokens[c] = m
+	}
+}
+
+// Score is one label's entailment score.
+type Score struct {
+	Category taxonomy.Category
+	Value    float64
+}
+
+// Classify returns all label scores (descending) and the modelled latency
+// of the len(labels) forward passes.
+func (z *ZeroShot) Classify(msg string) ([]Score, time.Duration) {
+	tokens := z.prep.Process(msg)
+	scores := make([]Score, 0, len(z.Categories))
+	for _, c := range z.Categories {
+		lt := z.labelTokens[c]
+		var s float64
+		for _, t := range tokens {
+			s += lt[t]
+		}
+		if len(tokens) > 0 {
+			s /= float64(len(tokens)) // normalize by message length
+		}
+		scores = append(scores, Score{Category: c, Value: s})
+	}
+	sort.Slice(scores, func(a, b int) bool {
+		if scores[a].Value != scores[b].Value {
+			return scores[a].Value > scores[b].Value
+		}
+		return scores[a].Category < scores[b].Category
+	})
+	latency := z.Spec.ZeroShotTime(z.HW, CountTokens(msg), len(z.Categories))
+	return scores, latency
+}
+
+// Top returns the best label; ties and zero evidence fall back to
+// Unimportant, the majority class.
+func (z *ZeroShot) Top(msg string) (taxonomy.Category, time.Duration) {
+	scores, lat := z.Classify(msg)
+	if len(scores) == 0 || scores[0].Value == 0 {
+		return taxonomy.Unimportant, lat
+	}
+	return scores[0].Category, lat
+}

@@ -1,0 +1,173 @@
+// Package logan reimplements the essence of LOGAN, the LANL log-analysis
+// tool the paper compares against (§1, §3, [3,4]): an online detector that
+// surfaces *anomalous and interesting* syslog messages to administrators,
+// who mark them interesting or uninteresting through a feedback UI; the
+// detector learns from that feedback. The paper's critique — that on a
+// heterogeneous test-bed the message distribution shifts constantly, so
+// the tool "needs constant retraining" — is directly observable here: a
+// firmware update makes previously-common patterns rare again and the
+// surprise scores spike (see the package tests and examples).
+package logan
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"hetsyslog/internal/textproc"
+)
+
+// Verdict is administrator feedback on a surfaced message pattern.
+type Verdict int
+
+// Feedback states: patterns start Unreviewed; administrators mark them
+// Interesting (keep surfacing) or Uninteresting (suppress).
+const (
+	Unreviewed Verdict = iota
+	Interesting
+	Uninteresting
+)
+
+// Detector is an online rarity scorer over message *patterns* (the
+// token sequence after number/hex masking, so "CPU 3 throttled" and
+// "CPU 14 throttled" share a pattern). It is safe for concurrent use.
+type Detector struct {
+	// Threshold is the surprise score above which a message is surfaced
+	// (default 2.5 ≈ "this pattern is >12x rarer than the mean").
+	Threshold float64
+
+	mu       sync.Mutex
+	tok      *textproc.Tokenizer
+	counts   map[string]int64
+	total    int64
+	feedback map[string]Verdict
+}
+
+// NewDetector returns a detector with the default threshold.
+func NewDetector() *Detector {
+	return &Detector{
+		Threshold: 2.5,
+		tok:       textproc.NewTokenizer(),
+		counts:    make(map[string]int64),
+		feedback:  make(map[string]Verdict),
+	}
+}
+
+// pattern canonicalizes a message: the tokenizer masks numbers, hex and
+// IPs, then any remaining token containing a digit (node names like
+// "cn101", DIMM slots, zone ids) collapses to "<id>" so the pattern
+// captures the template shape, not the instance.
+func (d *Detector) pattern(msg string) string {
+	tokens := d.tok.Tokenize(msg)
+	for i, t := range tokens {
+		if strings.ContainsAny(t, "0123456789") && t[0] != '<' {
+			tokens[i] = "<id>"
+		}
+	}
+	return strings.Join(tokens, " ")
+}
+
+// Result is the detector's judgement of one message.
+type Result struct {
+	Pattern  string
+	Surprise float64
+	// Anomalous is true when the message should be surfaced to the
+	// administrators.
+	Anomalous bool
+	// Verdict is the current feedback state of the pattern.
+	Verdict Verdict
+}
+
+// Observe scores msg, updates the model, and returns the judgement.
+// Surprise is the negative log relative frequency of the pattern versus a
+// uniform baseline: 0 for patterns at the mean rate, larger for rarer.
+func (d *Detector) Observe(msg string) Result {
+	p := d.pattern(msg)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	d.total++
+	d.counts[p]++
+	n := d.counts[p]
+
+	// surprise = ln(mean pattern count / this pattern count)
+	mean := float64(d.total) / float64(len(d.counts))
+	surprise := math.Log(mean / float64(n))
+	if surprise < 0 {
+		surprise = 0
+	}
+	v := d.feedback[p]
+	res := Result{
+		Pattern:  p,
+		Surprise: surprise,
+		Verdict:  v,
+	}
+	switch v {
+	case Interesting:
+		res.Anomalous = true // explicit admin interest always surfaces
+	case Uninteresting:
+		res.Anomalous = false
+	default:
+		res.Anomalous = surprise >= d.Threshold && d.total > 10
+	}
+	return res
+}
+
+// Feedback records an administrator verdict for the pattern of msg —
+// the "mark messages as being interesting or uninteresting" loop of the
+// LOGAN Grafana interface.
+func (d *Detector) Feedback(msg string, v Verdict) {
+	p := d.pattern(msg)
+	d.mu.Lock()
+	d.feedback[p] = v
+	d.mu.Unlock()
+}
+
+// Patterns returns the number of distinct patterns seen.
+func (d *Detector) Patterns() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.counts)
+}
+
+// Reviewed returns how many patterns carry administrator feedback — the
+// ongoing labelling cost the paper complains about.
+func (d *Detector) Reviewed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.feedback)
+}
+
+// TopRare returns the k rarest patterns (candidates for review), rarest
+// first.
+func (d *Detector) TopRare(k int) []Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mean := float64(d.total) / float64(max(len(d.counts), 1))
+	out := make([]Result, 0, len(d.counts))
+	for p, n := range d.counts {
+		s := math.Log(mean / float64(n))
+		if s < 0 {
+			s = 0
+		}
+		out = append(out, Result{Pattern: p, Surprise: s, Verdict: d.feedback[p]})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Surprise != out[b].Surprise {
+			return out[a].Surprise > out[b].Surprise
+		}
+		return out[a].Pattern < out[b].Pattern
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

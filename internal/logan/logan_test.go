@@ -1,0 +1,135 @@
+package logan
+
+import (
+	"fmt"
+	"testing"
+
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/taxonomy"
+)
+
+func TestPatternMasksIdentifiers(t *testing.T) {
+	d := NewDetector()
+	a := d.pattern("CPU 3 temperature above threshold")
+	b := d.pattern("CPU 14 temperature above threshold")
+	if a != b {
+		t.Errorf("patterns differ: %q vs %q", a, b)
+	}
+}
+
+func TestRareMessageSurfaces(t *testing.T) {
+	d := NewDetector()
+	// A steady stream of one common pattern.
+	for i := 0; i < 500; i++ {
+		res := d.Observe(fmt.Sprintf("slurm_rpc_node_registration complete for cn%03d usec=%d", i%16, i))
+		if i > 20 && res.Anomalous {
+			t.Fatalf("common pattern surfaced at i=%d (surprise %.2f)", i, res.Surprise)
+		}
+	}
+	// A never-seen pattern: high surprise, surfaced.
+	res := d.Observe("EEH: Frozen PHB detected, adapter reset required immediately")
+	if !res.Anomalous {
+		t.Errorf("novel pattern not surfaced (surprise %.2f)", res.Surprise)
+	}
+}
+
+func TestFeedbackSuppressionAndPromotion(t *testing.T) {
+	d := NewDetector()
+	for i := 0; i < 200; i++ {
+		d.Observe("routine heartbeat ok")
+	}
+	rare := "strange one-off condition on the fabric switch"
+	if !d.Observe(rare).Anomalous {
+		t.Fatal("setup: rare message should surface")
+	}
+	// Admin: noise. It stops surfacing even though still rare.
+	d.Feedback(rare, Uninteresting)
+	if d.Observe(rare).Anomalous {
+		t.Error("uninteresting pattern still surfacing")
+	}
+	// Admin: interesting. A *common* pattern now surfaces.
+	d.Feedback("routine heartbeat ok", Interesting)
+	if !d.Observe("routine heartbeat ok").Anomalous {
+		t.Error("interesting pattern not surfacing")
+	}
+	if d.Reviewed() != 2 {
+		t.Errorf("Reviewed = %d", d.Reviewed())
+	}
+}
+
+func TestTopRareOrdering(t *testing.T) {
+	d := NewDetector()
+	for i := 0; i < 100; i++ {
+		d.Observe("very common pattern")
+	}
+	for i := 0; i < 10; i++ {
+		d.Observe("somewhat common pattern")
+	}
+	d.Observe("unique pattern")
+	top := d.TopRare(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if top[0].Pattern != "unique pattern" {
+		t.Errorf("rarest = %q", top[0].Pattern)
+	}
+	if top[0].Surprise < top[1].Surprise {
+		t.Error("not sorted by surprise")
+	}
+}
+
+// TestDriftCausesRetrainingBurden reproduces the paper's §3 critique: a
+// heterogeneous cluster's firmware drift makes LOGAN-style detectors
+// surface floods of "new" patterns that are really just rewordings,
+// demanding continual review.
+func TestDriftCausesRetrainingBurden(t *testing.T) {
+	d := NewDetector()
+	g := loggen.NewGenerator(17)
+	// Learn the pre-drift world.
+	for i := 0; i < 3000; i++ {
+		d.Observe(g.Example().Text)
+	}
+	// Review burden so far (patterns an admin would need to triage).
+	preSurfaced := 0
+	for i := 0; i < 500; i++ {
+		if d.Observe(g.Example().Text).Anomalous {
+			preSurfaced++
+		}
+	}
+	// Firmware update on every architecture: rewordings arrive.
+	for _, a := range loggen.Arches() {
+		g.ApplyFirmwareUpdate(a)
+	}
+	postSurfaced := 0
+	for i := 0; i < 500; i++ {
+		if d.Observe(g.Example().Text).Anomalous {
+			postSurfaced++
+		}
+	}
+	if postSurfaced <= preSurfaced {
+		t.Errorf("drift did not increase review burden: %d -> %d", preSurfaced, postSurfaced)
+	}
+	t.Logf("surfaced per 500 msgs: pre-drift %d, post-drift %d", preSurfaced, postSurfaced)
+}
+
+func TestThermalBurstNotAnomalousByVolume(t *testing.T) {
+	// A repeated thermal message becomes "normal" by count even though it
+	// is an issue — exactly why the paper wants *classification*, not
+	// just anomaly detection, for actionable categories.
+	d := NewDetector()
+	g := loggen.NewGenerator(19)
+	for i := 0; i < 2000; i++ {
+		d.Observe(g.Example().Text)
+	}
+	node := g.Cluster.Nodes[0]
+	burst := g.Burst(taxonomy.ThermalIssue, node, 200, 0)
+	surfaced := 0
+	for _, ex := range burst {
+		if d.Observe(ex.Text).Anomalous {
+			surfaced++
+		}
+	}
+	if surfaced > len(burst)/2 {
+		t.Errorf("high-volume burst mostly surfaced (%d/%d); rarity scoring should fatigue", surfaced, len(burst))
+	}
+}

@@ -1,0 +1,117 @@
+// Package loggen simulates the heterogeneous Darwin test-bed's syslog
+// output. It substitutes for the paper's production data (DESIGN.md §2):
+// multiple vendor/architecture families phrase the same issue differently,
+// message identifiers vary (so the corpus contains hundreds of thousands of
+// unique strings), the per-category volume follows Table 2, the "Unimportant"
+// class deliberately reuses salient words from real categories (recreating
+// the paper's confusion structure), and firmware updates can rewrite a
+// family's phrasing mid-stream (the drift that defeats edit-distance
+// bucketing, §3).
+package loggen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arch identifies a node's architecture family. Darwin mixes x86, ARM,
+// POWER and GPU nodes from several vendors.
+type Arch string
+
+// Architecture families in the simulated test-bed.
+const (
+	X86Dell   Arch = "x86_64-dell"
+	X86Super  Arch = "x86_64-supermicro"
+	ARMCav    Arch = "aarch64-cavium"
+	ARMAmp    Arch = "aarch64-ampere"
+	Power9IBM Arch = "ppc64le-ibm"
+	GPUNvidia Arch = "x86_64-nvidia-gpu"
+)
+
+// Arches lists every simulated architecture.
+func Arches() []Arch {
+	return []Arch{X86Dell, X86Super, ARMCav, ARMAmp, Power9IBM, GPUNvidia}
+}
+
+// Node is one compute node with its physical placement — the topology the
+// §4.5.2 positional analysis consumes.
+type Node struct {
+	Name string
+	Arch Arch
+	Rack int
+	Slot int
+}
+
+// Cluster is the simulated test-bed: nodes grouped in racks, with a
+// heterogeneous architecture mix per rack group (mirroring how test-beds
+// install hardware generations rack by rack).
+type Cluster struct {
+	Nodes []Node
+	racks int
+}
+
+// NewCluster builds a cluster of n nodes across ceil(n/nodesPerRack) racks.
+// Architecture assignment is rack-granular: all nodes in a rack share an
+// architecture, like real procurement batches.
+func NewCluster(n, nodesPerRack int, seed int64) *Cluster {
+	if nodesPerRack <= 0 {
+		nodesPerRack = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	arches := Arches()
+	c := &Cluster{}
+	rack, slot := 0, 0
+	rackArch := arches[rng.Intn(len(arches))]
+	for i := 0; i < n; i++ {
+		if slot == nodesPerRack {
+			rack++
+			slot = 0
+			rackArch = arches[rng.Intn(len(arches))]
+		}
+		c.Nodes = append(c.Nodes, Node{
+			Name: fmt.Sprintf("cn%03d", i+1),
+			Arch: rackArch,
+			Rack: rack,
+			Slot: slot,
+		})
+		slot++
+	}
+	c.racks = rack + 1
+	return c
+}
+
+// NumRacks returns the rack count.
+func (c *Cluster) NumRacks() int { return c.racks }
+
+// NodesInRack returns the nodes in the given rack.
+func (c *Cluster) NodesInRack(rack int) []Node {
+	var out []Node
+	for _, n := range c.Nodes {
+		if n.Rack == rack {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NodesWithArch returns the nodes of one architecture — the §4.5.3
+// per-architecture comparison group.
+func (c *Cluster) NodesWithArch(a Arch) []Node {
+	var out []Node
+	for _, n := range c.Nodes {
+		if n.Arch == a {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Lookup returns the node with the given name.
+func (c *Cluster) Lookup(name string) (Node, bool) {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}

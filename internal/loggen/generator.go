@@ -1,0 +1,242 @@
+package loggen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"hetsyslog/internal/syslog"
+	"hetsyslog/internal/taxonomy"
+)
+
+// Example is one labelled message — the unit of the training corpus.
+type Example struct {
+	Text     string
+	Category taxonomy.Category
+	Node     Node
+	App      string
+	Severity syslog.Severity
+	Facility syslog.Facility
+	Time     time.Time
+}
+
+// Message converts the example into a parsed syslog message.
+func (e Example) Message() *syslog.Message {
+	return &syslog.Message{
+		Facility:  e.Facility,
+		Severity:  e.Severity,
+		Timestamp: e.Time,
+		Hostname:  e.Node.Name,
+		AppName:   e.App,
+		Content:   e.Text,
+		Structured: syslog.StructuredData{
+			"node@darwin": {
+				"rack": fmt.Sprintf("r%d", e.Node.Rack),
+				"arch": string(e.Node.Arch),
+			},
+		},
+	}
+}
+
+// Generator produces labelled synthetic syslog from a simulated cluster.
+// It is deterministic for a given seed.
+type Generator struct {
+	Cluster *Cluster
+	rng     *rand.Rand
+	now     time.Time
+	// firmwareRev tracks per-architecture firmware revisions; bumping a
+	// revision changes some templates' phrasing (drift).
+	firmwareRev map[Arch]int
+	// Mix is the sampling weight per category for Example(); defaults to
+	// Table 2 proportions.
+	Mix      map[taxonomy.Category]int
+	mixKeys  []taxonomy.Category
+	mixTotal int
+}
+
+// NewGenerator builds a generator over a fresh 128-node cluster.
+func NewGenerator(seed int64) *Generator {
+	g := &Generator{
+		Cluster:     NewCluster(128, 16, seed),
+		rng:         rand.New(rand.NewSource(seed + 7)),
+		now:         time.Date(2023, time.July, 1, 0, 0, 0, 0, time.UTC),
+		firmwareRev: make(map[Arch]int),
+	}
+	g.SetMix(taxonomy.PaperCounts())
+	return g
+}
+
+// SetMix changes the category sampling weights for Example().
+func (g *Generator) SetMix(mix map[taxonomy.Category]int) {
+	g.Mix = mix
+	g.mixKeys = g.mixKeys[:0]
+	g.mixTotal = 0
+	for _, c := range taxonomy.All() {
+		if w := mix[c]; w > 0 {
+			g.mixKeys = append(g.mixKeys, c)
+			g.mixTotal += w
+		}
+	}
+}
+
+// ApplyFirmwareUpdate bumps the firmware revision of every node with the
+// given architecture; drift-aware templates change phrasing afterwards.
+func (g *Generator) ApplyFirmwareUpdate(a Arch) {
+	g.firmwareRev[a]++
+}
+
+// Advance moves the generator clock forward; emitted examples carry
+// monotonically increasing timestamps with small jitter.
+func (g *Generator) Advance(d time.Duration) { g.now = g.now.Add(d) }
+
+// Now returns the generator clock.
+func (g *Generator) Now() time.Time { return g.now }
+
+// ExampleOf emits one example of the given category from a random eligible
+// node.
+func (g *Generator) ExampleOf(cat taxonomy.Category) Example {
+	tpls := categoryTemplates[cat]
+	for {
+		t := &tpls[g.rng.Intn(len(tpls))]
+		// Rejection-sample nodes until the template's arch matches.
+		n := g.Cluster.Nodes[g.rng.Intn(len(g.Cluster.Nodes))]
+		if !t.appliesTo(n.Arch) {
+			continue
+		}
+		g.now = g.now.Add(time.Duration(g.rng.Intn(2000)) * time.Millisecond)
+		return Example{
+			Text:     t.gen(g.rng, n, g.firmwareRev[n.Arch]),
+			Category: cat,
+			Node:     n,
+			App:      t.app,
+			Severity: t.sev,
+			Facility: t.fac,
+			Time:     g.now,
+		}
+	}
+}
+
+// Example emits one example with category sampled from Mix.
+func (g *Generator) Example() Example {
+	w := g.rng.Intn(g.mixTotal)
+	for _, c := range g.mixKeys {
+		w -= g.Mix[c]
+		if w < 0 {
+			return g.ExampleOf(c)
+		}
+	}
+	return g.ExampleOf(g.mixKeys[len(g.mixKeys)-1])
+}
+
+// Dataset generates exactly counts[c] *unique* message texts per category,
+// reproducing the structure of Table 2 (the paper's corpus holds unique
+// messages). Duplicate texts are re-rolled; a category whose template
+// space is too small to honour the request errors out.
+func (g *Generator) Dataset(counts map[taxonomy.Category]int) ([]Example, error) {
+	var out []Example
+	for _, cat := range taxonomy.All() {
+		want := counts[cat]
+		if want == 0 {
+			continue
+		}
+		seen := make(map[string]bool, want)
+		stall := 0
+		for len(seen) < want {
+			ex := g.ExampleOf(cat)
+			if seen[ex.Text] {
+				// Bail when the template space looks exhausted: tens of
+				// thousands of consecutive duplicates.
+				if stall++; stall > 50000 {
+					return nil, fmt.Errorf("loggen: category %q exhausted (%d/%d unique)",
+						cat, len(seen), want)
+				}
+				continue
+			}
+			stall = 0
+			seen[ex.Text] = true
+			out = append(out, ex)
+		}
+	}
+	// Interleave categories chronologically (examples already carry
+	// increasing times, but they were generated category-by-category).
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}
+
+// ScaledPaperCounts returns Table 2 scaled down to approximately total
+// messages, preserving the imbalance and keeping every category non-empty.
+func ScaledPaperCounts(total int) map[taxonomy.Category]int {
+	paper := taxonomy.PaperCounts()
+	paperTotal := taxonomy.PaperTotal()
+	out := make(map[taxonomy.Category]int, len(paper))
+	for c, n := range paper {
+		scaled := n * total / paperTotal
+		if scaled < 2 {
+			scaled = 2
+		}
+		out[c] = scaled
+	}
+	return out
+}
+
+// Stream emits examples at the given rate until ctx is cancelled. A rate
+// of 0 emits as fast as the consumer accepts.
+func (g *Generator) Stream(ctx context.Context, rate time.Duration) <-chan Example {
+	ch := make(chan Example, 64)
+	go func() {
+		defer close(ch)
+		var tick *time.Ticker
+		if rate > 0 {
+			tick = time.NewTicker(rate)
+			defer tick.Stop()
+		}
+		for {
+			ex := g.Example()
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- ex:
+			}
+			if tick != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+			}
+		}
+	}()
+	return ch
+}
+
+// Burst emits n examples of one category from one node in a tight time
+// window — the §4.5.1 "surge of repeated messages" scenario used by the
+// frequency-analysis example and tests.
+func (g *Generator) Burst(cat taxonomy.Category, node Node, n int, window time.Duration) []Example {
+	tpls := categoryTemplates[cat]
+	start := g.now
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		var t *template
+		for {
+			t = &tpls[g.rng.Intn(len(tpls))]
+			if t.appliesTo(node.Arch) {
+				break
+			}
+		}
+		ts := start.Add(time.Duration(float64(window) * float64(i) / float64(n)))
+		out = append(out, Example{
+			Text:     t.gen(g.rng, node, g.firmwareRev[node.Arch]),
+			Category: cat,
+			Node:     node,
+			App:      t.app,
+			Severity: t.sev,
+			Facility: t.fac,
+			Time:     ts,
+		})
+	}
+	g.now = start.Add(window)
+	return out
+}

@@ -1,0 +1,278 @@
+package loggen
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/taxonomy"
+)
+
+func TestClusterTopology(t *testing.T) {
+	c := NewCluster(48, 16, 1)
+	if len(c.Nodes) != 48 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	if c.NumRacks() != 3 {
+		t.Errorf("racks = %d, want 3", c.NumRacks())
+	}
+	// All nodes in one rack share an architecture.
+	for r := 0; r < c.NumRacks(); r++ {
+		nodes := c.NodesInRack(r)
+		if len(nodes) != 16 {
+			t.Errorf("rack %d has %d nodes", r, len(nodes))
+		}
+		for _, n := range nodes {
+			if n.Arch != nodes[0].Arch {
+				t.Errorf("rack %d mixes architectures", r)
+			}
+		}
+	}
+	// Names unique, lookup works.
+	n, ok := c.Lookup("cn001")
+	if !ok || n.Name != "cn001" {
+		t.Error("Lookup cn001 failed")
+	}
+	if _, ok := c.Lookup("cn999"); ok {
+		t.Error("Lookup of absent node succeeded")
+	}
+}
+
+func TestClusterHeterogeneous(t *testing.T) {
+	c := NewCluster(128, 16, 1)
+	archs := map[Arch]bool{}
+	for _, n := range c.Nodes {
+		archs[n.Arch] = true
+	}
+	if len(archs) < 3 {
+		t.Errorf("cluster has only %d architectures; need heterogeneity", len(archs))
+	}
+	for a := range archs {
+		if len(c.NodesWithArch(a)) == 0 {
+			t.Errorf("arch %s empty", a)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, g2 := NewGenerator(5), NewGenerator(5)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Example(), g2.Example()
+		if a.Text != b.Text || a.Category != b.Category || a.Node.Name != b.Node.Name {
+			t.Fatal("same seed must generate identical streams")
+		}
+	}
+}
+
+func TestExampleOfEveryCategory(t *testing.T) {
+	g := NewGenerator(3)
+	for _, cat := range taxonomy.All() {
+		ex := g.ExampleOf(cat)
+		if ex.Category != cat {
+			t.Errorf("category = %q, want %q", ex.Category, cat)
+		}
+		if ex.Text == "" || ex.App == "" || ex.Node.Name == "" {
+			t.Errorf("incomplete example: %+v", ex)
+		}
+	}
+}
+
+func TestDatasetCountsAndUniqueness(t *testing.T) {
+	g := NewGenerator(7)
+	counts := map[taxonomy.Category]int{
+		taxonomy.ThermalIssue: 500,
+		taxonomy.SlurmIssue:   30,
+		taxonomy.Unimportant:  800,
+	}
+	ds, err := g.Dataset(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[taxonomy.Category]int{}
+	seen := map[string]bool{}
+	for _, ex := range ds {
+		got[ex.Category]++
+		key := string(ex.Category) + "|" + ex.Text
+		if seen[key] {
+			t.Fatalf("duplicate text within category: %q", ex.Text)
+		}
+		seen[key] = true
+	}
+	for c, want := range counts {
+		if got[c] != want {
+			t.Errorf("category %q = %d, want %d", c, got[c], want)
+		}
+	}
+	// Chronological order after interleave.
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Time.Before(ds[i-1].Time) {
+			t.Fatal("dataset not chronologically sorted")
+		}
+	}
+}
+
+func TestDatasetExhaustionError(t *testing.T) {
+	g := NewGenerator(1)
+	// Slurm templates cannot produce 100k unique strings.
+	_, err := g.Dataset(map[taxonomy.Category]int{taxonomy.SlurmIssue: 1000000})
+	if err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestScaledPaperCounts(t *testing.T) {
+	counts := ScaledPaperCounts(20000)
+	total := 0
+	for _, c := range taxonomy.All() {
+		if counts[c] < 2 {
+			t.Errorf("category %q scaled to %d (< 2)", c, counts[c])
+		}
+		total += counts[c]
+	}
+	if total < 18000 || total > 22000 {
+		t.Errorf("scaled total = %d, want ~20000", total)
+	}
+	// Imbalance preserved: Unimportant > Thermal > Memory > ... > Slurm.
+	if counts[taxonomy.Unimportant] <= counts[taxonomy.ThermalIssue] ||
+		counts[taxonomy.ThermalIssue] <= counts[taxonomy.MemoryIssue] {
+		t.Errorf("imbalance not preserved: %v", counts)
+	}
+}
+
+func TestHeterogeneousPhrasing(t *testing.T) {
+	// Thermal messages must come in several distinct shapes (vendor
+	// heterogeneity is the paper's core premise).
+	g := NewGenerator(11)
+	prefixes := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		ex := g.ExampleOf(taxonomy.ThermalIssue)
+		p := ex.Text
+		if len(p) > 12 {
+			p = p[:12]
+		}
+		prefixes[p] = true
+	}
+	if len(prefixes) < 4 {
+		t.Errorf("thermal phrasing variety = %d shapes, want >= 4", len(prefixes))
+	}
+}
+
+func TestFirmwareDriftChangesPhrasing(t *testing.T) {
+	g := NewGenerator(13)
+	// Collect pre-drift kernel thermal messages from x86 Dell nodes.
+	before := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		ex := g.ExampleOf(taxonomy.ThermalIssue)
+		if ex.App == "kernel" && strings.Contains(ex.Text, "Core temperature above threshold") {
+			before[ex.Text[:20]] = true
+		}
+	}
+	if len(before) == 0 {
+		t.Skip("no pre-drift samples drawn")
+	}
+	g.ApplyFirmwareUpdate(X86Dell)
+	g.ApplyFirmwareUpdate(X86Super)
+	g.ApplyFirmwareUpdate(GPUNvidia)
+	sawNew := false
+	for i := 0; i < 500; i++ {
+		ex := g.ExampleOf(taxonomy.ThermalIssue)
+		if strings.Contains(ex.Text, "Package temperature above threshold") &&
+			strings.Contains(ex.Text, "throttled by firmware") {
+			sawNew = true
+			break
+		}
+	}
+	if !sawNew {
+		t.Error("firmware update did not change thermal phrasing")
+	}
+}
+
+func TestMixSampling(t *testing.T) {
+	g := NewGenerator(17)
+	g.SetMix(map[taxonomy.Category]int{
+		taxonomy.ThermalIssue: 90,
+		taxonomy.SlurmIssue:   10,
+	})
+	counts := map[taxonomy.Category]int{}
+	for i := 0; i < 1000; i++ {
+		counts[g.Example().Category]++
+	}
+	if counts[taxonomy.ThermalIssue] < 800 || counts[taxonomy.SlurmIssue] < 50 {
+		t.Errorf("mix sampling off: %v", counts)
+	}
+	if len(counts) != 2 {
+		t.Errorf("unexpected categories: %v", counts)
+	}
+}
+
+func TestBurst(t *testing.T) {
+	g := NewGenerator(19)
+	node := g.Cluster.Nodes[3]
+	window := 2 * time.Minute
+	burst := g.Burst(taxonomy.MemoryIssue, node, 50, window)
+	if len(burst) != 50 {
+		t.Fatalf("burst = %d", len(burst))
+	}
+	for _, ex := range burst {
+		if ex.Node.Name != node.Name || ex.Category != taxonomy.MemoryIssue {
+			t.Fatalf("burst example wrong: %+v", ex)
+		}
+	}
+	span := burst[len(burst)-1].Time.Sub(burst[0].Time)
+	if span > window {
+		t.Errorf("burst span %v exceeds window %v", span, window)
+	}
+}
+
+func TestStream(t *testing.T) {
+	g := NewGenerator(23)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := g.Stream(ctx, 0)
+	n := 0
+	for range ch {
+		n++
+		if n == 100 {
+			cancel()
+			break
+		}
+	}
+	if n != 100 {
+		t.Errorf("streamed %d", n)
+	}
+	// drain until close
+	for range ch {
+	}
+}
+
+func TestExampleToSyslogMessage(t *testing.T) {
+	g := NewGenerator(29)
+	ex := g.ExampleOf(taxonomy.SSHConnection)
+	m := ex.Message()
+	if m.Hostname != ex.Node.Name || m.Content != ex.Text || m.AppName != ex.App {
+		t.Errorf("Message conversion lost fields: %+v", m)
+	}
+	if m.Structured["node@darwin"]["arch"] != string(ex.Node.Arch) {
+		t.Error("arch metadata missing")
+	}
+}
+
+func BenchmarkGenerateExample(b *testing.B) {
+	g := NewGenerator(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Example()
+	}
+}
+
+// BenchmarkTable2Generate regenerates a scaled Table 2 corpus (DESIGN.md
+// experiment index: Table 2).
+func BenchmarkTable2Generate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := NewGenerator(int64(i))
+		if _, err := g.Dataset(ScaledPaperCounts(5000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

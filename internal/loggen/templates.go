@@ -1,0 +1,391 @@
+package loggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetsyslog/internal/syslog"
+	"hetsyslog/internal/taxonomy"
+)
+
+// template is one message shape: an app/severity/facility triple and a
+// generator that fills identifier slots. rev is the node's firmware
+// revision; templates that drift produce different phrasing per revision,
+// which is what breaks edit-distance bucketing across firmware updates.
+type template struct {
+	app    string
+	sev    syslog.Severity
+	fac    syslog.Facility
+	arches []Arch // nil = all architectures
+	gen    func(r *rand.Rand, n Node, rev int) string
+}
+
+func (t *template) appliesTo(a Arch) bool {
+	if t.arches == nil {
+		return true
+	}
+	for _, x := range t.arches {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// pick returns one of the strings, uniformly.
+func pick(r *rand.Rand, opts ...string) string { return opts[r.Intn(len(opts))] }
+
+// Templates below are designed so the per-category TF-IDF top tokens land
+// near the paper's Table 1:
+//
+//	Hardware:  timestamp, sync, clock, system, event
+//	Intrusion: root, session, user, started, boot
+//	Memory:    size, real_memory, low, cn, node
+//	SSH:       closed, preauth, connection, port, user
+//	Slurm:     version, update, slurm, please, node
+//	Thermal:   processor, throttled, sensor, cpu, temperature
+//	USB:       usb, device, hub, number, new
+//	Unimportant: error, lpi_hbm_nn, job_argument, slurm_rpc_node_registration
+var categoryTemplates = map[taxonomy.Category][]template{
+	taxonomy.ThermalIssue: {
+		{app: "kernel", sev: syslog.Warning, fac: syslog.Kern,
+			arches: []Arch{X86Dell, X86Super, GPUNvidia},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if rev > 0 {
+					return fmt.Sprintf("CPU%d: Package temperature above threshold (%d C), cpu clock throttled by firmware (events=%d)",
+						r.Intn(128), 85+r.Intn(20), r.Intn(100000))
+				}
+				return fmt.Sprintf("CPU%d: Core temperature above threshold, cpu clock throttled (total events = %d)",
+					r.Intn(128), r.Intn(100000))
+			}},
+		{app: "ipmiseld", sev: syslog.Critical, fac: syslog.Daemon,
+			arches: []Arch{X86Dell},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("CPU %d Temperature Above Non-Recoverable - Asserted. Current temperature: %dC",
+					1+r.Intn(4), 90+r.Intn(20))
+			}},
+		{app: "ipmiseld", sev: syslog.Warning, fac: syslog.Daemon,
+			arches: []Arch{X86Super, Power9IBM},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Sensor 'Processor %d Temp' reading %d degrees exceeds upper %s threshold on sensor bus %d",
+					r.Intn(8), 80+r.Intn(30), pick(r, "critical", "non-critical"), r.Intn(4))
+			}},
+		{app: "kernel", sev: syslog.Warning, fac: syslog.Kern,
+			arches: []Arch{ARMCav, ARMAmp},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("thermal thermal_zone%d: temperature sensor reports %d millidegrees, processor throttled to %d MHz",
+					r.Intn(16), 80000+r.Intn(30000)*7, 1000+r.Intn(40)*50)
+			}},
+		{app: "kernel", sev: syslog.Warning, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Warning: Socket %d - CPU %d throttling, processor temperature sensor tripped at %d",
+					r.Intn(2), r.Intn(256), 85+r.Intn(25))
+			}},
+		{app: "nvidia-smi", sev: syslog.Warning, fac: syslog.Daemon,
+			arches: []Arch{GPUNvidia},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("GPU %08x:%02x:00.0: temperature %d exceeds slowdown threshold, clocks throttled by thermal sensor",
+					r.Intn(0x10000), r.Intn(256), 88+r.Intn(14))
+			}},
+	},
+
+	taxonomy.MemoryIssue: {
+		{app: "slurmd", sev: syslog.Error, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				have := 150000 + r.Intn(100000)
+				if rev > 0 {
+					return fmt.Sprintf("error: node=%s reports real_memory %d below configured minimum %d, marking low", n.Name, have, 256000)
+				}
+				return fmt.Sprintf("error: Node %s has low real_memory size (%d < %d)", n.Name, have, 256000)
+			}},
+		{app: "kernel", sev: syslog.Error, fac: syslog.Kern,
+			arches: []Arch{X86Dell, X86Super, GPUNvidia},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("EDAC MC%d: %d CE memory read error on CPU_SrcID#%d_MC#%d_Chan#%d_DIMM#%d node %s",
+					r.Intn(8), 1+r.Intn(400), r.Intn(2), r.Intn(4), r.Intn(4), r.Intn(2), n.Name)
+			}},
+		{app: "kernel", sev: syslog.Critical, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Out of memory: Killed process %d (%s) total-vm:%dkB on node %s, low memory size remaining",
+					1000+r.Intn(60000), pick(r, "python3", "mpirun", "lmp", "gmx"), 1000000+r.Intn(60000000), n.Name)
+			}},
+		{app: "mcelog", sev: syslog.Error, fac: syslog.Daemon,
+			arches: []Arch{X86Dell, X86Super},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Corrected memory error on DIMM_%s%d rank %d, node %s memory size check scheduled",
+					pick(r, "A", "B", "C", "D"), r.Intn(8), r.Intn(4), n.Name)
+			}},
+		{app: "kernel", sev: syslog.Error, fac: syslog.Kern,
+			arches: []Arch{Power9IBM},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("EEH: Memory UE recovered on PHB#%d-PE#%x, node %s low real_memory window size %d",
+					r.Intn(6), r.Intn(256), n.Name, 4096+r.Intn(8192))
+			}},
+	},
+
+	taxonomy.SSHConnection: {
+		{app: "sshd", sev: syslog.Info, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if rev > 0 {
+					return fmt.Sprintf("Connection closed by authenticating client %s on port %d (preauth phase)", randIP(r), 1024+r.Intn(64000))
+				}
+				return fmt.Sprintf("Connection closed by %s port %d [preauth]", randIP(r), 1024+r.Intn(64000))
+			}},
+		{app: "sshd", sev: syslog.Info, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Disconnected from user %s %s port %d", randUser(r), randIP(r), 1024+r.Intn(64000))
+			}},
+		{app: "sshd", sev: syslog.Info, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Received disconnect from %s port %d:11: disconnected by user", randIP(r), 1024+r.Intn(64000))
+			}},
+		{app: "sshd", sev: syslog.Warning, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Connection reset by authenticating user %s %s port %d [preauth]",
+					randUser(r), randIP(r), 1024+r.Intn(64000))
+			}},
+		{app: "sshd", sev: syslog.Info, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Timeout before authentication for connection from %s port %d, closed [preauth]",
+					randIP(r), 1024+r.Intn(64000))
+			}},
+	},
+
+	taxonomy.IntrusionDetection: {
+		{app: "systemd-logind", sev: syslog.Info, fac: syslog.Auth,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if rev > 0 {
+					return fmt.Sprintf("session %d for user root was started on seat%d following system boot", r.Intn(100000), r.Intn(4))
+				}
+				return fmt.Sprintf("New session %d of user root started on seat%d after boot", r.Intn(100000), r.Intn(4))
+			}},
+		{app: "sshd", sev: syslog.Notice, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("pam_unix(sshd:session): session opened for user root by (uid=%d)", r.Intn(2000))
+			}},
+		{app: "su", sev: syslog.Warning, fac: syslog.Auth,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("FAILED su for root by %s on pts/%d, session denied", randUser(r), r.Intn(32))
+			}},
+		{app: "sudo", sev: syslog.Alert, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("%s : user NOT in sudoers ; TTY=pts/%d ; USER=root ; COMMAND=%s",
+					randUser(r), r.Intn(32), pick(r, "/bin/bash", "/usr/bin/vi /etc/shadow", "/usr/sbin/dmidecode"))
+			}},
+		{app: "audit", sev: syslog.Warning, fac: syslog.LogAudit,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("ANOM_LOGIN_FAILURES pid=%d uid=0 auid=%d ses=%d msg='user root boot console login failures exceeded'",
+					r.Intn(65536), r.Intn(10000), r.Intn(100000))
+			}},
+		{app: "systemd-logind", sev: syslog.Info, fac: syslog.Auth,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Session %d of user %s started after unexpected system boot at runlevel %d",
+					r.Intn(100000), randUser(r), 3+r.Intn(3))
+			}},
+	},
+
+	taxonomy.SlurmIssue: {
+		{app: "slurmd", sev: syslog.Error, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("slurmd version %d.%02d.%d differs from slurmctld, please update slurm on node %s",
+					20+r.Intn(4), 2+r.Intn(10), r.Intn(9), n.Name)
+			}},
+		{app: "slurmctld", sev: syslog.Warning, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("update_node: node %s state set to DRAIN, reason: slurm version mismatch please update",
+					n.Name)
+			}},
+	},
+
+	taxonomy.USBDevice: {
+		{app: "kernel", sev: syslog.Info, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if rev > 0 {
+					return fmt.Sprintf("usb %d-%d: enumerated new high-speed USB device, assigned number %d (xhci_hcd rev2)",
+						1+r.Intn(4), 1+r.Intn(8), 1+r.Intn(127))
+				}
+				return fmt.Sprintf("usb %d-%d: new high-speed USB device number %d using xhci_hcd",
+					1+r.Intn(4), 1+r.Intn(8), 1+r.Intn(127))
+			}},
+		{app: "kernel", sev: syslog.Info, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("usb %d-%d: New USB device found, idVendor=%04x, idProduct=%04x, bcdDevice=%x.%02x",
+					1+r.Intn(4), 1+r.Intn(8), r.Intn(0x10000), r.Intn(0x10000), r.Intn(16), r.Intn(256))
+			}},
+		{app: "kernel", sev: syslog.Info, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("hub %d-%d:1.0: USB hub found with %d ports, new device detection enabled",
+					1+r.Intn(4), r.Intn(8), 2+r.Intn(8))
+			}},
+		{app: "kernel", sev: syslog.Info, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("usb %d-%d: USB disconnect, device number %d", 1+r.Intn(4), 1+r.Intn(8), 1+r.Intn(127))
+			}},
+	},
+
+	taxonomy.HardwareIssue: {
+		{app: "kernel", sev: syslog.Warning, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if rev > 0 {
+					return fmt.Sprintf("clocksource watchdog: clock sync lost on cpu %d, measured timestamp skew of %d ns, system timing degraded",
+						r.Intn(128), r.Intn(10000000))
+				}
+				return fmt.Sprintf("clocksource: timekeeping watchdog: system clock sync lost, timestamp skew %d ns on cpu %d",
+					r.Intn(10000000), r.Intn(128))
+			}},
+		{app: "ipmiseld", sev: syslog.Error, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("BMC system event log entry %d: timestamp clock sync drift detected, event repeated %d times",
+					r.Intn(100000), 1+r.Intn(50))
+			}},
+		{app: "chronyd", sev: syslog.Warning, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("System clock wrong by %d.%06d seconds, timestamp sync step applied at event %d",
+					r.Intn(100), r.Intn(1000000), r.Intn(1000000))
+			}},
+		{app: "ipmiseld", sev: syslog.Critical, fac: syslog.Daemon,
+			arches: []Arch{X86Dell, X86Super, Power9IBM},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Power Supply %d failure asserted on system event log, redundancy lost (event %d)",
+					1+r.Intn(2), r.Intn(100000))
+			}},
+		{app: "kernel", sev: syslog.Error, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("Fan %d on system board below critical speed: %d RPM, hardware event timestamp %d",
+					1+r.Intn(12), 100*r.Intn(30), r.Intn(10000000))
+			}},
+		{app: "kernel", sev: syslog.Error, fac: syslog.Kern,
+			arches: []Arch{GPUNvidia},
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("NVRM: Xid (PCI:%04x:%02x:00): %d, GPU system event clock recovery, timestamp %d",
+					r.Intn(0x10000), r.Intn(256), 13+r.Intn(80), r.Intn(100000000))
+			}},
+	},
+
+	// Unimportant deliberately reuses salient words from the issue
+	// categories ("error", "temperature", "connection", "memory") inside
+	// routine status chatter — the source of the confusion the paper's
+	// Figure 2 shows along the "Unimportant" row/column.
+	taxonomy.Unimportant: {
+		{app: "lpi_hbm_nn", sev: syslog.Info, fac: syslog.User,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("lpi_hbm_nn: job_argument %d processed, error code 0, %d tensors in %d usec",
+					r.Intn(10000000), r.Intn(4096), r.Intn(10000000))
+			}},
+		{app: "slurmd", sev: syslog.Info, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("slurm_rpc_node_registration complete for %s usec=%d", n.Name, r.Intn(10000000))
+			}},
+		{app: "lpi_hbm_nn", sev: syslog.Info, fac: syslog.User,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("lpi_hbm_nn: stage %d checkpoint written, job_argument hash %08x, no error",
+					r.Intn(64), r.Uint32())
+			}},
+		{app: "healthcheck", sev: syslog.Info, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("periodic probe %d: temperature sensors nominal, all %d processors idle, no error",
+					r.Intn(1000000), 16+r.Intn(112))
+			}},
+		{app: "sshd", sev: syslog.Debug, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if r.Intn(2) == 0 {
+					return fmt.Sprintf("debug1: rekey after %d blocks, cipher cache warm, counter %d",
+						r.Intn(10000000), r.Intn(10000000))
+				}
+				return fmt.Sprintf("debug1: connection stats: %d bytes in %d out, session cache hit %d",
+					r.Intn(10000000), r.Intn(10000000), r.Intn(1000))
+			}},
+		{app: "monitor", sev: syslog.Info, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("memory usage report: size %d MB of %d MB, watermark normal, error count 0",
+					r.Intn(256000), 256000)
+			}},
+		{app: "systemd", sev: syslog.Info, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if r.Intn(2) == 0 {
+					return fmt.Sprintf("Started Daily apt and cleanup timer run %d.", r.Intn(1000000))
+				}
+				return fmt.Sprintf("Started Session %d of user %s.", r.Intn(1000000), randUser(r))
+			}},
+		{app: "kernel", sev: syslog.Debug, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("perf: interrupt took too long (%d > %d), lowering kernel.perf_event_max_sample_rate to %d",
+					2500+r.Intn(10000), 2500+r.Intn(5000), 1000*(1+r.Intn(50)))
+			}},
+		{app: "ntpd", sev: syslog.Info, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("kernel reports TIME_ERROR: 0x%x: Clock Unsynchronized poll %d (routine)", 0x2000+r.Intn(0x100), r.Intn(1024))
+			}},
+		{app: "cron", sev: syslog.Info, fac: syslog.Cron,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("(root) CMD (run-parts /etc/cron.hourly) job %d completed with error status 0 in %d ms",
+					r.Intn(10000000), r.Intn(60000))
+			}},
+		// Ambiguous chatter: benign messages phrased in issue-category
+		// vocabulary ("messages that use significant words from other
+		// categories, but that aren't actually an interesting issue",
+		// §5.1). Each keeps routine-telemetry anchor words so the
+		// categories remain learnable, matching the paper's >0.95 F1.
+		{app: "telemetry", sev: syslog.Info, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if r.Intn(2) == 0 {
+					return fmt.Sprintf("telemetry sample %d: collection routine completed, poll interval %d usec, no error",
+						r.Intn(10000000), r.Intn(1000000))
+				}
+				return fmt.Sprintf("telemetry sample %d: cpu temperature %dC nominal, sensor poll routine, no throttling required",
+					r.Intn(10000000), 30+r.Intn(35))
+			}},
+		{app: "healthcheck", sev: syslog.Info, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if r.Intn(2) == 0 {
+					return fmt.Sprintf("routine check %d completed ok on node %s, all probes nominal, no error",
+						r.Intn(100000), n.Name)
+				}
+				return fmt.Sprintf("routine scrub pass %d completed: memory size %d verified ok on node %s",
+					r.Intn(100000), 192000+r.Intn(64)*1000, n.Name)
+			}},
+		{app: "sshd", sev: syslog.Debug, fac: syslog.AuthPriv,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				return fmt.Sprintf("debug1: session stats for user %s: connection from %s port %d closed normally",
+					randUser(r), randIP(r), 1024+r.Intn(64000))
+			}},
+		{app: "bmc-poll", sev: syslog.Info, fac: syslog.Daemon,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				if r.Intn(2) == 0 {
+					return fmt.Sprintf("bmc poll %d finished: sensors read in %d usec, all nominal",
+						r.Intn(10000000), r.Intn(1000000))
+				}
+				return fmt.Sprintf("system event log poll %d: clock sync ok, timestamp current, no new event",
+					r.Intn(10000000))
+			}},
+		// Irreducible overlap: occasionally this agent echoes a message
+		// that is *textually indistinguishable* from an issue category —
+		// the admins labelled these noise because on this test-bed they
+		// are a known benign quirk. No classifier can separate them,
+		// which concentrates Figure 2's residual confusion on the
+		// "Unimportant" row/column exactly as the paper observed.
+		{app: "kernel", sev: syslog.Info, fac: syslog.Kern,
+			gen: func(r *rand.Rand, n Node, rev int) string {
+				switch r.Intn(16) {
+				case 0:
+					return fmt.Sprintf("Warning: Socket %d - CPU %d throttling, processor temperature sensor tripped at %d",
+						r.Intn(2), r.Intn(256), 85+r.Intn(25))
+				case 1:
+					return fmt.Sprintf("Connection closed by %s port %d [preauth]", randIP(r), 1024+r.Intn(64000))
+				default:
+					return fmt.Sprintf("periodic agent heartbeat %d ok, no error, interval %d usec",
+						r.Intn(10000000), r.Intn(1000000))
+				}
+			}},
+	},
+}
+
+var userNames = []string{"alice", "bgrant", "cchen", "dkumar", "efranco",
+	"gwu", "hlopez", "jsmith", "kpatel", "mjones", "nwhite", "psingh",
+	"rgarcia", "tnguyen", "vkhan", "wzhao"}
+
+func randUser(r *rand.Rand) string { return userNames[r.Intn(len(userNames))] }
+
+func randIP(r *rand.Rand) string {
+	return fmt.Sprintf("%d.%d.%d.%d", 10, r.Intn(32), r.Intn(256), 1+r.Intn(254))
+}

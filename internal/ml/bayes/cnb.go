@@ -1,0 +1,100 @@
+// Package bayes implements Complement Naive Bayes (Rennie et al., ICML
+// 2003), the variant designed for imbalanced text classification — which is
+// why the paper includes it against a corpus where "Unimportant" outweighs
+// "Slurm Issues" by 2300×. It posts the fastest testing time in Figure 3.
+package bayes
+
+import (
+	"math"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/sparse"
+)
+
+// ComplementNB estimates per-class feature weights from the *complement* of
+// each class (all training samples not in the class), which is far better
+// conditioned for rare classes than standard multinomial NB.
+type ComplementNB struct {
+	// Alpha is the Lidstone smoothing parameter (default 1.0).
+	Alpha float64
+	// Norm applies the weight normalization from the CNB paper when true
+	// (scikit-learn's norm=True).
+	Norm bool
+
+	w [][]float64 // [class][feature] weights
+	k int
+}
+
+// Name implements ml.Classifier.
+func (m *ComplementNB) Name() string { return "Complement Naive Bayes" }
+
+// Fit computes complement counts and weights.
+func (m *ComplementNB) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if m.Alpha == 0 {
+		m.Alpha = 1.0
+	}
+	m.k = ds.NumClasses()
+	dims := ds.X.Cols
+
+	// Per-class feature totals and the global totals.
+	classFeat := make([][]float64, m.k)
+	for c := range classFeat {
+		classFeat[c] = make([]float64, dims)
+	}
+	classSum := make([]float64, m.k)
+	globalFeat := make([]float64, dims)
+	globalSum := 0.0
+	for i, row := range ds.X.Rows {
+		c := ds.Y[i]
+		sparse.AxpyDense(1, row, classFeat[c])
+		sparse.AxpyDense(1, row, globalFeat)
+		s := row.Sum()
+		classSum[c] += s
+		globalSum += s
+	}
+
+	m.w = make([][]float64, m.k)
+	for c := 0; c < m.k; c++ {
+		compSum := globalSum - classSum[c] + m.Alpha*float64(dims)
+		w := make([]float64, dims)
+		var norm float64
+		for f := 0; f < dims; f++ {
+			comp := globalFeat[f] - classFeat[c][f] + m.Alpha
+			// Weight is the negated complement log-probability: features
+			// frequent outside the class push the score down.
+			w[f] = -math.Log(comp / compSum)
+			norm += math.Abs(w[f])
+		}
+		if m.Norm && norm > 0 {
+			for f := range w {
+				w[f] /= norm
+			}
+		}
+		m.w[c] = w
+	}
+	return nil
+}
+
+// DecisionScores returns the per-class complement log-likelihoods.
+func (m *ComplementNB) DecisionScores(x sparse.Vector) []float64 {
+	out := make([]float64, m.k)
+	for c := 0; c < m.k; c++ {
+		out[c] = sparse.DotDense(x, m.w[c])
+	}
+	return out
+}
+
+// Predict implements ml.Classifier.
+func (m *ComplementNB) Predict(x sparse.Vector) int {
+	s := m.DecisionScores(x)
+	best, bi := math.Inf(-1), 0
+	for c, v := range s {
+		if v > best {
+			best, bi = v, c
+		}
+	}
+	return bi
+}

@@ -1,0 +1,131 @@
+package bayes
+
+import (
+	"testing"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/ml/mltest"
+	"hetsyslog/internal/sparse"
+)
+
+func TestComplementNBAccuracy(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{
+		Classes: 5, PerClass: 80, FeatPerCls: 8, SharedFeats: 4,
+		NoiseProb: 0.1, Seed: 2,
+	})
+	train, test := ml.StratifiedSplit(ds, 0.25, 3)
+	m := &ComplementNB{}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test); acc < 0.9 {
+		t.Errorf("test accuracy = %.3f", acc)
+	}
+}
+
+func TestComplementNBImbalanced(t *testing.T) {
+	// 20:1 imbalance — CNB should still recover the minority class.
+	big := mltest.Generate(mltest.Config{Classes: 2, PerClass: 200, FeatPerCls: 6, Seed: 4})
+	// Keep only 10 samples of class 1.
+	ds := &ml.Dataset{X: &sparse.Matrix{Cols: big.X.Cols}, Labels: big.Labels}
+	kept1 := 0
+	for i, y := range big.Y {
+		if y == 1 {
+			if kept1 >= 10 {
+				continue
+			}
+			kept1++
+		}
+		ds.X.Rows = append(ds.X.Rows, big.X.Rows[i])
+		ds.Y = append(ds.Y, y)
+	}
+	m := &ComplementNB{}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// Every minority-class training sample must classify correctly.
+	miss := 0
+	for i, y := range ds.Y {
+		if y == 1 && m.Predict(ds.X.Rows[i]) != 1 {
+			miss++
+		}
+	}
+	if miss > 1 {
+		t.Errorf("minority class misses = %d of 10", miss)
+	}
+}
+
+func TestComplementNBNormVariant(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 3, PerClass: 60, Seed: 6})
+	train, test := ml.StratifiedSplit(ds, 0.25, 3)
+	m := &ComplementNB{Norm: true}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test); acc < 0.85 {
+		t.Errorf("normed CNB accuracy = %.3f", acc)
+	}
+}
+
+func TestComplementNBName(t *testing.T) {
+	if (&ComplementNB{}).Name() != "Complement Naive Bayes" {
+		t.Error("wrong name")
+	}
+}
+
+func TestComplementNBRejectsBadDataset(t *testing.T) {
+	bad := &ml.Dataset{
+		X: &sparse.Matrix{Rows: make([]sparse.Vector, 1), Cols: 1},
+		Y: []int{5}, Labels: []string{"a"},
+	}
+	if err := (&ComplementNB{}).Fit(bad); err == nil {
+		t.Error("Fit accepted invalid dataset")
+	}
+}
+
+func TestComplementNBDecisionScores(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 3, PerClass: 40, Seed: 8})
+	m := &ComplementNB{}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X.Rows[:10] {
+		s := m.DecisionScores(x)
+		if len(s) != 3 {
+			t.Fatalf("scores len = %d", len(s))
+		}
+		best, bi := s[0], 0
+		for c, v := range s {
+			if v > best {
+				best, bi = v, c
+			}
+		}
+		if bi != m.Predict(x) {
+			t.Error("argmax(DecisionScores) != Predict")
+		}
+	}
+}
+
+func TestComplementNBPersistRoundTrip(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 3, PerClass: 40, Seed: 2})
+	m := &ComplementNB{}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &ComplementNB{}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X.Rows[:20] {
+		if restored.Predict(x) != m.Predict(x) {
+			t.Fatal("restored CNB diverges")
+		}
+	}
+	if err := restored.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("junk blob should error")
+	}
+}

@@ -1,0 +1,34 @@
+package bayes
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+type cnbState struct {
+	W [][]float64
+	K int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *ComplementNB) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cnbState{W: m.w, K: m.k}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *ComplementNB) UnmarshalBinary(data []byte) error {
+	var st cnbState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.W) != st.K {
+		return fmt.Errorf("bayes: inconsistent state (k=%d, |W|=%d)", st.K, len(st.W))
+	}
+	m.w, m.k = st.W, st.K
+	return nil
+}

@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FoldResult is one fold's held-out score.
+type FoldResult struct {
+	Fold     int
+	Accuracy float64
+}
+
+// CVResult summarizes a cross-validation run.
+type CVResult struct {
+	Folds []FoldResult
+	Mean  float64
+	Std   float64
+}
+
+// CrossValidate runs stratified k-fold cross-validation: newModel must
+// return a fresh classifier per fold (fitted state must not leak between
+// folds). Accuracy is the per-fold held-out metric.
+func CrossValidate(newModel func() Classifier, ds *Dataset, k int, seed int64) (*CVResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: k-fold needs k >= 2, got %d", k)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	// Stratified fold assignment: shuffle within each class, deal
+	// round-robin into folds.
+	rng := rand.New(rand.NewSource(seed + 97))
+	foldOf := make([]int, ds.Len())
+	byClass := make([][]int, ds.NumClasses())
+	for i, y := range ds.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	for _, idx := range byClass {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for pos, i := range idx {
+			foldOf[i] = pos % k
+		}
+	}
+
+	res := &CVResult{}
+	for fold := 0; fold < k; fold++ {
+		var trainIdx, testIdx []int
+		for i := range ds.Y {
+			if foldOf[i] == fold {
+				testIdx = append(testIdx, i)
+			} else {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		if len(testIdx) == 0 || len(trainIdx) == 0 {
+			return nil, fmt.Errorf("ml: fold %d is empty (k=%d too large for %d samples)", fold, k, ds.Len())
+		}
+		train, test := ds.Subset(trainIdx), ds.Subset(testIdx)
+		model := newModel()
+		if err := model.Fit(train); err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		correct := 0
+		for i, row := range test.X.Rows {
+			if model.Predict(row) == test.Y[i] {
+				correct++
+			}
+		}
+		res.Folds = append(res.Folds, FoldResult{
+			Fold:     fold,
+			Accuracy: float64(correct) / float64(test.Len()),
+		})
+	}
+	var sum, sq float64
+	for _, f := range res.Folds {
+		sum += f.Accuracy
+	}
+	res.Mean = sum / float64(k)
+	for _, f := range res.Folds {
+		d := f.Accuracy - res.Mean
+		sq += d * d
+	}
+	res.Std = math.Sqrt(sq / float64(k))
+	return res, nil
+}

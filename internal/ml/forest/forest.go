@@ -1,0 +1,116 @@
+package forest
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/sparse"
+)
+
+// RandomForest is an ensemble of CART trees grown on bootstrap resamples
+// with sqrt-feature subsampling per node, aggregated by majority vote.
+// Trees grow in parallel (one goroutine per tree, bounded by GOMAXPROCS);
+// the serial path is kept behind Serial for the DESIGN.md ablation bench.
+type RandomForest struct {
+	// Trees is the ensemble size (default 100, sklearn's default).
+	Trees int
+	// MaxDepth bounds each tree (default 64).
+	MaxDepth int
+	// Seed derives per-tree seeds.
+	Seed int64
+	// Serial disables parallel tree growth.
+	Serial bool
+
+	trees []*Tree
+	k     int
+}
+
+// Name implements ml.Classifier.
+func (f *RandomForest) Name() string { return "Random Forest" }
+
+// Fit grows the ensemble.
+func (f *RandomForest) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if f.Trees == 0 {
+		f.Trees = 100
+	}
+	f.k = ds.NumClasses()
+	cols := BuildColumns(ds.X)
+	f.trees = make([]*Tree, f.Trees)
+
+	grow := func(t int) {
+		rng := rand.New(rand.NewSource(f.Seed + int64(t)*6364136223846793005 + 1442695040888963407))
+		// Bootstrap: sample n rows with replacement, folded into
+		// (unique index, weight) pairs so node bookkeeping stays O(unique).
+		n := ds.Len()
+		counts := make(map[int32]float64, n)
+		for i := 0; i < n; i++ {
+			counts[int32(rng.Intn(n))]++
+		}
+		idx := make([]int32, 0, len(counts))
+		w := make([]float64, 0, len(counts))
+		for row, c := range counts {
+			idx = append(idx, row)
+			w = append(w, c)
+		}
+		tree := &Tree{MaxDepth: f.MaxDepth, Seed: f.Seed + int64(t)*31}
+		tree.fitWeighted(ds, cols, idx, w)
+		f.trees[t] = tree
+	}
+
+	if f.Serial {
+		for t := 0; t < f.Trees; t++ {
+			grow(t)
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				grow(t)
+			}
+		}()
+	}
+	for t := 0; t < f.Trees; t++ {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+	return nil
+}
+
+// DecisionScores returns per-class vote fractions.
+func (f *RandomForest) DecisionScores(x sparse.Vector) []float64 {
+	votes := make([]float64, f.k)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	if len(f.trees) > 0 {
+		inv := 1 / float64(len(f.trees))
+		for c := range votes {
+			votes[c] *= inv
+		}
+	}
+	return votes
+}
+
+// Predict implements ml.Classifier.
+func (f *RandomForest) Predict(x sparse.Vector) int {
+	votes := f.DecisionScores(x)
+	best, bi := -1.0, 0
+	for c, v := range votes {
+		if v > best {
+			best, bi = v, c
+		}
+	}
+	return bi
+}

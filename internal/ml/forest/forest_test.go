@@ -1,0 +1,227 @@
+package forest
+
+import (
+	"testing"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/ml/mltest"
+	"hetsyslog/internal/sparse"
+)
+
+func dataset(t testing.TB) (*ml.Dataset, *ml.Dataset) {
+	t.Helper()
+	ds := mltest.Generate(mltest.Config{
+		Classes: 5, PerClass: 80, FeatPerCls: 8, SharedFeats: 4,
+		NoiseProb: 0.1, Seed: 2,
+	})
+	return ml.StratifiedSplit(ds, 0.25, 3)
+}
+
+func TestTreeFitsTrainingData(t *testing.T) {
+	train, _ := dataset(t)
+	tr := &Tree{MaxFeatures: -1}
+	if err := tr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// An unpruned CART with all features should (nearly) memorize.
+	if acc := mltest.Accuracy(tr, train); acc < 0.99 {
+		t.Errorf("train accuracy = %.3f", acc)
+	}
+	if tr.NumNodes() < 3 {
+		t.Errorf("tree suspiciously small: %d nodes", tr.NumNodes())
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("depth = %d", tr.Depth())
+	}
+}
+
+func TestTreeGeneralizes(t *testing.T) {
+	train, test := dataset(t)
+	tr := &Tree{MaxFeatures: -1}
+	if err := tr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(tr, test); acc < 0.85 {
+		t.Errorf("test accuracy = %.3f", acc)
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	train, _ := dataset(t)
+	tr := &Tree{MaxDepth: 3, MaxFeatures: -1}
+	if err := tr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 4 { // depth counts nodes on path; limit 3 splits
+		t.Errorf("depth = %d exceeds limit", d)
+	}
+}
+
+func TestTreePureNodeIsLeaf(t *testing.T) {
+	// Single-class data -> a single leaf.
+	ds := &ml.Dataset{X: &sparse.Matrix{Cols: 2}, Labels: []string{"only"}}
+	for i := 0; i < 10; i++ {
+		ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{0: float64(i + 1)}))
+		ds.Y = append(ds.Y, 0)
+	}
+	tr := &Tree{}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("pure data should give one leaf, got %d nodes", tr.NumNodes())
+	}
+}
+
+func TestTreeSplitsOnZeroVsNonzero(t *testing.T) {
+	// Class 0 has feature 0 absent, class 1 present: one split suffices.
+	ds := &ml.Dataset{X: &sparse.Matrix{Cols: 2}, Labels: []string{"absent", "present"}}
+	for i := 0; i < 10; i++ {
+		ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{1: 1}))
+		ds.Y = append(ds.Y, 0)
+		ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{0: 1, 1: 1}))
+		ds.Y = append(ds.Y, 1)
+	}
+	tr := &Tree{MaxFeatures: -1}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(tr, ds); acc != 1 {
+		t.Errorf("accuracy = %.3f on trivially separable data", acc)
+	}
+	if tr.NumNodes() != 3 {
+		t.Errorf("expected a single split (3 nodes), got %d", tr.NumNodes())
+	}
+}
+
+func TestRandomForestAccuracy(t *testing.T) {
+	train, test := dataset(t)
+	rf := &RandomForest{Trees: 30}
+	if err := rf.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(rf, test); acc < 0.9 {
+		t.Errorf("forest accuracy = %.3f", acc)
+	}
+}
+
+func TestRandomForestSerialMatchesParallelQuality(t *testing.T) {
+	train, test := dataset(t)
+	par := &RandomForest{Trees: 20, Seed: 9}
+	ser := &RandomForest{Trees: 20, Seed: 9, Serial: true}
+	if err := par.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := ser.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Seeds are per-tree, so the ensembles are identical regardless of
+	// scheduling.
+	for _, x := range test.X.Rows {
+		if par.Predict(x) != ser.Predict(x) {
+			t.Fatal("serial and parallel forests diverge despite identical seeds")
+		}
+	}
+}
+
+func TestRandomForestDecisionScores(t *testing.T) {
+	train, _ := dataset(t)
+	rf := &RandomForest{Trees: 10}
+	if err := rf.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range train.X.Rows[:10] {
+		s := rf.DecisionScores(x)
+		var sum float64
+		for _, v := range s {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("vote fractions sum to %v", sum)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&Tree{}).Name() != "Decision Tree" || (&RandomForest{}).Name() != "Random Forest" {
+		t.Error("wrong names")
+	}
+}
+
+func TestRejectBadDataset(t *testing.T) {
+	bad := &ml.Dataset{
+		X: &sparse.Matrix{Rows: make([]sparse.Vector, 1), Cols: 1},
+		Y: []int{5}, Labels: []string{"a"},
+	}
+	if err := (&Tree{}).Fit(bad); err == nil {
+		t.Error("Tree accepted invalid dataset")
+	}
+	if err := (&RandomForest{}).Fit(bad); err == nil {
+		t.Error("RandomForest accepted invalid dataset")
+	}
+}
+
+func BenchmarkForestFitParallel(b *testing.B) {
+	train, _ := dataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := &RandomForest{Trees: 16, Seed: int64(i)}
+		if err := rf.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestFitSerial is the DESIGN.md ablation counterpart.
+func BenchmarkForestFitSerial(b *testing.B) {
+	train, _ := dataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := &RandomForest{Trees: 16, Seed: int64(i), Serial: true}
+		if err := rf.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTreeAndForestPersistRoundTrip(t *testing.T) {
+	train, test := dataset(t)
+	tr := &Tree{MaxFeatures: -1}
+	if err := tr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := &Tree{}
+	if err := tr2.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.X.Rows[:30] {
+		if tr2.Predict(x) != tr.Predict(x) {
+			t.Fatal("restored tree diverges")
+		}
+	}
+
+	rf := &RandomForest{Trees: 8, Seed: 3}
+	if err := rf.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	fblob, err := rf.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf2 := &RandomForest{}
+	if err := rf2.UnmarshalBinary(fblob); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.X.Rows[:30] {
+		if rf2.Predict(x) != rf.Predict(x) {
+			t.Fatal("restored forest diverges")
+		}
+	}
+	if err := rf2.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("junk blob should error")
+	}
+}

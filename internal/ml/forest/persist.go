@@ -1,0 +1,100 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// nodeState is the exported mirror of treeNode for serialization.
+type nodeState struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Class     int32
+}
+
+type treeState struct {
+	Nodes []nodeState
+	K     int
+}
+
+func (t *Tree) state() treeState {
+	st := treeState{Nodes: make([]nodeState, len(t.nodes)), K: t.k}
+	for i, n := range t.nodes {
+		st.Nodes[i] = nodeState{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right, Class: n.class,
+		}
+	}
+	return st
+}
+
+func (t *Tree) restore(st treeState) {
+	t.nodes = make([]treeNode, len(st.Nodes))
+	for i, n := range st.Nodes {
+		t.nodes[i] = treeNode{
+			feature: n.Feature, threshold: n.Threshold,
+			left: n.Left, right: n.Right, class: n.Class,
+		}
+	}
+	t.k = st.K
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t.state()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	var st treeState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	t.restore(st)
+	return nil
+}
+
+type forestState struct {
+	Trees []treeState
+	K     int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *RandomForest) MarshalBinary() ([]byte, error) {
+	st := forestState{Trees: make([]treeState, len(f.trees)), K: f.k}
+	for i, t := range f.trees {
+		st.Trees[i] = t.state()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *RandomForest) UnmarshalBinary(data []byte) error {
+	var st forestState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Trees) == 0 && st.K > 0 {
+		return fmt.Errorf("forest: empty ensemble in state")
+	}
+	f.trees = make([]*Tree, len(st.Trees))
+	for i := range st.Trees {
+		tr := &Tree{}
+		tr.restore(st.Trees[i])
+		f.trees[i] = tr
+	}
+	f.k = st.K
+	f.Trees = len(f.trees)
+	return nil
+}

@@ -1,0 +1,267 @@
+package linear
+
+import (
+	"testing"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/ml/mltest"
+	"hetsyslog/internal/sparse"
+)
+
+func trainTest(t *testing.T) (*ml.Dataset, *ml.Dataset) {
+	t.Helper()
+	ds := mltest.Generate(mltest.Config{
+		Classes: 5, PerClass: 80, FeatPerCls: 8, SharedFeats: 4,
+		NoiseProb: 0.1, Seed: 2,
+	})
+	return ml.StratifiedSplit(ds, 0.25, 3)
+}
+
+func checkModel(t *testing.T, m ml.Classifier, minAcc float64) {
+	t.Helper()
+	train, test := trainTest(t)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test); acc < minAcc {
+		t.Errorf("%s test accuracy = %.3f, want >= %.2f", m.Name(), acc, minAcc)
+	}
+	if acc := mltest.Accuracy(m, train); acc < minAcc {
+		t.Errorf("%s train accuracy = %.3f, want >= %.2f", m.Name(), acc, minAcc)
+	}
+}
+
+func TestLogisticRegression(t *testing.T) { checkModel(t, &LogisticRegression{}, 0.95) }
+func TestRidge(t *testing.T)              { checkModel(t, &Ridge{}, 0.95) }
+func TestSVC(t *testing.T)                { checkModel(t, &SVC{MaxIter: 200}, 0.95) }
+func TestSGD(t *testing.T)                { checkModel(t, &SGD{}, 0.90) }
+
+func TestNames(t *testing.T) {
+	names := map[ml.Classifier]string{
+		&LogisticRegression{}: "Logistic Regression",
+		&Ridge{}:              "Ridge Classifier",
+		&SVC{}:                "Linear SVC",
+		&SGD{}:                "Log-loss SGD",
+	}
+	for m, want := range names {
+		if m.Name() != want {
+			t.Errorf("Name() = %q, want %q", m.Name(), want)
+		}
+	}
+}
+
+func TestFitRejectsBadDataset(t *testing.T) {
+	bad := &ml.Dataset{
+		X: &sparse.Matrix{Rows: make([]sparse.Vector, 1), Cols: 1},
+		Y: []int{9}, Labels: []string{"a"},
+	}
+	for _, m := range []ml.Classifier{&LogisticRegression{}, &Ridge{}, &SVC{}, &SGD{}} {
+		if err := m.Fit(bad); err == nil {
+			t.Errorf("%s.Fit accepted invalid dataset", m.Name())
+		}
+	}
+}
+
+func TestLogRegProbaSumsToOne(t *testing.T) {
+	train, test := trainTest(t)
+	m := &LogisticRegression{}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.X.Rows[:10] {
+		p := m.Proba(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", p)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestDecisionScoresArgmaxIsPredict(t *testing.T) {
+	train, test := trainTest(t)
+	models := []ml.Classifier{&LogisticRegression{}, &Ridge{}, &SVC{MaxIter: 100}, &SGD{}}
+	for _, m := range models {
+		if err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		scorer := m.(ml.DecisionScorer)
+		for _, x := range test.X.Rows[:20] {
+			s := scorer.DecisionScores(x)
+			if argmax(s) != m.Predict(x) {
+				t.Errorf("%s: DecisionScores argmax != Predict", m.Name())
+			}
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	train, test := trainTest(t)
+	a := &LogisticRegression{Seed: 5}
+	b := &LogisticRegression{Seed: 5}
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.X.Rows {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed should give identical predictions")
+		}
+	}
+}
+
+func TestConjugateGradientSolvesRidgeSystem(t *testing.T) {
+	// Small dense system: X = I (3x3), alpha=1 -> (I+I)w = rhs -> w = rhs/2.
+	X := &sparse.Matrix{Cols: 3}
+	for i := 0; i < 3; i++ {
+		X.Rows = append(X.Rows, sparse.NewVectorFromMap(map[int32]float64{int32(i): 1}))
+	}
+	rhs := []float64{2, 4, 6}
+	w := conjugateGradient(X, 1, rhs, 50, 1e-10)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if diff := w[i] - want[i]; diff > 1e-8 || diff < -1e-8 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestSVCMarginSeparation(t *testing.T) {
+	// Two trivially separable classes on disjoint features.
+	ds := &ml.Dataset{
+		X:      &sparse.Matrix{Cols: 2},
+		Labels: []string{"neg", "pos"},
+	}
+	for i := 0; i < 20; i++ {
+		f := int32(i % 2)
+		ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{f: 1}))
+		ds.Y = append(ds.Y, int(f))
+	}
+	m := &SVC{MaxIter: 100}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range ds.X.Rows {
+		if m.Predict(x) != ds.Y[i] {
+			t.Fatal("separable data not separated")
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	s := []float64{1000, 1001, 999}
+	softmaxInPlace(s)
+	var sum float64
+	for _, v := range s {
+		if v != v { // NaN
+			t.Fatal("softmax produced NaN on large inputs")
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if s[1] < s[0] || s[1] < s[2] {
+		t.Error("softmax ordering wrong")
+	}
+}
+
+// imbalancedSplit builds a heavily skewed train set and a balanced test
+// set over shared/noisy features, where unweighted models favor the
+// majority class.
+func imbalancedSplit(t *testing.T) (*ml.Dataset, *ml.Dataset) {
+	t.Helper()
+	big := mltest.Generate(mltest.Config{
+		Classes: 2, PerClass: 400, FeatPerCls: 6, SharedFeats: 8,
+		NoiseProb: 0.5, Seed: 13,
+	})
+	train := &ml.Dataset{X: &sparse.Matrix{Cols: big.X.Cols}, Labels: big.Labels}
+	test := &ml.Dataset{X: &sparse.Matrix{Cols: big.X.Cols}, Labels: big.Labels}
+	caps := map[int]int{0: 300, 1: 15}
+	got := map[int]int{}
+	testGot := map[int]int{}
+	for i, y := range big.Y {
+		if got[y] < caps[y] {
+			got[y]++
+			train.X.Rows = append(train.X.Rows, big.X.Rows[i])
+			train.Y = append(train.Y, y)
+		} else if testGot[y] < 80 {
+			testGot[y]++
+			test.X.Rows = append(test.X.Rows, big.X.Rows[i])
+			test.Y = append(test.Y, y)
+		}
+	}
+	return train, test
+}
+
+func minorityRecall(m ml.Classifier, test *ml.Dataset) float64 {
+	hit, tot := 0, 0
+	for i, y := range test.Y {
+		if y != 1 {
+			continue
+		}
+		tot++
+		if m.Predict(test.X.Rows[i]) == 1 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(tot)
+}
+
+func TestBalancedClassWeightsImproveMinorityRecall(t *testing.T) {
+	train, test := imbalancedSplit(t)
+
+	plain := &LogisticRegression{Epochs: 10}
+	if err := plain.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	weighted := &LogisticRegression{Epochs: 10, Balanced: true}
+	if err := weighted.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	pr, wr := minorityRecall(plain, test), minorityRecall(weighted, test)
+	if wr < pr-0.05 {
+		t.Errorf("balanced logreg minority recall %.3f regressed vs unweighted %.3f", wr, pr)
+	}
+	if wr < 0.9 {
+		t.Errorf("balanced logreg minority recall = %.3f", wr)
+	}
+
+	plainSVC := &SVC{MaxIter: 200}
+	if err := plainSVC.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	weightedSVC := &SVC{MaxIter: 200, Balanced: true}
+	if err := weightedSVC.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	ps, ws := minorityRecall(plainSVC, test), minorityRecall(weightedSVC, test)
+	if ws < ps-0.05 {
+		t.Errorf("balanced SVC minority recall %.3f regressed vs unweighted %.3f", ws, ps)
+	}
+	if ws < 0.9 {
+		t.Errorf("balanced SVC minority recall = %.3f", ws)
+	}
+
+	// The mechanism must actually change the learned decision function:
+	// balanced mode shifts scores toward the minority class.
+	shifted := false
+	for _, x := range test.X.Rows {
+		a := plainSVC.DecisionScores(x)
+		b := weightedSVC.DecisionScores(x)
+		if (b[1]-b[0])-(a[1]-a[0]) > 1e-6 {
+			shifted = true
+			break
+		}
+	}
+	if !shifted {
+		t.Error("Balanced had no effect on the SVC decision function")
+	}
+}

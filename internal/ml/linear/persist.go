@@ -1,0 +1,95 @@
+package linear
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// linearState is the serialized form shared by the four linear models:
+// per-class weight rows plus biases.
+type linearState struct {
+	W    [][]float64
+	Bias []float64
+	K    int
+}
+
+func marshalLinear(w [][]float64, bias []float64, k int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(linearState{W: w, Bias: bias, K: k}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalLinear(data []byte) (linearState, error) {
+	var st linearState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return st, err
+	}
+	if len(st.W) != st.K || len(st.Bias) != st.K {
+		return st, fmt.Errorf("linear: inconsistent state (k=%d, |W|=%d, |bias|=%d)",
+			st.K, len(st.W), len(st.Bias))
+	}
+	return st, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *LogisticRegression) MarshalBinary() ([]byte, error) {
+	return marshalLinear(m.w, m.bias, m.k)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *LogisticRegression) UnmarshalBinary(data []byte) error {
+	st, err := unmarshalLinear(data)
+	if err != nil {
+		return err
+	}
+	m.w, m.bias, m.k = st.W, st.Bias, st.K
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Ridge) MarshalBinary() ([]byte, error) {
+	return marshalLinear(m.w, m.bias, m.k)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Ridge) UnmarshalBinary(data []byte) error {
+	st, err := unmarshalLinear(data)
+	if err != nil {
+		return err
+	}
+	m.w, m.bias, m.k = st.W, st.Bias, st.K
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *SVC) MarshalBinary() ([]byte, error) {
+	return marshalLinear(m.w, m.bias, m.k)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *SVC) UnmarshalBinary(data []byte) error {
+	st, err := unmarshalLinear(data)
+	if err != nil {
+		return err
+	}
+	m.w, m.bias, m.k = st.W, st.Bias, st.K
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *SGD) MarshalBinary() ([]byte, error) {
+	return marshalLinear(m.w, m.bias, m.k)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *SGD) UnmarshalBinary(data []byte) error {
+	st, err := unmarshalLinear(data)
+	if err != nil {
+		return err
+	}
+	m.w, m.bias, m.k = st.W, st.Bias, st.K
+	return nil
+}

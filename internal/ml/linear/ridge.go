@@ -1,0 +1,152 @@
+package linear
+
+import (
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/sparse"
+)
+
+// Ridge is a one-vs-rest ridge-regression classifier: for each class it
+// regresses targets in {-1,+1} with L2 penalty and classifies by the
+// highest regression output — scikit-learn's RidgeClassifier. The normal
+// equations (XᵀX + αI)w = Xᵀy are solved per class by conjugate gradient,
+// which needs only sparse matrix–vector products and mirrors the
+// "sparse_cg" solver the paper's setup would have used on this data.
+type Ridge struct {
+	// Alpha is the L2 penalty (default 1.0).
+	Alpha float64
+	// MaxIter bounds CG iterations per class (default 100).
+	MaxIter int
+	// Tol is the CG residual tolerance (default 1e-6).
+	Tol float64
+
+	w    [][]float64
+	bias []float64
+	k    int
+}
+
+// Name implements ml.Classifier.
+func (m *Ridge) Name() string { return "Ridge Classifier" }
+
+func (m *Ridge) defaults() {
+	if m.Alpha == 0 {
+		m.Alpha = 1.0
+	}
+	if m.MaxIter == 0 {
+		m.MaxIter = 100
+	}
+	if m.Tol == 0 {
+		m.Tol = 1e-6
+	}
+}
+
+// Fit solves one ridge problem per class, in parallel.
+func (m *Ridge) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	m.defaults()
+	m.k = ds.NumClasses()
+	dims := ds.X.Cols
+	m.w = make([][]float64, m.k)
+	m.bias = make([]float64, m.k)
+
+	ovrParallel(m.k, func(c int) {
+		// Build targets and their mean (the bias absorbs the intercept:
+		// center y, fit w on raw X, then bias = mean(y) - mean-feature
+		// correction; with L2-normalized TF-IDF rows the simple
+		// mean-target intercept works well).
+		y := make([]float64, ds.Len())
+		var mean float64
+		for i, yi := range ds.Y {
+			if yi == c {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+			mean += y[i]
+		}
+		mean /= float64(len(y))
+		for i := range y {
+			y[i] -= mean
+		}
+		// rhs = Xᵀ y
+		rhs := make([]float64, dims)
+		for i, row := range ds.X.Rows {
+			sparse.AxpyDense(y[i], row, rhs)
+		}
+		m.w[c] = conjugateGradient(ds.X, m.Alpha, rhs, m.MaxIter, m.Tol)
+		m.bias[c] = mean
+	})
+	return nil
+}
+
+// conjugateGradient solves (XᵀX + αI)w = rhs.
+func conjugateGradient(X *sparse.Matrix, alpha float64, rhs []float64, maxIter int, tol float64) []float64 {
+	dims := len(rhs)
+	w := make([]float64, dims)
+	r := append([]float64(nil), rhs...) // r = rhs - A*0
+	p := append([]float64(nil), rhs...)
+	ap := make([]float64, dims)
+	xv := make([]float64, len(X.Rows))
+
+	rr := dot(r, r)
+	if rr == 0 {
+		return w
+	}
+	tol2 := tol * tol * rr
+	for iter := 0; iter < maxIter; iter++ {
+		// ap = (XᵀX + αI) p
+		for i, row := range X.Rows {
+			xv[i] = sparse.DotDense(row, p)
+		}
+		for i := range ap {
+			ap[i] = alpha * p[i]
+		}
+		for i, row := range X.Rows {
+			if xv[i] != 0 {
+				sparse.AxpyDense(xv[i], row, ap)
+			}
+		}
+		pap := dot(p, ap)
+		if pap <= 0 {
+			break
+		}
+		step := rr / pap
+		for i := range w {
+			w[i] += step * p[i]
+			r[i] -= step * ap[i]
+		}
+		rrNew := dot(r, r)
+		if rrNew < tol2 {
+			break
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	return w
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// DecisionScores returns the per-class regression outputs.
+func (m *Ridge) DecisionScores(x sparse.Vector) []float64 {
+	out := make([]float64, m.k)
+	for c := 0; c < m.k; c++ {
+		out[c] = sparse.DotDense(x, m.w[c]) + m.bias[c]
+	}
+	return out
+}
+
+// Predict implements ml.Classifier.
+func (m *Ridge) Predict(x sparse.Vector) int {
+	return argmax(m.DecisionScores(x))
+}

@@ -1,0 +1,107 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/sparse"
+)
+
+// SGD is a one-vs-rest binary logistic classifier trained with a small,
+// fixed number of stochastic gradient passes — scikit-learn's
+// SGDClassifier(loss="log_loss"). It trades a little accuracy for a very
+// fast training time, which is exactly its position in Figure 3
+// (F1 0.9878, 0.47 s train).
+type SGD struct {
+	// Epochs is the number of passes (default 5, sklearn's early-stopping
+	// territory).
+	Epochs int
+	// LR0 is the initial learning rate for the inverse-scaling schedule
+	// (default 0.1).
+	LR0 float64
+	// Alpha is the L2 penalty (default 1e-6).
+	Alpha float64
+	// Seed drives shuffling.
+	Seed int64
+
+	w    [][]float64
+	bias []float64
+	k    int
+}
+
+// Name implements ml.Classifier.
+func (m *SGD) Name() string { return "Log-loss SGD" }
+
+func (m *SGD) defaults() {
+	if m.Epochs == 0 {
+		m.Epochs = 5
+	}
+	if m.LR0 == 0 {
+		m.LR0 = 0.1
+	}
+	if m.Alpha == 0 {
+		m.Alpha = 1e-6
+	}
+}
+
+// Fit trains the per-class binary problems in parallel.
+func (m *SGD) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	m.defaults()
+	m.k = ds.NumClasses()
+	m.w = make([][]float64, m.k)
+	m.bias = make([]float64, m.k)
+
+	ovrParallel(m.k, func(c int) {
+		w := make([]float64, ds.X.Cols)
+		bias := 0.0
+		rng := rand.New(rand.NewSource(m.Seed + int64(c)*104729 + 17))
+		order := make([]int, ds.Len())
+		for i := range order {
+			order[i] = i
+		}
+		t := 0.0
+		for epoch := 0; epoch < m.Epochs; epoch++ {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, i := range order {
+				t++
+				lr := m.LR0 / math.Pow(1+t*m.Alpha*m.LR0, 0.25)
+				x := ds.X.Rows[i]
+				yi := -1.0
+				if ds.Y[i] == c {
+					yi = 1.0
+				}
+				z := yi * (sparse.DotDense(x, w) + bias)
+				// d/dz log(1+exp(-z)) = -sigmoid(-z)
+				g := -yi / (1 + math.Exp(z))
+				if g != 0 {
+					sparse.AxpyDense(-lr*g, x, w)
+					bias -= lr * g
+				}
+				if m.Alpha > 0 {
+					scaleTouched(w, x, 1-lr*m.Alpha)
+				}
+			}
+		}
+		m.w[c] = w
+		m.bias[c] = bias
+	})
+	return nil
+}
+
+// DecisionScores returns the per-class logits.
+func (m *SGD) DecisionScores(x sparse.Vector) []float64 {
+	out := make([]float64, m.k)
+	for c := 0; c < m.k; c++ {
+		out[c] = sparse.DotDense(x, m.w[c]) + m.bias[c]
+	}
+	return out
+}
+
+// Predict implements ml.Classifier.
+func (m *SGD) Predict(x sparse.Vector) int {
+	return argmax(m.DecisionScores(x))
+}

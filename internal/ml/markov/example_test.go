@@ -1,0 +1,29 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"hetsyslog/internal/ml/markov"
+)
+
+func ExampleChain() {
+	// States: 0 = job start, 1 = job end, 2 = OOM kill. Healthy nodes
+	// alternate start/end.
+	chain := markov.NewChain(3)
+	healthy := [][]int{
+		{0, 1, 0, 1, 0, 1, 0, 1, 0, 1},
+		{0, 1, 0, 1, 0, 1, 0, 1},
+	}
+	if err := chain.Fit(healthy); err != nil {
+		panic(err)
+	}
+	next, _, _ := chain.Next(0)
+	fmt.Println("after start comes state", next)
+
+	ok, _ := chain.PerStepSurprise([]int{0, 1, 0, 1})
+	bad, _ := chain.PerStepSurprise([]int{0, 2, 2, 2}) // OOM loop
+	fmt.Println("healthy window less surprising:", ok < bad)
+	// Output:
+	// after start comes state 1
+	// healthy window less surprising: true
+}

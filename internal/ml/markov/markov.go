@@ -1,0 +1,211 @@
+// Package markov implements the temporal modelling thread of the paper's
+// related work (§2, Li et al. [15]): a first-order Markov chain over
+// per-node category sequences. Where the TF-IDF classifiers judge each
+// message in isolation, the chain captures *dynamics* — which category
+// tends to follow which — so a node whose recent event sequence is
+// improbable under the fleet's learned transitions can be flagged even
+// when every individual message is ordinary.
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Chain is a first-order Markov model over a finite state alphabet
+// (category indices) with Lidstone smoothing.
+type Chain struct {
+	// Alpha is the smoothing pseudo-count (default 1).
+	Alpha float64
+
+	k       int
+	initial []float64   // log P(s_0)
+	trans   [][]float64 // log P(s_t | s_{t-1})
+	fitted  bool
+}
+
+// NewChain returns a chain over k states.
+func NewChain(k int) *Chain {
+	return &Chain{Alpha: 1, k: k}
+}
+
+// States returns the alphabet size.
+func (c *Chain) States() int { return c.k }
+
+// Fit estimates initial and transition probabilities from sequences of
+// state indices. Sequences shorter than 1 are ignored; out-of-range
+// states are rejected.
+func (c *Chain) Fit(sequences [][]int) error {
+	if c.k <= 0 {
+		return fmt.Errorf("markov: chain needs a positive state count")
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 1
+	}
+	initCounts := make([]float64, c.k)
+	transCounts := make([][]float64, c.k)
+	for i := range transCounts {
+		transCounts[i] = make([]float64, c.k)
+	}
+	for si, seq := range sequences {
+		for t, s := range seq {
+			if s < 0 || s >= c.k {
+				return fmt.Errorf("markov: sequence %d has state %d outside [0,%d)", si, s, c.k)
+			}
+			if t == 0 {
+				initCounts[s]++
+			} else {
+				transCounts[seq[t-1]][s]++
+			}
+		}
+	}
+	c.initial = logNormalize(initCounts, c.Alpha)
+	c.trans = make([][]float64, c.k)
+	for i := range transCounts {
+		c.trans[i] = logNormalize(transCounts[i], c.Alpha)
+	}
+	c.fitted = true
+	return nil
+}
+
+func logNormalize(counts []float64, alpha float64) []float64 {
+	total := alpha * float64(len(counts))
+	for _, n := range counts {
+		total += n
+	}
+	out := make([]float64, len(counts))
+	for i, n := range counts {
+		out[i] = math.Log((n + alpha) / total)
+	}
+	return out
+}
+
+// LogLikelihood returns the log probability of the sequence under the
+// fitted chain.
+func (c *Chain) LogLikelihood(seq []int) (float64, error) {
+	if !c.fitted {
+		return 0, fmt.Errorf("markov: chain not fitted")
+	}
+	if len(seq) == 0 {
+		return 0, nil
+	}
+	for _, s := range seq {
+		if s < 0 || s >= c.k {
+			return 0, fmt.Errorf("markov: state %d outside [0,%d)", s, c.k)
+		}
+	}
+	ll := c.initial[seq[0]]
+	for t := 1; t < len(seq); t++ {
+		ll += c.trans[seq[t-1]][seq[t]]
+	}
+	return ll, nil
+}
+
+// PerStepSurprise returns the negated average log likelihood per step —
+// a length-normalized anomaly score (higher = more surprising).
+func (c *Chain) PerStepSurprise(seq []int) (float64, error) {
+	if len(seq) == 0 {
+		return 0, nil
+	}
+	ll, err := c.LogLikelihood(seq)
+	if err != nil {
+		return 0, err
+	}
+	return -ll / float64(len(seq)), nil
+}
+
+// Next returns the most probable successor of state s and its
+// probability.
+func (c *Chain) Next(s int) (int, float64, error) {
+	if !c.fitted {
+		return 0, 0, fmt.Errorf("markov: chain not fitted")
+	}
+	if s < 0 || s >= c.k {
+		return 0, 0, fmt.Errorf("markov: state %d outside [0,%d)", s, c.k)
+	}
+	best, bi := math.Inf(-1), 0
+	for j, lp := range c.trans[s] {
+		if lp > best {
+			best, bi = lp, j
+		}
+	}
+	return bi, math.Exp(best), nil
+}
+
+// TransitionProb returns P(to | from).
+func (c *Chain) TransitionProb(from, to int) (float64, error) {
+	if !c.fitted {
+		return 0, fmt.Errorf("markov: chain not fitted")
+	}
+	if from < 0 || from >= c.k || to < 0 || to >= c.k {
+		return 0, fmt.Errorf("markov: state outside [0,%d)", c.k)
+	}
+	return math.Exp(c.trans[from][to]), nil
+}
+
+// SequenceDetector watches per-node category streams and flags windows
+// whose per-step surprise exceeds a threshold learned from training data.
+type SequenceDetector struct {
+	Chain *Chain
+	// Window is the sliding-window length (default 8).
+	Window int
+	// Threshold is the per-step surprise above which a window is
+	// anomalous; set it from Calibrate.
+	Threshold float64
+
+	buf map[string][]int
+}
+
+// NewSequenceDetector wraps a fitted chain.
+func NewSequenceDetector(chain *Chain, window int) *SequenceDetector {
+	if window <= 0 {
+		window = 8
+	}
+	return &SequenceDetector{Chain: chain, Window: window, buf: make(map[string][]int)}
+}
+
+// Calibrate sets Threshold to the 99th-percentile per-step surprise
+// observed over sliding windows of the training sequences, times margin
+// (>= 1). A quantile rather than the maximum keeps one freak training
+// window from pushing the threshold beyond every real anomaly.
+func (d *SequenceDetector) Calibrate(sequences [][]int, margin float64) error {
+	if margin < 1 {
+		margin = 1
+	}
+	var scores []float64
+	for _, seq := range sequences {
+		for i := 0; i+d.Window <= len(seq); i++ {
+			s, err := d.Chain.PerStepSurprise(seq[i : i+d.Window])
+			if err != nil {
+				return err
+			}
+			scores = append(scores, s)
+		}
+	}
+	if len(scores) == 0 {
+		return fmt.Errorf("markov: no calibration windows (window %d too long?)", d.Window)
+	}
+	sort.Float64s(scores)
+	q := int(0.99 * float64(len(scores)-1))
+	d.Threshold = scores[q] * margin
+	return nil
+}
+
+// Observe appends a state for a node and reports whether the node's
+// current window is anomalous (false until a full window accumulates).
+func (d *SequenceDetector) Observe(node string, state int) (surprise float64, anomalous bool, err error) {
+	buf := append(d.buf[node], state)
+	if len(buf) > d.Window {
+		buf = buf[len(buf)-d.Window:]
+	}
+	d.buf[node] = buf
+	if len(buf) < d.Window {
+		return 0, false, nil
+	}
+	s, err := d.Chain.PerStepSurprise(buf)
+	if err != nil {
+		return 0, false, err
+	}
+	return s, d.Threshold > 0 && s > d.Threshold, nil
+}

@@ -1,0 +1,167 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cyclic generates sequences following 0 -> 1 -> 2 -> 0 with occasional
+// self-loops.
+func cyclic(rng *rand.Rand, n, length int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		seq := make([]int, length)
+		s := rng.Intn(3)
+		for t := range seq {
+			seq[t] = s
+			if rng.Float64() < 0.9 {
+				s = (s + 1) % 3
+			}
+		}
+		out[i] = seq
+	}
+	return out
+}
+
+func fitted(t *testing.T) *Chain {
+	t.Helper()
+	c := NewChain(3)
+	if err := c.Fit(cyclic(rand.New(rand.NewSource(1)), 50, 40)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFitValidation(t *testing.T) {
+	c := NewChain(2)
+	if err := c.Fit([][]int{{0, 5}}); err == nil {
+		t.Error("out-of-range state should error")
+	}
+	if err := NewChain(0).Fit(nil); err == nil {
+		t.Error("zero states should error")
+	}
+	if _, err := (NewChain(2)).LogLikelihood([]int{0}); err == nil {
+		t.Error("unfitted chain should error")
+	}
+}
+
+func TestTransitionProbsLearned(t *testing.T) {
+	c := fitted(t)
+	// Dominant transitions of the cycle.
+	for from, to := range map[int]int{0: 1, 1: 2, 2: 0} {
+		p, err := c.TransitionProb(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.7 {
+			t.Errorf("P(%d|%d) = %.3f, want > 0.7", to, from, p)
+		}
+		next, np, err := c.Next(from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != to || np < 0.7 {
+			t.Errorf("Next(%d) = %d (%.3f)", from, next, np)
+		}
+	}
+	// Rows are probability distributions.
+	for from := 0; from < 3; from++ {
+		var sum float64
+		for to := 0; to < 3; to++ {
+			p, _ := c.TransitionProb(from, to)
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", from, sum)
+		}
+	}
+}
+
+func TestLikelihoodOrdersSequences(t *testing.T) {
+	c := fitted(t)
+	good := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	bad := []int{0, 2, 1, 0, 2, 1, 0, 2} // reversed cycle: rare transitions
+	lg, err := c.LogLikelihood(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := c.LogLikelihood(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg <= lb {
+		t.Errorf("typical sequence (%f) should outscore reversed cycle (%f)", lg, lb)
+	}
+	sg, _ := c.PerStepSurprise(good)
+	sb, _ := c.PerStepSurprise(bad)
+	if sg >= sb {
+		t.Errorf("surprise: typical %f should be below anomalous %f", sg, sb)
+	}
+	// Degenerate inputs.
+	if ll, err := c.LogLikelihood(nil); err != nil || ll != 0 {
+		t.Errorf("empty sequence = %v, %v", ll, err)
+	}
+	if _, err := c.LogLikelihood([]int{7}); err == nil {
+		t.Error("out-of-range state should error")
+	}
+}
+
+func TestSequenceDetectorEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := cyclic(rng, 60, 50)
+	c := NewChain(3)
+	if err := c.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	d := NewSequenceDetector(c, 8)
+	if err := d.Calibrate(train, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold <= 0 {
+		t.Fatal("calibration produced no threshold")
+	}
+
+	// A healthy node: never anomalous after warmup.
+	s := 0
+	for i := 0; i < 60; i++ {
+		_, anom, err := d.Observe("healthy", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anom {
+			t.Fatalf("healthy node flagged at step %d", i)
+		}
+		if rng.Float64() < 0.9 {
+			s = (s + 1) % 3
+		}
+	}
+
+	// A wedged node: repeats the rarest anti-cycle transitions.
+	flagged := false
+	states := []int{0, 2, 1}
+	for i := 0; i < 30; i++ {
+		_, anom, err := d.Observe("wedged", states[i%3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anom {
+			flagged = true
+			break
+		}
+	}
+	if !flagged {
+		t.Error("anomalous sequence never flagged")
+	}
+}
+
+func TestObserveWarmup(t *testing.T) {
+	c := fitted(t)
+	d := NewSequenceDetector(c, 5)
+	d.Threshold = 0.001
+	for i := 0; i < 4; i++ {
+		if _, anom, _ := d.Observe("n", 0); anom {
+			t.Fatal("flagged before a full window accumulated")
+		}
+	}
+}

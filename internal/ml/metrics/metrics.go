@@ -1,0 +1,227 @@
+// Package metrics implements the evaluation protocol of the paper (§5.1):
+// per-class precision/recall/F1 from confusion matrices, the weighted-
+// average F1 used for the imbalanced corpus, and text rendering of
+// confusion matrices (Figure 2) and classification reports.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConfusionMatrix counts predictions: M[true][predicted].
+type ConfusionMatrix struct {
+	Labels []string
+	M      [][]int
+}
+
+// NewConfusionMatrix builds the matrix from parallel truth/prediction
+// slices over n classes.
+func NewConfusionMatrix(labels []string, yTrue, yPred []int) (*ConfusionMatrix, error) {
+	if len(yTrue) != len(yPred) {
+		return nil, fmt.Errorf("metrics: len(yTrue)=%d != len(yPred)=%d", len(yTrue), len(yPred))
+	}
+	n := len(labels)
+	cm := &ConfusionMatrix{Labels: labels, M: make([][]int, n)}
+	for i := range cm.M {
+		cm.M[i] = make([]int, n)
+	}
+	for i := range yTrue {
+		t, p := yTrue[i], yPred[i]
+		if t < 0 || t >= n || p < 0 || p >= n {
+			return nil, fmt.Errorf("metrics: label out of range at sample %d (%d,%d)", i, t, p)
+		}
+		cm.M[t][p]++
+	}
+	return cm, nil
+}
+
+// Total returns the number of counted samples.
+func (cm *ConfusionMatrix) Total() int {
+	n := 0
+	for _, row := range cm.M {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+// Support returns the number of true samples of class i.
+func (cm *ConfusionMatrix) Support(i int) int {
+	n := 0
+	for _, c := range cm.M[i] {
+		n += c
+	}
+	return n
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	total, correct := 0, 0
+	for i, row := range cm.M {
+		for j, c := range row {
+			total += c
+			if i == j {
+				correct += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassScores holds the per-class diagnostics.
+type ClassScores struct {
+	Label     string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// PerClass computes precision, recall and F1 for each class. Classes with
+// zero predicted positives get precision 0; zero-support classes get
+// recall 0 (the scikit-learn "zero_division=0" convention).
+func (cm *ConfusionMatrix) PerClass() []ClassScores {
+	n := len(cm.Labels)
+	out := make([]ClassScores, n)
+	for i := 0; i < n; i++ {
+		tp := cm.M[i][i]
+		fn, fp := 0, 0
+		for j := 0; j < n; j++ {
+			if j != i {
+				fn += cm.M[i][j]
+				fp += cm.M[j][i]
+			}
+		}
+		var prec, rec, f1 float64
+		if tp+fp > 0 {
+			prec = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			rec = float64(tp) / float64(tp+fn)
+		}
+		if prec+rec > 0 {
+			f1 = 2 * prec * rec / (prec + rec)
+		}
+		out[i] = ClassScores{
+			Label: cm.Labels[i], Precision: prec, Recall: rec, F1: f1,
+			Support: tp + fn,
+		}
+	}
+	return out
+}
+
+// WeightedF1 returns the support-weighted mean of per-class F1 scores —
+// the headline metric in Figure 3 ("better for imbalanced data, like
+// ours").
+func (cm *ConfusionMatrix) WeightedF1() float64 {
+	scores := cm.PerClass()
+	var sum float64
+	var total int
+	for _, s := range scores {
+		sum += s.F1 * float64(s.Support)
+		total += s.Support
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores.
+func (cm *ConfusionMatrix) MacroF1() float64 {
+	scores := cm.PerClass()
+	if len(scores) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s.F1
+	}
+	return sum / float64(len(scores))
+}
+
+// MostConfusedPair returns the off-diagonal cell with the largest count:
+// (true class, predicted class, count). Used to verify the paper's finding
+// that "Unimportant" is the most frequently confused category.
+func (cm *ConfusionMatrix) MostConfusedPair() (trueClass, predClass string, count int) {
+	bi, bj, best := -1, -1, 0
+	for i, row := range cm.M {
+		for j, c := range row {
+			if i != j && c > best {
+				bi, bj, best = i, j, c
+			}
+		}
+	}
+	if bi < 0 {
+		return "", "", 0
+	}
+	return cm.Labels[bi], cm.Labels[bj], best
+}
+
+// ConfusionInvolving returns the total off-diagonal count in the row and
+// column of the named class — how often it is confused in either direction.
+func (cm *ConfusionMatrix) ConfusionInvolving(label string) int {
+	idx := -1
+	for i, l := range cm.Labels {
+		if l == label {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	n := 0
+	for j := range cm.M {
+		if j != idx {
+			n += cm.M[idx][j] + cm.M[j][idx]
+		}
+	}
+	return n
+}
+
+// String renders the matrix with truncated row/column headers (Figure 2
+// style: rows are true classes, columns are predictions).
+func (cm *ConfusionMatrix) String() string {
+	var b strings.Builder
+	short := make([]string, len(cm.Labels))
+	for i, l := range cm.Labels {
+		if len(l) > 10 {
+			l = l[:10]
+		}
+		short[i] = l
+	}
+	fmt.Fprintf(&b, "%-22s", "true\\pred")
+	for _, l := range short {
+		fmt.Fprintf(&b, "%11s", l)
+	}
+	b.WriteByte('\n')
+	for i, row := range cm.M {
+		fmt.Fprintf(&b, "%-22s", cm.Labels[i])
+		for _, c := range row {
+			fmt.Fprintf(&b, "%11d", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Report renders a classification report: per-class rows plus the
+// weighted/macro summary lines.
+func (cm *ConfusionMatrix) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %9s %9s %9s %9s\n", "class", "precision", "recall", "f1", "support")
+	for _, s := range cm.PerClass() {
+		fmt.Fprintf(&b, "%-22s %9.4f %9.4f %9.4f %9d\n",
+			s.Label, s.Precision, s.Recall, s.F1, s.Support)
+	}
+	fmt.Fprintf(&b, "%-22s %29.4f %9d\n", "weighted avg F1", cm.WeightedF1(), cm.Total())
+	fmt.Fprintf(&b, "%-22s %29.4f\n", "macro avg F1", cm.MacroF1())
+	fmt.Fprintf(&b, "%-22s %29.4f\n", "accuracy", cm.Accuracy())
+	return b.String()
+}

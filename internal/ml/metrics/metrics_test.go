@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustCM(t *testing.T, labels []string, yTrue, yPred []int) *ConfusionMatrix {
+	t.Helper()
+	cm, err := NewConfusionMatrix(labels, yTrue, yPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestPerfectPrediction(t *testing.T) {
+	cm := mustCM(t, []string{"a", "b"}, []int{0, 0, 1, 1}, []int{0, 0, 1, 1})
+	if cm.Accuracy() != 1 || cm.WeightedF1() != 1 || cm.MacroF1() != 1 {
+		t.Errorf("perfect scores: acc=%v wF1=%v mF1=%v", cm.Accuracy(), cm.WeightedF1(), cm.MacroF1())
+	}
+}
+
+func TestKnownScores(t *testing.T) {
+	// 2-class example: class a: 3 true (2 correct), class b: 2 true (1 correct)
+	yTrue := []int{0, 0, 0, 1, 1}
+	yPred := []int{0, 0, 1, 1, 0}
+	cm := mustCM(t, []string{"a", "b"}, yTrue, yPred)
+	scores := cm.PerClass()
+	// class a: tp=2 fp=1 fn=1 -> p=2/3 r=2/3 f1=2/3
+	if math.Abs(scores[0].F1-2.0/3.0) > 1e-12 {
+		t.Errorf("class a F1 = %v", scores[0].F1)
+	}
+	// class b: tp=1 fp=1 fn=1 -> p=1/2 r=1/2 f1=1/2
+	if math.Abs(scores[1].F1-0.5) > 1e-12 {
+		t.Errorf("class b F1 = %v", scores[1].F1)
+	}
+	wantWeighted := (2.0/3.0*3 + 0.5*2) / 5
+	if math.Abs(cm.WeightedF1()-wantWeighted) > 1e-12 {
+		t.Errorf("weighted F1 = %v, want %v", cm.WeightedF1(), wantWeighted)
+	}
+	wantMacro := (2.0/3.0 + 0.5) / 2
+	if math.Abs(cm.MacroF1()-wantMacro) > 1e-12 {
+		t.Errorf("macro F1 = %v, want %v", cm.MacroF1(), wantMacro)
+	}
+	if cm.Accuracy() != 3.0/5.0 {
+		t.Errorf("accuracy = %v", cm.Accuracy())
+	}
+}
+
+func TestZeroDivisionConvention(t *testing.T) {
+	// class b never predicted and has no support in predictions
+	cm := mustCM(t, []string{"a", "b"}, []int{0, 0}, []int{0, 0})
+	scores := cm.PerClass()
+	if scores[1].Precision != 0 || scores[1].Recall != 0 || scores[1].F1 != 0 {
+		t.Errorf("empty class scores = %+v", scores[1])
+	}
+	if scores[1].Support != 0 {
+		t.Errorf("support = %d", scores[1].Support)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := NewConfusionMatrix([]string{"a"}, []int{0}, []int{0, 0}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewConfusionMatrix([]string{"a"}, []int{1}, []int{0}); err == nil {
+		t.Error("out-of-range label should error")
+	}
+}
+
+func TestMostConfusedPair(t *testing.T) {
+	yTrue := []int{0, 0, 0, 1, 1, 2}
+	yPred := []int{1, 1, 0, 1, 1, 2}
+	cm := mustCM(t, []string{"noise", "thermal", "usb"}, yTrue, yPred)
+	tc, pc, n := cm.MostConfusedPair()
+	if tc != "noise" || pc != "thermal" || n != 2 {
+		t.Errorf("MostConfusedPair = %s->%s x%d", tc, pc, n)
+	}
+	if got := cm.ConfusionInvolving("noise"); got != 2 {
+		t.Errorf("ConfusionInvolving(noise) = %d", got)
+	}
+	if got := cm.ConfusionInvolving("absent"); got != 0 {
+		t.Errorf("ConfusionInvolving(absent) = %d", got)
+	}
+}
+
+func TestStringAndReport(t *testing.T) {
+	cm := mustCM(t, []string{"Thermal Issue", "Unimportant"},
+		[]int{0, 1, 1}, []int{0, 1, 0})
+	s := cm.String()
+	if !strings.Contains(s, "Thermal Issue") || !strings.Contains(s, "true\\pred") {
+		t.Errorf("String() = %q", s)
+	}
+	r := cm.Report()
+	for _, want := range []string{"precision", "weighted avg F1", "macro avg F1", "accuracy"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+// Property: weighted F1 is bounded by the min and max per-class F1, and
+// accuracy is within [0,1], on random confusion data.
+func TestQuickBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 50 + rng.Intn(100)
+		k := 2 + rng.Intn(5)
+		labels := make([]string, k)
+		for i := range labels {
+			labels[i] = string(rune('a' + i))
+		}
+		yTrue := make([]int, n)
+		yPred := make([]int, n)
+		for i := range yTrue {
+			yTrue[i] = rng.Intn(k)
+			yPred[i] = rng.Intn(k)
+		}
+		cm := mustCM(t, labels, yTrue, yPred)
+		if a := cm.Accuracy(); a < 0 || a > 1 {
+			t.Fatalf("accuracy out of range: %v", a)
+		}
+		lo, hi := 2.0, -1.0
+		for _, s := range cm.PerClass() {
+			if s.Support == 0 {
+				continue
+			}
+			if s.F1 < lo {
+				lo = s.F1
+			}
+			if s.F1 > hi {
+				hi = s.F1
+			}
+		}
+		w := cm.WeightedF1()
+		if w < lo-1e-9 || w > hi+1e-9 {
+			t.Fatalf("weighted F1 %v outside [%v,%v]", w, lo, hi)
+		}
+	}
+}
+
+// Property: support per class equals the number of true labels.
+func TestQuickSupportConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 30 + rng.Intn(50)
+		yTrue := make([]int, n)
+		yPred := make([]int, n)
+		counts := make([]int, 3)
+		for i := range yTrue {
+			yTrue[i] = rng.Intn(3)
+			yPred[i] = rng.Intn(3)
+			counts[yTrue[i]]++
+		}
+		cm := mustCM(t, []string{"x", "y", "z"}, yTrue, yPred)
+		for i, s := range cm.PerClass() {
+			if s.Support != counts[i] {
+				t.Fatalf("support[%d] = %d, want %d", i, s.Support, counts[i])
+			}
+		}
+		if cm.Total() != n {
+			t.Fatalf("Total = %d, want %d", cm.Total(), n)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package ml_test
+
+import (
+	"testing"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/ml/mltest"
+	"hetsyslog/internal/sparse"
+)
+
+func TestDatasetValidate(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 3, PerClass: 10})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &ml.Dataset{
+		X:      &sparse.Matrix{Rows: make([]sparse.Vector, 2)},
+		Y:      []int{0, 5},
+		Labels: []string{"a"},
+	}
+	if bad.Validate() == nil {
+		t.Error("out-of-range label should fail validation")
+	}
+	mismatch := &ml.Dataset{
+		X: &sparse.Matrix{Rows: make([]sparse.Vector, 1)},
+		Y: []int{0, 0}, Labels: []string{"a"},
+	}
+	if mismatch.Validate() == nil {
+		t.Error("row/label count mismatch should fail validation")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 3, PerClass: 7})
+	for c, n := range ds.ClassCounts() {
+		if n != 7 {
+			t.Errorf("class %d count = %d, want 7", c, n)
+		}
+	}
+}
+
+func TestStratifiedSplitPreservesProportions(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 4, PerClass: 100})
+	train, test := ml.StratifiedSplit(ds, 0.2, 1)
+	if train.Len()+test.Len() != ds.Len() {
+		t.Fatalf("split lost samples: %d + %d != %d", train.Len(), test.Len(), ds.Len())
+	}
+	for c, n := range test.ClassCounts() {
+		if n != 20 {
+			t.Errorf("test class %d = %d, want 20", c, n)
+		}
+	}
+	for c, n := range train.ClassCounts() {
+		if n != 80 {
+			t.Errorf("train class %d = %d, want 80", c, n)
+		}
+	}
+}
+
+func TestStratifiedSplitTinyClassKeepsTrainSample(t *testing.T) {
+	// A class with one sample must stay in train even at high testFrac.
+	ds := &ml.Dataset{
+		X:      &sparse.Matrix{Rows: make([]sparse.Vector, 3), Cols: 1},
+		Y:      []int{0, 0, 1},
+		Labels: []string{"big", "tiny"},
+	}
+	for i := range ds.X.Rows {
+		ds.X.Rows[i] = sparse.NewVectorFromMap(map[int32]float64{0: 1})
+	}
+	train, _ := ml.StratifiedSplit(ds, 0.9, 1)
+	if train.ClassCounts()[1] != 1 {
+		t.Errorf("tiny class lost from training: counts=%v", train.ClassCounts())
+	}
+}
+
+func TestStratifiedSplitDeterministic(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 3, PerClass: 30})
+	a1, b1 := ml.StratifiedSplit(ds, 0.25, 7)
+	a2, b2 := ml.StratifiedSplit(ds, 0.25, 7)
+	for i := range a1.Y {
+		if a1.Y[i] != a2.Y[i] {
+			t.Fatal("same seed should give identical splits")
+		}
+	}
+	for i := range b1.Y {
+		if b1.Y[i] != b2.Y[i] {
+			t.Fatal("same seed should give identical test splits")
+		}
+	}
+}
+
+func TestDropClass(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 3, PerClass: 10})
+	out := ml.DropClass(ds, "B")
+	if out.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", out.Len())
+	}
+	if out.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d", out.NumClasses())
+	}
+	for _, l := range out.Labels {
+		if l == "B" {
+			t.Error("label B should be gone")
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// dropping a non-existent class is a no-op returning the original
+	same := ml.DropClass(ds, "missing")
+	if same != ds {
+		t.Error("DropClass of unknown label should return the input")
+	}
+}
+
+func TestLabelEncoder(t *testing.T) {
+	e := ml.NewLabelEncoder()
+	a := e.Encode("Thermal Issue")
+	b := e.Encode("Unimportant")
+	if a2 := e.Encode("Thermal Issue"); a2 != a {
+		t.Error("re-encoding should return the same id")
+	}
+	if a == b {
+		t.Error("distinct labels must get distinct ids")
+	}
+	if id, ok := e.Lookup("Unimportant"); !ok || id != b {
+		t.Error("Lookup failed")
+	}
+	if _, ok := e.Lookup("nope"); ok {
+		t.Error("Lookup of unknown label should fail")
+	}
+	labels := e.Labels()
+	if labels[a] != "Thermal Issue" || labels[b] != "Unimportant" {
+		t.Errorf("Labels() = %v", labels)
+	}
+}
+
+func TestSubsetSharesRows(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 2, PerClass: 5})
+	sub := ds.Subset([]int{0, 2, 4})
+	if sub.Len() != 3 {
+		t.Fatalf("Len = %d", sub.Len())
+	}
+	if sub.Y[1] != ds.Y[2] {
+		t.Error("Subset label mismatch")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 3, PerClass: 60, FeatPerCls: 6, Seed: 7})
+	res, err := ml.CrossValidate(func() ml.Classifier {
+		return &centroidish{}
+	}, ds, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+	if res.Mean < 0.9 {
+		t.Errorf("CV mean accuracy = %.3f", res.Mean)
+	}
+	if res.Std < 0 || res.Std > 0.2 {
+		t.Errorf("CV std = %.3f", res.Std)
+	}
+	// Errors.
+	if _, err := ml.CrossValidate(func() ml.Classifier { return &centroidish{} }, ds, 1, 1); err == nil {
+		t.Error("k=1 should error")
+	}
+}
+
+// centroidish is a tiny self-contained classifier for the CV test (per-
+// class mean vectors, cosine assignment) so the ml package test does not
+// import the model packages.
+type centroidish struct {
+	centroids []map[int32]float64
+}
+
+func (c *centroidish) Name() string { return "centroidish" }
+
+func (c *centroidish) Fit(ds *ml.Dataset) error {
+	c.centroids = make([]map[int32]float64, ds.NumClasses())
+	counts := make([]int, ds.NumClasses())
+	for i := range c.centroids {
+		c.centroids[i] = map[int32]float64{}
+	}
+	for i, row := range ds.X.Rows {
+		y := ds.Y[i]
+		counts[y]++
+		for k, f := range row.Idx {
+			c.centroids[y][f] += row.Val[k]
+		}
+	}
+	for y := range c.centroids {
+		if counts[y] > 0 {
+			for f := range c.centroids[y] {
+				c.centroids[y][f] /= float64(counts[y])
+			}
+		}
+	}
+	return nil
+}
+
+func (c *centroidish) Predict(x sparse.Vector) int {
+	best, bi := -1.0, 0
+	for y, cent := range c.centroids {
+		var dot float64
+		for k, f := range x.Idx {
+			dot += x.Val[k] * cent[f]
+		}
+		if dot > best {
+			best, bi = dot, y
+		}
+	}
+	return bi
+}
+
+func TestPredictAllParallelMatchesSerial(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 4, PerClass: 50, Seed: 3})
+	m := &centroidish{}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	serial := ml.PredictAll(m, ds.X)
+	parallel := ml.PredictAllParallel(m, ds.X)
+	if len(serial) != len(parallel) {
+		t.Fatal("length mismatch")
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("row %d: %d != %d", i, serial[i], parallel[i])
+		}
+	}
+	// Tiny inputs fall back cleanly.
+	one := ds.Subset([]int{0})
+	if got := ml.PredictAllParallel(m, one.X); len(got) != 1 {
+		t.Fatal("single-row parallel predict broken")
+	}
+}

@@ -1,0 +1,90 @@
+// Package mltest provides synthetic labelled datasets shared by the
+// classifier test suites: class-conditional sparse vectors with a tunable
+// amount of feature overlap, mimicking the structure of TF-IDF'd syslog
+// text (few shared "noise" features, a handful of class-specific ones).
+package mltest
+
+import (
+	"math/rand"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/sparse"
+)
+
+// Config controls the generated dataset.
+type Config struct {
+	Classes     int
+	PerClass    int     // samples per class
+	FeatPerCls  int     // class-specific features
+	SharedFeats int     // features shared by every class
+	NoiseProb   float64 // probability of borrowing a feature from another class
+	Seed        int64
+}
+
+// Generate builds a dataset where class c's samples activate a random
+// subset of class-c features plus shared features, with occasional borrowed
+// cross-class features when NoiseProb > 0.
+func Generate(cfg Config) *ml.Dataset {
+	if cfg.Classes == 0 {
+		cfg.Classes = 4
+	}
+	if cfg.PerClass == 0 {
+		cfg.PerClass = 50
+	}
+	if cfg.FeatPerCls == 0 {
+		cfg.FeatPerCls = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 42))
+	dims := cfg.Classes*cfg.FeatPerCls + cfg.SharedFeats
+	ds := &ml.Dataset{
+		X: &sparse.Matrix{Cols: dims},
+	}
+	for c := 0; c < cfg.Classes; c++ {
+		ds.Labels = append(ds.Labels, string(rune('A'+c)))
+	}
+	for c := 0; c < cfg.Classes; c++ {
+		base := c * cfg.FeatPerCls
+		for s := 0; s < cfg.PerClass; s++ {
+			m := map[int32]float64{}
+			// 3..FeatPerCls class-specific features
+			n := 3 + rng.Intn(cfg.FeatPerCls-2)
+			for len(m) < n {
+				f := base + rng.Intn(cfg.FeatPerCls)
+				m[int32(f)] = 0.5 + rng.Float64()
+			}
+			// shared features
+			for sh := 0; sh < cfg.SharedFeats; sh++ {
+				if rng.Float64() < 0.5 {
+					m[int32(cfg.Classes*cfg.FeatPerCls+sh)] = 0.3 + rng.Float64()*0.4
+				}
+			}
+			// borrowed cross-class noise
+			if cfg.NoiseProb > 0 && rng.Float64() < cfg.NoiseProb {
+				other := rng.Intn(cfg.Classes)
+				f := other*cfg.FeatPerCls + rng.Intn(cfg.FeatPerCls)
+				m[int32(f)] = 0.5 + rng.Float64()
+			}
+			v := sparse.NewVectorFromMap(m)
+			v.Normalize()
+			ds.X.Rows = append(ds.X.Rows, v)
+			ds.Y = append(ds.Y, c)
+		}
+	}
+	// Shuffle rows.
+	rng.Shuffle(len(ds.Y), func(i, j int) {
+		ds.X.Rows[i], ds.X.Rows[j] = ds.X.Rows[j], ds.X.Rows[i]
+		ds.Y[i], ds.Y[j] = ds.Y[j], ds.Y[i]
+	})
+	return ds
+}
+
+// Accuracy computes simple accuracy of a fitted classifier on ds.
+func Accuracy(c ml.Classifier, ds *ml.Dataset) float64 {
+	correct := 0
+	for i, row := range ds.X.Rows {
+		if c.Predict(row) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

@@ -1,0 +1,244 @@
+// Package neighbors implements kNN and Nearest Centroid (Figure 3). kNN
+// stores the training matrix at fit time — which is why it posts the
+// fastest training time in the paper — and pays at query time; our query
+// path scores candidates through an inverted index over features, with a
+// brute-force fallback retained for the DESIGN.md ablation.
+package neighbors
+
+import (
+	"container/heap"
+	"math"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/sparse"
+)
+
+// KNN is a k-nearest-neighbors classifier over cosine similarity. On the
+// L2-normalized TF-IDF vectors produced by the vectorizer, cosine ordering
+// equals Euclidean ordering, so this matches the scikit-learn setup.
+type KNN struct {
+	// K is the number of neighbors (default 5, sklearn's default).
+	K int
+	// Weighted enables similarity-weighted voting instead of uniform.
+	Weighted bool
+	// BruteForce disables the inverted index and scans every training row
+	// per query (ablation baseline).
+	BruteForce bool
+
+	rows   []sparse.Vector
+	norms  []float64
+	labels []int
+	k      int // classes
+	// postings[f] lists (row, value) pairs of training rows containing
+	// feature f.
+	postings map[int32][]posting
+}
+
+type posting struct {
+	row int32
+	val float64
+}
+
+// Name implements ml.Classifier.
+func (m *KNN) Name() string { return "kNN" }
+
+// Fit stores the training data and builds the inverted index.
+func (m *KNN) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if m.K == 0 {
+		m.K = 5
+	}
+	m.rows = ds.X.Rows
+	m.labels = ds.Y
+	m.k = ds.NumClasses()
+	m.norms = make([]float64, len(m.rows))
+	for i, r := range m.rows {
+		m.norms[i] = r.Norm()
+	}
+	if !m.BruteForce {
+		m.postings = make(map[int32][]posting)
+		for i, r := range m.rows {
+			for j, f := range r.Idx {
+				m.postings[f] = append(m.postings[f], posting{int32(i), r.Val[j]})
+			}
+		}
+	}
+	return nil
+}
+
+// neighborHeap is a min-heap by similarity holding the current top-k.
+type neighborHeap []scored
+
+type scored struct {
+	row int32
+	sim float64
+}
+
+func (h neighborHeap) Len() int { return len(h) }
+
+// Less orders by similarity with row id as the deterministic tie-break
+// (lower row wins), so Predict is stable regardless of map iteration
+// order during candidate scoring.
+func (h neighborHeap) Less(i, j int) bool {
+	if h[i].sim != h[j].sim {
+		return h[i].sim < h[j].sim
+	}
+	return h[i].row > h[j].row
+}
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// topK returns up to K (row, cosine) pairs most similar to x.
+func (m *KNN) topK(x sparse.Vector) []scored {
+	xn := x.Norm()
+	if xn == 0 {
+		return nil
+	}
+	var sims map[int32]float64
+	if m.BruteForce {
+		sims = make(map[int32]float64, len(m.rows))
+		for i, r := range m.rows {
+			if d := sparse.Dot(x, r); d != 0 {
+				sims[int32(i)] = d
+			}
+		}
+	} else {
+		sims = make(map[int32]float64, 64)
+		for j, f := range x.Idx {
+			for _, p := range m.postings[f] {
+				sims[p.row] += x.Val[j] * p.val
+			}
+		}
+	}
+	h := make(neighborHeap, 0, m.K+1)
+	for row, dot := range sims {
+		n := m.norms[row]
+		if n == 0 {
+			continue
+		}
+		s := dot / (xn * n)
+		if len(h) < m.K {
+			heap.Push(&h, scored{row, s})
+		} else if s > h[0].sim || (s == h[0].sim && row < h[0].row) {
+			h[0] = scored{row, s}
+			heap.Fix(&h, 0)
+		}
+	}
+	return h
+}
+
+// DecisionScores returns per-class vote totals.
+func (m *KNN) DecisionScores(x sparse.Vector) []float64 {
+	votes := make([]float64, m.k)
+	for _, nb := range m.topK(x) {
+		w := 1.0
+		if m.Weighted {
+			w = nb.sim
+		}
+		votes[m.labels[nb.row]] += w
+	}
+	return votes
+}
+
+// Predict implements ml.Classifier. Queries sharing no feature with any
+// training row fall back to the majority training class.
+func (m *KNN) Predict(x sparse.Vector) int {
+	votes := m.DecisionScores(x)
+	best, bi, any := math.Inf(-1), 0, false
+	for c, v := range votes {
+		if v > 0 {
+			any = true
+		}
+		if v > best {
+			best, bi = v, c
+		}
+	}
+	if !any {
+		counts := make([]int, m.k)
+		for _, y := range m.labels {
+			counts[y]++
+		}
+		mc, mi := -1, 0
+		for c, n := range counts {
+			if n > mc {
+				mc, mi = n, c
+			}
+		}
+		return mi
+	}
+	return bi
+}
+
+// NearestCentroid classifies to the class whose mean feature vector is
+// closest in Euclidean distance — the fastest-to-train, least accurate
+// model in Figure 3 (F1 0.9523).
+type NearestCentroid struct {
+	centroids [][]float64
+	sqnorm    []float64
+	k         int
+}
+
+// Name implements ml.Classifier.
+func (m *NearestCentroid) Name() string { return "Nearest Centroid" }
+
+// Fit computes per-class centroids.
+func (m *NearestCentroid) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	m.k = ds.NumClasses()
+	m.centroids = make([][]float64, m.k)
+	counts := make([]int, m.k)
+	for c := range m.centroids {
+		m.centroids[c] = make([]float64, ds.X.Cols)
+	}
+	for i, row := range ds.X.Rows {
+		sparse.AxpyDense(1, row, m.centroids[ds.Y[i]])
+		counts[ds.Y[i]]++
+	}
+	m.sqnorm = make([]float64, m.k)
+	for c := range m.centroids {
+		if counts[c] > 0 {
+			inv := 1 / float64(counts[c])
+			for i := range m.centroids[c] {
+				m.centroids[c][i] *= inv
+			}
+		}
+		for _, v := range m.centroids[c] {
+			m.sqnorm[c] += v * v
+		}
+	}
+	return nil
+}
+
+// DecisionScores returns negated squared distances (higher is closer).
+func (m *NearestCentroid) DecisionScores(x sparse.Vector) []float64 {
+	out := make([]float64, m.k)
+	for c := 0; c < m.k; c++ {
+		// ||x-c||² = ||x||² - 2x·c + ||c||²; ||x||² is constant across
+		// classes so it is omitted.
+		out[c] = 2*sparse.DotDense(x, m.centroids[c]) - m.sqnorm[c]
+	}
+	return out
+}
+
+// Predict implements ml.Classifier.
+func (m *NearestCentroid) Predict(x sparse.Vector) int {
+	s := m.DecisionScores(x)
+	best, bi := math.Inf(-1), 0
+	for c, v := range s {
+		if v > best {
+			best, bi = v, c
+		}
+	}
+	return bi
+}

@@ -1,0 +1,242 @@
+package neighbors
+
+import (
+	"testing"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/ml/mltest"
+	"hetsyslog/internal/sparse"
+)
+
+func dataset(t *testing.T) (*ml.Dataset, *ml.Dataset) {
+	t.Helper()
+	ds := mltest.Generate(mltest.Config{
+		Classes: 5, PerClass: 80, FeatPerCls: 8, SharedFeats: 4,
+		NoiseProb: 0.1, Seed: 2,
+	})
+	return ml.StratifiedSplit(ds, 0.25, 3)
+}
+
+func TestKNNAccuracy(t *testing.T) {
+	train, test := dataset(t)
+	m := &KNN{}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test); acc < 0.9 {
+		t.Errorf("kNN accuracy = %.3f", acc)
+	}
+}
+
+func TestKNNBruteForceAgreesWithIndex(t *testing.T) {
+	train, test := dataset(t)
+	idx := &KNN{K: 5}
+	brute := &KNN{K: 5, BruteForce: true}
+	if err := idx.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := brute.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.X.Rows {
+		if idx.Predict(x) != brute.Predict(x) {
+			t.Fatal("inverted-index kNN disagrees with brute force")
+		}
+	}
+}
+
+func TestKNNWeightedVoting(t *testing.T) {
+	train, test := dataset(t)
+	m := &KNN{Weighted: true}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test); acc < 0.9 {
+		t.Errorf("weighted kNN accuracy = %.3f", acc)
+	}
+}
+
+func TestKNNExactNeighborWins(t *testing.T) {
+	// A query identical to a training row must adopt that row's class
+	// with K=1.
+	train, _ := dataset(t)
+	m := &KNN{K: 1}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if m.Predict(train.X.Rows[i]) != train.Y[i] {
+			t.Fatalf("1-NN failed on its own training row %d", i)
+		}
+	}
+}
+
+func TestKNNNoSharedFeatures(t *testing.T) {
+	train, _ := dataset(t)
+	m := &KNN{}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// A vector on a feature no training row has: falls back to majority.
+	far := sparse.NewVectorFromMap(map[int32]float64{9999: 1})
+	got := m.Predict(far)
+	counts := train.ClassCounts()
+	want, best := 0, -1
+	for c, n := range counts {
+		if n > best {
+			best, want = n, c
+		}
+	}
+	if got != want {
+		t.Errorf("orphan query predicted %d, want majority class %d", got, want)
+	}
+	// Zero vector behaves the same way.
+	if m.Predict(sparse.Vector{}) != want {
+		t.Error("zero vector should fall back to majority")
+	}
+}
+
+func TestNearestCentroidAccuracy(t *testing.T) {
+	train, test := dataset(t)
+	m := &NearestCentroid{}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test); acc < 0.85 {
+		t.Errorf("NearestCentroid accuracy = %.3f", acc)
+	}
+}
+
+func TestNearestCentroidSimpleGeometry(t *testing.T) {
+	// Two classes on orthogonal axes: points land with their axis.
+	ds := &ml.Dataset{X: &sparse.Matrix{Cols: 2}, Labels: []string{"x", "y"}}
+	for i := 0; i < 10; i++ {
+		ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{0: 1}))
+		ds.Y = append(ds.Y, 0)
+		ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{1: 1}))
+		ds.Y = append(ds.Y, 1)
+	}
+	m := &NearestCentroid{}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(sparse.NewVectorFromMap(map[int32]float64{0: 0.9, 1: 0.1})) != 0 {
+		t.Error("point near x-centroid misclassified")
+	}
+	if m.Predict(sparse.NewVectorFromMap(map[int32]float64{0: 0.1, 1: 0.9})) != 1 {
+		t.Error("point near y-centroid misclassified")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&KNN{}).Name() != "kNN" || (&NearestCentroid{}).Name() != "Nearest Centroid" {
+		t.Error("wrong names")
+	}
+}
+
+func TestRejectBadDataset(t *testing.T) {
+	bad := &ml.Dataset{
+		X: &sparse.Matrix{Rows: make([]sparse.Vector, 1), Cols: 1},
+		Y: []int{5}, Labels: []string{"a"},
+	}
+	if err := (&KNN{}).Fit(bad); err == nil {
+		t.Error("KNN accepted invalid dataset")
+	}
+	if err := (&NearestCentroid{}).Fit(bad); err == nil {
+		t.Error("NearestCentroid accepted invalid dataset")
+	}
+}
+
+func BenchmarkKNNPredictIndexed(b *testing.B) {
+	ds := mltest.Generate(mltest.Config{Classes: 8, PerClass: 500, FeatPerCls: 10, Seed: 1})
+	m := &KNN{}
+	if err := m.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	q := ds.X.Rows[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(q)
+	}
+}
+
+// BenchmarkKNNPredictBrute is the DESIGN.md ablation counterpart: full scan
+// per query.
+func BenchmarkKNNPredictBrute(b *testing.B) {
+	ds := mltest.Generate(mltest.Config{Classes: 8, PerClass: 500, FeatPerCls: 10, Seed: 1})
+	m := &KNN{BruteForce: true}
+	if err := m.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	q := ds.X.Rows[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(q)
+	}
+}
+
+// TestKNNDeterministicUnderTies guards the tie-break fix: identical
+// similarities at the k boundary must not make predictions depend on map
+// iteration order.
+func TestKNNDeterministicUnderTies(t *testing.T) {
+	// Many training rows identical to the query (all cosine 1.0) with
+	// mixed labels: the vote must be reproducible.
+	ds := &ml.Dataset{X: &sparse.Matrix{Cols: 2}, Labels: []string{"a", "b"}}
+	for i := 0; i < 20; i++ {
+		ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{0: 1}))
+		ds.Y = append(ds.Y, i%2)
+	}
+	m := &KNN{K: 5}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	q := sparse.NewVectorFromMap(map[int32]float64{0: 1})
+	first := m.Predict(q)
+	for i := 0; i < 50; i++ {
+		if m.Predict(q) != first {
+			t.Fatal("prediction varies across calls under ties")
+		}
+	}
+}
+
+func TestNeighborsPersistRoundTrip(t *testing.T) {
+	train, test := dataset(t)
+	m := &KNN{K: 5}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := &KNN{}
+	if err := m2.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.X.Rows[:30] {
+		if m2.Predict(x) != m.Predict(x) {
+			t.Fatal("restored kNN diverges")
+		}
+	}
+
+	nc := &NearestCentroid{}
+	if err := nc.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	cblob, err := nc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc2 := &NearestCentroid{}
+	if err := nc2.UnmarshalBinary(cblob); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.X.Rows[:30] {
+		if nc2.Predict(x) != nc.Predict(x) {
+			t.Fatal("restored centroid diverges")
+		}
+	}
+	if err := nc2.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("junk blob should error")
+	}
+}

@@ -1,0 +1,89 @@
+package neighbors
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"hetsyslog/internal/sparse"
+)
+
+type knnState struct {
+	K          int
+	Weighted   bool
+	BruteForce bool
+	Rows       []sparse.Vector
+	Labels     []int
+	Classes    int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. The inverted index is
+// not serialized; UnmarshalBinary rebuilds it.
+func (m *KNN) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	st := knnState{
+		K: m.K, Weighted: m.Weighted, BruteForce: m.BruteForce,
+		Rows: m.rows, Labels: m.labels, Classes: m.k,
+	}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *KNN) UnmarshalBinary(data []byte) error {
+	var st knnState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Rows) != len(st.Labels) {
+		return fmt.Errorf("neighbors: inconsistent kNN state (%d rows vs %d labels)",
+			len(st.Rows), len(st.Labels))
+	}
+	m.K, m.Weighted, m.BruteForce = st.K, st.Weighted, st.BruteForce
+	m.rows, m.labels, m.k = st.Rows, st.Labels, st.Classes
+	m.norms = make([]float64, len(m.rows))
+	for i, r := range m.rows {
+		m.norms[i] = r.Norm()
+	}
+	m.postings = nil
+	if !m.BruteForce {
+		m.postings = make(map[int32][]posting)
+		for i, r := range m.rows {
+			for j, f := range r.Idx {
+				m.postings[f] = append(m.postings[f], posting{int32(i), r.Val[j]})
+			}
+		}
+	}
+	return nil
+}
+
+type centroidState struct {
+	Centroids [][]float64
+	SqNorm    []float64
+	K         int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *NearestCentroid) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	st := centroidState{Centroids: m.centroids, SqNorm: m.sqnorm, K: m.k}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *NearestCentroid) UnmarshalBinary(data []byte) error {
+	var st centroidState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Centroids) != st.K || len(st.SqNorm) != st.K {
+		return fmt.Errorf("neighbors: inconsistent centroid state")
+	}
+	m.centroids, m.sqnorm, m.k = st.Centroids, st.SqNorm, st.K
+	return nil
+}

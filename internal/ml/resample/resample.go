@@ -1,0 +1,348 @@
+// Package resample implements the data-balancing techniques the paper's
+// related work singles out for imbalanced log data (§2, citing Studiawan &
+// Sohel): random oversampling of minority classes, random undersampling of
+// majority classes, Tomek-link removal, and a SMOTE-style synthetic
+// minority oversampler adapted to sparse vectors. The corpus has a 2300:1
+// imbalance between "Unimportant" and "Slurm Issues", so these are the
+// levers a practitioner would reach for.
+package resample
+
+import (
+	"math/rand"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/sparse"
+)
+
+// RandomOversample duplicates minority-class samples (with replacement)
+// until every class matches the largest class's count.
+func RandomOversample(ds *ml.Dataset, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed + 3))
+	byClass := indicesByClass(ds)
+	maxCount := 0
+	for _, idx := range byClass {
+		if len(idx) > maxCount {
+			maxCount = len(idx)
+		}
+	}
+	out := cloneShell(ds)
+	for _, idx := range byClass {
+		if len(idx) == 0 {
+			continue
+		}
+		for _, i := range idx {
+			appendSample(out, ds, i)
+		}
+		for extra := len(idx); extra < maxCount; extra++ {
+			appendSample(out, ds, idx[rng.Intn(len(idx))])
+		}
+	}
+	shuffle(out, rng)
+	return out
+}
+
+// RandomUndersample drops majority-class samples until every class matches
+// the smallest non-empty class's count.
+func RandomUndersample(ds *ml.Dataset, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed + 5))
+	byClass := indicesByClass(ds)
+	minCount := -1
+	for _, idx := range byClass {
+		if len(idx) > 0 && (minCount < 0 || len(idx) < minCount) {
+			minCount = len(idx)
+		}
+	}
+	out := cloneShell(ds)
+	for _, idx := range byClass {
+		if len(idx) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(idx))
+		for k := 0; k < minCount; k++ {
+			appendSample(out, ds, idx[perm[k]])
+		}
+	}
+	shuffle(out, rng)
+	return out
+}
+
+// TomekLinks removes the majority-class member of every Tomek link: a
+// pair of opposite-class samples that are each other's nearest neighbor.
+// Removing them cleans the class boundary (the undersampling the paper's
+// related work recommends). Cosine distance over the (typically
+// normalized) TF-IDF vectors is used.
+func TomekLinks(ds *ml.Dataset) *ml.Dataset {
+	n := ds.Len()
+	counts := ds.ClassCounts()
+	nn := nearestNeighbors(ds)
+	remove := make([]bool, n)
+	for i := 0; i < n; i++ {
+		j := nn[i]
+		if j < 0 || nn[j] != i {
+			continue // not mutual
+		}
+		if ds.Y[i] == ds.Y[j] {
+			continue // same class: not a Tomek link
+		}
+		// Drop the sample from the larger class.
+		victim := i
+		if counts[ds.Y[j]] > counts[ds.Y[i]] {
+			victim = j
+		}
+		remove[victim] = true
+	}
+	out := cloneShell(ds)
+	for i := 0; i < n; i++ {
+		if !remove[i] {
+			appendSample(out, ds, i)
+		}
+	}
+	return out
+}
+
+// SMOTE generates synthetic minority samples by interpolating between a
+// minority sample and one of its k nearest same-class neighbors, until
+// every class reaches ratio * (largest class count). ratio in (0,1]; 1
+// fully balances. Sparse interpolation unions the two supports.
+func SMOTE(ds *ml.Dataset, k int, ratio float64, seed int64) *ml.Dataset {
+	if k <= 0 {
+		k = 5
+	}
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	byClass := indicesByClass(ds)
+	maxCount := 0
+	for _, idx := range byClass {
+		if len(idx) > maxCount {
+			maxCount = len(idx)
+		}
+	}
+	target := int(ratio * float64(maxCount))
+
+	out := cloneShell(ds)
+	for i := 0; i < ds.Len(); i++ {
+		appendSample(out, ds, i)
+	}
+	for c, idx := range byClass {
+		if len(idx) < 2 || len(idx) >= target {
+			continue
+		}
+		// k-NN within the class (brute force; minority classes are small
+		// by definition).
+		neigh := classNeighbors(ds, idx, k)
+		need := target - len(idx)
+		for s := 0; s < need; s++ {
+			a := rng.Intn(len(idx))
+			nb := neigh[a]
+			if len(nb) == 0 {
+				continue
+			}
+			b := nb[rng.Intn(len(nb))]
+			t := rng.Float64()
+			v := interpolate(ds.X.Rows[idx[a]], ds.X.Rows[b], t)
+			out.X.Rows = append(out.X.Rows, v)
+			out.Y = append(out.Y, c)
+		}
+	}
+	shuffle(out, rand.New(rand.NewSource(seed+11)))
+	return out
+}
+
+// --- helpers ---
+
+func indicesByClass(ds *ml.Dataset) [][]int {
+	byClass := make([][]int, ds.NumClasses())
+	for i, y := range ds.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	return byClass
+}
+
+func cloneShell(ds *ml.Dataset) *ml.Dataset {
+	return &ml.Dataset{
+		X:      &sparse.Matrix{Cols: ds.X.Cols},
+		Labels: ds.Labels,
+	}
+}
+
+func appendSample(dst, src *ml.Dataset, i int) {
+	dst.X.Rows = append(dst.X.Rows, src.X.Rows[i])
+	dst.Y = append(dst.Y, src.Y[i])
+}
+
+func shuffle(ds *ml.Dataset, rng *rand.Rand) {
+	rng.Shuffle(len(ds.Y), func(i, j int) {
+		ds.X.Rows[i], ds.X.Rows[j] = ds.X.Rows[j], ds.X.Rows[i]
+		ds.Y[i], ds.Y[j] = ds.Y[j], ds.Y[i]
+	})
+}
+
+// nearestNeighbors returns each sample's nearest other sample by cosine
+// similarity (-1 when isolated).
+func nearestNeighbors(ds *ml.Dataset) []int {
+	n := ds.Len()
+	nn := make([]int, n)
+	best := make([]float64, n)
+	for i := range nn {
+		nn[i] = -1
+		best[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := sparse.Cosine(ds.X.Rows[i], ds.X.Rows[j])
+			if s > best[i] {
+				best[i], nn[i] = s, j
+			}
+			if s > best[j] {
+				best[j], nn[j] = s, i
+			}
+		}
+	}
+	return nn
+}
+
+// classNeighbors returns, for each position a in idx, up to k same-class
+// neighbor row indices.
+func classNeighbors(ds *ml.Dataset, idx []int, k int) [][]int {
+	out := make([][]int, len(idx))
+	type scored struct {
+		row int
+		sim float64
+	}
+	for a, i := range idx {
+		var cands []scored
+		for b, j := range idx {
+			if a == b {
+				continue
+			}
+			cands = append(cands, scored{j, sparse.Cosine(ds.X.Rows[i], ds.X.Rows[j])})
+		}
+		// partial selection of top-k
+		for s := 0; s < k && s < len(cands); s++ {
+			maxI := s
+			for t := s + 1; t < len(cands); t++ {
+				if cands[t].sim > cands[maxI].sim {
+					maxI = t
+				}
+			}
+			cands[s], cands[maxI] = cands[maxI], cands[s]
+			out[a] = append(out[a], cands[s].row)
+		}
+	}
+	return out
+}
+
+// interpolate returns a + t*(b-a) over the union of supports, dropping
+// exact zeros.
+func interpolate(a, b sparse.Vector, t float64) sparse.Vector {
+	m := make(map[int32]float64, a.NNZ()+b.NNZ())
+	for k, i := range a.Idx {
+		m[i] += (1 - t) * a.Val[k]
+	}
+	for k, i := range b.Idx {
+		m[i] += t * b.Val[k]
+	}
+	for i, v := range m {
+		if v == 0 {
+			delete(m, i)
+		}
+	}
+	return sparse.NewVectorFromMap(m)
+}
+
+// ADASYN (He et al., 2008) is the adaptive variant of SMOTE the paper's
+// related work recommends by name (§2): each minority sample generates
+// synthetic neighbors in proportion to how surrounded it is by other
+// classes, concentrating new samples along the decision boundary where
+// the classifier needs them.
+func ADASYN(ds *ml.Dataset, k int, ratio float64, seed int64) *ml.Dataset {
+	if k <= 0 {
+		k = 5
+	}
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	rng := rand.New(rand.NewSource(seed + 13))
+	byClass := indicesByClass(ds)
+	maxCount := 0
+	for _, idx := range byClass {
+		if len(idx) > maxCount {
+			maxCount = len(idx)
+		}
+	}
+	target := int(ratio * float64(maxCount))
+
+	out := cloneShell(ds)
+	for i := 0; i < ds.Len(); i++ {
+		appendSample(out, ds, i)
+	}
+	for c, idx := range byClass {
+		if len(idx) < 2 || len(idx) >= target {
+			continue
+		}
+		need := target - len(idx)
+		// Hardness r_i: fraction of each minority sample's k nearest
+		// neighbors (over the whole dataset) that belong to other classes.
+		hard := make([]float64, len(idx))
+		var hardSum float64
+		for a, i := range idx {
+			nn := nearestAny(ds, i, k)
+			other := 0
+			for _, j := range nn {
+				if ds.Y[j] != c {
+					other++
+				}
+			}
+			if len(nn) > 0 {
+				hard[a] = float64(other) / float64(len(nn))
+			}
+			hardSum += hard[a]
+		}
+		sameNeigh := classNeighbors(ds, idx, k)
+		for a, i := range idx {
+			var gen int
+			if hardSum > 0 {
+				gen = int(float64(need)*hard[a]/hardSum + 0.5)
+			} else {
+				gen = need / len(idx)
+			}
+			nb := sameNeigh[a]
+			for s := 0; s < gen && len(nb) > 0; s++ {
+				b := nb[rng.Intn(len(nb))]
+				out.X.Rows = append(out.X.Rows, interpolate(ds.X.Rows[i], ds.X.Rows[b], rng.Float64()))
+				out.Y = append(out.Y, c)
+			}
+		}
+	}
+	shuffle(out, rand.New(rand.NewSource(seed+17)))
+	return out
+}
+
+// nearestAny returns up to k nearest rows (any class) to row i by cosine.
+func nearestAny(ds *ml.Dataset, i, k int) []int {
+	type scored struct {
+		row int
+		sim float64
+	}
+	var cands []scored
+	for j := 0; j < ds.Len(); j++ {
+		if j == i {
+			continue
+		}
+		cands = append(cands, scored{j, sparse.Cosine(ds.X.Rows[i], ds.X.Rows[j])})
+	}
+	out := make([]int, 0, k)
+	for s := 0; s < k && s < len(cands); s++ {
+		maxI := s
+		for t := s + 1; t < len(cands); t++ {
+			if cands[t].sim > cands[maxI].sim {
+				maxI = t
+			}
+		}
+		cands[s], cands[maxI] = cands[maxI], cands[s]
+		out = append(out, cands[s].row)
+	}
+	return out
+}

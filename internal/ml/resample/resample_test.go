@@ -1,0 +1,260 @@
+package resample
+
+import (
+	"testing"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/ml/mltest"
+	"hetsyslog/internal/ml/neighbors"
+	"hetsyslog/internal/sparse"
+)
+
+// imbalanced builds a 3-class dataset with counts 200/50/10.
+func imbalanced(t testing.TB) *ml.Dataset {
+	t.Helper()
+	big := mltest.Generate(mltest.Config{Classes: 3, PerClass: 200, FeatPerCls: 6, Seed: 5})
+	keep := map[int]int{0: 200, 1: 50, 2: 10}
+	got := map[int]int{}
+	out := &ml.Dataset{X: &sparse.Matrix{Cols: big.X.Cols}, Labels: big.Labels}
+	for i, y := range big.Y {
+		if got[y] >= keep[y] {
+			continue
+		}
+		got[y]++
+		out.X.Rows = append(out.X.Rows, big.X.Rows[i])
+		out.Y = append(out.Y, y)
+	}
+	return out
+}
+
+func TestRandomOversampleBalances(t *testing.T) {
+	ds := imbalanced(t)
+	out := RandomOversample(ds, 1)
+	counts := out.ClassCounts()
+	for c, n := range counts {
+		if n != 200 {
+			t.Errorf("class %d = %d, want 200", c, n)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomUndersampleBalances(t *testing.T) {
+	ds := imbalanced(t)
+	out := RandomUndersample(ds, 1)
+	for c, n := range out.ClassCounts() {
+		if n != 10 {
+			t.Errorf("class %d = %d, want 10", c, n)
+		}
+	}
+}
+
+func TestResampleDeterministic(t *testing.T) {
+	ds := imbalanced(t)
+	a := RandomOversample(ds, 9)
+	b := RandomOversample(ds, 9)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same seed should reproduce the resample")
+		}
+	}
+}
+
+func TestTomekLinksRemovesBoundaryMajority(t *testing.T) {
+	// Hand-built: two well-separated clusters plus one majority point
+	// sitting on the minority cluster (a Tomek link).
+	ds := &ml.Dataset{X: &sparse.Matrix{Cols: 4}, Labels: []string{"maj", "min"}}
+	add := func(y int, vals map[int32]float64) {
+		v := sparse.NewVectorFromMap(vals)
+		v.Normalize()
+		ds.X.Rows = append(ds.X.Rows, v)
+		ds.Y = append(ds.Y, y)
+	}
+	// Majority cluster on features 0,1.
+	add(0, map[int32]float64{0: 1, 1: 0.9})
+	add(0, map[int32]float64{0: 0.9, 1: 1})
+	add(0, map[int32]float64{0: 1, 1: 1.1})
+	// Minority cluster on features 2,3.
+	add(1, map[int32]float64{2: 1, 3: 0.9})
+	add(1, map[int32]float64{2: 0.9, 3: 1})
+	// Intruder: majority-labelled point nearly identical to the first
+	// minority point — mutual nearest neighbors across classes.
+	add(0, map[int32]float64{2: 1, 3: 0.91})
+
+	out := TomekLinks(ds)
+	if out.Len() != ds.Len()-1 {
+		t.Fatalf("removed %d samples, want 1", ds.Len()-out.Len())
+	}
+	// The intruder (majority member of the link) must be gone: no
+	// majority sample should remain on features 2/3.
+	for i, y := range out.Y {
+		if y == 0 && out.X.Rows[i].At(2) > 0 {
+			t.Error("Tomek link majority member survived")
+		}
+	}
+}
+
+func TestTomekLinksNoLinksNoChange(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 2, PerClass: 20, FeatPerCls: 6, Seed: 3})
+	out := TomekLinks(ds)
+	if out.Len() < ds.Len()-4 {
+		t.Errorf("TomekLinks removed too much on clean data: %d -> %d", ds.Len(), out.Len())
+	}
+}
+
+func TestSMOTEBalancesWithSyntheticSamples(t *testing.T) {
+	ds := imbalanced(t)
+	out := SMOTE(ds, 3, 1.0, 1)
+	counts := out.ClassCounts()
+	if counts[2] < 150 {
+		t.Errorf("minority class only %d after SMOTE", counts[2])
+	}
+	if out.Len() <= ds.Len() {
+		t.Error("SMOTE added no samples")
+	}
+	// Synthetic vectors remain valid sparse vectors.
+	for _, r := range out.X.Rows {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSMOTESkipsSingletonClasses(t *testing.T) {
+	ds := &ml.Dataset{X: &sparse.Matrix{Cols: 2}, Labels: []string{"a", "b"}}
+	for i := 0; i < 10; i++ {
+		ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{0: 1}))
+		ds.Y = append(ds.Y, 0)
+	}
+	ds.X.Rows = append(ds.X.Rows, sparse.NewVectorFromMap(map[int32]float64{1: 1}))
+	ds.Y = append(ds.Y, 1)
+	out := SMOTE(ds, 3, 1.0, 1)
+	// Cannot interpolate a single point; class b stays at 1.
+	if out.ClassCounts()[1] != 1 {
+		t.Errorf("singleton class grew to %d", out.ClassCounts()[1])
+	}
+}
+
+func TestInterpolateEndpoints(t *testing.T) {
+	a := sparse.NewVectorFromMap(map[int32]float64{0: 1, 2: 2})
+	b := sparse.NewVectorFromMap(map[int32]float64{1: 3})
+	v0 := interpolate(a, b, 0)
+	if v0.At(0) != 1 || v0.At(2) != 2 || v0.At(1) != 0 {
+		t.Errorf("t=0 should equal a: %+v", v0)
+	}
+	v1 := interpolate(a, b, 1)
+	if v1.At(1) != 3 || v1.At(0) != 0 {
+		t.Errorf("t=1 should equal b: %+v", v1)
+	}
+	vh := interpolate(a, b, 0.5)
+	if vh.At(0) != 0.5 || vh.At(1) != 1.5 || vh.At(2) != 1 {
+		t.Errorf("midpoint wrong: %+v", vh)
+	}
+}
+
+// TestResamplingImprovesMinorityRecall is the end-to-end claim: on a
+// heavily imbalanced dataset, oversampling improves the minority class's
+// recall for a centroid classifier.
+func TestResamplingImprovesMinorityRecall(t *testing.T) {
+	big := mltest.Generate(mltest.Config{Classes: 3, PerClass: 300, FeatPerCls: 6, SharedFeats: 6, NoiseProb: 0.4, Seed: 11})
+	// Train: imbalanced; Test: balanced.
+	train := &ml.Dataset{X: &sparse.Matrix{Cols: big.X.Cols}, Labels: big.Labels}
+	test := &ml.Dataset{X: &sparse.Matrix{Cols: big.X.Cols}, Labels: big.Labels}
+	trainCaps := map[int]int{0: 200, 1: 200, 2: 12}
+	trainGot := map[int]int{}
+	testGot := map[int]int{}
+	for i, y := range big.Y {
+		if trainGot[y] < trainCaps[y] {
+			trainGot[y]++
+			train.X.Rows = append(train.X.Rows, big.X.Rows[i])
+			train.Y = append(train.Y, y)
+		} else if testGot[y] < 50 {
+			testGot[y]++
+			test.X.Rows = append(test.X.Rows, big.X.Rows[i])
+			test.Y = append(test.Y, y)
+		}
+	}
+	recall2 := func(ds *ml.Dataset) float64 {
+		m := &neighbors.NearestCentroid{}
+		if err := m.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		hit, tot := 0, 0
+		for i, y := range test.Y {
+			if y != 2 {
+				continue
+			}
+			tot++
+			if m.Predict(test.X.Rows[i]) == 2 {
+				hit++
+			}
+		}
+		return float64(hit) / float64(tot)
+	}
+	before := recall2(train)
+	after := recall2(SMOTE(train, 5, 1.0, 1))
+	if after < before {
+		t.Errorf("SMOTE hurt minority recall: %.3f -> %.3f", before, after)
+	}
+}
+
+// BenchmarkResamplers compares the cost of the balancing strategies on an
+// imbalanced dataset (DESIGN.md §2's recommended techniques).
+func BenchmarkResamplers(b *testing.B) {
+	ds := imbalanced(b)
+	b.Run("oversample", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RandomOversample(ds, int64(i))
+		}
+	})
+	b.Run("undersample", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RandomUndersample(ds, int64(i))
+		}
+	})
+	b.Run("smote", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SMOTE(ds, 5, 1.0, int64(i))
+		}
+	})
+	b.Run("tomek", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			TomekLinks(ds)
+		}
+	})
+}
+
+func TestADASYNGrowsMinorityAdaptively(t *testing.T) {
+	ds := imbalanced(t)
+	out := ADASYN(ds, 5, 1.0, 1)
+	counts := out.ClassCounts()
+	if counts[2] <= 10 {
+		t.Errorf("ADASYN did not grow minority: %v", counts)
+	}
+	if out.Len() <= ds.Len() {
+		t.Error("ADASYN added no samples")
+	}
+	for _, r := range out.X.Rows {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deterministic per seed.
+	again := ADASYN(ds, 5, 1.0, 1)
+	if again.Len() != out.Len() {
+		t.Error("ADASYN not deterministic")
+	}
+}
+
+func TestADASYNSkipsBalancedData(t *testing.T) {
+	ds := mltest.Generate(mltest.Config{Classes: 2, PerClass: 30, Seed: 9})
+	out := ADASYN(ds, 5, 1.0, 1)
+	if out.Len() != ds.Len() {
+		t.Errorf("balanced data grew from %d to %d", ds.Len(), out.Len())
+	}
+}

@@ -1,0 +1,75 @@
+package monitor
+
+import (
+	"sort"
+	"time"
+
+	"hetsyslog/internal/store"
+)
+
+// CorrelatedPair links one event from query A to a temporally-close event
+// from query B — §4.5.1's investigative move: "correlate someone's access
+// control to the data center room with a log that is identified as a
+// security event, such as someone plugging in a USB device".
+type CorrelatedPair struct {
+	A store.Doc `json:"a"`
+	B store.Doc `json:"b"`
+	// Gap is B.Time - A.Time (negative when B precedes A).
+	Gap time.Duration `json:"gap_ns"`
+}
+
+// Correlate returns, for every document matching qA, the nearest-in-time
+// document matching qB within ±window. Results are ordered by |Gap|,
+// tightest correlations first, capped at limit (0 = no cap).
+func Correlate(st *store.Store, qA, qB store.Query, window time.Duration, limit int) []CorrelatedPair {
+	aHits := st.Search(store.SearchRequest{Query: qA, Size: -1, SortAsc: true})
+	bHits := st.Search(store.SearchRequest{Query: qB, Size: -1, SortAsc: true})
+	if len(aHits) == 0 || len(bHits) == 0 {
+		return nil
+	}
+	var out []CorrelatedPair
+	j := 0
+	for _, a := range aHits {
+		// Advance j to the first B not before (A - window).
+		lo := a.Doc.Time.Add(-window)
+		for j < len(bHits) && bHits[j].Doc.Time.Before(lo) {
+			j++
+		}
+		// Scan the in-window Bs for the closest.
+		bestIdx, bestAbs := -1, window+1
+		for k := j; k < len(bHits); k++ {
+			gap := bHits[k].Doc.Time.Sub(a.Doc.Time)
+			if gap > window {
+				break
+			}
+			abs := gap
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs < bestAbs {
+				bestAbs, bestIdx = abs, k
+			}
+		}
+		if bestIdx >= 0 {
+			out = append(out, CorrelatedPair{
+				A:   a.Doc,
+				B:   bHits[bestIdx].Doc,
+				Gap: bHits[bestIdx].Doc.Time.Sub(a.Doc.Time),
+			})
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		ax, ay := out[x].Gap, out[y].Gap
+		if ax < 0 {
+			ax = -ax
+		}
+		if ay < 0 {
+			ay = -ay
+		}
+		return ax < ay
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/taxonomy"
+)
+
+func TestCorrelateBadgeToUSB(t *testing.T) {
+	st := store.New(2)
+	// Badge access events from the door controller.
+	indexEvent(st, 0, "door1", "r0", "-", "badge", taxonomy.Unimportant,
+		"badge access granted operator 42")
+	indexEvent(st, 30*time.Minute, "door1", "r0", "-", "badge", taxonomy.Unimportant,
+		"badge access granted operator 17")
+	// A USB attach 40 seconds after the first badge event.
+	indexEvent(st, 40*time.Second, "cn07", "r0", "-", "kernel", taxonomy.USBDevice,
+		"usb 1-1: new high-speed USB device number 5")
+	// Unrelated USB attach hours later.
+	indexEvent(st, 5*time.Hour, "cn99", "r3", "-", "kernel", taxonomy.USBDevice,
+		"usb 2-1: new high-speed USB device number 9")
+
+	pairs := Correlate(st,
+		store.Term{Field: "app", Value: "badge"},
+		CategoryQuery(taxonomy.USBDevice),
+		2*time.Minute, 0)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(pairs))
+	}
+	p := pairs[0]
+	if p.A.Fields["app"] != "badge" || p.B.Fields["hostname"] != "cn07" {
+		t.Errorf("pair = %+v", p)
+	}
+	if p.Gap != 40*time.Second {
+		t.Errorf("gap = %v", p.Gap)
+	}
+}
+
+func TestCorrelateNegativeGapAndOrdering(t *testing.T) {
+	st := store.New(1)
+	// B precedes A by 10s; another B follows A by 60s: nearest wins.
+	indexEvent(st, 10*time.Second, "b1", "r0", "-", "evB", taxonomy.Unimportant, "b event one")
+	indexEvent(st, 20*time.Second, "a1", "r0", "-", "evA", taxonomy.Unimportant, "a event")
+	indexEvent(st, 80*time.Second, "b2", "r0", "-", "evB", taxonomy.Unimportant, "b event two")
+
+	pairs := Correlate(st,
+		store.Term{Field: "app", Value: "evA"},
+		store.Term{Field: "app", Value: "evB"},
+		5*time.Minute, 0)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if pairs[0].B.Fields["hostname"] != "b1" || pairs[0].Gap != -10*time.Second {
+		t.Errorf("nearest-B selection wrong: %+v", pairs[0])
+	}
+}
+
+func TestCorrelateWindowExcludes(t *testing.T) {
+	st := store.New(1)
+	indexEvent(st, 0, "a1", "r0", "-", "evA", taxonomy.Unimportant, "a event")
+	indexEvent(st, time.Hour, "b1", "r0", "-", "evB", taxonomy.Unimportant, "b event")
+	pairs := Correlate(st,
+		store.Term{Field: "app", Value: "evA"},
+		store.Term{Field: "app", Value: "evB"},
+		time.Minute, 0)
+	if len(pairs) != 0 {
+		t.Errorf("out-of-window pair returned: %+v", pairs)
+	}
+	// Empty sides return nil.
+	if Correlate(st, store.Term{Field: "app", Value: "absent"},
+		store.Term{Field: "app", Value: "evB"}, time.Minute, 0) != nil {
+		t.Error("empty A side should give nil")
+	}
+}
+
+func TestCorrelateLimitAndSort(t *testing.T) {
+	st := store.New(1)
+	// Three A events with B gaps of 30s, 10s, 20s.
+	gaps := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, g := range gaps {
+		base := time.Duration(i) * time.Hour
+		indexEvent(st, base, "a", "r0", "-", "evA", taxonomy.Unimportant, "a event")
+		indexEvent(st, base+g, "b", "r0", "-", "evB", taxonomy.Unimportant, "b event")
+	}
+	pairs := Correlate(st,
+		store.Term{Field: "app", Value: "evA"},
+		store.Term{Field: "app", Value: "evB"},
+		time.Minute, 2)
+	if len(pairs) != 2 {
+		t.Fatalf("limit ignored: %d", len(pairs))
+	}
+	if pairs[0].Gap != 10*time.Second || pairs[1].Gap != 20*time.Second {
+		t.Errorf("not sorted by |gap|: %v, %v", pairs[0].Gap, pairs[1].Gap)
+	}
+}

@@ -1,0 +1,35 @@
+package monitor_test
+
+import (
+	"fmt"
+	"time"
+
+	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/store"
+)
+
+func ExampleDetectSurges() {
+	base := time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC)
+	buckets := []store.HistogramBucket{
+		{Start: base, Count: 5},
+		{Start: base.Add(time.Minute), Count: 6},
+		{Start: base.Add(2 * time.Minute), Count: 90}, // cold-aisle door left open
+		{Start: base.Add(3 * time.Minute), Count: 5},
+	}
+	for _, s := range monitor.DetectSurges(buckets, 3, 10) {
+		fmt.Printf("surge at %s: %d messages\n", s.Start.Format("15:04"), s.Count)
+	}
+	// Output: surge at 12:02: 90 messages
+}
+
+func ExampleSparkline() {
+	base := time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC)
+	buckets := []store.HistogramBucket{
+		{Start: base, Count: 1},
+		{Start: base.Add(time.Minute), Count: 4},
+		{Start: base.Add(2 * time.Minute), Count: 8},
+		{Start: base.Add(3 * time.Minute), Count: 2},
+	}
+	fmt.Println(monitor.Sparkline(buckets))
+	// Output: ▁▄█▂
+}

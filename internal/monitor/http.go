@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/taxonomy"
+)
+
+// ArchInfo supplies node totals per architecture for the per-arch view.
+type ArchInfo func(arch string) (nodesTotal int, ok bool)
+
+// Dashboard serves the §4.5 monitoring views as JSON over HTTP — the
+// reproduction's Grafana. Routes:
+//
+//	GET /views/categories                          message counts per category
+//	GET /views/frequency?interval=1m&category=X    histogram + surges + top nodes/apps
+//	GET /views/positional?category=X               per-rack reports, busiest first
+//	GET /views/perarch?arch=A&match=TEXT           architecture-wide false-indication check
+//	GET /views/alerts/config                       alertable categories
+type Dashboard struct {
+	Store *store.Store
+	// Archs resolves architecture sizes; nil disables /views/perarch
+	// verdicts (NodesTotal 0).
+	Archs ArchInfo
+}
+
+// Handler returns the dashboard mux.
+func (d *Dashboard) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /views/categories", d.handleCategories)
+	mux.HandleFunc("GET /views/frequency", d.handleFrequency)
+	mux.HandleFunc("GET /views/positional", d.handlePositional)
+	mux.HandleFunc("GET /views/perarch", d.handlePerArch)
+	mux.HandleFunc("GET /views/alerts/config", d.handleAlertsConfig)
+	mux.HandleFunc("GET /views/correlate", d.handleCorrelate)
+	return mux
+}
+
+func dashJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// queryFor builds the base query from optional ?category= and ?node=.
+func queryFor(r *http.Request) store.Query {
+	var must []store.Query
+	if cat := r.URL.Query().Get("category"); cat != "" {
+		must = append(must, store.Term{Field: "category", Value: cat})
+	}
+	if node := r.URL.Query().Get("node"); node != "" {
+		must = append(must, store.Term{Field: "hostname", Value: node})
+	}
+	switch len(must) {
+	case 0:
+		return store.MatchAll{}
+	case 1:
+		return must[0]
+	default:
+		return store.Bool{Must: must}
+	}
+}
+
+func (d *Dashboard) handleCategories(w http.ResponseWriter, r *http.Request) {
+	dashJSON(w, d.Store.Terms(store.MatchAll{}, "category", 0))
+}
+
+func (d *Dashboard) handleFrequency(w http.ResponseWriter, r *http.Request) {
+	interval := time.Minute
+	if s := r.URL.Query().Get("interval"); s != "" {
+		var err error
+		interval, err = time.ParseDuration(s)
+		if err != nil {
+			http.Error(w, "bad interval: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	factor := 3.0
+	if s := r.URL.Query().Get("factor"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			http.Error(w, "bad factor", http.StatusBadRequest)
+			return
+		}
+		factor = f
+	}
+	minCount := 10
+	if s := r.URL.Query().Get("min"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad min", http.StatusBadRequest)
+			return
+		}
+		minCount = n
+	}
+	dashJSON(w, Frequency(d.Store, queryFor(r), interval, factor, minCount))
+}
+
+func (d *Dashboard) handlePositional(w http.ResponseWriter, r *http.Request) {
+	reports := Positional(d.Store, queryFor(r))
+	dashJSON(w, BusiestRacks(reports, 0))
+}
+
+func (d *Dashboard) handlePerArch(w http.ResponseWriter, r *http.Request) {
+	arch := r.URL.Query().Get("arch")
+	match := r.URL.Query().Get("match")
+	if arch == "" || match == "" {
+		http.Error(w, "arch and match required", http.StatusBadRequest)
+		return
+	}
+	total := 0
+	if d.Archs != nil {
+		if n, ok := d.Archs(arch); ok {
+			total = n
+		}
+	}
+	dashJSON(w, PerArch(d.Store, store.Match{Text: match}, arch, total, 0))
+}
+
+// handleCorrelate pairs events matching ?a= (match text or a:category)
+// with temporally-close events matching ?b=, within ?window (default 5m).
+func (d *Dashboard) handleCorrelate(w http.ResponseWriter, r *http.Request) {
+	parse := func(param string) (store.Query, bool) {
+		v := r.URL.Query().Get(param)
+		if v == "" {
+			return nil, false
+		}
+		if cat, ok := strings.CutPrefix(v, "category:"); ok {
+			return store.Term{Field: "category", Value: cat}, true
+		}
+		return store.Match{Text: v}, true
+	}
+	qa, okA := parse("a")
+	qb, okB := parse("b")
+	if !okA || !okB {
+		http.Error(w, "a and b required (text or category:<name>)", http.StatusBadRequest)
+		return
+	}
+	window := 5 * time.Minute
+	if s := r.URL.Query().Get("window"); s != "" {
+		var err error
+		window, err = time.ParseDuration(s)
+		if err != nil {
+			http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	limit := 20
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	dashJSON(w, Correlate(d.Store, qa, qb, window, limit))
+}
+
+func (d *Dashboard) handleAlertsConfig(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Category   string `json:"category"`
+		Actionable bool   `json:"actionable"`
+	}
+	var rows []row
+	for _, c := range taxonomy.All() {
+		rows = append(rows, row{Category: string(c), Actionable: taxonomy.Actionable(c)})
+	}
+	dashJSON(w, rows)
+}

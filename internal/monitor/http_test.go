@@ -1,0 +1,191 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/taxonomy"
+)
+
+func dashboardServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st := store.New(2)
+	// Background + a thermal burst on rack r1.
+	for i := 0; i < 20; i++ {
+		indexEvent(st, time.Duration(i)*time.Minute, "cn01", "r0", "x86_64-dell",
+			"kernel", taxonomy.Unimportant, "routine chatter")
+	}
+	for i := 0; i < 60; i++ {
+		indexEvent(st, 5*time.Minute+time.Duration(i)*time.Second, "cn17", "r1",
+			"aarch64-cavium", "ipmiseld", taxonomy.ThermalIssue, "temperature above threshold")
+	}
+	d := &Dashboard{
+		Store: st,
+		Archs: func(arch string) (int, bool) {
+			if arch == "aarch64-cavium" {
+				return 16, true
+			}
+			return 0, false
+		},
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestDashboardCategories(t *testing.T) {
+	srv, _ := dashboardServer(t)
+	var buckets []store.TermBucket
+	if code := getJSON(t, srv, "/views/categories", &buckets); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(buckets) != 2 || buckets[0].Value != string(taxonomy.ThermalIssue) {
+		t.Errorf("categories = %+v", buckets)
+	}
+}
+
+func TestDashboardFrequency(t *testing.T) {
+	srv, _ := dashboardServer(t)
+	var rep FrequencyReport
+	if code := getJSON(t, srv, "/views/frequency?interval=1m&factor=3&min=10", &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(rep.Surges) == 0 {
+		t.Fatalf("no surges detected: %+v", rep)
+	}
+	if rep.TopNodes[0].Value != "cn17" {
+		t.Errorf("top node = %+v", rep.TopNodes)
+	}
+	// Category filter narrows the histogram.
+	var rep2 FrequencyReport
+	getJSON(t, srv, "/views/frequency?interval=1m&category=Unimportant", &rep2)
+	total := 0
+	for _, b := range rep2.Buckets {
+		total += b.Count
+	}
+	if total != 20 {
+		t.Errorf("filtered histogram total = %d", total)
+	}
+}
+
+func TestDashboardFrequencyBadParams(t *testing.T) {
+	srv, _ := dashboardServer(t)
+	for _, path := range []string{
+		"/views/frequency?interval=nope",
+		"/views/frequency?factor=abc",
+		"/views/frequency?min=x",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDashboardPositional(t *testing.T) {
+	srv, _ := dashboardServer(t)
+	var reports []RackReport
+	if code := getJSON(t, srv, "/views/positional?category="+url.QueryEscape("Thermal Issue"), &reports); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(reports) != 1 || reports[0].Rack != "r1" || reports[0].Total != 60 {
+		t.Errorf("positional = %+v", reports)
+	}
+}
+
+func TestDashboardPerArch(t *testing.T) {
+	srv, _ := dashboardServer(t)
+	var v ArchVerdict
+	code := getJSON(t, srv, "/views/perarch?arch=aarch64-cavium&match="+url.QueryEscape("temperature above threshold"), &v)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if v.NodesTotal != 16 || v.NodesReporting != 1 {
+		t.Errorf("verdict = %+v", v)
+	}
+	if v.LikelyFalseIndication {
+		t.Error("single reporter should not be a false indication")
+	}
+	// Missing params are rejected.
+	resp, err := http.Get(srv.URL + "/views/perarch?arch=onlyarch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing match -> %d", resp.StatusCode)
+	}
+}
+
+func TestDashboardAlertsConfig(t *testing.T) {
+	srv, _ := dashboardServer(t)
+	var rows []struct {
+		Category   string `json:"category"`
+		Actionable bool   `json:"actionable"`
+	}
+	if code := getJSON(t, srv, "/views/alerts/config", &rows); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		want := r.Category != string(taxonomy.Unimportant)
+		if r.Actionable != want {
+			t.Errorf("%s actionable = %v", r.Category, r.Actionable)
+		}
+	}
+}
+
+func TestDashboardCorrelate(t *testing.T) {
+	st := store.New(1)
+	indexEvent(st, 0, "door1", "r0", "-", "badge", taxonomy.Unimportant, "badge access granted")
+	indexEvent(st, 30*time.Second, "cn07", "r0", "-", "kernel", taxonomy.USBDevice,
+		"usb 1-1: new device")
+	d := &Dashboard{Store: st}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	var pairs []CorrelatedPair
+	code := getJSON(t, srv, "/views/correlate?a="+url.QueryEscape("badge access")+
+		"&b=category:USB-Device&window=2m", &pairs)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(pairs) != 1 || pairs[0].Gap != 30*time.Second {
+		t.Errorf("pairs = %+v", pairs)
+	}
+	// Missing params rejected.
+	resp, err := http.Get(srv.URL + "/views/correlate?a=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing b -> %d", resp.StatusCode)
+	}
+}

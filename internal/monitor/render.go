@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsyslog/internal/store"
+)
+
+// sparkRunes are eight fill levels for terminal sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders bucket counts as a one-line unicode sparkline — the
+// terminal edition of §4.5.1's "number of messages on one axis, time on
+// the other".
+func Sparkline(buckets []store.HistogramBucket) string {
+	if len(buckets) == 0 {
+		return ""
+	}
+	maxC := 0
+	for _, b := range buckets {
+		if b.Count > maxC {
+			maxC = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		if maxC == 0 {
+			sb.WriteRune(sparkRunes[0])
+			continue
+		}
+		level := b.Count * (len(sparkRunes) - 1) / maxC
+		sb.WriteRune(sparkRunes[level])
+	}
+	return sb.String()
+}
+
+// RenderHistogram renders buckets as horizontal bars with timestamps,
+// width columns wide, marking surge buckets with '!'.
+func RenderHistogram(buckets []store.HistogramBucket, surges []Surge, width int) string {
+	if len(buckets) == 0 {
+		return "(no data)\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxC := 0
+	for _, b := range buckets {
+		if b.Count > maxC {
+			maxC = b.Count
+		}
+	}
+	surgeSet := make(map[int64]bool, len(surges))
+	for _, s := range surges {
+		surgeSet[s.Start.UnixNano()] = true
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		bar := 0
+		if maxC > 0 {
+			bar = b.Count * width / maxC
+		}
+		mark := ' '
+		if surgeSet[b.Start.UnixNano()] {
+			mark = '!'
+		}
+		fmt.Fprintf(&sb, "%s %c %6d %s\n",
+			b.Start.Format("15:04"), mark, b.Count, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+// RenderTerms renders a terms aggregation as aligned rows with bars.
+func RenderTerms(buckets []store.TermBucket, width int) string {
+	if len(buckets) == 0 {
+		return "(no data)\n"
+	}
+	if width <= 0 {
+		width = 30
+	}
+	maxC := buckets[0].Count
+	for _, b := range buckets {
+		if b.Count > maxC {
+			maxC = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		bar := 0
+		if maxC > 0 {
+			bar = b.Count * width / maxC
+		}
+		fmt.Fprintf(&sb, "%-24s %6d %s\n", b.Value, b.Count, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/store"
+)
+
+func buckets3() []store.HistogramBucket {
+	return []store.HistogramBucket{
+		{Start: t0, Count: 2},
+		{Start: t0.Add(time.Minute), Count: 100},
+		{Start: t0.Add(2 * time.Minute), Count: 0},
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline(buckets3())
+	if rc := len([]rune(s)); rc != 3 {
+		t.Fatalf("sparkline runes = %d", rc)
+	}
+	runes := []rune(s)
+	if runes[1] != '█' {
+		t.Errorf("max bucket should render full block, got %q", string(runes[1]))
+	}
+	if runes[2] != '▁' {
+		t.Errorf("empty bucket should render lowest block, got %q", string(runes[2]))
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty string")
+	}
+	// All-zero buckets must not divide by zero.
+	z := Sparkline([]store.HistogramBucket{{Start: t0, Count: 0}})
+	if z != "▁" {
+		t.Errorf("zero sparkline = %q", z)
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	surges := []Surge{{Start: t0.Add(time.Minute), Count: 100}}
+	out := RenderHistogram(buckets3(), surges, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "!") {
+		t.Errorf("surge bucket not marked: %q", lines[1])
+	}
+	if strings.Contains(lines[0], "!") {
+		t.Errorf("non-surge bucket marked: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Errorf("max bucket bar wrong: %q", lines[1])
+	}
+	if RenderHistogram(nil, nil, 10) != "(no data)\n" {
+		t.Error("empty histogram rendering wrong")
+	}
+}
+
+func TestRenderTerms(t *testing.T) {
+	out := RenderTerms([]store.TermBucket{
+		{Value: "cn007", Count: 50},
+		{Value: "cn013", Count: 5},
+	}, 10)
+	if !strings.Contains(out, "cn007") || !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Errorf("terms rendering:\n%s", out)
+	}
+	if RenderTerms(nil, 10) != "(no data)\n" {
+		t.Error("empty terms rendering wrong")
+	}
+}

@@ -1,0 +1,157 @@
+// Package ngramcat implements N-gram-based text categorization (Cavnar &
+// Trenkle, 1994), the "traditional machine learning method" the paper's
+// introduction cites as prior art for automated syslog processing [6].
+// Each category gets a profile: its most frequent character n-grams
+// (n = 1..5) in rank order. A message is classified to the category whose
+// profile minimizes the out-of-place rank distance.
+package ngramcat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultProfileSize is the classic 300-n-gram profile from the paper.
+const DefaultProfileSize = 300
+
+// Classifier is a Cavnar-Trenkle categorizer. Train before Classify.
+type Classifier struct {
+	// ProfileSize caps each profile's length (default 300).
+	ProfileSize int
+	// MinN and MaxN bound the n-gram sizes (defaults 1 and 5).
+	MinN, MaxN int
+
+	labels   []string
+	profiles []map[string]int // n-gram -> rank, one per label
+}
+
+// ngrams appends padded character n-grams of sizes [minN, maxN] for each
+// whitespace-delimited token of text (the original algorithm pads tokens
+// with underscores).
+func ngrams(text string, minN, maxN int, counts map[string]int) {
+	for _, tok := range strings.Fields(strings.ToLower(text)) {
+		padded := "_" + tok + "_"
+		runes := []rune(padded)
+		for n := minN; n <= maxN; n++ {
+			for i := 0; i+n <= len(runes); i++ {
+				counts[string(runes[i:i+n])]++
+			}
+		}
+	}
+}
+
+func (c *Classifier) defaults() {
+	if c.ProfileSize <= 0 {
+		c.ProfileSize = DefaultProfileSize
+	}
+	if c.MinN <= 0 {
+		c.MinN = 1
+	}
+	if c.MaxN < c.MinN {
+		c.MaxN = 5
+	}
+}
+
+// Train builds one profile per distinct label.
+func (c *Classifier) Train(texts, labels []string) error {
+	if len(texts) != len(labels) {
+		return fmt.Errorf("ngramcat: %d texts vs %d labels", len(texts), len(labels))
+	}
+	if len(texts) == 0 {
+		return fmt.Errorf("ngramcat: empty training set")
+	}
+	c.defaults()
+	idx := make(map[string]int)
+	var perClass []map[string]int
+	for i, text := range texts {
+		li, ok := idx[labels[i]]
+		if !ok {
+			li = len(c.labels)
+			idx[labels[i]] = li
+			c.labels = append(c.labels, labels[i])
+			perClass = append(perClass, make(map[string]int))
+		}
+		ngrams(text, c.MinN, c.MaxN, perClass[li])
+	}
+	c.profiles = make([]map[string]int, len(c.labels))
+	for li, counts := range perClass {
+		c.profiles[li] = buildProfile(counts, c.ProfileSize)
+	}
+	return nil
+}
+
+// buildProfile converts raw counts into a rank map of the top-k n-grams.
+func buildProfile(counts map[string]int, k int) map[string]int {
+	type gc struct {
+		g string
+		n int
+	}
+	all := make([]gc, 0, len(counts))
+	for g, n := range counts {
+		all = append(all, gc{g, n})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].n != all[b].n {
+			return all[a].n > all[b].n
+		}
+		return all[a].g < all[b].g
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	profile := make(map[string]int, len(all))
+	for rank, e := range all {
+		profile[e.g] = rank
+	}
+	return profile
+}
+
+// Labels returns the trained label set.
+func (c *Classifier) Labels() []string { return c.labels }
+
+// Classify returns the label whose profile is closest by out-of-place
+// distance.
+func (c *Classifier) Classify(text string) string {
+	label, _ := c.ClassifyWithDistance(text)
+	return label
+}
+
+// ClassifyWithDistance also returns the winning out-of-place distance
+// (lower is closer).
+func (c *Classifier) ClassifyWithDistance(text string) (string, int) {
+	if len(c.profiles) == 0 {
+		return "", 0
+	}
+	counts := make(map[string]int)
+	ngrams(text, c.MinN, c.MaxN, counts)
+	doc := buildProfile(counts, c.ProfileSize)
+
+	best, bestDist := "", int(^uint(0)>>1)
+	for li, profile := range c.profiles {
+		d := outOfPlace(doc, profile, c.ProfileSize)
+		if d < bestDist {
+			bestDist, best = d, c.labels[li]
+		}
+	}
+	return best, bestDist
+}
+
+// outOfPlace sums |rank(doc) - rank(profile)| with the maximum penalty for
+// n-grams missing from the category profile.
+func outOfPlace(doc, profile map[string]int, maxPenalty int) int {
+	d := 0
+	for g, rd := range doc {
+		rp, ok := profile[g]
+		if !ok {
+			d += maxPenalty
+			continue
+		}
+		diff := rd - rp
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d
+}

@@ -1,0 +1,192 @@
+// Package sparse provides the sparse vector arithmetic shared by the TF-IDF
+// vectorizer and all classifiers. Syslog feature vectors are extremely
+// sparse (a dozen nonzeros out of tens of thousands of vocabulary terms),
+// so every hot loop in training and inference iterates nonzeros only.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vector is a sparse vector: parallel slices of strictly increasing feature
+// indices and their values. The zero Vector is an empty vector.
+type Vector struct {
+	Idx []int32
+	Val []float64
+}
+
+// NewVectorFromMap builds a normalized-form Vector from an index->value map.
+func NewVectorFromMap(m map[int32]float64) Vector {
+	v := Vector{
+		Idx: make([]int32, 0, len(m)),
+		Val: make([]float64, 0, len(m)),
+	}
+	for i := range m {
+		v.Idx = append(v.Idx, i)
+	}
+	sort.Slice(v.Idx, func(a, b int) bool { return v.Idx[a] < v.Idx[b] })
+	for _, i := range v.Idx {
+		v.Val = append(v.Val, m[i])
+	}
+	return v
+}
+
+// NNZ returns the number of stored (nonzero) entries.
+func (v Vector) NNZ() int { return len(v.Idx) }
+
+// At returns the value at index i (0 when absent) via binary search.
+func (v Vector) At(i int32) float64 {
+	lo, hi := 0, len(v.Idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case v.Idx[mid] < i:
+			lo = mid + 1
+		case v.Idx[mid] > i:
+			hi = mid
+		default:
+			return v.Val[mid]
+		}
+	}
+	return 0
+}
+
+// Dot returns the inner product of two sparse vectors (merge join).
+func Dot(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			s += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// DotDense returns the inner product of sparse v with dense w. Indices
+// beyond len(w) contribute zero.
+func DotDense(v Vector, w []float64) float64 {
+	var s float64
+	for k, i := range v.Idx {
+		if int(i) < len(w) {
+			s += v.Val[k] * w[i]
+		}
+	}
+	return s
+}
+
+// AxpyDense computes w += alpha * v for dense w, ignoring out-of-range
+// indices.
+func AxpyDense(alpha float64, v Vector, w []float64) {
+	for k, i := range v.Idx {
+		if int(i) < len(w) {
+			w[i] += alpha * v.Val[k]
+		}
+	}
+}
+
+// Norm returns the L2 norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v.Val {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of stored values (the L1 norm for non-negative
+// vectors such as term counts).
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v.Val {
+		s += x
+	}
+	return s
+}
+
+// Scale multiplies every stored value by alpha, in place.
+func (v Vector) Scale(alpha float64) {
+	for i := range v.Val {
+		v.Val[i] *= alpha
+	}
+}
+
+// Normalize scales v to unit L2 norm in place; zero vectors are unchanged.
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	v.Scale(1 / n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	return Vector{
+		Idx: append([]int32(nil), v.Idx...),
+		Val: append([]float64(nil), v.Val...),
+	}
+}
+
+// Cosine returns the cosine similarity of a and b; 0 when either is zero.
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Validate checks normal form: strictly increasing indices, no explicit
+// zeros, equal slice lengths. Used by tests and debug assertions.
+func (v Vector) Validate() error {
+	if len(v.Idx) != len(v.Val) {
+		return fmt.Errorf("sparse: len(Idx)=%d != len(Val)=%d", len(v.Idx), len(v.Val))
+	}
+	for k := range v.Idx {
+		if k > 0 && v.Idx[k] <= v.Idx[k-1] {
+			return fmt.Errorf("sparse: indices not strictly increasing at %d", k)
+		}
+		if v.Val[k] == 0 {
+			return fmt.Errorf("sparse: explicit zero at index %d", v.Idx[k])
+		}
+	}
+	return nil
+}
+
+// Matrix is a row-major sparse matrix: one Vector per sample.
+type Matrix struct {
+	Rows []Vector
+	// Cols is the feature-space width (vocabulary size).
+	Cols int
+}
+
+// NRows returns the number of rows.
+func (m *Matrix) NRows() int { return len(m.Rows) }
+
+// NNZ returns total stored entries across all rows.
+func (m *Matrix) NNZ() int {
+	n := 0
+	for _, r := range m.Rows {
+		n += r.NNZ()
+	}
+	return n
+}
+
+// ColumnSums accumulates per-column sums into a dense slice of length Cols.
+func (m *Matrix) ColumnSums() []float64 {
+	out := make([]float64, m.Cols)
+	for _, r := range m.Rows {
+		AxpyDense(1, r, out)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vec(pairs ...float64) Vector {
+	// pairs: idx, val, idx, val ...
+	m := map[int32]float64{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[int32(pairs[i])] = pairs[i+1]
+	}
+	return NewVectorFromMap(m)
+}
+
+func TestNewVectorFromMapSorted(t *testing.T) {
+	v := NewVectorFromMap(map[int32]float64{5: 1, 1: 2, 9: 3})
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Idx[0] != 1 || v.Idx[1] != 5 || v.Idx[2] != 9 {
+		t.Errorf("indices = %v", v.Idx)
+	}
+}
+
+func TestAt(t *testing.T) {
+	v := vec(1, 2.0, 5, 3.0, 9, 4.0)
+	if v.At(5) != 3.0 || v.At(1) != 2.0 || v.At(9) != 4.0 {
+		t.Error("At returned wrong values")
+	}
+	if v.At(0) != 0 || v.At(4) != 0 || v.At(100) != 0 {
+		t.Error("At should return 0 for absent indices")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := vec(0, 1, 2, 2, 4, 3)
+	b := vec(2, 5, 3, 7, 4, 1)
+	if got := Dot(a, b); got != 2*5+3*1 {
+		t.Errorf("Dot = %v, want 13", got)
+	}
+	if got := Dot(a, Vector{}); got != 0 {
+		t.Errorf("Dot with empty = %v", got)
+	}
+}
+
+func TestDotDenseAndAxpy(t *testing.T) {
+	v := vec(0, 1, 3, 2)
+	w := []float64{10, 0, 0, 5}
+	if got := DotDense(v, w); got != 1*10+2*5 {
+		t.Errorf("DotDense = %v", got)
+	}
+	AxpyDense(2, v, w)
+	if w[0] != 12 || w[3] != 9 {
+		t.Errorf("AxpyDense result = %v", w)
+	}
+	// out-of-range indices ignored
+	big := vec(100, 1)
+	if got := DotDense(big, w); got != 0 {
+		t.Errorf("DotDense out-of-range = %v", got)
+	}
+	AxpyDense(1, big, w) // must not panic
+}
+
+func TestNormScaleNormalize(t *testing.T) {
+	v := vec(0, 3, 1, 4)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	v.Normalize()
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("normalized Norm = %v", v.Norm())
+	}
+	z := Vector{}
+	z.Normalize() // no panic on zero vector
+}
+
+func TestCosine(t *testing.T) {
+	a := vec(0, 1, 1, 1)
+	b := vec(0, 2, 1, 2)
+	if got := Cosine(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("parallel cosine = %v", got)
+	}
+	c := vec(2, 1)
+	if got := Cosine(a, c); got != 0 {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine(a, Vector{}); got != 0 {
+		t.Errorf("zero-vector cosine = %v", got)
+	}
+}
+
+func TestValidateCatchesBadForm(t *testing.T) {
+	bad := Vector{Idx: []int32{3, 1}, Val: []float64{1, 1}}
+	if bad.Validate() == nil {
+		t.Error("unsorted vector should fail validation")
+	}
+	bad2 := Vector{Idx: []int32{1}, Val: []float64{0}}
+	if bad2.Validate() == nil {
+		t.Error("explicit zero should fail validation")
+	}
+	bad3 := Vector{Idx: []int32{1, 2}, Val: []float64{1}}
+	if bad3.Validate() == nil {
+		t.Error("length mismatch should fail validation")
+	}
+}
+
+func TestMatrixColumnSums(t *testing.T) {
+	m := Matrix{Rows: []Vector{vec(0, 1, 2, 2), vec(0, 3, 1, 4)}, Cols: 3}
+	sums := m.ColumnSums()
+	want := []float64{4, 4, 2}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Errorf("ColumnSums = %v, want %v", sums, want)
+		}
+	}
+	if m.NNZ() != 4 || m.NRows() != 2 {
+		t.Errorf("NNZ=%d NRows=%d", m.NNZ(), m.NRows())
+	}
+}
+
+func randomVector(rng *rand.Rand, dim, nnz int) Vector {
+	m := map[int32]float64{}
+	for len(m) < nnz {
+		v := rng.NormFloat64()
+		if v == 0 {
+			continue
+		}
+		m[int32(rng.Intn(dim))] = v
+	}
+	return NewVectorFromMap(m)
+}
+
+// Property: Dot(a,b) == Dot(b,a) and agrees with a dense computation.
+func TestQuickDotSymmetricMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a := randomVector(rng, 50, rng.Intn(20))
+		b := randomVector(rng, 50, rng.Intn(20))
+		ab, ba := Dot(a, b), Dot(b, a)
+		if math.Abs(ab-ba) > 1e-12 {
+			t.Fatalf("Dot not symmetric: %v vs %v", ab, ba)
+		}
+		dense := make([]float64, 50)
+		AxpyDense(1, b, dense)
+		if math.Abs(ab-DotDense(a, dense)) > 1e-9 {
+			t.Fatalf("sparse/dense dot mismatch")
+		}
+	}
+}
+
+// Property: Cauchy-Schwarz |<a,b>| <= |a||b| and cosine in [-1,1].
+func TestQuickCauchySchwarz(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a := randomVector(rng, 30, 1+rng.Intn(10))
+		b := randomVector(rng, 30, 1+rng.Intn(10))
+		if math.Abs(Dot(a, b)) > a.Norm()*b.Norm()+1e-9 {
+			t.Fatal("Cauchy-Schwarz violated")
+		}
+		if c := Cosine(a, b); c < -1-1e-9 || c > 1+1e-9 {
+			t.Fatalf("cosine out of range: %v", c)
+		}
+	}
+}
+
+// Property: NewVectorFromMap always produces a vector passing Validate.
+func TestQuickNormalForm(t *testing.T) {
+	f := func(entries map[int32]float64) bool {
+		for k, val := range entries {
+			if val == 0 || math.IsNaN(val) {
+				delete(entries, k)
+			}
+		}
+		return NewVectorFromMap(entries).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDotSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomVector(rng, 30000, 15)
+	y := randomVector(rng, 30000, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}
+
+func BenchmarkDotDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomVector(rng, 30000, 15)
+	w := make([]float64, 30000)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DotDense(x, w)
+	}
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"sort"
+	"time"
+)
+
+// HistogramBucket is one interval of a date histogram.
+type HistogramBucket struct {
+	Start time.Time `json:"start"`
+	Count int       `json:"count"`
+}
+
+// DateHistogram counts matching documents per fixed interval — the
+// message-volume-over-time view behind the §4.5.1 frequency analysis.
+// Buckets are contiguous from the first to the last matching document;
+// empty buckets in between are included so surges stand out.
+func (st *Store) DateHistogram(q Query, interval time.Duration) []HistogramBucket {
+	if q == nil {
+		q = MatchAll{}
+	}
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	counts := make(map[int64]int)
+	var lo, hi int64
+	first := true
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for i := range sh.docs {
+			if sh.deleted(int32(i)) {
+				continue
+			}
+			d := &sh.docs[i]
+			if !q.matches(d) {
+				continue
+			}
+			b := d.Time.UnixNano() / int64(interval)
+			counts[b]++
+			if first || b < lo {
+				lo = b
+			}
+			if first || b > hi {
+				hi = b
+			}
+			first = false
+		}
+		sh.mu.RUnlock()
+	}
+	if first {
+		return nil
+	}
+	out := make([]HistogramBucket, 0, hi-lo+1)
+	for b := lo; b <= hi; b++ {
+		out = append(out, HistogramBucket{
+			Start: time.Unix(0, b*int64(interval)).UTC(),
+			Count: counts[b],
+		})
+	}
+	return out
+}
+
+// TermBucket is one value of a terms aggregation.
+type TermBucket struct {
+	Value string `json:"value"`
+	Count int    `json:"count"`
+}
+
+// Terms counts matching documents per distinct value of a metadata field,
+// descending — "group syslog by node / by service" (§4.5.1).
+func (st *Store) Terms(q Query, field string, size int) []TermBucket {
+	if q == nil {
+		q = MatchAll{}
+	}
+	counts := make(map[string]int)
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for i := range sh.docs {
+			if sh.deleted(int32(i)) {
+				continue
+			}
+			d := &sh.docs[i]
+			if !q.matches(d) {
+				continue
+			}
+			if v, ok := d.Fields[field]; ok {
+				counts[v]++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]TermBucket, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, TermBucket{Value: v, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value < out[b].Value
+	})
+	if size > 0 && len(out) > size {
+		out = out[:size]
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package store_test
+
+import (
+	"fmt"
+	"time"
+
+	"hetsyslog/internal/store"
+)
+
+func ExampleStore() {
+	st := store.New(4)
+	base := time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC)
+	st.Index(store.Doc{
+		Time:   base,
+		Fields: map[string]string{"hostname": "cn101", "app": "kernel"},
+		Body:   "CPU 3 temperature above threshold, cpu clock throttled",
+	})
+	st.Index(store.Doc{
+		Time:   base.Add(time.Minute),
+		Fields: map[string]string{"hostname": "cn102", "app": "sshd"},
+		Body:   "Connection closed by 10.0.0.1 port 22 [preauth]",
+	})
+
+	hits := st.Search(store.SearchRequest{
+		Query: store.Match{Text: "temperature throttled"},
+		Size:  10,
+	})
+	fmt.Println(len(hits), hits[0].Doc.Fields["hostname"])
+	// Output: 1 cn101
+}
+
+func ExampleParseQueryString() {
+	st := store.New(2)
+	st.Index(store.Doc{
+		Time:   time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC),
+		Fields: map[string]string{"app": "sshd"},
+		Body:   "Connection closed by 10.0.0.1 port 22 [preauth]",
+	})
+	q, err := store.ParseQueryString("app:sshd -temperature")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(st.CountQuery(q))
+	// Output: 1
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The JSON query DSL mirrors OpenSearch's shape:
+//
+//	{"term":   {"field": "hostname", "value": "cn101"}}
+//	{"match":  {"text": "temperature throttled"}}
+//	{"range":  {"from": "2023-07-01T00:00:00Z", "to": "..."}}
+//	{"bool":   {"must": [...], "should": [...], "must_not": [...]}}
+//	{"match_all": {}}
+type jsonQuery struct {
+	MatchAll *struct{}  `json:"match_all,omitempty"`
+	Term     *jsonTerm  `json:"term,omitempty"`
+	Match    *jsonMatch `json:"match,omitempty"`
+	Range    *jsonRange `json:"range,omitempty"`
+	Bool     *jsonBool  `json:"bool,omitempty"`
+}
+
+type jsonTerm struct {
+	Field string `json:"field"`
+	Value string `json:"value"`
+}
+
+type jsonMatch struct {
+	Text string `json:"text"`
+}
+
+type jsonRange struct {
+	From time.Time `json:"from"`
+	To   time.Time `json:"to"`
+}
+
+type jsonBool struct {
+	Must    []jsonQuery `json:"must,omitempty"`
+	Should  []jsonQuery `json:"should,omitempty"`
+	MustNot []jsonQuery `json:"must_not,omitempty"`
+}
+
+// ParseQuery decodes the JSON DSL into a Query.
+func ParseQuery(raw []byte) (Query, error) {
+	var jq jsonQuery
+	if err := json.Unmarshal(raw, &jq); err != nil {
+		return nil, fmt.Errorf("store: bad query: %w", err)
+	}
+	return jq.toQuery()
+}
+
+func (jq jsonQuery) toQuery() (Query, error) {
+	switch {
+	case jq.Term != nil:
+		return Term{Field: jq.Term.Field, Value: jq.Term.Value}, nil
+	case jq.Match != nil:
+		return Match{Text: jq.Match.Text}, nil
+	case jq.Range != nil:
+		return TimeRange{From: jq.Range.From, To: jq.Range.To}, nil
+	case jq.Bool != nil:
+		b := Bool{}
+		for _, sub := range jq.Bool.Must {
+			q, err := sub.toQuery()
+			if err != nil {
+				return nil, err
+			}
+			b.Must = append(b.Must, q)
+		}
+		for _, sub := range jq.Bool.Should {
+			q, err := sub.toQuery()
+			if err != nil {
+				return nil, err
+			}
+			b.Should = append(b.Should, q)
+		}
+		for _, sub := range jq.Bool.MustNot {
+			q, err := sub.toQuery()
+			if err != nil {
+				return nil, err
+			}
+			b.MustNot = append(b.MustNot, q)
+		}
+		return b, nil
+	default:
+		return MatchAll{}, nil
+	}
+}
+
+// Handler returns an http.Handler exposing the store API:
+//
+//	POST /index         {"time": ..., "fields": {...}, "body": "..."}
+//	POST /search        {"query": {...}, "size": 100, "sort_asc": false}
+//	POST /agg/datehist  {"query": {...}, "interval": "1m"}
+//	POST /agg/terms     {"query": {...}, "field": "hostname", "size": 10}
+//	GET  /stats
+func (st *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /index", st.handleIndex)
+	mux.HandleFunc("POST /search", st.handleSearch)
+	mux.HandleFunc("POST /agg/datehist", st.handleDateHist)
+	mux.HandleFunc("POST /agg/terms", st.handleTerms)
+	mux.HandleFunc("GET /stats", st.handleStats)
+	mux.HandleFunc("GET /search", st.handleSearchGet)
+	return mux
+}
+
+// handleSearchGet serves the curl-friendly query-string search:
+//
+//	GET /search?q=app:sshd+-preauth+temperature&size=20
+func (st *Store) handleSearchGet(w http.ResponseWriter, r *http.Request) {
+	q, err := ParseQueryString(r.URL.Query().Get("q"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	size := 10
+	if s := r.URL.Query().Get("size"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &size); err != nil {
+			http.Error(w, "bad size", http.StatusBadRequest)
+			return
+		}
+	}
+	hits := st.Search(SearchRequest{Query: q, Size: size})
+	writeJSON(w, map[string]any{"total": len(hits), "hits": hits})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (st *Store) handleIndex(w http.ResponseWriter, r *http.Request) {
+	var d Doc
+	if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := st.Index(d)
+	writeJSON(w, map[string]int64{"id": id})
+}
+
+type searchBody struct {
+	Query   json.RawMessage `json:"query"`
+	Size    int             `json:"size"`
+	SortAsc bool            `json:"sort_asc"`
+}
+
+func (st *Store) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var body searchBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := Query(MatchAll{})
+	if len(body.Query) > 0 {
+		var err error
+		q, err = ParseQuery(body.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	hits := st.Search(SearchRequest{Query: q, Size: body.Size, SortAsc: body.SortAsc})
+	writeJSON(w, map[string]any{"total": len(hits), "hits": hits})
+}
+
+type dateHistBody struct {
+	Query    json.RawMessage `json:"query"`
+	Interval string          `json:"interval"`
+}
+
+func (st *Store) handleDateHist(w http.ResponseWriter, r *http.Request) {
+	var body dateHistBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := Query(MatchAll{})
+	if len(body.Query) > 0 {
+		var err error
+		q, err = ParseQuery(body.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	interval, err := time.ParseDuration(body.Interval)
+	if err != nil {
+		http.Error(w, "bad interval: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, st.DateHistogram(q, interval))
+}
+
+type termsBody struct {
+	Query json.RawMessage `json:"query"`
+	Field string          `json:"field"`
+	Size  int             `json:"size"`
+}
+
+func (st *Store) handleTerms(w http.ResponseWriter, r *http.Request) {
+	var body termsBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := Query(MatchAll{})
+	if len(body.Query) > 0 {
+		var err error
+		q, err = ParseQuery(body.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if body.Field == "" {
+		http.Error(w, "field required", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, st.Terms(q, body.Field, body.Size))
+}
+
+func (st *Store) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, st.Stats())
+}

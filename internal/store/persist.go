@@ -1,0 +1,88 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Snapshot writes every document as one JSON object per line (JSONL),
+// ordered by id, so a store can be persisted and later rebuilt with Load.
+// This is the reproduction's stand-in for OpenSearch index snapshots: the
+// paper's deployment retains >30M records/month, which must survive
+// restarts.
+func (st *Store) Snapshot(w io.Writer) error {
+	var docs []Doc
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for i := range sh.docs {
+			if !sh.deleted(int32(i)) {
+				docs = append(docs, sh.docs[i])
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(docs, func(a, b int) bool { return docs[a].ID < docs[b].ID })
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range docs {
+		if err := enc.Encode(&docs[i]); err != nil {
+			return fmt.Errorf("store: snapshot doc %d: %w", docs[i].ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a Snapshot stream into an empty store, rebuilding all
+// indices. Document ids are reassigned sequentially (snapshot order), so
+// queries behave identically; loading into a non-empty store is rejected.
+func (st *Store) Load(r io.Reader) error {
+	if st.Count() != 0 {
+		return fmt.Errorf("store: Load requires an empty store (have %d docs)", st.Count())
+	}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	n := 0
+	for {
+		var d Doc
+		if err := dec.Decode(&d); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("store: load doc %d: %w", n, err)
+		}
+		st.Index(d)
+		n++
+	}
+}
+
+// SaveFile snapshots to path (atomically via a temp file + rename).
+func (st *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := st.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a store from a SaveFile snapshot.
+func (st *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return st.Load(f)
+}

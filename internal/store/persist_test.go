@@ -1,0 +1,98 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotLoadRoundTrip(t *testing.T) {
+	src := New(3)
+	seed(src)
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(5) // different shard count must not matter
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count() != src.Count() {
+		t.Fatalf("count %d != %d", dst.Count(), src.Count())
+	}
+	// Queries behave identically.
+	for _, q := range []Query{
+		Match{Text: "temperature"},
+		Term{Field: "hostname", Value: "cn101"},
+		TimeRange{From: t0.Add(time.Minute)},
+	} {
+		if got, want := dst.CountQuery(q), src.CountQuery(q); got != want {
+			t.Errorf("query %#v: %d hits after load, want %d", q, got, want)
+		}
+	}
+	// Aggregations too.
+	a, b := src.Terms(MatchAll{}, "hostname", 0), dst.Terms(MatchAll{}, "hostname", 0)
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Errorf("terms diverged: %v vs %v", a, b)
+	}
+}
+
+func TestLoadRejectsNonEmptyStore(t *testing.T) {
+	st := New(2)
+	seed(st)
+	if err := st.Load(strings.NewReader("")); err == nil {
+		t.Error("Load into non-empty store should error")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	st := New(2)
+	err := st.Load(strings.NewReader(`{"id":1,"body":"ok"}` + "\n" + `{broken`))
+	if err == nil {
+		t.Error("corrupt snapshot should error")
+	}
+	// The valid prefix was indexed; the error names the failing record.
+	if !strings.Contains(err.Error(), "doc 1") {
+		t.Errorf("error should locate the bad record: %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tivan.jsonl")
+	src := New(2)
+	seed(src)
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(2)
+	if err := dst.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count() != src.Count() {
+		t.Fatalf("count = %d", dst.Count())
+	}
+	// Missing file errors cleanly.
+	if err := New(1).LoadFile(filepath.Join(dir, "absent.jsonl")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(2).Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty snapshot wrote %d bytes", buf.Len())
+	}
+	dst := New(1)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count() != 0 {
+		t.Error("empty load should stay empty")
+	}
+}

@@ -1,0 +1,295 @@
+package store
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Query is the search AST. Implementations: MatchAll, Term, Match, Bool,
+// TimeRange.
+type Query interface {
+	// matches evaluates the query against one document (the fallback and
+	// filter path; indexed evaluation happens per shard where possible).
+	matches(d *Doc) bool
+}
+
+// MatchAll matches every document.
+type MatchAll struct{}
+
+func (MatchAll) matches(*Doc) bool { return true }
+
+// Term matches documents whose metadata field equals value
+// (case-insensitive).
+type Term struct {
+	Field string
+	Value string
+}
+
+func (t Term) matches(d *Doc) bool {
+	v, ok := d.Fields[t.Field]
+	return ok && equalFold(v, t.Value)
+}
+
+// Match matches documents whose body contains every token of Text.
+type Match struct {
+	Text string
+}
+
+func (m Match) matches(d *Doc) bool {
+	want := Analyze(m.Text)
+	if len(want) == 0 {
+		return true
+	}
+	have := map[string]bool{}
+	for _, tok := range Analyze(d.Body) {
+		have[tok] = true
+	}
+	for _, tok := range want {
+		if !have[tok] {
+			return false
+		}
+	}
+	return true
+}
+
+// TimeRange matches documents with From <= Time < To. Zero bounds are
+// open.
+type TimeRange struct {
+	From time.Time
+	To   time.Time
+}
+
+func (t TimeRange) matches(d *Doc) bool {
+	if !t.From.IsZero() && d.Time.Before(t.From) {
+		return false
+	}
+	if !t.To.IsZero() && !d.Time.Before(t.To) {
+		return false
+	}
+	return true
+}
+
+// Bool combines clauses: all Must and none of MustNot, plus at least one
+// Should when any are present.
+type Bool struct {
+	Must    []Query
+	Should  []Query
+	MustNot []Query
+}
+
+func (b Bool) matches(d *Doc) bool {
+	for _, q := range b.Must {
+		if !q.matches(d) {
+			return false
+		}
+	}
+	for _, q := range b.MustNot {
+		if q.matches(d) {
+			return false
+		}
+	}
+	if len(b.Should) > 0 {
+		for _, q := range b.Should {
+			if q.matches(d) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Hit is one search result.
+type Hit struct {
+	Doc Doc `json:"doc"`
+}
+
+// SearchRequest bundles a query with result controls.
+type SearchRequest struct {
+	Query Query
+	// Size limits returned hits (default 10; negative = unlimited).
+	Size int
+	// SortAsc returns oldest-first instead of the default newest-first.
+	SortAsc bool
+}
+
+// Search runs the request across all shards in parallel and merges hits by
+// time.
+func (st *Store) Search(req SearchRequest) []Hit {
+	if req.Query == nil {
+		req.Query = MatchAll{}
+	}
+	size := req.Size
+	if size == 0 {
+		size = 10
+	}
+
+	perShard := make([][]Hit, len(st.shards))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, sh := range st.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perShard[i] = sh.search(req.Query)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	var hits []Hit
+	for _, h := range perShard {
+		hits = append(hits, h...)
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		ta, tb := hits[a].Doc.Time, hits[b].Doc.Time
+		if !ta.Equal(tb) {
+			if req.SortAsc {
+				return ta.Before(tb)
+			}
+			return tb.Before(ta)
+		}
+		return hits[a].Doc.ID < hits[b].Doc.ID
+	})
+	if size >= 0 && len(hits) > size {
+		hits = hits[:size]
+	}
+	return hits
+}
+
+// CountQuery returns the number of documents matching q.
+func (st *Store) CountQuery(q Query) int {
+	n := 0
+	for _, sh := range st.shards {
+		n += len(sh.search(q))
+	}
+	return n
+}
+
+// search evaluates q on one shard, using postings where the query shape
+// allows and falling back to a filtered scan otherwise.
+func (s *shard) search(q Query) []Hit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if cand, ok := s.candidates(q); ok {
+		hits := make([]Hit, 0, len(cand))
+		for _, off := range cand {
+			if s.deleted(off) {
+				continue
+			}
+			d := &s.docs[off]
+			if q.matches(d) {
+				hits = append(hits, Hit{Doc: *d})
+			}
+		}
+		return hits
+	}
+	var hits []Hit
+	for i := range s.docs {
+		if s.deleted(int32(i)) {
+			continue
+		}
+		if q.matches(&s.docs[i]) {
+			hits = append(hits, Hit{Doc: s.docs[i]})
+		}
+	}
+	return hits
+}
+
+// candidates returns a superset of matching doc offsets via the inverted
+// index, when the query has at least one indexable conjunct. ok=false
+// means "scan everything".
+func (s *shard) candidates(q Query) ([]int32, bool) {
+	switch t := q.(type) {
+	case Term:
+		return s.field[fieldKey(t.Field, t.Value)], true
+	case Match:
+		toks := Analyze(t.Text)
+		if len(toks) == 0 {
+			return nil, false
+		}
+		// Intersect postings, rarest first.
+		lists := make([][]int32, 0, len(toks))
+		for _, tok := range toks {
+			p, ok := s.text[tok]
+			if !ok {
+				return nil, true // a required token is absent: no matches
+			}
+			lists = append(lists, p)
+		}
+		sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+		acc := lists[0]
+		for _, l := range lists[1:] {
+			acc = intersect(acc, l)
+			if len(acc) == 0 {
+				return nil, true
+			}
+		}
+		return acc, true
+	case Bool:
+		// Use the most selective indexable Must clause as the candidate
+		// driver; correctness comes from the matches() re-check.
+		var best []int32
+		found := false
+		for _, m := range t.Must {
+			if cand, ok := s.candidates(m); ok {
+				if !found || len(cand) < len(best) {
+					best, found = cand, true
+				}
+			}
+		}
+		if found {
+			return best, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+func intersect(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

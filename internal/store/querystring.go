@@ -1,0 +1,74 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParseQueryString parses a compact one-line query language for
+// interactive use (the GET /search?q=... endpoint and CLI tools):
+//
+//	temperature throttled            full-text: both tokens must appear
+//	app:sshd hostname:cn101          field equality
+//	after:2023-07-01T00:00:00Z       time lower bound (inclusive)
+//	before:2023-07-02T00:00:00Z      time upper bound (exclusive)
+//	-preauth                         negated full-text token
+//
+// Terms combine with AND semantics. An empty string matches everything.
+func ParseQueryString(s string) (Query, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return MatchAll{}, nil
+	}
+	var must []Query
+	var mustNot []Query
+	var textTokens []string
+	tr := TimeRange{}
+	haveRange := false
+
+	for _, tok := range fields {
+		switch {
+		case strings.HasPrefix(tok, "-") && len(tok) > 1:
+			mustNot = append(mustNot, Match{Text: tok[1:]})
+		case strings.HasPrefix(tok, "after:"):
+			t, err := time.Parse(time.RFC3339, strings.TrimPrefix(tok, "after:"))
+			if err != nil {
+				return nil, fmt.Errorf("store: bad after: %w", err)
+			}
+			tr.From = t
+			haveRange = true
+		case strings.HasPrefix(tok, "before:"):
+			t, err := time.Parse(time.RFC3339, strings.TrimPrefix(tok, "before:"))
+			if err != nil {
+				return nil, fmt.Errorf("store: bad before: %w", err)
+			}
+			tr.To = t
+			haveRange = true
+		case strings.Contains(tok, ":"):
+			parts := strings.SplitN(tok, ":", 2)
+			if parts[0] == "" || parts[1] == "" {
+				return nil, fmt.Errorf("store: bad field term %q", tok)
+			}
+			// Categories and other values may contain spaces; the query
+			// language uses '+' as the space stand-in.
+			value := strings.ReplaceAll(parts[1], "+", " ")
+			must = append(must, Term{Field: parts[0], Value: value})
+		default:
+			textTokens = append(textTokens, tok)
+		}
+	}
+	if len(textTokens) > 0 {
+		must = append(must, Match{Text: strings.Join(textTokens, " ")})
+	}
+	if haveRange {
+		must = append(must, tr)
+	}
+	if len(mustNot) == 0 && len(must) == 1 {
+		return must[0], nil
+	}
+	if len(mustNot) == 0 && len(must) == 0 {
+		return MatchAll{}, nil
+	}
+	return Bool{Must: must, MustNot: mustNot}, nil
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseQueryStringShapes(t *testing.T) {
+	// Full text only.
+	q, err := ParseQueryString("temperature throttled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := q.(Match); !ok || m.Text != "temperature throttled" {
+		t.Errorf("parsed = %#v", q)
+	}
+	// Field terms with '+' space stand-in.
+	q, err = ParseQueryString("category:Thermal+Issue app:kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := q.(Bool)
+	if !ok || len(b.Must) != 2 {
+		t.Fatalf("parsed = %#v", q)
+	}
+	if tm := b.Must[0].(Term); tm.Field != "category" || tm.Value != "Thermal Issue" {
+		t.Errorf("term = %+v", tm)
+	}
+	// Negation + range.
+	q, err = ParseQueryString("-preauth after:2023-07-01T00:00:00Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = q.(Bool)
+	if len(b.MustNot) != 1 || len(b.Must) != 1 {
+		t.Fatalf("parsed = %#v", b)
+	}
+	// Empty.
+	q, _ = ParseQueryString("   ")
+	if _, ok := q.(MatchAll); !ok {
+		t.Errorf("empty = %#v", q)
+	}
+	// Errors.
+	for _, bad := range []string{"after:notatime", "before:xx", ":novalue", "field:"} {
+		if _, err := ParseQueryString(bad); err == nil {
+			t.Errorf("ParseQueryString(%q) should error", bad)
+		}
+	}
+}
+
+func TestParseQueryStringAgainstStore(t *testing.T) {
+	st := New(2)
+	seed(st)
+	q, err := ParseQueryString("hostname:cn101 -real_memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := st.Search(SearchRequest{Query: q, Size: -1})
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d, want 2", len(hits))
+	}
+	q2, err := ParseQueryString("after:" + t0.Add(2*time.Minute).Format(time.RFC3339))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.CountQuery(q2); got != 3 {
+		t.Errorf("range query hits = %d", got)
+	}
+}

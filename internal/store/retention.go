@@ -1,0 +1,81 @@
+package store
+
+import "time"
+
+// The paper's deployment ingests >30M records/month (§4.2); bounded disk
+// means bounded retention. Deletion uses tombstones: deleted documents
+// stay in the postings until Compact rebuilds the shard, but are filtered
+// from every read path.
+
+// DeleteBefore tombstones all documents older than cutoff and returns how
+// many were marked.
+func (st *Store) DeleteBefore(cutoff time.Time) int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		for i := range sh.docs {
+			if !sh.deleted(int32(i)) && sh.docs[i].Time.Before(cutoff) {
+				sh.tombstone(int32(i))
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Delete tombstones one document by id; it reports whether the document
+// existed and was live.
+func (st *Store) Delete(id int64) bool {
+	if id < 0 || len(st.shards) == 0 {
+		return false
+	}
+	sh := st.shards[id%int64(len(st.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	off, ok := sh.byID[id]
+	if !ok || sh.deleted(int32(off)) {
+		return false
+	}
+	sh.tombstone(int32(off))
+	return true
+}
+
+// Deleted returns the number of tombstoned documents awaiting compaction.
+func (st *Store) Deleted() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		n += len(sh.dead)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Compact rebuilds every shard without its tombstoned documents,
+// reclaiming postings memory. Document ids are preserved.
+func (st *Store) Compact() {
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		if len(sh.dead) == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		live := make([]Doc, 0, len(sh.docs)-len(sh.dead))
+		for i := range sh.docs {
+			if !sh.deleted(int32(i)) {
+				live = append(live, sh.docs[i])
+			}
+		}
+		fresh := newShard()
+		for _, d := range live {
+			fresh.indexLocked(d)
+		}
+		sh.docs = fresh.docs
+		sh.byID = fresh.byID
+		sh.text = fresh.text
+		sh.field = fresh.field
+		sh.dead = nil
+		sh.mu.Unlock()
+	}
+}

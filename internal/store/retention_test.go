@@ -1,0 +1,122 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestDeleteByID(t *testing.T) {
+	st := New(3)
+	seed(st)
+	id := int64(0)
+	if !st.Delete(id) {
+		t.Fatal("delete of live doc failed")
+	}
+	if st.Delete(id) {
+		t.Error("double delete should report false")
+	}
+	if st.Delete(-1) || st.Delete(9999) {
+		t.Error("delete of absent ids should report false")
+	}
+	if _, ok := st.Get(id); ok {
+		t.Error("deleted doc still retrievable")
+	}
+	if st.Count() != 4 {
+		t.Errorf("Count = %d, want 4", st.Count())
+	}
+	if st.Deleted() != 1 {
+		t.Errorf("Deleted = %d", st.Deleted())
+	}
+}
+
+func TestDeletedDocsExcludedEverywhere(t *testing.T) {
+	st := New(2)
+	seed(st)
+	// Find and delete the real_memory doc.
+	hits := st.Search(SearchRequest{Query: Match{Text: "real_memory"}, Size: -1})
+	if len(hits) != 1 {
+		t.Fatal("setup: expected one real_memory doc")
+	}
+	st.Delete(hits[0].Doc.ID)
+
+	if got := st.CountQuery(Match{Text: "real_memory"}); got != 0 {
+		t.Errorf("search still returns deleted doc: %d hits", got)
+	}
+	for _, b := range st.Terms(MatchAll{}, "app", 0) {
+		if b.Value == "slurmd" {
+			t.Error("terms agg still counts deleted doc")
+		}
+	}
+	total := 0
+	for _, b := range st.DateHistogram(MatchAll{}, time.Minute) {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Errorf("histogram total = %d, want 4", total)
+	}
+}
+
+func TestDeleteBeforeRetention(t *testing.T) {
+	st := New(3)
+	seed(st) // docs at t0 + 0..4 minutes
+	n := st.DeleteBefore(t0.Add(2 * time.Minute))
+	if n != 2 {
+		t.Fatalf("DeleteBefore removed %d, want 2", n)
+	}
+	if st.Count() != 3 {
+		t.Errorf("Count = %d", st.Count())
+	}
+	// Idempotent.
+	if st.DeleteBefore(t0.Add(2*time.Minute)) != 0 {
+		t.Error("second DeleteBefore should remove nothing")
+	}
+}
+
+func TestCompactReclaimsAndPreservesQueries(t *testing.T) {
+	st := New(2)
+	seed(st)
+	st.DeleteBefore(t0.Add(2 * time.Minute))
+	before := st.Search(SearchRequest{Size: -1})
+	st.Compact()
+	if st.Deleted() != 0 {
+		t.Errorf("Deleted = %d after compact", st.Deleted())
+	}
+	after := st.Search(SearchRequest{Size: -1})
+	if len(after) != len(before) {
+		t.Fatalf("compact changed result count: %d vs %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i].Doc.ID != before[i].Doc.ID || after[i].Doc.Body != before[i].Doc.Body {
+			t.Fatal("compact changed results")
+		}
+	}
+	// Ids still resolve.
+	for _, h := range after {
+		if _, ok := st.Get(h.Doc.ID); !ok {
+			t.Fatalf("doc %d lost by compact", h.Doc.ID)
+		}
+	}
+	// Compact on a clean store is a no-op.
+	st.Compact()
+	if st.Count() != len(after) {
+		t.Error("second compact changed count")
+	}
+}
+
+func TestSnapshotSkipsDeleted(t *testing.T) {
+	st := New(2)
+	seed(st)
+	st.Delete(0)
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(1)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count() != 4 {
+		t.Errorf("snapshot carried %d docs, want 4", dst.Count())
+	}
+}

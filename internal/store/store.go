@@ -1,0 +1,198 @@
+// Package store implements "Tivan", the reproduction's stand-in for the
+// paper's OpenSearch cluster (§4.2): a sharded in-process document store
+// with an inverted index over message text and metadata fields, boolean and
+// time-range queries, and the aggregations (date histogram, terms) that the
+// monitoring views consume. Shards are searched in parallel.
+package store
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+	"unicode"
+)
+
+// Doc is one stored log record.
+type Doc struct {
+	ID   int64     `json:"id"`
+	Time time.Time `json:"time"`
+	// Fields holds exact-match metadata: hostname, app, severity,
+	// facility, rack, arch, category, ...
+	Fields map[string]string `json:"fields"`
+	// Body is the free-text message content (analyzed).
+	Body string `json:"body"`
+}
+
+// Analyze splits body text into lowercase search tokens. Letters, digits,
+// underscores and dots form tokens (so "cn101", "real_memory" and IP
+// fragments stay searchable).
+func Analyze(s string) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			out = append(out, strings.ToLower(s[start:end]))
+			start = -1
+		}
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(s))
+	return out
+}
+
+// shard is one index partition. All access goes through its lock.
+type shard struct {
+	mu   sync.RWMutex
+	docs []Doc
+	byID map[int64]int
+	// body postings: token -> doc offsets (ascending, deduplicated)
+	text map[string][]int32
+	// field postings: "field\x00value" -> doc offsets
+	field map[string][]int32
+	// dead holds tombstoned offsets awaiting Compact.
+	dead map[int32]struct{}
+}
+
+// deleted reports whether the offset is tombstoned. Caller holds a lock.
+func (s *shard) deleted(off int32) bool {
+	_, ok := s.dead[off]
+	return ok
+}
+
+// tombstone marks an offset deleted. Caller holds the write lock.
+func (s *shard) tombstone(off int32) {
+	if s.dead == nil {
+		s.dead = make(map[int32]struct{})
+	}
+	s.dead[off] = struct{}{}
+}
+
+func newShard() *shard {
+	return &shard{
+		byID:  make(map[int64]int),
+		text:  make(map[string][]int32),
+		field: make(map[string][]int32),
+	}
+}
+
+func fieldKey(field, value string) string { return field + "\x00" + strings.ToLower(value) }
+
+func (s *shard) index(d Doc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.indexLocked(d)
+}
+
+// indexLocked adds a document; the caller holds the write lock (or owns
+// the shard exclusively, as Compact does).
+func (s *shard) indexLocked(d Doc) {
+	off := int32(len(s.docs))
+	s.docs = append(s.docs, d)
+	s.byID[d.ID] = int(off)
+	seen := map[string]bool{}
+	for _, tok := range Analyze(d.Body) {
+		if !seen[tok] {
+			seen[tok] = true
+			s.text[tok] = append(s.text[tok], off)
+		}
+	}
+	for f, v := range d.Fields {
+		k := fieldKey(f, v)
+		s.field[k] = append(s.field[k], off)
+	}
+}
+
+// Store is the sharded index.
+type Store struct {
+	shards []*shard
+	mu     sync.Mutex
+	nextID int64
+}
+
+// New creates a store with the given shard count (default 4 when n <= 0,
+// matching a small OpenSearch deployment).
+func New(nShards int) *Store {
+	if nShards <= 0 {
+		nShards = 4
+	}
+	st := &Store{shards: make([]*shard, nShards)}
+	for i := range st.shards {
+		st.shards[i] = newShard()
+	}
+	return st
+}
+
+// NumShards returns the shard count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// Index stores a document and returns its assigned id. Documents are
+// routed to shards round-robin by id, so time ranges spread evenly.
+func (st *Store) Index(d Doc) int64 {
+	st.mu.Lock()
+	id := st.nextID
+	st.nextID++
+	st.mu.Unlock()
+	d.ID = id
+	st.shards[id%int64(len(st.shards))].index(d)
+	return id
+}
+
+// Get returns the document with the given id.
+func (st *Store) Get(id int64) (Doc, bool) {
+	if id < 0 || len(st.shards) == 0 {
+		return Doc{}, false
+	}
+	sh := st.shards[id%int64(len(st.shards))]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	off, ok := sh.byID[id]
+	if !ok || sh.deleted(int32(off)) {
+		return Doc{}, false
+	}
+	return sh.docs[off], true
+}
+
+// Count returns the total number of indexed documents.
+func (st *Store) Count() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		n += len(sh.docs) - len(sh.dead)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats summarizes the store.
+type Stats struct {
+	Docs      int `json:"docs"`
+	Shards    int `json:"shards"`
+	TextTerms int `json:"text_terms"`
+}
+
+// Stats reports document, shard and distinct-term counts.
+func (st *Store) Stats() Stats {
+	s := Stats{Shards: len(st.shards)}
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		s.Docs += len(sh.docs) - len(sh.dead)
+		s.TextTerms += len(sh.text)
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// String renders a short description.
+func (st *Store) String() string {
+	s := st.Stats()
+	return fmt.Sprintf("tivan: %d docs across %d shards (%d terms)", s.Docs, s.Shards, s.TextTerms)
+}

@@ -1,0 +1,172 @@
+// Package syslog implements the syslog wire formats (RFC 3164 and RFC 5424)
+// together with UDP/TCP listeners and a forwarding relay. It is the transport
+// substrate of the reproduction: compute nodes emit syslog, a primary syslog
+// server relays it, and the collector ingests it (paper §4.2).
+package syslog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Severity is the syslog severity level (RFC 5424 §6.2.1).
+type Severity int
+
+// Severity levels, most to least severe.
+const (
+	Emergency Severity = iota
+	Alert
+	Critical
+	Error
+	Warning
+	Notice
+	Info
+	Debug
+)
+
+var severityNames = [...]string{
+	"emerg", "alert", "crit", "err", "warning", "notice", "info", "debug",
+}
+
+// String returns the conventional short name ("warning", "err", ...).
+func (s Severity) String() string {
+	if s < 0 || int(s) >= len(severityNames) {
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+	return severityNames[s]
+}
+
+// Valid reports whether s is one of the eight defined severities.
+func (s Severity) Valid() bool { return s >= Emergency && s <= Debug }
+
+// Facility is the syslog facility code (RFC 5424 §6.2.1).
+type Facility int
+
+// Facility codes. LOCAL0..LOCAL7 are 16..23.
+const (
+	Kern Facility = iota
+	User
+	Mail
+	Daemon
+	Auth
+	Syslog
+	LPR
+	News
+	UUCP
+	Cron
+	AuthPriv
+	FTP
+	NTP
+	LogAudit
+	LogAlert
+	Clock
+	Local0
+	Local1
+	Local2
+	Local3
+	Local4
+	Local5
+	Local6
+	Local7
+)
+
+var facilityNames = [...]string{
+	"kern", "user", "mail", "daemon", "auth", "syslog", "lpr", "news",
+	"uucp", "cron", "authpriv", "ftp", "ntp", "audit", "alert", "clock",
+	"local0", "local1", "local2", "local3", "local4", "local5", "local6", "local7",
+}
+
+// String returns the conventional facility name ("daemon", "local0", ...).
+func (f Facility) String() string {
+	if f < 0 || int(f) >= len(facilityNames) {
+		return fmt.Sprintf("facility(%d)", int(f))
+	}
+	return facilityNames[f]
+}
+
+// Valid reports whether f is one of the 24 defined facilities.
+func (f Facility) Valid() bool { return f >= Kern && f <= Local7 }
+
+// Priority is the combined <PRI> value: facility*8 + severity.
+type Priority int
+
+// Make combines a facility and severity into a Priority.
+func Make(f Facility, s Severity) Priority { return Priority(int(f)*8 + int(s)) }
+
+// Facility extracts the facility part of the priority.
+func (p Priority) Facility() Facility { return Facility(p / 8) }
+
+// Severity extracts the severity part of the priority.
+func (p Priority) Severity() Severity { return Severity(p % 8) }
+
+// Valid reports whether p is within the encodable range 0..191.
+func (p Priority) Valid() bool { return p >= 0 && p <= 191 }
+
+// StructuredData holds RFC 5424 structured-data elements:
+// SD-ID -> param name -> param value.
+type StructuredData map[string]map[string]string
+
+// Message is a parsed syslog message, independent of wire format.
+//
+// RFC 3164 messages fill Facility, Severity, Timestamp, Hostname, AppName,
+// ProcID and Content. RFC 5424 messages additionally carry MsgID and
+// Structured. Raw preserves the original wire bytes when the message came
+// off a network listener or parser.
+type Message struct {
+	Facility   Facility
+	Severity   Severity
+	Timestamp  time.Time
+	Hostname   string
+	AppName    string
+	ProcID     string
+	MsgID      string
+	Structured StructuredData
+	Content    string
+	Raw        string
+}
+
+// Priority returns the combined <PRI> value of the message.
+func (m *Message) Priority() Priority { return Make(m.Facility, m.Severity) }
+
+// Tag returns the RFC 3164 style TAG: "app[pid]" or just "app".
+func (m *Message) Tag() string {
+	if m.AppName == "" {
+		return ""
+	}
+	if m.ProcID == "" {
+		return m.AppName
+	}
+	return m.AppName + "[" + m.ProcID + "]"
+}
+
+// String renders a human-oriented one-line summary (not a wire format).
+func (m *Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s.%s %s %s", m.Facility, m.Severity,
+		m.Timestamp.Format(time.RFC3339), m.Hostname)
+	if tag := m.Tag(); tag != "" {
+		b.WriteByte(' ')
+		b.WriteString(tag)
+		b.WriteByte(':')
+	}
+	b.WriteByte(' ')
+	b.WriteString(m.Content)
+	return b.String()
+}
+
+// Clone returns a deep copy of the message.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.Structured != nil {
+		c.Structured = make(StructuredData, len(m.Structured))
+		for id, params := range m.Structured {
+			p := make(map[string]string, len(params))
+			for k, v := range params {
+				p[k] = v
+			}
+			c.Structured[id] = p
+		}
+	}
+	return &c
+}

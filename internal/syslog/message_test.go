@@ -1,0 +1,102 @@
+package syslog
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeverityString(t *testing.T) {
+	cases := map[Severity]string{
+		Emergency: "emerg", Alert: "alert", Critical: "crit", Error: "err",
+		Warning: "warning", Notice: "notice", Info: "info", Debug: "debug",
+	}
+	for sev, want := range cases {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", sev, got, want)
+		}
+	}
+	if got := Severity(42).String(); got != "severity(42)" {
+		t.Errorf("out-of-range severity = %q", got)
+	}
+}
+
+func TestFacilityString(t *testing.T) {
+	cases := map[Facility]string{
+		Kern: "kern", Daemon: "daemon", AuthPriv: "authpriv",
+		Local0: "local0", Local7: "local7",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("Facility(%d).String() = %q, want %q", f, got, want)
+		}
+	}
+	if Facility(99).Valid() {
+		t.Error("Facility(99) should be invalid")
+	}
+}
+
+func TestPriorityRoundTrip(t *testing.T) {
+	for f := Kern; f <= Local7; f++ {
+		for s := Emergency; s <= Debug; s++ {
+			p := Make(f, s)
+			if !p.Valid() {
+				t.Fatalf("Make(%d,%d) invalid", f, s)
+			}
+			if p.Facility() != f || p.Severity() != s {
+				t.Fatalf("priority %d round-trip: got (%d,%d), want (%d,%d)",
+					p, p.Facility(), p.Severity(), f, s)
+			}
+		}
+	}
+	if Priority(192).Valid() {
+		t.Error("Priority(192) should be invalid")
+	}
+}
+
+func TestMessageTag(t *testing.T) {
+	m := &Message{AppName: "sshd", ProcID: "4321"}
+	if got := m.Tag(); got != "sshd[4321]" {
+		t.Errorf("Tag() = %q", got)
+	}
+	m.ProcID = ""
+	if got := m.Tag(); got != "sshd" {
+		t.Errorf("Tag() without pid = %q", got)
+	}
+	m.AppName = ""
+	if got := m.Tag(); got != "" {
+		t.Errorf("Tag() without app = %q", got)
+	}
+}
+
+func TestMessageClone(t *testing.T) {
+	m := &Message{
+		Facility: Daemon, Severity: Warning,
+		Timestamp:  time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC),
+		Hostname:   "cn101",
+		AppName:    "kernel",
+		Content:    "CPU3: Core temperature above threshold",
+		Structured: StructuredData{"meta@1": {"rack": "r7"}},
+	}
+	c := m.Clone()
+	if c.Content != m.Content || c.Hostname != m.Hostname {
+		t.Fatal("clone lost scalar fields")
+	}
+	c.Structured["meta@1"]["rack"] = "r9"
+	if m.Structured["meta@1"]["rack"] != "r7" {
+		t.Error("Clone shares structured data with original")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{
+		Facility: Auth, Severity: Info,
+		Timestamp: time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC),
+		Hostname:  "cn101", AppName: "sshd", ProcID: "99",
+		Content: "Accepted publickey for root",
+	}
+	got := m.String()
+	want := "auth.info 2023-07-01T12:00:00Z cn101 sshd[99]: Accepted publickey for root"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

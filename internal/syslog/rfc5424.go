@@ -1,0 +1,247 @@
+package syslog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParseRFC5424 parses a modern syslog message (RFC 5424 §6):
+//
+//	<165>1 2003-10-11T22:14:15.003Z mymachine.example.com evntslog 111 ID47
+//	  [exampleSDID@32473 iut="3"] BOMAn application event log entry...
+//
+// The version must be 1. NILVALUE ("-") fields come back as empty strings.
+func ParseRFC5424(raw string) (*Message, error) {
+	m := &Message{Raw: raw}
+	pri, rest, err := parsePri(raw)
+	if err != nil {
+		return nil, err
+	}
+	m.Facility = pri.Facility()
+	m.Severity = pri.Severity()
+
+	// VERSION
+	if !strings.HasPrefix(rest, "1 ") {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadFormat)
+	}
+	rest = rest[2:]
+
+	// TIMESTAMP HOSTNAME APP-NAME PROCID MSGID — space-separated tokens.
+	fields := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("%w: truncated header", ErrBadFormat)
+		}
+		fields = append(fields, rest[:sp])
+		rest = rest[sp+1:]
+	}
+	if fields[0] != "-" {
+		t, err := time.Parse(time.RFC3339Nano, fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad timestamp %q", ErrBadFormat, fields[0])
+		}
+		m.Timestamp = t
+	}
+	m.Hostname = nilValue(fields[1])
+	m.AppName = nilValue(fields[2])
+	m.ProcID = nilValue(fields[3])
+	m.MsgID = nilValue(fields[4])
+
+	// STRUCTURED-DATA: "-" or one or more [id k="v" ...] elements.
+	sd, rest, err := parseStructuredData(rest)
+	if err != nil {
+		return nil, err
+	}
+	m.Structured = sd
+
+	// MSG: optional, preceded by a single space.
+	m.Content = strings.TrimPrefix(rest, " ")
+	m.Content = strings.TrimPrefix(m.Content, "\xef\xbb\xbf") // UTF-8 BOM per RFC
+	return m, nil
+}
+
+func nilValue(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+func parseStructuredData(s string) (StructuredData, string, error) {
+	if strings.HasPrefix(s, "-") {
+		return nil, s[1:], nil
+	}
+	if !strings.HasPrefix(s, "[") {
+		return nil, "", fmt.Errorf("%w: expected structured data", ErrBadFormat)
+	}
+	sd := make(StructuredData)
+	for strings.HasPrefix(s, "[") {
+		elemEnd := findSDEnd(s)
+		if elemEnd < 0 {
+			return nil, "", fmt.Errorf("%w: unterminated SD element", ErrBadFormat)
+		}
+		elem := s[1:elemEnd]
+		s = s[elemEnd+1:]
+		id, params, err := parseSDElement(elem)
+		if err != nil {
+			return nil, "", err
+		}
+		sd[id] = params
+	}
+	return sd, s, nil
+}
+
+// findSDEnd locates the closing ']' of the SD element opening at s[0],
+// honouring escaped \] inside quoted values.
+func findSDEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			inQuote = !inQuote
+		case ']':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseSDElement(elem string) (string, map[string]string, error) {
+	sp := strings.IndexByte(elem, ' ')
+	if sp < 0 {
+		return elem, map[string]string{}, nil
+	}
+	id := elem[:sp]
+	params := make(map[string]string)
+	rest := elem[sp+1:]
+	for rest != "" {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", nil, fmt.Errorf("%w: bad SD param in %q", ErrBadFormat, elem)
+		}
+		name := rest[:eq]
+		val, remainder, err := parseQuoted(rest[eq+1:])
+		if err != nil {
+			return "", nil, err
+		}
+		params[name] = val
+		rest = remainder
+	}
+	return id, params, nil
+}
+
+// parseQuoted consumes a leading `"..."` handling \" \\ \] escapes.
+func parseQuoted(s string) (string, string, error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", fmt.Errorf("%w: expected quoted value", ErrBadFormat)
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 < len(s) {
+				b.WriteByte(s[i+1])
+				i++
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("%w: unterminated quoted value", ErrBadFormat)
+}
+
+// FormatRFC5424 renders m in RFC 5424 format.
+func FormatRFC5424(m *Message) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%d>1 ", int(m.Priority()))
+	if m.Timestamp.IsZero() {
+		b.WriteString("- ")
+	} else {
+		b.WriteString(m.Timestamp.Format(time.RFC3339Nano))
+		b.WriteByte(' ')
+	}
+	for _, f := range []string{m.Hostname, m.AppName, m.ProcID, m.MsgID} {
+		if f == "" {
+			f = "-"
+		}
+		b.WriteString(f)
+		b.WriteByte(' ')
+	}
+	if len(m.Structured) == 0 {
+		b.WriteByte('-')
+	} else {
+		// Sort IDs for deterministic output.
+		ids := make([]string, 0, len(m.Structured))
+		for id := range m.Structured {
+			ids = append(ids, id)
+		}
+		sortStrings(ids)
+		for _, id := range ids {
+			b.WriteByte('[')
+			b.WriteString(id)
+			params := m.Structured[id]
+			names := make([]string, 0, len(params))
+			for n := range params {
+				names = append(names, n)
+			}
+			sortStrings(names)
+			for _, n := range names {
+				b.WriteByte(' ')
+				b.WriteString(n)
+				b.WriteString(`="`)
+				b.WriteString(escapeSDValue(params[n]))
+				b.WriteByte('"')
+			}
+			b.WriteByte(']')
+		}
+	}
+	if m.Content != "" {
+		b.WriteByte(' ')
+		b.WriteString(m.Content)
+	}
+	return b.String()
+}
+
+func escapeSDValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, `]`, `\]`)
+	return v
+}
+
+func sortStrings(s []string) {
+	// Insertion sort: SD elements are tiny; avoids importing sort here.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Parse auto-detects the wire format: RFC 5424 messages have "1 " after
+// the PRI; anything else — including malformed 5424 — falls back to the
+// RFC 3164 path, which (per that RFC's relay rules) accepts any content.
+func Parse(raw string, ref time.Time) (*Message, error) {
+	_, rest, err := parsePri(raw)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(rest, "1 ") {
+		if m, err := ParseRFC5424(raw); err == nil {
+			return m, nil
+		}
+	}
+	return ParseRFC3164(raw, ref)
+}

@@ -1,0 +1,319 @@
+package syslog
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler receives parsed messages from a listener. Implementations must be
+// safe for concurrent use: UDP datagrams and TCP connections are handled on
+// separate goroutines.
+type Handler interface {
+	HandleSyslog(m *Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(m *Message)
+
+// HandleSyslog calls f(m).
+func (f HandlerFunc) HandleSyslog(m *Message) { f(m) }
+
+// Server listens for syslog traffic on UDP and/or TCP and dispatches parsed
+// messages to a Handler. TCP connections accept both octet-counted framing
+// (RFC 6587 §3.4.1) and LF-delimited framing (§3.4.2), auto-detected per
+// message. Unparseable datagrams are counted and dropped, mirroring how
+// rsyslog treats garbage input.
+type Server struct {
+	Handler Handler
+
+	// Now supplies the reference time for year-less RFC 3164 timestamps.
+	// Defaults to time.Now.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	udpConn  *net.UDPConn
+	tcpLn    net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+	received int64
+	dropped  int64
+}
+
+// trackConn registers an active TCP connection so Close can tear it down;
+// it reports false when the server is already closed.
+func (s *Server) trackConn(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Stats reports how many messages were accepted and dropped since start.
+func (s *Server) Stats() (received, dropped int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received, s.dropped
+}
+
+func (s *Server) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// ListenUDP starts a UDP listener on addr ("127.0.0.1:0" picks a free
+// port) and returns the bound address.
+func (s *Server) ListenUDP(addr string) (net.Addr, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.udpConn = conn
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serveUDP(conn)
+	return conn.LocalAddr(), nil
+}
+
+func (s *Server) serveUDP(conn *net.UDPConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		s.dispatch(strings.TrimRight(string(buf[:n]), "\r\n\x00"))
+	}
+}
+
+// ListenTCP starts a TCP listener on addr and returns the bound address.
+func (s *Server) ListenTCP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.tcpLn = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serveTCP(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) serveTCP(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		if !s.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrackConn(conn)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	for {
+		frame, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		s.dispatch(frame)
+	}
+}
+
+// ReadFrame reads one syslog frame from r, auto-detecting octet-counted
+// ("123 <34>...") versus LF-delimited framing.
+func ReadFrame(r *bufio.Reader) (string, error) {
+	first, err := r.Peek(1)
+	if err != nil {
+		return "", err
+	}
+	if first[0] >= '1' && first[0] <= '9' {
+		// Octet-counted: "LEN SP MSG".
+		lenStr, err := r.ReadString(' ')
+		if err != nil {
+			return "", err
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(lenStr))
+		if err != nil || n <= 0 || n > 1<<20 {
+			return "", fmt.Errorf("syslog: bad frame length %q", lenStr)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	line, err := r.ReadString('\n')
+	if err != nil && line == "" {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (s *Server) dispatch(raw string) {
+	if raw == "" {
+		return
+	}
+	m, err := Parse(raw, s.now())
+	s.mu.Lock()
+	if err != nil {
+		s.dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.received++
+	h := s.Handler
+	s.mu.Unlock()
+	if h != nil {
+		h.HandleSyslog(m)
+	}
+}
+
+// Close shuts down all listeners and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	udp, tcp := s.udpConn, s.tcpLn
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if udp != nil {
+		err = errors.Join(err, udp.Close())
+	}
+	if tcp != nil {
+		err = errors.Join(err, tcp.Close())
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Sender writes syslog messages to a remote collector over TCP (with
+// octet-counted framing) or UDP. It is the client side of the relay chain:
+// compute node -> primary syslog server -> collector.
+type Sender struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	octets bool // true for TCP octet-counted framing
+	format func(*Message) string
+}
+
+// DialSender connects to addr over network ("tcp" or "udp"). format selects
+// the wire format; pass FormatRFC5424 or FormatRFC3164.
+func DialSender(network, addr string, format func(*Message) string) (*Sender, error) {
+	conn, err := net.DialTimeout(network, addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Sender{conn: conn, octets: network == "tcp", format: format}, nil
+}
+
+// Send transmits one message.
+func (s *Sender) Send(m *Message) error {
+	wire := s.format(m)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.octets {
+		_, err = fmt.Fprintf(s.conn, "%d %s", len(wire), wire)
+	} else {
+		_, err = io.WriteString(s.conn, wire)
+	}
+	return err
+}
+
+// Close closes the underlying connection.
+func (s *Sender) Close() error { return s.conn.Close() }
+
+// Relay receives messages on one listener and forwards them to a downstream
+// sender, emulating the primary syslog server in the paper's topology
+// (rsyslogd's builtin forwarding, §4.2.2).
+type Relay struct {
+	server *Server
+	sender *Sender
+}
+
+// NewRelay wires a Server to forward every received message through sender.
+func NewRelay(sender *Sender) *Relay {
+	r := &Relay{sender: sender}
+	r.server = &Server{Handler: HandlerFunc(func(m *Message) {
+		// Forwarding failures are silently dropped, matching UDP syslog
+		// semantics; the store-side collector owns reliability.
+		_ = sender.Send(m)
+	})}
+	return r
+}
+
+// Server exposes the relay's listening side so callers can bind addresses.
+func (r *Relay) Server() *Server { return r.server }
+
+// Close shuts down both sides of the relay.
+func (r *Relay) Close() error {
+	return errors.Join(r.server.Close(), r.sender.Close())
+}
+
+// Collect drains messages from ch into a slice until ctx is done or the
+// channel closes; a convenience for tests and examples.
+func Collect(ctx context.Context, ch <-chan *Message) []*Message {
+	var out []*Message
+	for {
+		select {
+		case <-ctx.Done():
+			return out
+		case m, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, m)
+		}
+	}
+}

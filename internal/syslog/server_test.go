@@ -1,0 +1,240 @@
+package syslog
+
+import (
+	"bufio"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gather is a Handler that appends into a slice under a mutex.
+type gather struct {
+	mu   sync.Mutex
+	msgs []*Message
+}
+
+func (g *gather) HandleSyslog(m *Message) {
+	g.mu.Lock()
+	g.msgs = append(g.msgs, m)
+	g.mu.Unlock()
+}
+
+func (g *gather) wait(t *testing.T, n int) []*Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		g.mu.Lock()
+		if len(g.msgs) >= n {
+			out := append([]*Message(nil), g.msgs...)
+			g.mu.Unlock()
+			return out
+		}
+		g.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d messages", n)
+	return nil
+}
+
+func testMessage(content string) *Message {
+	return &Message{
+		Facility: Daemon, Severity: Warning,
+		Timestamp: time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC),
+		Hostname:  "cn7", AppName: "kernel",
+		Content: content,
+	}
+}
+
+func TestServerUDP(t *testing.T) {
+	g := &gather{}
+	srv := &Server{Handler: g}
+	addr, err := srv.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	snd, err := DialSender("udp", addr.String(), FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	for i := 0; i < 10; i++ {
+		if err := snd.Send(testMessage("thermal event")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := g.wait(t, 10)
+	if msgs[0].Content != "thermal event" || msgs[0].Hostname != "cn7" {
+		t.Errorf("message = %+v", msgs[0])
+	}
+	recv, drop := srv.Stats()
+	if recv < 10 || drop != 0 {
+		t.Errorf("stats = %d received, %d dropped", recv, drop)
+	}
+}
+
+func TestServerTCPOctetCounted(t *testing.T) {
+	g := &gather{}
+	srv := &Server{Handler: g}
+	addr, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	snd, err := DialSender("tcp", addr.String(), FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	for i := 0; i < 25; i++ {
+		if err := snd.Send(testMessage("slurmd: node registration")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := g.wait(t, 25)
+	if len(msgs) < 25 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+}
+
+func TestReadFrameLFDelimited(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("<34>Oct 11 22:14:15 h su: one\n<34>Oct 11 22:14:15 h su: two\n"))
+	f1, err := ReadFrame(r)
+	if err != nil || !strings.HasSuffix(f1, "one") {
+		t.Fatalf("frame1 = %q err=%v", f1, err)
+	}
+	f2, err := ReadFrame(r)
+	if err != nil || !strings.HasSuffix(f2, "two") {
+		t.Fatalf("frame2 = %q err=%v", f2, err)
+	}
+}
+
+func TestReadFrameOctetCounted(t *testing.T) {
+	msg := "<34>1 - h a p m - hi"
+	r := bufio.NewReader(strings.NewReader("20 " + msg))
+	f, err := ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != msg {
+		t.Errorf("frame = %q, want %q", f, msg)
+	}
+}
+
+func TestReadFrameBadLength(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("99999999999 x"))
+	if _, err := ReadFrame(r); err == nil {
+		t.Error("expected error for oversized frame length")
+	}
+}
+
+func TestServerDropsGarbage(t *testing.T) {
+	g := &gather{}
+	srv := &Server{Handler: g}
+	addr, err := srv.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	snd, err := DialSender("udp", addr.String(), func(*Message) string { return "garbage with no pri" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	for i := 0; i < 5; i++ {
+		_ = snd.Send(testMessage("x"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, dropped := srv.Stats(); dropped >= 5 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, dropped := srv.Stats()
+	t.Fatalf("dropped = %d, want >= 5", dropped)
+}
+
+func TestRelayForwards(t *testing.T) {
+	// downstream server
+	g := &gather{}
+	down := &Server{Handler: g}
+	downAddr, err := down.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer down.Close()
+
+	// relay: UDP in, TCP out
+	snd, err := DialSender("tcp", downAddr.String(), FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := NewRelay(snd)
+	relayAddr, err := relay.Server().ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	src, err := DialSender("udp", relayAddr.String(), FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < 8; i++ {
+		if err := src.Send(testMessage("forwarded")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := g.wait(t, 8)
+	if msgs[0].Content != "forwarded" {
+		t.Errorf("relayed message = %+v", msgs[0])
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := &Server{}
+	if _, err := srv.ListenUDP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerCloseWithOpenConnection guards against the shutdown hang where
+// Close waited on handler goroutines blocked reading from still-open TCP
+// connections.
+func TestServerCloseWithOpenConnection(t *testing.T) {
+	srv := &Server{Handler: &gather{}}
+	addr, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := DialSender("tcp", addr.String(), FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	if err := snd.Send(testMessage("hello")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with an open client connection")
+	}
+}

@@ -1,0 +1,24 @@
+package taxonomy_test
+
+import (
+	"fmt"
+
+	"hetsyslog/internal/taxonomy"
+)
+
+func ExampleActionable() {
+	fmt.Println(taxonomy.Actionable(taxonomy.ThermalIssue))
+	fmt.Println(taxonomy.Actionable(taxonomy.Unimportant))
+	// Output:
+	// true
+	// false
+}
+
+func ExamplePaperCounts() {
+	counts := taxonomy.PaperCounts()
+	fmt.Println(counts[taxonomy.ThermalIssue], counts[taxonomy.SlurmIssue])
+	fmt.Println(taxonomy.PaperTotal())
+	// Output:
+	// 59411 46
+	// 196393
+}

@@ -1,0 +1,77 @@
+// Package taxonomy defines the paper's eight-way classification scheme for
+// heterogeneous syslog messages (§4.1): broad, actionable categories rather
+// than over-specified diagnoses, plus the "Unimportant" bucket for noise
+// the system administrators chose to ignore.
+package taxonomy
+
+// Category is one of the paper's issue classes.
+type Category string
+
+// The eight categories of §4.1, in the paper's order.
+const (
+	HardwareIssue      Category = "Hardware Issue"
+	IntrusionDetection Category = "Intrusion Detection"
+	MemoryIssue        Category = "Memory Issue"
+	SSHConnection      Category = "SSH-Connection"
+	SlurmIssue         Category = "Slurm Issues"
+	ThermalIssue       Category = "Thermal Issue"
+	USBDevice          Category = "USB-Device"
+	Unimportant        Category = "Unimportant"
+)
+
+// All lists every category in a stable order.
+func All() []Category {
+	return []Category{
+		HardwareIssue, IntrusionDetection, MemoryIssue, SSHConnection,
+		SlurmIssue, ThermalIssue, USBDevice, Unimportant,
+	}
+}
+
+// Names returns All() as plain strings (label sets for the classifiers).
+func Names() []string {
+	cats := All()
+	out := make([]string, len(cats))
+	for i, c := range cats {
+		out[i] = string(c)
+	}
+	return out
+}
+
+// Valid reports whether c is one of the defined categories.
+func Valid(c Category) bool {
+	for _, k := range All() {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Actionable reports whether the category should page an administrator.
+// Everything except Unimportant is actionable (§4.1: categories are chosen
+// "at a level that prompts actionable steps").
+func Actionable(c Category) bool { return Valid(c) && c != Unimportant }
+
+// PaperCounts returns Table 2: unique messages per category in the paper's
+// Levenshtein-labelled dataset (196 393 total).
+func PaperCounts() map[Category]int {
+	return map[Category]int{
+		HardwareIssue:      3582,
+		IntrusionDetection: 6599,
+		MemoryIssue:        12449,
+		SSHConnection:      3615,
+		ThermalIssue:       59411,
+		SlurmIssue:         46,
+		USBDevice:          4139,
+		Unimportant:        106552,
+	}
+}
+
+// PaperTotal is the size of the paper's dataset (sum of Table 2).
+func PaperTotal() int {
+	n := 0
+	for _, v := range PaperCounts() {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package taxonomy
+
+import "testing"
+
+func TestAllHasEightCategories(t *testing.T) {
+	if len(All()) != 8 {
+		t.Fatalf("categories = %d, want 8", len(All()))
+	}
+	seen := map[Category]bool{}
+	for _, c := range All() {
+		if seen[c] {
+			t.Errorf("duplicate category %q", c)
+		}
+		seen[c] = true
+		if !Valid(c) {
+			t.Errorf("category %q not Valid", c)
+		}
+	}
+}
+
+func TestValidRejectsUnknown(t *testing.T) {
+	if Valid("Disk Issue") {
+		t.Error("unknown category accepted")
+	}
+	if Valid("") {
+		t.Error("empty category accepted")
+	}
+}
+
+func TestActionable(t *testing.T) {
+	if Actionable(Unimportant) {
+		t.Error("Unimportant must not be actionable")
+	}
+	if !Actionable(ThermalIssue) || !Actionable(SlurmIssue) {
+		t.Error("issue categories must be actionable")
+	}
+	if Actionable("bogus") {
+		t.Error("invalid category must not be actionable")
+	}
+}
+
+func TestPaperCountsMatchTable2(t *testing.T) {
+	counts := PaperCounts()
+	if counts[ThermalIssue] != 59411 {
+		t.Errorf("Thermal = %d", counts[ThermalIssue])
+	}
+	if counts[Unimportant] != 106552 {
+		t.Errorf("Unimportant = %d", counts[Unimportant])
+	}
+	if counts[SlurmIssue] != 46 {
+		t.Errorf("Slurm = %d", counts[SlurmIssue])
+	}
+	if got := PaperTotal(); got != 196393 {
+		t.Errorf("total = %d, want 196393 (sum of Table 2)", got)
+	}
+	if len(counts) != len(All()) {
+		t.Error("PaperCounts must cover every category")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 8 || names[0] != "Hardware Issue" {
+		t.Errorf("Names() = %v", names)
+	}
+}

@@ -1,0 +1,21 @@
+package textproc_test
+
+import (
+	"fmt"
+
+	"hetsyslog/internal/textproc"
+)
+
+func ExampleLemmatizer_Lemma() {
+	// §4.3.2: "The system has failed", "There was a failure in the
+	// system", "The system is failing" all reduce to "fail".
+	l := textproc.NewLemmatizer()
+	fmt.Println(l.Lemma("failed"), l.Lemma("failure"), l.Lemma("failing"))
+	// Output: fail fail fail
+}
+
+func ExamplePreprocessor_Process() {
+	p := textproc.NewPreprocessor()
+	fmt.Println(p.Process("CPU 23 temperature above threshold, cpu clock throttled"))
+	// Output: [cpu <num> temperature above threshold cpu clock throttle]
+}

@@ -1,0 +1,322 @@
+package textproc
+
+import "strings"
+
+// Lemmatizer reduces inflected word forms to a base lemma, following the
+// WordNet lemmatizer's architecture (paper §4.3.2, [5]): first consult an
+// exception table for irregular forms, then apply suffix-detachment rules
+// and accept a candidate only if it is a known base form in the lexicon.
+// Unknown words are returned unchanged, which is the safe behaviour for
+// vendor-specific identifiers like "slurm_rpc_node_registration".
+type Lemmatizer struct {
+	exceptions map[string]string
+	lexicon    map[string]bool
+}
+
+// NewLemmatizer returns a lemmatizer loaded with the built-in exception
+// table and base-form lexicon (tuned for the syslog/admin domain plus
+// common English).
+func NewLemmatizer() *Lemmatizer {
+	return &Lemmatizer{exceptions: lemmaExceptions, lexicon: baseLexicon}
+}
+
+// Lemma returns the base form of the (lower-case) word.
+func (l *Lemmatizer) Lemma(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	if base, ok := l.exceptions[word]; ok {
+		return base
+	}
+	if l.lexicon[word] {
+		return word // already a base form
+	}
+	for _, rule := range detachmentRules {
+		if !strings.HasSuffix(word, rule.suffix) {
+			continue
+		}
+		stem := word[:len(word)-len(rule.suffix)]
+		if len(stem) < rule.minStem {
+			continue
+		}
+		for _, repl := range rule.replacements {
+			cand := stem + repl
+			if l.lexicon[cand] {
+				return cand
+			}
+		}
+		// Consonant doubling: "throttling" -> "throttl" -> "throttle"
+		// handled by the "" + "e" replacements above; "running" ->
+		// "runn" -> undouble -> "run".
+		if rule.undouble && len(stem) >= 2 && stem[len(stem)-1] == stem[len(stem)-2] {
+			cand := stem[:len(stem)-1]
+			if l.lexicon[cand] {
+				return cand
+			}
+		}
+	}
+	return word
+}
+
+// LemmatizeAll maps Lemma over tokens, returning a new slice.
+func (l *Lemmatizer) LemmatizeAll(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = l.Lemma(t)
+	}
+	return out
+}
+
+// detachmentRule is one suffix rewrite attempt, mirroring WordNet's
+// "rules of detachment".
+type detachmentRule struct {
+	suffix       string
+	replacements []string
+	minStem      int
+	undouble     bool
+}
+
+var detachmentRules = []detachmentRule{
+	// Order matters: longer, more specific suffixes first.
+	{suffix: "nesses", replacements: []string{"ness", ""}, minStem: 3},
+	{suffix: "ations", replacements: []string{"ate", "ation"}, minStem: 3},
+	{suffix: "ation", replacements: []string{"ate", "", "e"}, minStem: 3},
+	{suffix: "ures", replacements: []string{"ure", "e", ""}, minStem: 3},
+	{suffix: "ure", replacements: []string{"e", ""}, minStem: 3}, // failure -> fail
+	{suffix: "ings", replacements: []string{"", "e", "ing"}, minStem: 3, undouble: true},
+	{suffix: "ing", replacements: []string{"", "e"}, minStem: 3, undouble: true},
+	{suffix: "ied", replacements: []string{"y", "ie"}, minStem: 2},
+	{suffix: "ies", replacements: []string{"y", "ie"}, minStem: 2},
+	{suffix: "ed", replacements: []string{"", "e"}, minStem: 3, undouble: true},
+	{suffix: "ers", replacements: []string{"er", "", "e"}, minStem: 3},
+	{suffix: "er", replacements: []string{"", "e"}, minStem: 3, undouble: true},
+	{suffix: "es", replacements: []string{"", "e"}, minStem: 3},
+	{suffix: "s", replacements: []string{""}, minStem: 3},
+	{suffix: "ly", replacements: []string{""}, minStem: 3},
+	{suffix: "ment", replacements: []string{"", "e"}, minStem: 3},
+}
+
+// lemmaExceptions covers irregular forms relevant to log text.
+var lemmaExceptions = map[string]string{
+	"was": "be", "were": "be", "been": "be", "being": "be", "is": "be",
+	"are": "be", "am": "be",
+	"ran": "run", "running": "run",
+	"began": "begin", "begun": "begin",
+	"broke": "break", "broken": "break",
+	"went": "go", "gone": "go", "going": "go",
+	"wrote": "write", "written": "write",
+	"sent": "send", "sending": "send",
+	"lost": "lose", "found": "find",
+	"shut": "shut", "shutdown": "shutdown",
+	"hung": "hang", "hanged": "hang",
+	"froze": "freeze", "frozen": "freeze",
+	"rose": "rise", "risen": "rise",
+	"fell": "fall", "fallen": "fall",
+	"threw": "throw", "thrown": "throw",
+	"took": "take", "taken": "take",
+	"gave": "give", "given": "give",
+	"got": "get", "gotten": "get",
+	"left": "leave", "kept": "keep",
+	"made": "make", "met": "meet",
+	"read": "read", "said": "say",
+	"saw": "see", "seen": "see",
+	"children": "child", "men": "man", "women": "woman",
+	"indices": "index", "vertices": "vertex", "matrices": "matrix",
+	"statuses": "status", "buses": "bus",
+	"errata": "erratum", "data": "data", "media": "media",
+	"died": "die", "dying": "die", "dies": "die",
+	"tries": "try", "tried": "try", "trying": "try",
+	"retries": "retry", "retried": "retry", "retrying": "retry",
+	"denied": "deny", "denies": "deny", "denying": "deny",
+}
+
+// baseLexicon is the set of known base forms. A detachment-rule candidate
+// is only accepted when it appears here, exactly like WordNet validates
+// candidates against its lexicon. The list is weighted toward syslog/HPC
+// vocabulary (the domain of the paper) plus common English verbs and nouns.
+var baseLexicon = buildLexicon(`
+abort accept access acknowledge act activate adapt add address adjust
+alarm alert alias align alloc allocate allow analyze answer appear append
+apply approve argue arm arrive assert assign associate assume attach
+attempt attend authenticate authorize avoid await awake
+back balance ban bank bar base batch beat begin bind bite blame blank
+bleed blink block board boot bound branch break bridge bring broadcast
+buffer bug build burn bus button bypass byte
+cache calculate calibrate call cancel cap capture card care carry cause
+cease chain challenge change charge chase check checksum chip choose
+claim class clean clear click client clock close cluster code collect
+combine command commit communicate compare compile complete comply
+compute conclude conduct configure confirm conflict congest connect
+consider console consume contact contain continue control convert cool
+copy core correct corrupt count cover crash create creep critical cross
+crypt current cut cycle
+daemon damage dash date deactivate deal debug decide declare decode
+decrease dedicate defer define degrade delay delegate delete deliver
+demand deny depend deploy describe design detach detect determine develop
+device diagnose die differ direct disable discard disconnect discover
+dispatch display dispose disrupt distribute divide document double doubt
+download downgrade drain drift drive drop dump duplicate
+echo edit eject elect elevate embed emit employ empty emulate enable
+encode encounter encrypt end enforce engage enqueue ensure enter enumerate
+equal erase err error escalate escape establish evaluate evict examine
+exceed except exchange exclude execute exist exit expand expect expire
+explain export expose express extend extract
+face fail fall fan fault feed fetch file fill filter find finish fire fit
+fix flag flash flip float flood flush fold follow force forget fork form
+format forward frame free freeze front fuse
+gain gate gather generate give go grant grab ground group grow guard guess
+guide
+halt handle hang happen harden hash head heal hear heat help hide hit hold
+hook host hot
+identify idle ignore image implement import improve include increase
+indicate infer inform inherit initialize initiate inject input insert
+inspect install instruct intercept interest interfere interrupt introduce
+invalidate invoke isolate issue iterate
+join judge jump
+keep key kill know
+label lack lag land last latch launch lead leak learn lease leave lend
+level license lift light like limit line link list listen live load lock
+log look loop lose
+mail maintain make manage map mark mask match matter mean measure meet
+merge message migrate mirror miss mix modify monitor mount move multiply
+name need negotiate nest network nominate note notice notify null number
+obey object observe obtain occur offer offline offload online open operate
+order organize output overflow overheat overload override overrun own
+pack page pair panic park parse partition pass patch pause peak peer pend
+perform permit persist phase pick pin ping pipe place plan play plug point
+poll pool pop port pose post power prefer prepare present preserve press
+prevent print probe proceed process produce profile program progress
+promote prompt propagate propose protect prove provide provision prune
+publish pull pulse pump purge push put
+query queue quit quota
+race rack raise range rate reach react read reboot rebuild receive reclaim
+recognize recommend reconnect record recover redirect reduce refer reflect
+refresh refuse regard register regulate reject relate relay release reload
+rely remain remap remember remind remote remove rename render renew repair
+repeat replace replay replicate reply report represent request require
+rescan reserve reset reside resize resolve respond restart restore
+restrict result resume retain retire retrieve retry return reuse reverse
+revert review revoke rewrite ring rise roll root rotate route run
+sample sanitize save scale scan schedule scrub seal search seat secure see
+seek seem segment select send sense separate sequence serve set settle
+shape share shift ship show shrink shut shuffle sign signal simulate skip
+sleep slice slide slow snap sniff socket solve sort sound source spawn
+speak speed spend spike spill spin split spread stage stall stamp stand
+start starve state stay steal steer step stick stop store stream stress
+stretch strike strip struggle stuck submit subscribe succeed suffer suggest
+suit supply support suppress suspect suspend swap switch sync synchronize
+synthesize
+tag tail take talk target teach tell terminate test thank thrash thread
+throttle throw tick tie time toggle touch trace track train transfer
+transform translate transmit trap travel treat trigger trim trip trust try
+tune turn type
+unblock unbind unload unlock unmount unplug unregister unseat update
+upgrade upload use utilize
+validate value vary vent verify view violate visit
+wait wake walk want warm warn watch wear wedge wipe wish wonder work wrap
+write
+yield zero zone
+act action adapter address agent alarm alert algorithm amount application
+architecture area argument array assertion attachment attribute audit
+authentication authority backup bandwidth baseboard battery bay bit blade
+board boundary bridge bucket bundle cable capacity case cell chassis child
+chip circuit class client clock cluster collection command component
+condition conduit config configuration congestion connection connector
+console content context controller cooler cooling core corruption count
+counter credential current cursor daemon datum deadline decision
+degradation delay demand density dependency depth descriptor destination
+detail detection device dimension direction directory disk distance
+document domain door drive driver duration edge effect effort element
+email endpoint engine entry environment event evidence example exception
+exchange expansion expiration explanation export extension fabric facility
+factor fan fault feature fiber field firmware flag floor flow
+folder form format frame frequency function fuse gap gate gateway group
+guard handle hardware header health heat host hour hub humidity identity
+image inlet input instance instruction interface interrupt interval
+intrusion inventory isle issue job journal kernel key keyboard lane
+language latency layer leak lease ledger length lesson level library
+license lifetime limit line link list load location lock logic loop
+machine mailbox manager margin mask master matrix measure media member
+memory message method metric midplane minute mirror mode model module
+moment monitor motherboard mount name network node noise notice number
+object offset operation option order organization outlet output owner
+package packet page pair panel parameter parent parity part partition
+password patch path pattern peak peer percent performance period
+peripheral permission person phase pin ping pipe plan plane platform plug
+point policy pool port position power presence pressure priority privilege
+probe problem procedure process processor profile program progress project
+property protocol psu purpose quality quantity queue quorum rack radius
+rail range rate reading reason receipt receiver record recovery reference
+region registration regulator relation release reply report repository
+request requirement reservation reset resource response result retention
+review revision right ring riser role room root route router rule runtime
+safety sample schedule schema scope score screen script searcher second
+section sector security segment sensor sequence series server service
+session severity shelf shell side signal signature site size sled slot
+socket software source space spare speed spike stack staff stage standard
+state statement station status step storage strategy stream strength
+string structure style subject subnet subsystem success suite summary
+supervisor supply surface switch symbol system table target task team
+technique temperature template term terminal test text theory thing
+thread threshold throughput tick ticket tier time timeout timestamp token
+tool topic topology total touch tower trace track traffic transaction
+transceiver transfer transition tray tree trend trouble tunnel turbine
+type unit update uplink usage user utility value valve variable variance
+vector velocity vendor version video violation voltage volume wait wake
+wall warning watt wave week weight wheel window wire word worker workload
+zone
+bad big bright broken busy clean clear close cold cool correct critical
+current dead deep dirty down dry dull early easy empty equal fair false
+fast fatal fine firm flat fresh full good great green grey hard healthy
+heavy high hot huge idle important inactive internal invalid large late
+light likely live local long loose loud low main major minor missing
+narrow near new nominal normal numb odd offline old online open orange
+partial pending poor present primary prior quick quiet rapid rare raw ready
+real recent red remote rich ripe rough round safe secondary secure severe
+sharp short sick significant silent similar simple single slow small smart
+soft solid spare special stable stale steady sticky stiff still strange
+strict strong stuck sudden sure tall thermal thick thin tight tiny tired
+total transient true typical unable unavailable unique unknown unusual
+urgent usable useful usual valid warm weak wet wide wild wise wrong yellow
+young
+`)
+
+func buildLexicon(words string) map[string]bool {
+	m := make(map[string]bool, 2048)
+	for _, w := range strings.Fields(words) {
+		m[w] = true
+	}
+	return m
+}
+
+// Preprocessor chains the tokenizer, stopword filter and lemmatizer into
+// the single pipeline used by the feature extractors and classifiers.
+type Preprocessor struct {
+	Tokenizer  *Tokenizer
+	Lemmatizer *Lemmatizer
+	// KeepStopwords disables the stopword filter when set.
+	KeepStopwords bool
+	// SkipLemmas disables lemmatization when set (used by the
+	// lemmatization ablation bench).
+	SkipLemmas bool
+}
+
+// NewPreprocessor returns the default pipeline: tokenize, drop stopwords,
+// lemmatize.
+func NewPreprocessor() *Preprocessor {
+	return &Preprocessor{Tokenizer: NewTokenizer(), Lemmatizer: NewLemmatizer()}
+}
+
+// Process converts raw message text into the final feature tokens.
+func (p *Preprocessor) Process(text string) []string {
+	tokens := p.Tokenizer.Tokenize(text)
+	if !p.KeepStopwords {
+		tokens = RemoveStopwords(tokens)
+	}
+	if !p.SkipLemmas {
+		for i, t := range tokens {
+			tokens[i] = p.Lemmatizer.Lemma(t)
+		}
+	}
+	return tokens
+}

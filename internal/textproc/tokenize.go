@@ -1,0 +1,195 @@
+// Package textproc implements the preprocessing used in the paper (§4.3):
+// a syslog-aware tokenizer, value normalization (hex IDs, numbers, IPs),
+// an English stopword filter, and a rule-based WordNet-style lemmatizer
+// ("failed"/"failure"/"failing" → "fail").
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits syslog message text into feature tokens. Underscores are
+// part of tokens because syslog identifiers like "real_memory" and
+// "slurm_rpc_node_registration" (paper Table 1) must survive as single
+// features.
+type Tokenizer struct {
+	// Lowercase folds tokens to lower case (on by default via NewTokenizer).
+	Lowercase bool
+	// MaskNumbers replaces purely numeric tokens with "<num>" so "CPU 23"
+	// and "CPU 7" produce identical feature sets.
+	MaskNumbers bool
+	// MaskHex replaces long hex strings (addresses, UUIDs fragments) with
+	// "<hex>".
+	MaskHex bool
+	// MinLen drops tokens shorter than this many runes (after masking).
+	MinLen int
+}
+
+// NewTokenizer returns the configuration used throughout the reproduction:
+// lowercase, number and hex masking, minimum token length 2.
+func NewTokenizer() *Tokenizer {
+	return &Tokenizer{Lowercase: true, MaskNumbers: true, MaskHex: true, MinLen: 2}
+}
+
+// Mask placeholders emitted by the tokenizer.
+const (
+	NumToken = "<num>"
+	HexToken = "<hex>"
+	IPToken  = "<ip>"
+)
+
+// Tokenize splits s into normalized tokens.
+func (t *Tokenizer) Tokenize(s string) []string {
+	tokens := make([]string, 0, 16)
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		tok := s[start:end]
+		start = -1
+		tok = t.normalize(tok)
+		if tok == "" || len([]rune(tok)) < t.MinLen {
+			return
+		}
+		tokens = append(tokens, tok)
+	}
+	for i, r := range s {
+		if isTokenRune(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(s))
+	return tokens
+}
+
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+// normalize applies case folding and masking to one raw token.
+func (t *Tokenizer) normalize(tok string) string {
+	// Trim leading/trailing dots kept by the rune class ("threshold." or
+	// version fragments).
+	tok = strings.Trim(tok, "._")
+	if tok == "" {
+		return ""
+	}
+	if t.Lowercase {
+		tok = strings.ToLower(tok)
+	}
+	if looksLikeIP(tok) {
+		return IPToken
+	}
+	if t.MaskNumbers && isNumeric(tok) {
+		return NumToken
+	}
+	if t.MaskHex && isHexID(tok) {
+		return HexToken
+	}
+	return tok
+}
+
+// isNumeric reports whether tok is digits with optional dots (counts,
+// sizes, versions, temperatures like "95c" are not matched — trailing
+// letters keep meaning).
+func isNumeric(tok string) bool {
+	digits := 0
+	for _, r := range tok {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// isHexID reports whether tok looks like a hex identifier: at least 6 hex
+// chars, at least one digit (so English words like "deaded" don't match),
+// optionally 0x-prefixed.
+func isHexID(tok string) bool {
+	s := strings.TrimPrefix(tok, "0x")
+	if len(s) < 6 {
+		return false
+	}
+	hasDigit := false
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			hasDigit = true
+		case r >= 'a' && r <= 'f':
+		case r >= 'A' && r <= 'F':
+		default:
+			return false
+		}
+	}
+	return hasDigit
+}
+
+// looksLikeIP reports whether tok is a dotted-quad IPv4 address.
+func looksLikeIP(tok string) bool {
+	parts := strings.Split(tok, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return false
+		}
+		n := 0
+		for _, r := range p {
+			if r < '0' || r > '9' {
+				return false
+			}
+			n = n*10 + int(r-'0')
+		}
+		if n > 255 {
+			return false
+		}
+	}
+	return true
+}
+
+// stopwords is the usual small English function-word list plus syslog
+// boilerplate that carries no class signal.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "from": true,
+	"had": true, "has": true, "have": true, "he": true, "her": true,
+	"his": true, "if": true, "in": true, "into": true, "is": true,
+	"it": true, "its": true, "of": true, "on": true, "or": true,
+	"that": true, "the": true, "their": true, "them": true, "then": true,
+	"there": true, "these": true, "they": true, "this": true, "to": true,
+	"was": true, "we": true, "were": true, "which": true, "will": true,
+	"with": true, "you": true, "your": true, "not": true, "no": true,
+	"do": true, "does": true, "did": true, "been": true, "being": true,
+	"am": true, "can": true, "could": true, "should": true, "would": true,
+	"may": true, "might": true, "must": true, "shall": true, "than": true,
+	"too": true, "very": true, "so": true, "such": true, "only": true,
+	"over": true, "under": true, "again": true, "further": true,
+	"what": true, "when": true, "where": true, "who": true, "why": true,
+	"how": true, "all": true, "any": true, "both": true, "each": true,
+	"more": true, "most": true, "other": true, "some": true, "via": true,
+}
+
+// IsStopword reports whether the lower-case token is an English stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// RemoveStopwords filters stopwords out of tokens, in place.
+func RemoveStopwords(tokens []string) []string {
+	out := tokens[:0]
+	for _, t := range tokens {
+		if !stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

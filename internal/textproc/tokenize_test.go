@@ -1,0 +1,235 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("CPU temperature above threshold, cpu clock throttled.")
+	want := []string{"cpu", "temperature", "above", "threshold", "cpu", "clock", "throttled"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeKeepsUnderscoreIdentifiers(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("slurm_rpc_node_registration complete for cn42, real_memory low")
+	has := func(w string) bool {
+		for _, g := range got {
+			if g == w {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("slurm_rpc_node_registration") || !has("real_memory") {
+		t.Errorf("underscore identifiers lost: %v", got)
+	}
+}
+
+func TestTokenizeMasksNumbers(t *testing.T) {
+	tk := NewTokenizer()
+	a := tk.Tokenize("Warning: Socket 2 - CPU 23 throttling")
+	b := tk.Tokenize("Warning: Socket 1 - CPU 7 throttling")
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("number masking should equalize messages: %v vs %v", a, b)
+	}
+	found := false
+	for _, tok := range a {
+		if tok == NumToken {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected %s in %v", NumToken, a)
+	}
+}
+
+func TestTokenizeMasksHexAndIP(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("mce at addr 0xdeadbeef42 from 10.1.7.200")
+	wantHex, wantIP := false, false
+	for _, tok := range got {
+		if tok == HexToken {
+			wantHex = true
+		}
+		if tok == IPToken {
+			wantIP = true
+		}
+	}
+	if !wantHex || !wantIP {
+		t.Errorf("masking failed: %v", got)
+	}
+}
+
+func TestTokenizeDoesNotMaskWords(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("deadbeef is a word but feed deed are short")
+	for _, tok := range got {
+		if tok == HexToken {
+			// "deadbeef" has no digit, must not be masked
+			t.Errorf("hex masking too aggressive: %v", got)
+		}
+	}
+}
+
+func TestTokenizeEmptyAndPunctuation(t *testing.T) {
+	tk := NewTokenizer()
+	if got := tk.Tokenize(""); len(got) != 0 {
+		t.Errorf("empty input -> %v", got)
+	}
+	if got := tk.Tokenize("!!! --- ,,,"); len(got) != 0 {
+		t.Errorf("punctuation-only input -> %v", got)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || IsStopword("temperature") {
+		t.Error("stopword classification wrong")
+	}
+	got := RemoveStopwords([]string{"the", "cpu", "is", "throttled"})
+	want := []string{"cpu", "throttled"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RemoveStopwords = %v", got)
+	}
+}
+
+func TestLemmaPaperExample(t *testing.T) {
+	// §4.3.2: "The system has failed", "There was a failure in the
+	// system", "The system is failing" — all instances of "fail".
+	l := NewLemmatizer()
+	for _, w := range []string{"failed", "failure", "failing", "fails", "failures"} {
+		if got := l.Lemma(w); got != "fail" {
+			t.Errorf("Lemma(%q) = %q, want \"fail\"", w, got)
+		}
+	}
+}
+
+func TestLemmaKnownForms(t *testing.T) {
+	l := NewLemmatizer()
+	cases := map[string]string{
+		"throttled":    "throttle",
+		"throttling":   "throttle",
+		"connections":  "connection",
+		"started":      "start",
+		"running":      "run",
+		"was":          "be",
+		"errors":       "error",
+		"sensors":      "sensor",
+		"temperatures": "temperature",
+		"registered":   "register",
+		"asserted":     "assert",
+		"closed":       "close",
+		"denied":       "deny",
+		"retries":      "retry",
+		"devices":      "device",
+		"updates":      "update",
+		"overheating":  "overheat",
+	}
+	for in, want := range cases {
+		if got := l.Lemma(in); got != want {
+			t.Errorf("Lemma(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLemmaUnknownUnchanged(t *testing.T) {
+	l := NewLemmatizer()
+	for _, w := range []string{"lpi_hbm_nn", "slurm_rpc_node_registration", "cn42", "xyzzy"} {
+		if got := l.Lemma(w); got != w {
+			t.Errorf("Lemma(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestLemmaIdempotent(t *testing.T) {
+	l := NewLemmatizer()
+	words := []string{"failed", "failure", "throttling", "connections", "was",
+		"running", "sensors", "registered", "devices", "temperature"}
+	for _, w := range words {
+		once := l.Lemma(w)
+		twice := l.Lemma(once)
+		if once != twice {
+			t.Errorf("Lemma not idempotent: %q -> %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestPreprocessorPipeline(t *testing.T) {
+	p := NewPreprocessor()
+	got := p.Process("The system has failed: 3 sensors were throttled")
+	want := []string{"system", "fail", NumToken, "sensor", "throttle"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Process = %v, want %v", got, want)
+	}
+}
+
+func TestPreprocessorSkipLemmas(t *testing.T) {
+	p := NewPreprocessor()
+	p.SkipLemmas = true
+	got := p.Process("sensors throttled")
+	want := []string{"sensors", "throttled"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Process(SkipLemmas) = %v, want %v", got, want)
+	}
+}
+
+// Property: tokenizer output never contains empty tokens, uppercase
+// letters, or tokens shorter than MinLen.
+func TestQuickTokenizeInvariants(t *testing.T) {
+	tk := NewTokenizer()
+	f := func(s string) bool {
+		for _, tok := range tk.Tokenize(s) {
+			if tok == "" || len([]rune(tok)) < tk.MinLen {
+				return false
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lemmatization is a contraction on word length except for
+// exception-table rewrites (be, retry, ...), which are bounded.
+func TestQuickLemmaNeverPanicsAndBounded(t *testing.T) {
+	l := NewLemmatizer()
+	f := func(s string) bool {
+		if len(s) > 40 {
+			s = s[:40]
+		}
+		out := l.Lemma(s)
+		return len(out) <= len(s)+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	tk := NewTokenizer()
+	msg := "error: Node cn101 has low real_memory size (190000 < 256000) at 0xdeadbeef42"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Tokenize(msg)
+	}
+}
+
+func BenchmarkPreprocess(b *testing.B) {
+	p := NewPreprocessor()
+	msg := "CPU 12 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Process(msg)
+	}
+}

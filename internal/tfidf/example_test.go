@@ -1,0 +1,43 @@
+package tfidf_test
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsyslog/internal/tfidf"
+)
+
+func ExampleVectorizer() {
+	corpus := [][]string{
+		strings.Fields("cpu temperature above threshold throttle"),
+		strings.Fields("connection close port preauth"),
+		strings.Fields("usb device hub new number"),
+	}
+	vz := &tfidf.Vectorizer{Sublinear: true}
+	X := vz.FitTransform(corpus)
+	fmt.Println("docs:", X.NRows(), "features:", vz.Dims())
+
+	// Transform new text through the fitted vocabulary; unknown terms
+	// are dropped.
+	v := vz.Transform(strings.Fields("cpu throttle overheating"))
+	fmt.Println("nonzeros:", v.NNZ())
+	// Output:
+	// docs: 3 features: 14
+	// nonzeros: 2
+}
+
+func ExampleClassTopTerms() {
+	docs := map[string][][]string{
+		"Thermal": {
+			strings.Fields("cpu temperature throttle sensor"),
+			strings.Fields("temperature sensor cpu overheat"),
+		},
+		"USB": {
+			strings.Fields("usb device hub"),
+			strings.Fields("usb hub new device usb"),
+		},
+	}
+	top := tfidf.ClassTopTerms(docs, 2)
+	fmt.Println(top["USB"][0].Term)
+	// Output: usb
+}

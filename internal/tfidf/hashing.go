@@ -1,0 +1,89 @@
+package tfidf
+
+import (
+	"math"
+
+	"hetsyslog/internal/sparse"
+)
+
+// HashingVectorizer maps tokens to a fixed-size feature space with a hash
+// function instead of a learned vocabulary (the "hashing trick"). It
+// needs no Fit pass and no vocabulary memory — attractive for a stream
+// that grows by a million messages an hour — at the cost of collisions
+// and of losing Table 1 style interpretability (you cannot ask a hash
+// bucket what word it is). It exists as the DESIGN.md ablation partner of
+// the vocabulary Vectorizer.
+type HashingVectorizer struct {
+	// Dims is the feature-space size (default 1 << 18).
+	Dims int
+	// Sublinear applies 1+ln(tf) damping.
+	Sublinear bool
+	// SkipNormalize disables the final L2 normalization.
+	SkipNormalize bool
+	// Signed flips half the buckets' contribution sign (reduces collision
+	// bias, as in scikit-learn's HashingVectorizer).
+	Signed bool
+}
+
+// NewHashingVectorizer returns the default configuration.
+func NewHashingVectorizer() *HashingVectorizer {
+	return &HashingVectorizer{Dims: 1 << 18, Sublinear: true, Signed: true}
+}
+
+// fnv1a64 is inlined here to keep the hot path allocation-free.
+func fnv1a64(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Transform converts one tokenized document to a hashed feature vector.
+func (hv *HashingVectorizer) Transform(tokens []string) sparse.Vector {
+	dims := hv.Dims
+	if dims <= 0 {
+		dims = 1 << 18
+	}
+	counts := make(map[int32]float64, len(tokens))
+	for _, t := range tokens {
+		h := fnv1a64(t)
+		f := int32(h % uint64(dims))
+		sign := 1.0
+		if hv.Signed && (h>>63) == 1 {
+			sign = -1
+		}
+		counts[f] += sign
+	}
+	for f, v := range counts {
+		if v == 0 {
+			delete(counts, f)
+			continue
+		}
+		if hv.Sublinear {
+			a := math.Abs(v)
+			counts[f] = math.Copysign(1+math.Log(a), v)
+		}
+	}
+	v := sparse.NewVectorFromMap(counts)
+	if !hv.SkipNormalize {
+		v.Normalize()
+	}
+	return v
+}
+
+// TransformAll converts a corpus.
+func (hv *HashingVectorizer) TransformAll(corpus [][]string) *sparse.Matrix {
+	dims := hv.Dims
+	if dims <= 0 {
+		dims = 1 << 18
+	}
+	m := &sparse.Matrix{Rows: make([]sparse.Vector, len(corpus)), Cols: dims}
+	for i, doc := range corpus {
+		m.Rows[i] = hv.Transform(doc)
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package tfidf
+
+import (
+	"math"
+	"testing"
+
+	"hetsyslog/internal/ml"
+	"hetsyslog/internal/ml/bayes"
+	"hetsyslog/internal/sparse"
+)
+
+func TestHashingDeterministicAndNormalized(t *testing.T) {
+	hv := NewHashingVectorizer()
+	doc := toks("cpu temperature above threshold throttled")
+	a := hv.Transform(doc)
+	b := hv.Transform(doc)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("hashing not deterministic")
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] || a.Val[i] != b.Val[i] {
+			t.Fatal("hashing not deterministic")
+		}
+	}
+	if math.Abs(a.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %v", a.Norm())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashingNoFitNeeded(t *testing.T) {
+	hv := NewHashingVectorizer()
+	// Unseen tokens still map somewhere (unlike the vocabulary
+	// vectorizer, which drops them).
+	v := hv.Transform(toks("totally novel tokens never seen"))
+	if v.NNZ() == 0 {
+		t.Error("hashing vectorizer dropped unseen tokens")
+	}
+}
+
+func TestHashingDimsBounded(t *testing.T) {
+	hv := &HashingVectorizer{Dims: 64}
+	v := hv.Transform(toks("a b c d e f g h i j k l m n o p q r s t u v w x y z"))
+	for _, i := range v.Idx {
+		if i < 0 || int(i) >= 64 {
+			t.Fatalf("feature %d outside dims", i)
+		}
+	}
+}
+
+func TestHashingSignedCancellation(t *testing.T) {
+	// With Signed, same-bucket collisions can cancel rather than inflate;
+	// we only check that signed output is still valid and nonzero for
+	// realistic text.
+	hv := &HashingVectorizer{Dims: 1 << 16, Signed: true}
+	v := hv.Transform(toks("error node has low real_memory size"))
+	if v.NNZ() == 0 {
+		t.Error("all features cancelled, which should be vanishingly unlikely")
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashingClassificationParity: a classifier trained on hashed features
+// should match the vocabulary pipeline closely on separable data (the
+// ablation claim).
+func TestHashingClassificationParity(t *testing.T) {
+	docs := [][]string{}
+	labels := []int{}
+	for i := 0; i < 60; i++ {
+		docs = append(docs, toks("cpu temperature threshold throttled sensor"))
+		labels = append(labels, 0)
+		docs = append(docs, toks("connection closed port preauth user"))
+		labels = append(labels, 1)
+		docs = append(docs, toks("usb device hub number new"))
+		labels = append(labels, 2)
+	}
+	hv := NewHashingVectorizer()
+	hv.Dims = 1 << 12
+	X := hv.TransformAll(docs)
+	ds := &ml.Dataset{X: X, Y: labels, Labels: []string{"t", "s", "u"}}
+	m := &bayes.ComplementNB{}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range X.Rows {
+		if m.Predict(row) != labels[i] {
+			t.Fatal("hashed features failed on separable data")
+		}
+	}
+}
+
+func TestHashingZeroValueDefaults(t *testing.T) {
+	var hv HashingVectorizer // zero value: Dims defaults inside Transform
+	v := hv.Transform(toks("hello world"))
+	if v.NNZ() == 0 {
+		t.Error("zero-value vectorizer unusable")
+	}
+	m := hv.TransformAll([][]string{toks("a"), toks("b")})
+	if m.Cols != 1<<18 {
+		t.Errorf("default dims = %d", m.Cols)
+	}
+}
+
+var benchSink sparse.Vector
+
+func BenchmarkVocabularyTransform(b *testing.B) {
+	corpus := make([][]string, 500)
+	for i := range corpus {
+		corpus[i] = toks("error node has low real_memory size threshold cpu temperature sensor")
+	}
+	vz := &Vectorizer{Sublinear: true}
+	vz.Fit(corpus)
+	doc := corpus[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = vz.Transform(doc)
+	}
+}
+
+// BenchmarkHashingTransform is the DESIGN.md ablation counterpart of
+// BenchmarkVocabularyTransform: no vocabulary, hash-based features.
+func BenchmarkHashingTransform(b *testing.B) {
+	hv := NewHashingVectorizer()
+	doc := toks("error node has low real_memory size threshold cpu temperature sensor")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = hv.Transform(doc)
+	}
+}

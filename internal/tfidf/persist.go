@@ -1,0 +1,65 @@
+package tfidf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// vectorizerState serializes a fitted Vectorizer: configuration, the raw
+// vocabulary (terms + document frequencies), and the pruned feature space.
+type vectorizerState struct {
+	Sublinear     bool
+	MinDF         int
+	MaxFeatures   int
+	SkipNormalize bool
+
+	Terms []string
+	DF    []int
+	NDocs int
+	Remap []int32
+	IDF   []float64
+	Dims  int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for a fitted
+// vectorizer.
+func (vz *Vectorizer) MarshalBinary() ([]byte, error) {
+	if vz.vocab == nil {
+		return nil, fmt.Errorf("tfidf: cannot serialize an unfitted vectorizer")
+	}
+	st := vectorizerState{
+		Sublinear: vz.Sublinear, MinDF: vz.MinDF, MaxFeatures: vz.MaxFeatures,
+		SkipNormalize: vz.SkipNormalize,
+		Terms:         vz.vocab.terms, DF: vz.vocab.df, NDocs: vz.vocab.nDocs,
+		Remap: vz.remap, IDF: vz.idf, Dims: vz.dims,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (vz *Vectorizer) UnmarshalBinary(data []byte) error {
+	var st vectorizerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Terms) != len(st.DF) || len(st.Terms) != len(st.Remap) {
+		return fmt.Errorf("tfidf: inconsistent vectorizer state")
+	}
+	vz.Sublinear, vz.MinDF, vz.MaxFeatures = st.Sublinear, st.MinDF, st.MaxFeatures
+	vz.SkipNormalize = st.SkipNormalize
+	vocab := NewVocabulary()
+	vocab.terms = st.Terms
+	vocab.df = st.DF
+	vocab.nDocs = st.NDocs
+	for i, t := range st.Terms {
+		vocab.index[t] = int32(i)
+	}
+	vz.vocab = vocab
+	vz.remap, vz.idf, vz.dims = st.Remap, st.IDF, st.Dims
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package tfidf implements Term Frequency–Inverse Document Frequency
+// feature extraction (paper §4.3.1): a vocabulary builder, a vectorizer
+// producing sparse feature vectors for the classifiers, and the per-class
+// top-token extraction behind Table 1 (also used to seed LLM prompts).
+//
+// The IDF uses the smoothed formulation idf(t) = ln((1+n)/(1+df(t))) + 1,
+// matching scikit-learn's TfidfVectorizer defaults so the reproduction's
+// feature space behaves like the paper's.
+package tfidf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetsyslog/internal/sparse"
+)
+
+// Vocabulary maps terms to dense feature indices and records document
+// frequencies.
+type Vocabulary struct {
+	index map[string]int32
+	terms []string
+	df    []int
+	nDocs int
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{index: make(map[string]int32)}
+}
+
+// Size returns the number of distinct terms.
+func (v *Vocabulary) Size() int { return len(v.terms) }
+
+// NumDocs returns how many documents have been observed.
+func (v *Vocabulary) NumDocs() int { return v.nDocs }
+
+// Term returns the term at feature index i.
+func (v *Vocabulary) Term(i int32) string { return v.terms[i] }
+
+// Index returns the feature index for term, or -1 if unknown.
+func (v *Vocabulary) Index(term string) int32 {
+	if i, ok := v.index[term]; ok {
+		return i
+	}
+	return -1
+}
+
+// DocFreq returns the number of documents containing term.
+func (v *Vocabulary) DocFreq(term string) int {
+	if i, ok := v.index[term]; ok {
+		return v.df[i]
+	}
+	return 0
+}
+
+// AddDoc registers one tokenized document, updating term indices and
+// document frequencies.
+func (v *Vocabulary) AddDoc(tokens []string) {
+	v.nDocs++
+	seen := make(map[int32]bool, len(tokens))
+	for _, t := range tokens {
+		i, ok := v.index[t]
+		if !ok {
+			i = int32(len(v.terms))
+			v.index[t] = i
+			v.terms = append(v.terms, t)
+			v.df = append(v.df, 0)
+		}
+		if !seen[i] {
+			seen[i] = true
+			v.df[i]++
+		}
+	}
+}
+
+// Vectorizer converts tokenized documents into L2-normalized TF-IDF sparse
+// vectors over a fitted vocabulary.
+type Vectorizer struct {
+	// Sublinear applies 1+ln(tf) term-frequency damping when true.
+	Sublinear bool
+	// MinDF drops terms appearing in fewer than MinDF documents (applied
+	// at Fit time). Zero means keep everything.
+	MinDF int
+	// MaxFeatures caps the vocabulary to the most frequent terms by
+	// document frequency. Zero means no cap.
+	MaxFeatures int
+	// SkipNormalize disables the final L2 normalization when true.
+	SkipNormalize bool
+
+	vocab *Vocabulary
+	idf   []float64
+	// remap translates raw vocabulary indices to pruned feature indices;
+	// nil when no pruning happened.
+	remap []int32
+	dims  int
+}
+
+// Fit learns the vocabulary and IDF weights from a tokenized corpus.
+func (vz *Vectorizer) Fit(corpus [][]string) {
+	vocab := NewVocabulary()
+	for _, doc := range corpus {
+		vocab.AddDoc(doc)
+	}
+	vz.fitFromVocab(vocab)
+}
+
+func (vz *Vectorizer) fitFromVocab(vocab *Vocabulary) {
+	vz.vocab = vocab
+	keep := make([]int32, 0, vocab.Size())
+	for i := 0; i < vocab.Size(); i++ {
+		if vz.MinDF > 0 && vocab.df[i] < vz.MinDF {
+			continue
+		}
+		keep = append(keep, int32(i))
+	}
+	if vz.MaxFeatures > 0 && len(keep) > vz.MaxFeatures {
+		sort.Slice(keep, func(a, b int) bool {
+			da, db := vocab.df[keep[a]], vocab.df[keep[b]]
+			if da != db {
+				return da > db
+			}
+			return keep[a] < keep[b]
+		})
+		keep = keep[:vz.MaxFeatures]
+		sort.Slice(keep, func(a, b int) bool { return keep[a] < keep[b] })
+	}
+	vz.remap = make([]int32, vocab.Size())
+	for i := range vz.remap {
+		vz.remap[i] = -1
+	}
+	vz.idf = make([]float64, len(keep))
+	n := float64(vocab.nDocs)
+	for newIdx, old := range keep {
+		vz.remap[old] = int32(newIdx)
+		vz.idf[newIdx] = math.Log((1+n)/(1+float64(vocab.df[old]))) + 1
+	}
+	vz.dims = len(keep)
+}
+
+// Dims returns the feature-space width after pruning.
+func (vz *Vectorizer) Dims() int { return vz.dims }
+
+// TermAt returns the term for a (pruned) feature index.
+func (vz *Vectorizer) TermAt(feature int32) string {
+	for old, mapped := range vz.remap {
+		if mapped == feature {
+			return vz.vocab.terms[old]
+		}
+	}
+	return ""
+}
+
+// FeatureIndex returns the pruned feature index for term, or -1.
+func (vz *Vectorizer) FeatureIndex(term string) int32 {
+	raw := vz.vocab.Index(term)
+	if raw < 0 {
+		return -1
+	}
+	return vz.remap[raw]
+}
+
+// IDF returns the inverse-document-frequency weight for a feature index.
+func (vz *Vectorizer) IDF(feature int32) float64 { return vz.idf[feature] }
+
+// Transform converts one tokenized document into a TF-IDF vector. Unknown
+// terms are ignored (consistent with transforming test data through a
+// vectorizer fitted on training data).
+func (vz *Vectorizer) Transform(tokens []string) sparse.Vector {
+	if vz.vocab == nil {
+		panic("tfidf: Transform before Fit")
+	}
+	counts := make(map[int32]float64, len(tokens))
+	for _, t := range tokens {
+		raw := vz.vocab.Index(t)
+		if raw < 0 {
+			continue
+		}
+		f := vz.remap[raw]
+		if f < 0 {
+			continue
+		}
+		counts[f]++
+	}
+	for f, tf := range counts {
+		if vz.Sublinear {
+			tf = 1 + math.Log(tf)
+		}
+		counts[f] = tf * vz.idf[f]
+	}
+	v := sparse.NewVectorFromMap(counts)
+	if !vz.SkipNormalize {
+		v.Normalize()
+	}
+	return v
+}
+
+// FitTransform fits on corpus and returns the transformed matrix.
+func (vz *Vectorizer) FitTransform(corpus [][]string) *sparse.Matrix {
+	vz.Fit(corpus)
+	return vz.TransformAll(corpus)
+}
+
+// TransformAll transforms every document into a row of a sparse matrix.
+func (vz *Vectorizer) TransformAll(corpus [][]string) *sparse.Matrix {
+	m := &sparse.Matrix{Rows: make([]sparse.Vector, len(corpus)), Cols: vz.dims}
+	for i, doc := range corpus {
+		m.Rows[i] = vz.Transform(doc)
+	}
+	return m
+}
+
+// TermScore pairs a term with its TF-IDF score for ranking.
+type TermScore struct {
+	Term  string
+	Score float64
+}
+
+// ClassTopTerms reproduces Table 1: treating each category's combined
+// message text as one document and the set of categories as the corpus, it
+// returns the top-k TF-IDF terms per category. This is also the mechanism
+// that encodes "information about many syslog messages into a small prompt"
+// for the LLM classifier (§4.3.1, §5.2).
+func ClassTopTerms(docsByClass map[string][][]string, k int) map[string][]TermScore {
+	classes := make([]string, 0, len(docsByClass))
+	for c := range docsByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	// One mega-document per class.
+	vocab := NewVocabulary()
+	classTokens := make([][]string, len(classes))
+	for ci, c := range classes {
+		var all []string
+		for _, doc := range docsByClass[c] {
+			all = append(all, doc...)
+		}
+		classTokens[ci] = all
+		vocab.AddDoc(all)
+	}
+
+	n := float64(len(classes))
+	out := make(map[string][]TermScore, len(classes))
+	for ci, c := range classes {
+		counts := make(map[string]float64)
+		for _, t := range classTokens[ci] {
+			counts[t]++
+		}
+		scores := make([]TermScore, 0, len(counts))
+		for term, tf := range counts {
+			if term == "" || term[0] == '<' {
+				continue // skip <num>/<hex>/<ip> mask tokens: frequent but uninterpretable
+			}
+			df := float64(vocab.DocFreq(term))
+			idf := math.Log((1+n)/(1+df)) + 1
+			// Linear TF: with one mega-document per class, raw term
+			// frequency is the per-class volume signal Table 1 reflects.
+			scores = append(scores, TermScore{Term: term, Score: tf * idf})
+		}
+		sort.Slice(scores, func(a, b int) bool {
+			if scores[a].Score != scores[b].Score {
+				return scores[a].Score > scores[b].Score
+			}
+			return scores[a].Term < scores[b].Term
+		})
+		if len(scores) > k {
+			scores = scores[:k]
+		}
+		out[c] = scores
+	}
+	return out
+}
+
+// FormatTopTerms renders ClassTopTerms output as aligned text rows, used by
+// the Table 1 experiment runner.
+func FormatTopTerms(top map[string][]TermScore) string {
+	classes := make([]string, 0, len(top))
+	for c := range top {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	out := ""
+	for _, c := range classes {
+		out += fmt.Sprintf("%-22s", c)
+		for i, ts := range top[c] {
+			if i > 0 {
+				out += ", "
+			}
+			out += ts.Term
+		}
+		out += "\n"
+	}
+	return out
+}

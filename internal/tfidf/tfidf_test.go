@@ -1,0 +1,217 @@
+package tfidf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func toks(s string) []string { return strings.Fields(s) }
+
+func TestVocabularyCounts(t *testing.T) {
+	v := NewVocabulary()
+	v.AddDoc(toks("cpu temperature cpu"))
+	v.AddDoc(toks("cpu clock"))
+	if v.Size() != 3 {
+		t.Errorf("Size = %d", v.Size())
+	}
+	if v.NumDocs() != 2 {
+		t.Errorf("NumDocs = %d", v.NumDocs())
+	}
+	if v.DocFreq("cpu") != 2 {
+		t.Errorf("DocFreq(cpu) = %d, want 2 (per-document, not per-occurrence)", v.DocFreq("cpu"))
+	}
+	if v.DocFreq("clock") != 1 || v.DocFreq("absent") != 0 {
+		t.Error("DocFreq wrong for clock/absent")
+	}
+	if v.Index("temperature") < 0 || v.Index("absent") != -1 {
+		t.Error("Index lookup wrong")
+	}
+}
+
+func TestVectorizerIDFWeighting(t *testing.T) {
+	// "common" appears in every doc, "rare" in one: rare must out-weigh
+	// common in the doc containing both once each.
+	corpus := [][]string{
+		toks("common rare"),
+		toks("common other"),
+		toks("common third"),
+	}
+	vz := &Vectorizer{}
+	m := vz.FitTransform(corpus)
+	row := m.Rows[0]
+	common := vz.FeatureIndex("common")
+	rare := vz.FeatureIndex("rare")
+	if row.At(rare) <= row.At(common) {
+		t.Errorf("rare term weight %v should exceed common term weight %v",
+			row.At(rare), row.At(common))
+	}
+}
+
+func TestVectorizerNormalized(t *testing.T) {
+	vz := &Vectorizer{}
+	m := vz.FitTransform([][]string{toks("a b c"), toks("a d")})
+	for i, r := range m.Rows {
+		if math.Abs(r.Norm()-1) > 1e-12 {
+			t.Errorf("row %d norm = %v", i, r.Norm())
+		}
+	}
+}
+
+func TestVectorizerUnknownTermsIgnored(t *testing.T) {
+	vz := &Vectorizer{}
+	vz.Fit([][]string{toks("known words only")})
+	v := vz.Transform(toks("totally novel input"))
+	if v.NNZ() != 0 {
+		t.Errorf("unknown-term vector nnz = %d", v.NNZ())
+	}
+}
+
+func TestVectorizerMinDF(t *testing.T) {
+	corpus := [][]string{
+		toks("keep drop1"),
+		toks("keep drop2"),
+		toks("keep drop3"),
+	}
+	vz := &Vectorizer{MinDF: 2}
+	vz.Fit(corpus)
+	if vz.Dims() != 1 {
+		t.Errorf("Dims = %d, want 1 (only 'keep' survives)", vz.Dims())
+	}
+	if vz.FeatureIndex("keep") < 0 || vz.FeatureIndex("drop1") != -1 {
+		t.Error("MinDF pruning wrong")
+	}
+}
+
+func TestVectorizerMaxFeatures(t *testing.T) {
+	corpus := [][]string{
+		toks("a b"), toks("a b"), toks("a c"), toks("a d"),
+	}
+	vz := &Vectorizer{MaxFeatures: 2}
+	vz.Fit(corpus)
+	if vz.Dims() != 2 {
+		t.Fatalf("Dims = %d", vz.Dims())
+	}
+	// a (df=4) and b (df=2) are the most frequent
+	if vz.FeatureIndex("a") < 0 || vz.FeatureIndex("b") < 0 {
+		t.Error("MaxFeatures kept wrong terms")
+	}
+	if vz.FeatureIndex("c") != -1 {
+		t.Error("c should be pruned")
+	}
+}
+
+func TestSublinearTF(t *testing.T) {
+	corpus := [][]string{toks("x x x x y"), toks("z")}
+	lin := &Vectorizer{SkipNormalize: true}
+	lin.Fit(corpus)
+	sub := &Vectorizer{Sublinear: true, SkipNormalize: true}
+	sub.Fit(corpus)
+	xi := lin.FeatureIndex("x")
+	vLin := lin.Transform(corpus[0])
+	vSub := sub.Transform(corpus[0])
+	if vSub.At(xi) >= vLin.At(xi) {
+		t.Errorf("sublinear tf %v should damp linear tf %v", vSub.At(xi), vLin.At(xi))
+	}
+}
+
+func TestTransformBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&Vectorizer{}).Transform(toks("x"))
+}
+
+func TestClassTopTerms(t *testing.T) {
+	docs := map[string][][]string{
+		"Thermal Issue": {
+			toks("cpu temperature above threshold throttled"),
+			toks("processor sensor temperature throttled cpu"),
+			toks("temperature sensor throttled processor cpu"),
+		},
+		"USB Device": {
+			toks("usb device hub new number"),
+			toks("new usb device number hub"),
+		},
+		"SSH Connection": {
+			toks("connection closed preauth port user"),
+			toks("closed connection port preauth user"),
+		},
+	}
+	top := ClassTopTerms(docs, 5)
+	if len(top) != 3 {
+		t.Fatalf("classes = %d", len(top))
+	}
+	hasTerm := func(class, term string) bool {
+		for _, ts := range top[class] {
+			if ts.Term == term {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasTerm("Thermal Issue", "temperature") || !hasTerm("Thermal Issue", "throttled") {
+		t.Errorf("Thermal top terms = %v", top["Thermal Issue"])
+	}
+	if !hasTerm("USB Device", "usb") {
+		t.Errorf("USB top terms = %v", top["USB Device"])
+	}
+	if hasTerm("USB Device", "temperature") {
+		t.Errorf("cross-class leak: %v", top["USB Device"])
+	}
+	// scores must be sorted descending
+	for c, terms := range top {
+		for i := 1; i < len(terms); i++ {
+			if terms[i].Score > terms[i-1].Score {
+				t.Errorf("class %s scores not sorted: %v", c, terms)
+			}
+		}
+	}
+}
+
+func TestFormatTopTerms(t *testing.T) {
+	top := map[string][]TermScore{
+		"B": {{Term: "bbb", Score: 2}},
+		"A": {{Term: "aaa", Score: 1}, {Term: "aa2", Score: 0.5}},
+	}
+	out := FormatTopTerms(top)
+	if !strings.Contains(out, "aaa, aa2") || !strings.Contains(out, "bbb") {
+		t.Errorf("FormatTopTerms = %q", out)
+	}
+	// A row should come before B row
+	if strings.Index(out, "aaa") > strings.Index(out, "bbb") {
+		t.Error("classes not sorted")
+	}
+}
+
+func TestTermAtInverseOfFeatureIndex(t *testing.T) {
+	vz := &Vectorizer{}
+	vz.Fit([][]string{toks("alpha beta gamma"), toks("beta delta")})
+	for _, term := range []string{"alpha", "beta", "gamma", "delta"} {
+		f := vz.FeatureIndex(term)
+		if f < 0 {
+			t.Fatalf("FeatureIndex(%q) = %d", term, f)
+		}
+		if got := vz.TermAt(f); got != term {
+			t.Errorf("TermAt(FeatureIndex(%q)) = %q", term, got)
+		}
+	}
+}
+
+func BenchmarkTransform(b *testing.B) {
+	corpus := make([][]string, 1000)
+	for i := range corpus {
+		corpus[i] = toks("error node has low real_memory size threshold cpu temperature sensor")
+		corpus[i] = append(corpus[i], string(rune('a'+i%26)))
+	}
+	vz := &Vectorizer{Sublinear: true}
+	vz.Fit(corpus)
+	doc := corpus[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vz.Transform(doc)
+	}
+}
