@@ -10,15 +10,19 @@ package hetsyslog_test
 // (196393 = the paper's full Table 2).
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
 
+	"hetsyslog/internal/collector"
 	"hetsyslog/internal/core"
 	"hetsyslog/internal/experiments"
 	"hetsyslog/internal/llm"
 	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/store"
 )
 
 func benchScale() int {
@@ -188,6 +192,109 @@ func BenchmarkRealtimeClassification(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tc.Classify(msg)
+	}
+}
+
+// serviceStream pre-generates a record stream and a trained service so
+// the throughput benchmarks measure classification, not setup.
+func serviceStream(b *testing.B, n int) (*core.TextClassifier, []collector.Record) {
+	b.Helper()
+	r := sharedRunner(b)
+	corpus, err := r.Corpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, _ := core.NewModel("Complement Naive Bayes")
+	tc, err := core.Train(model, corpus, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := loggen.NewGenerator(17)
+	recs := make([]collector.Record, n)
+	for i := range recs {
+		ex := g.Example()
+		recs[i] = collector.Record{Tag: "syslog", Time: ex.Time, Msg: ex.Message()}
+	}
+	return tc, recs
+}
+
+// BenchmarkServiceThroughput measures the classification hot path —
+// core.Service.Write over a pre-generated batch — at several worker-pool
+// widths. The recs/s metric is the number that must scale past one core
+// for the deployed system to keep up with the cluster's ingest rate; run
+// with -bench ServiceThroughput to compare workers=1 against workers=N.
+func BenchmarkServiceThroughput(b *testing.B) {
+	const batch = 2048
+	tc, recs := serviceStream(b, batch)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := &core.Service{Classifier: tc, Workers: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Write(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "recs/s")
+		})
+	}
+}
+
+// BenchmarkServiceThroughputWithStore is the same sweep with store
+// indexing in the loop, showing how much of the parallel speedup
+// survives contention on the sharded index locks.
+func BenchmarkServiceThroughputWithStore(b *testing.B) {
+	const batch = 2048
+	tc, recs := serviceStream(b, batch)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := &core.Service{Classifier: tc, Store: store.New(8), Workers: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Write(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "recs/s")
+		})
+	}
+}
+
+// BenchmarkPipelineFlushWorkers pushes a fixed stream through the full
+// collector pipeline into the classifying service, comparing one flusher
+// against a sharded flusher pool (batches in flight concurrently).
+func BenchmarkPipelineFlushWorkers(b *testing.B) {
+	const n = 4096
+	tc, recs := serviceStream(b, n)
+	for _, flushers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("flushers=%d", flushers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc := &core.Service{Classifier: tc, Workers: 2}
+				ch := make(chan collector.Record, 256)
+				p := &collector.Pipeline{
+					Source:       &collector.ChannelSource{Ch: ch},
+					Sink:         svc,
+					BatchSize:    128,
+					FlushWorkers: flushers,
+				}
+				done := make(chan error, 1)
+				go func() { done <- p.Run(context.Background()) }()
+				for _, r := range recs {
+					ch <- r
+				}
+				close(ch)
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+				if got, _ := svc.Counts(); got != n {
+					b.Fatalf("classified = %d, want %d", got, n)
+				}
+			}
+			b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "recs/s")
+		})
 	}
 }
 

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	collector [-udp :5514] [-tcp :5514] [-http :9200] [-model "Random Forest"]
-//	          [-train-scale 20000] [-cooldown 1m]
+//	          [-train-scale 20000] [-cooldown 1m] [-workers 8] [-flush-workers 2]
 package main
 
 import (
@@ -41,6 +41,8 @@ func main() {
 		cooldown  = flag.Duration("cooldown", time.Minute, "per-category alert cooldown")
 		shards    = flag.Int("shards", 6, "store shard count")
 		blacklist = flag.String("blacklist", "", "file of noise exemplars to drop pre-classification (one per line, §5.1)")
+		workers   = flag.Int("workers", 0, "classification goroutines per batch (0 = GOMAXPROCS)")
+		flushers  = flag.Int("flush-workers", 1, "concurrent pipeline flushers (batches in flight)")
 	)
 	flag.Parse()
 
@@ -69,7 +71,7 @@ func main() {
 			fmt.Println("ALERT", a)
 		}),
 	}
-	svc := &core.Service{Classifier: tc, Store: st, Alerts: alerts}
+	svc := &core.Service{Classifier: tc, Store: st, Alerts: alerts, Workers: *workers}
 
 	// Topology enrichment from the simulated cluster (in a real
 	// deployment this reads the site inventory).
@@ -104,8 +106,9 @@ func main() {
 		// rsyslog-style dedup in front of classification keeps identical
 		// message storms from flooding the store; the optional blacklist
 		// drops administrator-listed noise before classification (§5.1).
-		Filters: filters,
-		Sink:    svc,
+		Filters:      filters,
+		Sink:         svc,
+		FlushWorkers: *flushers,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tivan [-http :9200] [-udp :5514] [-tcp :5514] [-shards 6]
+//	tivan [-http :9200] [-udp :5514] [-tcp :5514] [-shards 6] [-flush-workers 2]
 //
 // Try it:
 //
@@ -36,6 +36,7 @@ func main() {
 		shards    = flag.Int("shards", 6, "index shard count (the paper ran 6 OpenSearch nodes)")
 		dataFile  = flag.String("data", "", "snapshot file: loaded at startup, written at shutdown")
 		retention = flag.Duration("retention", 0, "drop documents older than this (0 = keep forever)")
+		flushers  = flag.Int("flush-workers", 1, "concurrent pipeline flushers (batches in flight)")
 	)
 	flag.Parse()
 
@@ -52,8 +53,9 @@ func main() {
 	}
 	src := collector.NewSyslogSource(*udpAddr, *tcpAddr)
 	pipe := &collector.Pipeline{
-		Source: src,
-		Sink:   &collector.StoreSink{Store: st},
+		Source:       src,
+		Sink:         &collector.StoreSink{Store: st},
+		FlushWorkers: *flushers,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -73,7 +73,11 @@ type Stats struct {
 	Filtered int64 // records dropped by the filter chain
 	Flushed  int64 // records successfully written to the sink
 	Retries  int64 // batch write retries
-	Dropped  int64 // records dropped after exhausting retries
+	// Dropped counts records lost for any reason: retries exhausted,
+	// retry abandoned at shutdown, or discarded at enqueue because the
+	// context was cancelled while the queue was full. After Run returns,
+	// Ingested == Filtered + Flushed + Dropped.
+	Dropped int64
 }
 
 // Pipeline wires source -> filters -> buffer -> sink.
@@ -96,6 +100,13 @@ type Pipeline struct {
 	// QueueDepth is the buffered-channel depth between ingest and flush;
 	// when full the source's emit blocks (backpressure, default 1024).
 	QueueDepth int
+	// FlushWorkers is the number of concurrent flusher goroutines
+	// (default 1). Each worker keeps its own batch buffer and flush
+	// timer, so up to FlushWorkers batches can be in flight against the
+	// sink at once; the sink must then be safe for concurrent Write
+	// calls (StoreSink and core.Service both are). With more than one
+	// worker, batch delivery order is not the arrival order.
+	FlushWorkers int
 
 	ingested atomic.Int64
 	filtered atomic.Int64
@@ -134,6 +145,9 @@ func (p *Pipeline) defaults() error {
 	if p.QueueDepth <= 0 {
 		p.QueueDepth = 1024
 	}
+	if p.FlushWorkers <= 0 {
+		p.FlushWorkers = 1
+	}
 	return nil
 }
 
@@ -146,11 +160,13 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	queue := make(chan Record, p.QueueDepth)
 
 	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		p.flusher(queue)
-	}()
+	for w := 0; w < p.FlushWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.flusher(ctx, queue)
+		}()
+	}
 
 	emit := func(r Record) {
 		p.ingested.Add(1)
@@ -162,9 +178,19 @@ func (p *Pipeline) Run(ctx context.Context) error {
 				return
 			}
 		}
+		// Fast path: enqueue without consulting ctx, so a cancelled
+		// context never drops a record the queue still has room for.
+		select {
+		case queue <- r:
+			return
+		default:
+		}
 		select {
 		case queue <- r:
 		case <-ctx.Done():
+			// The record was discarded, not delivered: account for it so
+			// Ingested == Filtered + Flushed + Dropped holds at shutdown.
+			p.dropped.Add(1)
 		}
 	}
 
@@ -177,8 +203,10 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	return err
 }
 
-// flusher drains the queue into batches and writes them with retry.
-func (p *Pipeline) flusher(queue <-chan Record) {
+// flusher drains the queue into batches and writes them with retry. When
+// FlushWorkers > 1 several flushers share the queue, each with its own
+// batch buffer and timer.
+func (p *Pipeline) flusher(ctx context.Context, queue <-chan Record) {
 	batch := make([]Record, 0, p.BatchSize)
 	timer := time.NewTimer(p.FlushInterval)
 	defer timer.Stop()
@@ -186,7 +214,7 @@ func (p *Pipeline) flusher(queue <-chan Record) {
 		if len(batch) == 0 {
 			return
 		}
-		p.writeWithRetry(batch)
+		p.writeWithRetry(ctx, batch)
 		batch = batch[:0]
 	}
 	for {
@@ -214,7 +242,12 @@ func (p *Pipeline) flusher(queue <-chan Record) {
 	}
 }
 
-func (p *Pipeline) writeWithRetry(batch []Record) {
+// writeWithRetry delivers one batch, retrying with exponential backoff.
+// Backoff sleeps watch ctx so shutdown never waits out the backoff
+// ladder; a batch abandoned mid-retry counts as Dropped. The in-flight
+// Sink.Write itself is never interrupted (Write is not ctx-aware), so
+// shutdown latency is bounded by one Write plus nothing.
+func (p *Pipeline) writeWithRetry(ctx context.Context, batch []Record) {
 	backoff := p.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		err := p.Sink.Write(batch)
@@ -227,7 +260,14 @@ func (p *Pipeline) writeWithRetry(batch []Record) {
 			return
 		}
 		p.retries.Add(1)
-		time.Sleep(backoff)
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			p.dropped.Add(int64(len(batch)))
+			return
+		}
 		backoff *= 2
 	}
 }

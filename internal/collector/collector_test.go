@@ -169,6 +169,126 @@ func TestPipelineFlushOnInterval(t *testing.T) {
 	}
 }
 
+// TestShutdownInterruptsRetryBackoff cancels the pipeline while the sink
+// is failing with a long backoff ladder: shutdown must not sleep the
+// ladder out, and the abandoned batch must be accounted as Dropped.
+func TestShutdownInterruptsRetryBackoff(t *testing.T) {
+	var calls atomic.Int64
+	failing := SinkFunc(func(batch []Record) error {
+		calls.Add(1)
+		return errors.New("sink down")
+	})
+	p := &Pipeline{
+		Sink: failing, BatchSize: 1, FlushInterval: time.Millisecond,
+		MaxRetries: 10, RetryBackoff: 30 * time.Second, // ladder would take minutes
+	}
+	ch := make(chan Record)
+	p.Source = &ChannelSource{Ch: ch}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx) }()
+
+	ch <- record("cn1", "kernel", "doomed", syslog.Info)
+	// Let the flusher pick the record up and enter the first backoff.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	cancel()
+	close(ch)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shutdown hung in retry backoff")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("shutdown took %v, want prompt exit from backoff", elapsed)
+	}
+	s := p.Stats()
+	if s.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (batch abandoned mid-retry)", s.Dropped)
+	}
+	if s.Ingested != s.Filtered+s.Flushed+s.Dropped {
+		t.Errorf("stats invariant broken: %+v", s)
+	}
+}
+
+// TestStatsInvariantWhenCancelledWithFullQueue wedges the queue behind a
+// blocked sink, cancels, and checks that records discarded at enqueue
+// show up in Dropped: Ingested == Filtered + Flushed + Dropped.
+func TestStatsInvariantWhenCancelledWithFullQueue(t *testing.T) {
+	release := make(chan struct{})
+	sink := &MemorySink{}
+	blocking := SinkFunc(func(batch []Record) error {
+		<-release
+		return sink.Write(batch)
+	})
+	p := &Pipeline{
+		Sink: blocking, BatchSize: 2, FlushInterval: time.Millisecond,
+		QueueDepth: 2,
+	}
+	ch := make(chan Record)
+	p.Source = &ChannelSource{Ch: ch}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx) }()
+
+	// Feed from a goroutine: once the flusher blocks in Write and the
+	// queue fills, emit blocks until the cancel below discards records.
+	go func() {
+		for i := 0; i < 50; i++ {
+			select {
+			case ch <- record("cn1", "kernel", fmt.Sprintf("m%d", i), syslog.Info):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Dropped == 0 {
+		t.Error("expected records discarded at enqueue to count as Dropped")
+	}
+	if s.Ingested != s.Filtered+s.Flushed+s.Dropped {
+		t.Errorf("Ingested (%d) != Filtered (%d) + Flushed (%d) + Dropped (%d)",
+			s.Ingested, s.Filtered, s.Flushed, s.Dropped)
+	}
+}
+
+// TestFlushWorkersDeliverEverything runs the sharded flusher and checks
+// nothing is lost or double-counted relative to the serial flusher.
+func TestFlushWorkersDeliverEverything(t *testing.T) {
+	sink := &MemorySink{}
+	p := &Pipeline{
+		Sink: sink, BatchSize: 4, FlushInterval: time.Millisecond,
+		FlushWorkers: 4,
+	}
+	const n = 500
+	runPipeline(t, p, func(ch chan<- Record) {
+		for i := 0; i < n; i++ {
+			ch <- record(fmt.Sprintf("cn%d", i%8), "kernel", fmt.Sprintf("message %d", i), syslog.Info)
+		}
+	})
+	if got := len(sink.Records()); got != n {
+		t.Fatalf("delivered = %d, want %d", got, n)
+	}
+	s := p.Stats()
+	if s.Flushed != n || s.Dropped != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Ingested != s.Filtered+s.Flushed+s.Dropped {
+		t.Errorf("stats invariant broken: %+v", s)
+	}
+}
+
 func TestPipelineRequiresSourceAndSink(t *testing.T) {
 	if err := (&Pipeline{}).Run(context.Background()); err == nil {
 		t.Error("empty pipeline should error")

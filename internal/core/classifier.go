@@ -98,14 +98,19 @@ type Options struct {
 func DefaultOptions() Options { return Options{Sublinear: true, MinDF: 2} }
 
 // TextClassifier is a fitted preprocessing + TF-IDF + model pipeline.
+// After Train returns, every field is read-only, so Vectorize, Classify
+// and ClassifyCategory are safe for concurrent use — this is what lets
+// core.Service fan a batch across a worker pool without locking.
 type TextClassifier struct {
 	Prep       *textproc.Preprocessor
 	Vectorizer *tfidf.Vectorizer
 	Model      ml.Classifier
 	Labels     []string
 
-	// TrainTime records the wall-clock cost of Fit (the Figure 3
-	// "Training Time" column).
+	// TrainTime records the wall-clock cost of the full training
+	// pipeline — preprocessing/tokenization, TF-IDF fitting, and model
+	// fitting — matching the Figure 3 "Training Time" column, which
+	// times the whole fit, not just the model.
 	TrainTime time.Duration
 }
 
@@ -117,6 +122,7 @@ func Train(model ml.Classifier, corpus *Corpus, opts Options) (*TextClassifier, 
 	prep := textproc.NewPreprocessor()
 	prep.SkipLemmas = opts.SkipLemmas
 
+	start := time.Now()
 	tokenized := make([][]string, corpus.Len())
 	for i, t := range corpus.Texts {
 		tokenized[i] = prep.Process(t)
@@ -127,7 +133,6 @@ func Train(model ml.Classifier, corpus *Corpus, opts Options) (*TextClassifier, 
 		MaxFeatures: opts.MaxFeatures,
 	}
 
-	start := time.Now()
 	X := vz.FitTransform(tokenized)
 	enc := ml.NewLabelEncoder()
 	y := make([]int, corpus.Len())

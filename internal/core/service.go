@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -16,6 +17,15 @@ import (
 // group by it), and routed to the alert manager when actionable. It
 // implements collector.Sink, slotting directly into the collection
 // pipeline as the terminal stage.
+//
+// Concurrency: Write is safe for concurrent use (e.g. from a pipeline
+// with FlushWorkers > 1). The classification path — Preprocessor.Process,
+// Vectorizer.Transform, Classifier.Predict — is read-only after Train,
+// the store and alert manager lock internally, and the one stateful
+// component (the sequence detector) is serialized behind seqMu. Within
+// one Write call, alerting and sequence observation happen in batch
+// order on the calling goroutine, so a Notifier only sees concurrent
+// calls when Write itself is called concurrently.
 type Service struct {
 	Classifier *TextClassifier
 	Store      *store.Store
@@ -27,23 +37,80 @@ type Service struct {
 	Sequences         *markov.SequenceDetector
 	OnSequenceAnomaly func(node string, surprise float64)
 
+	// Workers sets how many goroutines classify each batch passed to
+	// Write (0 defaults to runtime.GOMAXPROCS(0), negative or 1 forces
+	// the serial path). Classification, indexing and alerting fan out;
+	// sequence observation stays in batch order regardless.
+	Workers int
+
 	seqMu      sync.Mutex
 	classified atomic.Int64
 	actionable atomic.Int64
 	seqAnoms   atomic.Int64
+
+	catIdxOnce sync.Once
+	catIdx     map[taxonomy.Category]int
 }
+
+// minParallelBatch is the batch size below which fan-out overhead
+// outweighs the parallel speedup and Write stays serial.
+const minParallelBatch = 8
 
 // Write implements collector.Sink.
 func (s *Service) Write(batch []collector.Record) error {
-	for _, r := range batch {
-		s.handle(r)
+	workers := s.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 || len(batch) < minParallelBatch {
+		for _, r := range batch {
+			cat, ok := s.classify(r)
+			if ok {
+				s.finish(r, cat)
+			}
+		}
+		return nil
+	}
+
+	// Parallel phase: classify + index. Both are safe concurrently (see
+	// the type comment); records are striped across workers so each
+	// goroutine writes a disjoint subset of cats.
+	cats := make([]taxonomy.Category, len(batch))
+	valid := make([]bool, len(batch))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(batch); i += workers {
+				cats[i], valid[i] = s.classify(batch[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Serial phase: alerting and the per-node Markov chains run in batch
+	// order on this goroutine, so parallel classification can neither
+	// permute a node's event sequence nor call the Notifier concurrently.
+	if s.Alerts != nil || s.Sequences != nil {
+		for i, r := range batch {
+			if valid[i] {
+				s.finish(r, cats[i])
+			}
+		}
 	}
 	return nil
 }
 
-func (s *Service) handle(r collector.Record) {
+// classify runs the order-independent part of the hot path for one
+// record: predict the category, count it, index the document. It reports
+// the category and whether the record carried a message.
+func (s *Service) classify(r collector.Record) (taxonomy.Category, bool) {
 	if r.Msg == nil {
-		return
+		return "", false
 	}
 	cat := s.Classifier.ClassifyCategory(r.Msg.Content)
 	s.classified.Add(1)
@@ -55,6 +122,12 @@ func (s *Service) handle(r collector.Record) {
 		doc.Fields["category"] = string(cat)
 		s.Store.Index(doc)
 	}
+	return cat, true
+}
+
+// finish runs the order-sensitive tail for one classified record:
+// alert cooldown bookkeeping, then the sequence detector.
+func (s *Service) finish(r collector.Record, cat taxonomy.Category) {
 	if s.Alerts != nil {
 		t := r.Time
 		if t.IsZero() {
@@ -62,30 +135,36 @@ func (s *Service) handle(r collector.Record) {
 		}
 		s.Alerts.Consider(cat, r.Msg.Hostname, r.Msg.Content, t)
 	}
-	if s.Sequences != nil {
-		if state := s.categoryIndex(cat); state >= 0 {
-			s.seqMu.Lock()
-			surprise, anomalous, err := s.Sequences.Observe(r.Msg.Hostname, state)
-			s.seqMu.Unlock()
-			if err == nil && anomalous {
-				s.seqAnoms.Add(1)
-				if s.OnSequenceAnomaly != nil {
-					s.OnSequenceAnomaly(r.Msg.Hostname, surprise)
-				}
-			}
+	if s.Sequences == nil {
+		return
+	}
+	state, ok := s.categoryIndex(cat)
+	if !ok {
+		return
+	}
+	s.seqMu.Lock()
+	surprise, anomalous, err := s.Sequences.Observe(r.Msg.Hostname, state)
+	s.seqMu.Unlock()
+	if err == nil && anomalous {
+		s.seqAnoms.Add(1)
+		if s.OnSequenceAnomaly != nil {
+			s.OnSequenceAnomaly(r.Msg.Hostname, surprise)
 		}
 	}
 }
 
 // categoryIndex maps a category to its index in the classifier's label
-// set (the Markov chain's state alphabet), or -1.
-func (s *Service) categoryIndex(cat taxonomy.Category) int {
-	for i, l := range s.Classifier.Labels {
-		if l == string(cat) {
-			return i
+// set (the Markov chain's state alphabet). The map is built once from
+// Classifier.Labels on first use; Labels must not change afterwards.
+func (s *Service) categoryIndex(cat taxonomy.Category) (int, bool) {
+	s.catIdxOnce.Do(func() {
+		s.catIdx = make(map[taxonomy.Category]int, len(s.Classifier.Labels))
+		for i, l := range s.Classifier.Labels {
+			s.catIdx[taxonomy.Category(l)] = i
 		}
-	}
-	return -1
+	})
+	i, ok := s.catIdx[cat]
+	return i, ok
 }
 
 // SequenceAnomalies returns how many per-node sequence anomalies fired.

@@ -64,7 +64,10 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 }
 
 // Classifier is the contract every model in the evaluation implements.
-// Predict must be safe for concurrent use after Fit returns.
+// Predict must be safe for concurrent use after Fit returns: it may only
+// read fitted state, allocating any scratch (score slices, neighbor
+// heaps) per call. All eight paper models comply, which is what allows
+// PredictAllParallel here and the worker-pool Sink in internal/core.
 type Classifier interface {
 	// Name returns the display name used in result tables.
 	Name() string

@@ -16,6 +16,8 @@ import (
 // KNN is a k-nearest-neighbors classifier over cosine similarity. On the
 // L2-normalized TF-IDF vectors produced by the vectorizer, cosine ordering
 // equals Euclidean ordering, so this matches the scikit-learn setup.
+// Predict is safe for concurrent use after Fit: the inverted index is
+// read-only and the similarity map and top-k heap are per-call scratch.
 type KNN struct {
 	// K is the number of neighbors (default 5, sklearn's default).
 	K int

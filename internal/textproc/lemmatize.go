@@ -291,6 +291,10 @@ func buildLexicon(words string) map[string]bool {
 
 // Preprocessor chains the tokenizer, stopword filter and lemmatizer into
 // the single pipeline used by the feature extractors and classifiers.
+//
+// Once configured, a Preprocessor is safe for concurrent use: Process
+// allocates a fresh token slice per call and the tokenizer, stopword set
+// and lemmatizer tables are read-only.
 type Preprocessor struct {
 	Tokenizer  *Tokenizer
 	Lemmatizer *Lemmatizer

@@ -166,7 +166,9 @@ func (vz *Vectorizer) IDF(feature int32) float64 { return vz.idf[feature] }
 
 // Transform converts one tokenized document into a TF-IDF vector. Unknown
 // terms are ignored (consistent with transforming test data through a
-// vectorizer fitted on training data).
+// vectorizer fitted on training data). Transform only reads the fitted
+// state (vocab, remap, idf), so it is safe to call concurrently after
+// Fit returns.
 func (vz *Vectorizer) Transform(tokens []string) sparse.Vector {
 	if vz.vocab == nil {
 		panic("tfidf: Transform before Fit")
