@@ -22,6 +22,7 @@ import (
 	"hetsyslog/internal/experiments"
 	"hetsyslog/internal/llm"
 	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
 )
 
@@ -354,5 +355,36 @@ func BenchmarkLemmaAblation(b *testing.B) {
 			b.Fatal(err)
 		}
 		printOnce(b, i, txt)
+	}
+}
+
+// BenchmarkServiceObsOverhead measures the cost of live observability on
+// the classify hot path: the same Service.Write workload with no metrics
+// registry (counters only, no timing) versus a live obs.Registry (same
+// counters plus the per-record classify-latency histogram, i.e. two
+// time.Now calls and one histogram observation per record). The
+// acceptance bar for the observability layer is <5% overhead; compare the
+// two recs/s numbers.
+func BenchmarkServiceObsOverhead(b *testing.B) {
+	const batch = 2048
+	tc, recs := serviceStream(b, batch)
+	for _, cfg := range []struct {
+		name string
+		reg  *obs.Registry
+	}{
+		{"nil-registry", nil},
+		{"live-registry", obs.NewRegistry()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			svc := &core.Service{Classifier: tc, Workers: 1, Metrics: cfg.reg}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Write(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "recs/s")
+		})
 	}
 }

@@ -8,6 +8,7 @@
 //
 //	collector [-udp :5514] [-tcp :5514] [-http :9200] [-model "Random Forest"]
 //	          [-train-scale 20000] [-cooldown 1m] [-workers 8] [-flush-workers 2]
+//	          [-metrics-addr :9600]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,23 +28,25 @@ import (
 	"hetsyslog/internal/llm"
 	"hetsyslog/internal/loggen"
 	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
 	"hetsyslog/internal/taxonomy"
 )
 
 func main() {
 	var (
-		udpAddr   = flag.String("udp", ":5514", "syslog UDP listen address")
-		tcpAddr   = flag.String("tcp", ":5514", "syslog TCP listen address")
-		httpAddr  = flag.String("http", ":9200", "store HTTP API address")
-		modelName = flag.String("model", "Complement Naive Bayes", "classifier to deploy")
-		scale     = flag.Int("train-scale", 20000, "training corpus size")
-		seed      = flag.Int64("seed", 1, "training seed")
-		cooldown  = flag.Duration("cooldown", time.Minute, "per-category alert cooldown")
-		shards    = flag.Int("shards", 6, "store shard count")
-		blacklist = flag.String("blacklist", "", "file of noise exemplars to drop pre-classification (one per line, §5.1)")
-		workers   = flag.Int("workers", 0, "classification goroutines per batch (0 = GOMAXPROCS)")
-		flushers  = flag.Int("flush-workers", 1, "concurrent pipeline flushers (batches in flight)")
+		udpAddr     = flag.String("udp", ":5514", "syslog UDP listen address")
+		tcpAddr     = flag.String("tcp", ":5514", "syslog TCP listen address")
+		httpAddr    = flag.String("http", ":9200", "store HTTP API address")
+		modelName   = flag.String("model", "Complement Naive Bayes", "classifier to deploy")
+		scale       = flag.Int("train-scale", 20000, "training corpus size")
+		seed        = flag.Int64("seed", 1, "training seed")
+		cooldown    = flag.Duration("cooldown", time.Minute, "per-category alert cooldown")
+		shards      = flag.Int("shards", 6, "store shard count")
+		blacklist   = flag.String("blacklist", "", "file of noise exemplars to drop pre-classification (one per line, §5.1)")
+		workers     = flag.Int("workers", 0, "classification goroutines per batch (0 = GOMAXPROCS)")
+		flushers    = flag.Int("flush-workers", 1, "concurrent pipeline flushers (batches in flight)")
+		metricsAddr = flag.String("metrics-addr", "", "dedicated listen address serving /metrics and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 
@@ -64,14 +68,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "collector: trained in %v (%d features)\n",
 		tc.TrainTime.Round(time.Millisecond), tc.Vectorizer.Dims())
 
+	reg := obs.NewRegistry()
 	st := store.New(*shards)
+	st.Instrument(reg)
 	alerts := &monitor.AlertManager{
 		Cooldown: *cooldown,
 		Notifier: monitor.NotifierFunc(func(a monitor.Alert) {
 			fmt.Println("ALERT", a)
 		}),
 	}
-	svc := &core.Service{Classifier: tc, Store: st, Alerts: alerts, Workers: *workers}
+	svc := &core.Service{Classifier: tc, Store: st, Alerts: alerts, Workers: *workers, Metrics: reg}
 
 	// Topology enrichment from the simulated cluster (in a real
 	// deployment this reads the site inventory).
@@ -84,7 +90,9 @@ func main() {
 		return fmt.Sprintf("r%d", n.Rack), string(n.Arch), true
 	})
 
-	filters := []collector.Filter{collector.NewDedup(time.Second), enrich}
+	dedup := collector.NewDedup(time.Second)
+	dedup.Metrics = reg
+	filters := []collector.Filter{dedup, enrich}
 	if *blacklist != "" {
 		nf := core.NewNoiseFilter(0)
 		data, err := os.ReadFile(*blacklist)
@@ -101,6 +109,7 @@ func main() {
 	}
 
 	src := collector.NewSyslogSource(*udpAddr, *tcpAddr)
+	src.Metrics = reg
 	pipe := &collector.Pipeline{
 		Source: src,
 		// rsyslog-style dedup in front of classification keeps identical
@@ -109,6 +118,7 @@ func main() {
 		Filters:      filters,
 		Sink:         svc,
 		FlushWorkers: *flushers,
+		Metrics:      reg,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -118,6 +128,7 @@ func main() {
 	// /views/..., LLM status summaries at /views/summary.
 	mux := http.NewServeMux()
 	mux.Handle("/", st.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
 	dash := &monitor.Dashboard{
 		Store: st,
 		Archs: func(arch string) (int, bool) {
@@ -138,6 +149,9 @@ func main() {
 	go func() { errCh <- pipe.Run(ctx) }()
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	if *metricsAddr != "" {
+		go func() { errCh <- serveObs(*metricsAddr, reg) }()
+	}
 	go func() {
 		<-src.Ready()
 		fmt.Fprintf(os.Stderr, "collector: syslog udp=%s tcp=%s, store http=%s\n",
@@ -173,6 +187,20 @@ func nodeStatuses(st *store.Store) []llm.NodeStatus {
 		out = append(out, ns)
 	}
 	return out
+}
+
+// serveObs runs the dedicated observability endpoint: Prometheus scrapes
+// at /metrics plus the pprof profiling surface, kept off the main API
+// address so profiling is never exposed alongside the public port.
+func serveObs(addr string, reg *obs.Registry) error {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return (&http.Server{Addr: addr, Handler: mux}).ListenAndServe()
 }
 
 func fatal(err error) {

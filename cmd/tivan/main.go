@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tivan [-http :9200] [-udp :5514] [-tcp :5514] [-shards 6] [-flush-workers 2]
+//	      [-metrics-addr :9600]
 //
 // Try it:
 //
@@ -19,28 +20,33 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"hetsyslog/internal/collector"
+	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
 )
 
 func main() {
 	var (
-		httpAddr  = flag.String("http", ":9200", "HTTP API listen address")
-		udpAddr   = flag.String("udp", ":5514", "syslog UDP listen address (empty disables)")
-		tcpAddr   = flag.String("tcp", ":5514", "syslog TCP listen address (empty disables)")
-		shards    = flag.Int("shards", 6, "index shard count (the paper ran 6 OpenSearch nodes)")
-		dataFile  = flag.String("data", "", "snapshot file: loaded at startup, written at shutdown")
-		retention = flag.Duration("retention", 0, "drop documents older than this (0 = keep forever)")
-		flushers  = flag.Int("flush-workers", 1, "concurrent pipeline flushers (batches in flight)")
+		httpAddr    = flag.String("http", ":9200", "HTTP API listen address")
+		udpAddr     = flag.String("udp", ":5514", "syslog UDP listen address (empty disables)")
+		tcpAddr     = flag.String("tcp", ":5514", "syslog TCP listen address (empty disables)")
+		shards      = flag.Int("shards", 6, "index shard count (the paper ran 6 OpenSearch nodes)")
+		dataFile    = flag.String("data", "", "snapshot file: loaded at startup, written at shutdown")
+		retention   = flag.Duration("retention", 0, "drop documents older than this (0 = keep forever)")
+		flushers    = flag.Int("flush-workers", 1, "concurrent pipeline flushers (batches in flight)")
+		metricsAddr = flag.String("metrics-addr", "", "dedicated listen address serving /metrics and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	st := store.New(*shards)
+	st.Instrument(reg)
 	if *dataFile != "" {
 		if err := st.LoadFile(*dataFile); err != nil {
 			if !os.IsNotExist(err) {
@@ -52,10 +58,12 @@ func main() {
 		}
 	}
 	src := collector.NewSyslogSource(*udpAddr, *tcpAddr)
+	src.Metrics = reg
 	pipe := &collector.Pipeline{
 		Source:       src,
 		Sink:         &collector.StoreSink{Store: st},
 		FlushWorkers: *flushers,
+		Metrics:      reg,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,8 +90,14 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *httpAddr, Handler: st.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", st.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	if *metricsAddr != "" {
+		go func() { errCh <- serveObs(*metricsAddr, reg) }()
+	}
 
 	go func() {
 		<-src.Ready()
@@ -110,4 +124,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// serveObs runs the dedicated observability endpoint: Prometheus scrapes
+// at /metrics plus the pprof profiling surface, kept off the main API
+// address so profiling is never exposed alongside the public port.
+func serveObs(addr string, reg *obs.Registry) error {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return (&http.Server{Addr: addr, Handler: mux}).ListenAndServe()
 }

@@ -9,9 +9,9 @@ import (
 	"context"
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"hetsyslog/internal/obs"
 	"hetsyslog/internal/syslog"
 )
 
@@ -54,6 +54,18 @@ type FilterFunc func(r Record) (Record, bool)
 
 // Apply calls f.
 func (f FilterFunc) Apply(r Record) (Record, bool) { return f(r) }
+
+// EmittingFilter is a Filter that can inject additional records of its
+// own — e.g. Dedup's "message repeated N times" summaries when a burst's
+// window expires. The pipeline calls SetEmit before the source starts;
+// injected records are run through the remaining filter chain (everything
+// downstream of the emitting filter), counted as Ingested, and enqueued
+// like any other record, so the accounting invariant
+// Ingested == Filtered + Flushed + Dropped still holds.
+type EmittingFilter interface {
+	Filter
+	SetEmit(emit func(Record))
+}
 
 // Sink receives flushed batches. Write must be safe to retry: the pipeline
 // re-delivers the whole batch on error.
@@ -108,21 +120,53 @@ type Pipeline struct {
 	// worker, batch delivery order is not the arrival order.
 	FlushWorkers int
 
-	ingested atomic.Int64
-	filtered atomic.Int64
-	flushed  atomic.Int64
-	retries  atomic.Int64
-	dropped  atomic.Int64
+	// Metrics optionally publishes the pipeline's counters, queue-depth
+	// gauge and batch/flush histograms into a shared registry; set it
+	// before Run. Left nil the same counters still run standalone, so
+	// Stats() is always exact.
+	Metrics *obs.Registry
+
+	metricsOnce  sync.Once
+	ingested     *obs.Counter
+	filtered     *obs.Counter
+	flushed      *obs.Counter
+	retries      *obs.Counter
+	dropped      *obs.Counter
+	batchSize    *obs.Histogram
+	flushLatency *obs.Histogram
 }
 
-// Stats returns a snapshot of the counters.
+// initMetrics lazily creates the pipeline's metrics — inside Metrics when
+// set, standalone otherwise.
+func (p *Pipeline) initMetrics() {
+	p.metricsOnce.Do(func() {
+		p.ingested = p.Metrics.Counter("pipeline_ingested_total",
+			"records emitted by the source (including filter-injected records)")
+		p.filtered = p.Metrics.Counter("pipeline_filtered_total",
+			"records dropped by the filter chain")
+		p.flushed = p.Metrics.Counter("pipeline_flushed_total",
+			"records successfully written to the sink")
+		p.retries = p.Metrics.Counter("pipeline_retries_total",
+			"batch write retries")
+		p.dropped = p.Metrics.Counter("pipeline_dropped_total",
+			"records lost: retries exhausted, retry abandoned at shutdown, or discarded at enqueue")
+		p.batchSize = p.Metrics.Histogram("pipeline_batch_size",
+			"records per flushed batch", obs.SizeBuckets)
+		p.flushLatency = p.Metrics.Histogram("pipeline_flush_seconds",
+			"sink flush latency per batch, including retries and backoff", obs.LatencyBuckets)
+	})
+}
+
+// Stats returns a snapshot of the counters — reads of the same counters
+// /metrics exports.
 func (p *Pipeline) Stats() Stats {
+	p.initMetrics()
 	return Stats{
-		Ingested: p.ingested.Load(),
-		Filtered: p.filtered.Load(),
-		Flushed:  p.flushed.Load(),
-		Retries:  p.retries.Load(),
-		Dropped:  p.dropped.Load(),
+		Ingested: p.ingested.Value(),
+		Filtered: p.filtered.Value(),
+		Flushed:  p.flushed.Value(),
+		Retries:  p.retries.Value(),
+		Dropped:  p.dropped.Value(),
 	}
 }
 
@@ -148,6 +192,7 @@ func (p *Pipeline) defaults() error {
 	if p.FlushWorkers <= 0 {
 		p.FlushWorkers = 1
 	}
+	p.initMetrics()
 	return nil
 }
 
@@ -158,6 +203,11 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		return err
 	}
 	queue := make(chan Record, p.QueueDepth)
+	// Scrape-time gauge: len on a buffered channel is exact and free, so
+	// the hot path pays nothing for queue visibility.
+	p.Metrics.GaugeFunc("pipeline_queue_depth",
+		"records buffered between ingest and flush",
+		func() int64 { return int64(len(queue)) })
 
 	var wg sync.WaitGroup
 	for w := 0; w < p.FlushWorkers; w++ {
@@ -168,18 +218,10 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		}()
 	}
 
-	emit := func(r Record) {
-		p.ingested.Add(1)
-		for _, f := range p.Filters {
-			var keep bool
-			r, keep = f.Apply(r)
-			if !keep {
-				p.filtered.Add(1)
-				return
-			}
-		}
-		// Fast path: enqueue without consulting ctx, so a cancelled
-		// context never drops a record the queue still has room for.
+	// enqueue delivers one filtered record, preferring delivery over
+	// shutdown: a cancelled context only drops a record when the queue
+	// has no room for it.
+	enqueue := func(r Record) {
 		select {
 		case queue <- r:
 			return
@@ -192,6 +234,36 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			// Ingested == Filtered + Flushed + Dropped holds at shutdown.
 			p.dropped.Add(1)
 		}
+	}
+
+	// filterFrom runs r through p.Filters[from:] and enqueues survivors.
+	filterFrom := func(r Record, from int) {
+		for _, f := range p.Filters[from:] {
+			var keep bool
+			r, keep = f.Apply(r)
+			if !keep {
+				p.filtered.Add(1)
+				return
+			}
+		}
+		enqueue(r)
+	}
+
+	// Filters that inject their own records (dedup summaries) feed them
+	// through the rest of the chain, downstream of themselves.
+	for i, f := range p.Filters {
+		if ef, ok := f.(EmittingFilter); ok {
+			after := i + 1
+			ef.SetEmit(func(r Record) {
+				p.ingested.Add(1)
+				filterFrom(r, after)
+			})
+		}
+	}
+
+	emit := func(r Record) {
+		p.ingested.Add(1)
+		filterFrom(r, 0)
 	}
 
 	err := p.Source.Run(ctx, emit)
@@ -248,11 +320,14 @@ func (p *Pipeline) flusher(ctx context.Context, queue <-chan Record) {
 // Sink.Write itself is never interrupted (Write is not ctx-aware), so
 // shutdown latency is bounded by one Write plus nothing.
 func (p *Pipeline) writeWithRetry(ctx context.Context, batch []Record) {
+	p.batchSize.Observe(float64(len(batch)))
+	start := time.Now()
 	backoff := p.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		err := p.Sink.Write(batch)
 		if err == nil {
 			p.flushed.Add(int64(len(batch)))
+			p.flushLatency.ObserveDuration(time.Since(start))
 			return
 		}
 		if attempt >= p.MaxRetries {

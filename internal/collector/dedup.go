@@ -1,9 +1,11 @@
 package collector
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"hetsyslog/internal/obs"
 )
 
 // Dedup suppresses repeated identical messages per (host, app, content)
@@ -11,6 +13,15 @@ import (
 // when the burst ends — the behaviour rsyslogd applies before forwarding,
 // which keeps a thermal storm from flooding the store (§4.5.1 surges can
 // exceed thousands of identical lines per minute).
+//
+// A burst can end two ways. If the message recurs after the window, the
+// recurrence passes annotated with Meta["repeated"] carrying the count it
+// absorbed. If it never recurs, the entry is evicted once its window
+// expires — by the lazy sweep Apply runs at most once per window, or by
+// an explicit Sweep — and a copy of the burst's first record, annotated
+// the same way, is handed to the emit callback (see SetEmit). Eviction
+// bounds memory: without it every distinct (host, app, content) triple
+// ever seen would live forever.
 type Dedup struct {
 	// Window is how long a message suppresses its duplicates
 	// (default 1s).
@@ -18,13 +29,27 @@ type Dedup struct {
 	// Now allows tests to control the clock.
 	Now func() time.Time
 
-	mu   sync.Mutex
-	last map[string]*dedupEntry
+	// Metrics optionally publishes the filter's counters (suppressed,
+	// evicted, live tracked entries) into a shared registry; set it
+	// before first use.
+	Metrics *obs.Registry
+
+	metricsOnce     sync.Once
+	suppressedTotal *obs.Counter
+	evictedTotal    *obs.Counter
+
+	mu        sync.Mutex
+	last      map[string]*dedupEntry
+	lastSweep time.Time
+	emit      func(Record)
 }
 
 type dedupEntry struct {
 	first      time.Time
 	suppressed int
+	// rec is the burst's first record, kept so an expired burst can be
+	// re-emitted with its "repeated" annotation.
+	rec Record
 }
 
 // NewDedup returns a Dedup filter with the given window.
@@ -42,35 +67,127 @@ func (d *Dedup) now() time.Time {
 	return time.Now()
 }
 
+func (d *Dedup) initMetrics() {
+	d.metricsOnce.Do(func() {
+		d.suppressedTotal = d.Metrics.Counter("dedup_suppressed_total",
+			"duplicate records suppressed inside the window")
+		d.evictedTotal = d.Metrics.Counter("dedup_evicted_total",
+			"expired burst entries evicted from the tracking map")
+		if d.Metrics != nil {
+			d.Metrics.GaugeFunc("dedup_tracked",
+				"live (host, app, content) entries being tracked",
+				func() int64 {
+					d.mu.Lock()
+					defer d.mu.Unlock()
+					return int64(len(d.last))
+				})
+		}
+	})
+}
+
+// SetEmit installs the callback that receives "message repeated N times"
+// summary records when a suppressed burst's window expires without the
+// message recurring. The pipeline wires this automatically (see
+// EmittingFilter); the callback runs outside Dedup's lock.
+func (d *Dedup) SetEmit(emit func(Record)) {
+	d.mu.Lock()
+	d.emit = emit
+	d.mu.Unlock()
+}
+
 // Apply implements Filter. The first occurrence passes; duplicates inside
 // the window are dropped; the first occurrence after the window passes
-// with a Meta["repeated"] annotation carrying the suppressed count.
+// with a Meta["repeated"] annotation carrying the suppressed count. At
+// most once per window Apply also sweeps the tracking map, evicting
+// expired entries and emitting summaries for bursts that never recurred.
 func (d *Dedup) Apply(r Record) (Record, bool) {
 	if r.Msg == nil {
 		return r, false
 	}
+	d.initMetrics()
 	key := r.Msg.Hostname + "\x00" + r.Msg.AppName + "\x00" + r.Msg.Content
 	now := d.now()
+
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	e, ok := d.last[key]
+	var keep bool
 	if !ok || now.Sub(e.first) >= d.Window {
 		var repeated int
 		if ok {
 			repeated = e.suppressed
 		}
-		d.last[key] = &dedupEntry{first: now}
+		d.last[key] = &dedupEntry{first: now, rec: r}
 		if repeated > 0 {
-			r = r.WithMeta("repeated", fmt.Sprintf("%d", repeated))
+			r = r.WithMeta("repeated", strconv.Itoa(repeated))
 		}
-		return r, true
+		keep = true
+	} else {
+		e.suppressed++
+		d.suppressedTotal.Inc()
 	}
-	e.suppressed++
-	return r, false
+	var expired []Record
+	if now.Sub(d.lastSweep) >= d.Window {
+		expired, _ = d.sweepLocked(now)
+	}
+	d.mu.Unlock()
+
+	d.emitAll(expired)
+	return r, keep
 }
 
-// Suppressed returns the number of currently-tracked suppressed duplicates
-// (diagnostics).
+// Sweep evicts every entry whose window has expired as of now, emitting
+// summary records for bursts that absorbed duplicates, and returns the
+// number of entries evicted. Apply runs the same sweep lazily at most
+// once per window; call Sweep directly to bound the map during lulls
+// (e.g. from a ticker) or to flush at shutdown with a far-future now.
+func (d *Dedup) Sweep(now time.Time) int {
+	d.initMetrics()
+	d.mu.Lock()
+	expired, evicted := d.sweepLocked(now)
+	d.mu.Unlock()
+	d.emitAll(expired)
+	return evicted
+}
+
+// sweepLocked removes expired entries, returning the summary records to
+// emit and the eviction count. Caller holds d.mu.
+func (d *Dedup) sweepLocked(now time.Time) ([]Record, int) {
+	var out []Record
+	evicted := 0
+	for key, e := range d.last {
+		if now.Sub(e.first) < d.Window {
+			continue
+		}
+		if e.suppressed > 0 {
+			out = append(out, e.rec.WithMeta("repeated", strconv.Itoa(e.suppressed)))
+		}
+		delete(d.last, key)
+		evicted++
+	}
+	d.evictedTotal.Add(int64(evicted))
+	d.lastSweep = now
+	return out, evicted
+}
+
+// emitAll delivers expired-burst summaries outside the lock.
+func (d *Dedup) emitAll(expired []Record) {
+	if len(expired) == 0 {
+		return
+	}
+	d.mu.Lock()
+	emit := d.emit
+	d.mu.Unlock()
+	if emit == nil {
+		return
+	}
+	for _, r := range expired {
+		emit(r)
+	}
+}
+
+// Suppressed returns the number of currently-tracked suppressed
+// duplicates (diagnostics; the cumulative count is the
+// dedup_suppressed_total counter).
 func (d *Dedup) Suppressed() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -81,4 +198,12 @@ func (d *Dedup) Suppressed() int {
 	return n
 }
 
+// Tracked returns how many (host, app, content) entries are live.
+func (d *Dedup) Tracked() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.last)
+}
+
 var _ Filter = (*Dedup)(nil)
+var _ EmittingFilter = (*Dedup)(nil)

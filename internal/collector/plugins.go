@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
 	"hetsyslog/internal/syslog"
 )
@@ -18,6 +19,9 @@ type SyslogSource struct {
 	TCPAddr string
 	// Tag stamps every record (default "syslog").
 	Tag string
+	// Metrics optionally publishes the underlying syslog server's
+	// counters into a shared registry; set it before Run.
+	Metrics *obs.Registry
 
 	server *syslog.Server
 	// BoundUDP/BoundTCP expose the actual addresses after Run starts
@@ -37,7 +41,7 @@ func (s *SyslogSource) Ready() <-chan struct{} { return s.ready }
 
 // Run implements Source.
 func (s *SyslogSource) Run(ctx context.Context, emit func(Record)) error {
-	s.server = &syslog.Server{Handler: syslog.HandlerFunc(func(m *syslog.Message) {
+	s.server = &syslog.Server{Metrics: s.Metrics, Handler: syslog.HandlerFunc(func(m *syslog.Message) {
 		emit(Record{Tag: s.Tag, Time: m.Timestamp, Msg: m})
 	})}
 	if s.UDPAddr != "" {

@@ -3,11 +3,12 @@ package core
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"hetsyslog/internal/collector"
 	"hetsyslog/internal/ml/markov"
 	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
 	"hetsyslog/internal/taxonomy"
 )
@@ -43,13 +44,43 @@ type Service struct {
 	// sequence observation stays in batch order regardless.
 	Workers int
 
-	seqMu      sync.Mutex
-	classified atomic.Int64
-	actionable atomic.Int64
-	seqAnoms   atomic.Int64
+	// Metrics optionally publishes the service's counters and the
+	// per-record classify-latency histogram into a shared registry; set
+	// it before the first Write. Left nil the counters still run
+	// standalone (Counts() stays exact) and the latency histogram — the
+	// only instrument that would add time.Now calls to the hot path — is
+	// disabled entirely, so an unobserved service pays nothing.
+	Metrics *obs.Registry
+
+	metricsOnce sync.Once
+	classified  *obs.Counter
+	actionable  *obs.Counter
+	seqAnoms    *obs.Counter
+	classifyLat *obs.Histogram
+
+	seqMu sync.Mutex
 
 	catIdxOnce sync.Once
 	catIdx     map[taxonomy.Category]int
+}
+
+// initMetrics lazily creates the service's metrics — inside Metrics when
+// set, standalone otherwise. The classify-latency histogram only exists
+// with a live registry: timing every record is the one instrumentation
+// cost worth gating.
+func (s *Service) initMetrics() {
+	s.metricsOnce.Do(func() {
+		s.classified = s.Metrics.Counter("service_classified_total",
+			"records classified in real time")
+		s.actionable = s.Metrics.Counter("service_actionable_total",
+			"records classified into actionable categories")
+		s.seqAnoms = s.Metrics.Counter("service_sequence_anomalies_total",
+			"per-node sequence anomalies fired")
+		if s.Metrics != nil {
+			s.classifyLat = s.Metrics.Histogram("service_classify_seconds",
+				"per-record classify+index latency", obs.LatencyBuckets)
+		}
+	})
 }
 
 // minParallelBatch is the batch size below which fan-out overhead
@@ -58,6 +89,7 @@ const minParallelBatch = 8
 
 // Write implements collector.Sink.
 func (s *Service) Write(batch []collector.Record) error {
+	s.initMetrics()
 	workers := s.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -112,15 +144,22 @@ func (s *Service) classify(r collector.Record) (taxonomy.Category, bool) {
 	if r.Msg == nil {
 		return "", false
 	}
+	var start time.Time
+	if s.classifyLat != nil {
+		start = time.Now()
+	}
 	cat := s.Classifier.ClassifyCategory(r.Msg.Content)
-	s.classified.Add(1)
+	s.classified.Inc()
 	if taxonomy.Actionable(cat) {
-		s.actionable.Add(1)
+		s.actionable.Inc()
 	}
 	if s.Store != nil {
 		doc := collector.RecordToDoc(r)
 		doc.Fields["category"] = string(cat)
 		s.Store.Index(doc)
+	}
+	if s.classifyLat != nil {
+		s.classifyLat.ObserveDuration(time.Since(start))
 	}
 	return cat, true
 }
@@ -146,7 +185,7 @@ func (s *Service) finish(r collector.Record, cat taxonomy.Category) {
 	surprise, anomalous, err := s.Sequences.Observe(r.Msg.Hostname, state)
 	s.seqMu.Unlock()
 	if err == nil && anomalous {
-		s.seqAnoms.Add(1)
+		s.seqAnoms.Inc()
 		if s.OnSequenceAnomaly != nil {
 			s.OnSequenceAnomaly(r.Msg.Hostname, surprise)
 		}
@@ -168,10 +207,16 @@ func (s *Service) categoryIndex(cat taxonomy.Category) (int, bool) {
 }
 
 // SequenceAnomalies returns how many per-node sequence anomalies fired.
-func (s *Service) SequenceAnomalies() int64 { return s.seqAnoms.Load() }
+func (s *Service) SequenceAnomalies() int64 {
+	s.initMetrics()
+	return s.seqAnoms.Value()
+}
 
 // Counts reports how many records were classified and how many fell into
-// actionable categories.
+// actionable categories — reads of the same counters /metrics exports.
+// The sync.Once in initMetrics orders these reads against a concurrent
+// first Write's lazy metric creation.
 func (s *Service) Counts() (classified, actionable int64) {
-	return s.classified.Load(), s.actionable.Load()
+	s.initMetrics()
+	return s.classified.Value(), s.actionable.Value()
 }

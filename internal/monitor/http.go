@@ -80,6 +80,12 @@ func (d *Dashboard) handleFrequency(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad interval: "+err.Error(), http.StatusBadRequest)
 			return
 		}
+		// "-1m" and "0s" parse fine but would poison the histogram
+		// bucketing (division by a non-positive bucket width).
+		if interval <= 0 {
+			http.Error(w, "bad interval: must be positive", http.StatusBadRequest)
+			return
+		}
 	}
 	factor := 3.0
 	if s := r.URL.Query().Get("factor"); s != "" {
@@ -148,6 +154,10 @@ func (d *Dashboard) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		window, err = time.ParseDuration(s)
 		if err != nil {
 			http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if window <= 0 {
+			http.Error(w, "bad window: must be positive", http.StatusBadRequest)
 			return
 		}
 	}

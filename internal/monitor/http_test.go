@@ -92,8 +92,12 @@ func TestDashboardFrequencyBadParams(t *testing.T) {
 	srv, _ := dashboardServer(t)
 	for _, path := range []string{
 		"/views/frequency?interval=nope",
+		"/views/frequency?interval=-1m",
+		"/views/frequency?interval=0s",
 		"/views/frequency?factor=abc",
 		"/views/frequency?min=x",
+		"/views/correlate?a=x&b=y&window=-5m",
+		"/views/correlate?a=x&b=y&window=0s",
 	} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {

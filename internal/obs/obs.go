@@ -1,0 +1,283 @@
+// Package obs is the reproduction's observability layer: a small,
+// dependency-free metrics registry with Prometheus text-format exposition.
+// The paper's deployment watches the pipeline itself through
+// Grafana-over-OpenSearch (§4.2, §4.5); here every stage — syslog server,
+// collector pipeline, dedup filter, classifier service, Tivan store —
+// publishes counters, gauges and latency histograms into a shared
+// *Registry that a scrape endpoint exports.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost: a counter increment is one atomic add; a histogram
+//     observation is a binary search over a handful of float64 bounds
+//     plus three atomic adds. No locks, no allocation, no map lookups
+//     after registration.
+//  2. Optionality: every metric type no-ops on a nil receiver, and a nil
+//     *Registry hands out standalone (unexported) metrics, so components
+//     keep exact counts for their Stats() accessors whether or not
+//     anything scrapes them. Code instruments unconditionally; wiring a
+//     registry is a deployment decision.
+//  3. Zero dependencies: exposition is hand-rolled Prometheus text
+//     format (version 0.0.4), which is a stable, trivially generated
+//     line protocol.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; all methods are safe on a nil receiver (no-ops / zero reads), so
+// uninstrumented components pay only a predictable branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter returns a standalone counter not attached to any registry.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n (n must be non-negative for Prometheus
+// semantics; this is not enforced).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a standalone gauge not attached to any registry.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: Bounds are inclusive upper limits ("le"), with an implicit +Inf
+// bucket at the end. Observations and exposition are lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	// sum accumulates in micro-units (value * 1e6) so it stays a single
+	// atomic add; exposition divides back out. Micro precision is ample
+	// for latencies (µs) and batch sizes.
+	sumMicro atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram with the given ascending
+// upper bounds. A nil or empty bounds slice yields a single +Inf bucket.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Smallest i with bounds[i] >= v, i.e. the first "le" bucket that
+	// contains v; len(bounds) means +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumMicro.Add(int64(v * 1e6))
+}
+
+// ObserveDuration records a latency in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumMicro.Load()) / 1e6
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds + the
+// +Inf bucket, plus total count and sum. Reads are atomic per bucket;
+// a scrape concurrent with observations may be off by the in-flight
+// observation, which Prometheus tolerates by design.
+func (h *Histogram) snapshot() (cum []int64, count int64, sum float64) {
+	cum = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, h.count.Load(), h.Sum()
+}
+
+// LatencyBuckets is the default bound set for latency histograms: 5µs to
+// 10s, roughly log-spaced — wide enough to cover a sub-µs classify step
+// and a multi-second flush against a struggling sink.
+var LatencyBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// SizeBuckets is the default bound set for size histograms (batch sizes,
+// queue lengths): powers of two up to 4096.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Registry holds named metrics for exposition. All methods are safe for
+// concurrent use and safe on a nil receiver: a nil registry hands out
+// standalone metrics (counters/gauges/histograms that still count, so
+// Stats() accessors stay exact) and registers nothing — instrumented
+// code never branches on whether observability is wired up.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any    // full series name (may include {labels}) -> metric
+	help    map[string]string // family name -> help text
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any), help: make(map[string]string)}
+}
+
+// family strips a {labels} suffix from a series name.
+func family(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. name may carry a label suffix (`frames_total{transport="udp"}`);
+// series sharing a family share one HELP/TYPE header. Registration is
+// idempotent: the same name always returns the same counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return NewCounter()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if c, ok := m.(*Counter); ok {
+			return c
+		}
+	}
+	c := NewCounter()
+	r.metrics[name] = c
+	r.setHelpLocked(name, help)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return NewGauge()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if g, ok := m.(*Gauge); ok {
+			return g
+		}
+	}
+	g := NewGauge()
+	r.metrics[name] = g
+	r.setHelpLocked(name, help)
+	return g
+}
+
+// gaugeFunc is a gauge whose value is computed at scrape time.
+type gaugeFunc struct{ fn func() int64 }
+
+// GaugeFunc registers a gauge evaluated lazily at scrape time — ideal for
+// values that already exist (queue length, map size) where per-event
+// updates would cost hot-path atomics. Re-registering a name replaces the
+// callback. fn must be safe to call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = &gaugeFunc{fn: fn}
+	r.setHelpLocked(name, help)
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds if needed. Histogram names must not carry labels.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if h, ok := m.(*Histogram); ok {
+			return h
+		}
+	}
+	h := NewHistogram(bounds)
+	r.metrics[name] = h
+	r.setHelpLocked(name, help)
+	return h
+}
+
+func (r *Registry) setHelpLocked(name, help string) {
+	f := family(name)
+	if help != "" && r.help[f] == "" {
+		r.help[f] = help
+	}
+}

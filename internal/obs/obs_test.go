@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", ""); again != c {
+		t.Error("re-registration must return the same counter")
+	}
+
+	g := r.Gauge("queue_depth", "records queued")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("nil registry must hand out a working standalone counter")
+	}
+	g := r.Gauge("g", "")
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Error("nil registry must hand out a working standalone gauge")
+	}
+	h := r.Histogram("h", "", SizeBuckets)
+	h.Observe(2)
+	if h.Count() != 1 {
+		t.Error("nil registry must hand out a working standalone histogram")
+	}
+	r.GaugeFunc("f", "", func() int64 { return 1 }) // must not panic
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+
+	var nc *Counter
+	nc.Inc()
+	nc.Add(2)
+	if nc.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	var ng *Gauge
+	ng.Set(1)
+	ng.Add(1)
+	var nh *Histogram
+	nh.Observe(1)
+	nh.ObserveDuration(time.Second)
+	if nh.Count() != 0 || nh.Sum() != 0 {
+		t.Error("nil histogram must read 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	// le=0.1 holds 0.05 and 0.1 (inclusive upper bound); le=1 adds 0.5;
+	// le=10 adds 5; +Inf adds 100.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+	if count != 5 {
+		t.Errorf("count = %d", count)
+	}
+	if sum < 105.6 || sum > 105.7 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`frames_total{transport="udp"}`, "frames by transport").Add(3)
+	r.Counter(`frames_total{transport="tcp"}`, "frames by transport").Add(7)
+	r.Gauge("queue_depth", "queued records").Set(42)
+	r.GaugeFunc("tracked", "live entries", func() int64 { return 9 })
+	h := r.Histogram("flush_seconds", "flush latency", []float64{0.01, 0.1})
+	h.ObserveDuration(5 * time.Millisecond)
+	h.ObserveDuration(500 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE frames_total counter\n",
+		`frames_total{transport="udp"} 3` + "\n",
+		`frames_total{transport="tcp"} 7` + "\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth 42\n",
+		"tracked 9\n",
+		"# TYPE flush_seconds histogram\n",
+		`flush_seconds_bucket{le="0.01"} 1` + "\n",
+		`flush_seconds_bucket{le="0.1"} 1` + "\n",
+		`flush_seconds_bucket{le="+Inf"} 2` + "\n",
+		"flush_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family, even with two label variants.
+	if n := strings.Count(out, "# TYPE frames_total "); n != 1 {
+		t.Errorf("frames_total TYPE lines = %d, want 1", n)
+	}
+
+	// Every non-comment line must be "series value".
+	lineRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+$`)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRe.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits_total 1") {
+		t.Errorf("body = %q", buf[:n])
+	}
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	h := r.Histogram("lat_seconds", "", LatencyBuckets)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(1e-4)
+			}
+		}()
+	}
+	// Scrape while updates are in flight; under -race this is the
+	// registry's concurrency audit.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

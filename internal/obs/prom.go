@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// contentType is the Prometheus text exposition format media type.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in Prometheus text
+// format, sorted by series name so label variants of one family stay
+// adjacent under a single HELP/TYPE header. Safe to call concurrently
+// with metric updates; scrapes see each atomic independently.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	metrics := make(map[string]any, len(r.metrics))
+	for n, m := range r.metrics {
+		metrics[n] = m
+	}
+	help := make(map[string]string, len(r.help))
+	for f, h := range r.help {
+		help[f] = h
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, name := range names {
+		f := family(name)
+		if f != lastFamily {
+			lastFamily = f
+			if h := help[f]; h != "" {
+				bw.WriteString("# HELP " + f + " " + escapeHelp(h) + "\n")
+			}
+			bw.WriteString("# TYPE " + f + " " + typeOf(metrics[name]) + "\n")
+		}
+		switch m := metrics[name].(type) {
+		case *Counter:
+			bw.WriteString(name + " " + strconv.FormatInt(m.Value(), 10) + "\n")
+		case *Gauge:
+			bw.WriteString(name + " " + strconv.FormatInt(m.Value(), 10) + "\n")
+		case *gaugeFunc:
+			bw.WriteString(name + " " + strconv.FormatInt(m.fn(), 10) + "\n")
+		case *Histogram:
+			cum, count, sum := m.snapshot()
+			for i, bound := range m.bounds {
+				bw.WriteString(name + `_bucket{le="` + formatFloat(bound) + `"} ` +
+					strconv.FormatInt(cum[i], 10) + "\n")
+			}
+			bw.WriteString(name + `_bucket{le="+Inf"} ` +
+				strconv.FormatInt(cum[len(cum)-1], 10) + "\n")
+			bw.WriteString(name + "_sum " + formatFloat(sum) + "\n")
+			bw.WriteString(name + "_count " + strconv.FormatInt(count, 10) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+func typeOf(m any) string {
+	switch m.(type) {
+	case *Counter:
+		return "counter"
+	case *Gauge, *gaugeFunc:
+		return "gauge"
+	case *Histogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -16,6 +16,7 @@ type HistogramBucket struct {
 // Buckets are contiguous from the first to the last matching document;
 // empty buckets in between are included so surges stand out.
 func (st *Store) DateHistogram(q Query, interval time.Duration) []HistogramBucket {
+	defer st.observeQuery(st.queryHist, st.queryStart())
 	if q == nil {
 		q = MatchAll{}
 	}
@@ -69,6 +70,7 @@ type TermBucket struct {
 // Terms counts matching documents per distinct value of a metadata field,
 // descending — "group syslog by node / by service" (§4.5.1).
 func (st *Store) Terms(q Query, field string, size int) []TermBucket {
+	defer st.observeQuery(st.queryTerms, st.queryStart())
 	if q == nil {
 		q = MatchAll{}
 	}

@@ -137,6 +137,7 @@ type SearchRequest struct {
 // Search runs the request across all shards in parallel and merges hits by
 // time.
 func (st *Store) Search(req SearchRequest) []Hit {
+	defer st.observeQuery(st.querySearch, st.queryStart())
 	if req.Query == nil {
 		req.Query = MatchAll{}
 	}
@@ -181,6 +182,7 @@ func (st *Store) Search(req SearchRequest) []Hit {
 
 // CountQuery returns the number of documents matching q.
 func (st *Store) CountQuery(q Query) int {
+	defer st.observeQuery(st.queryCount, st.queryStart())
 	n := 0
 	for _, sh := range st.shards {
 		n += len(sh.search(q))

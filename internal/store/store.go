@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 	"unicode"
+
+	"hetsyslog/internal/obs"
 )
 
 // Doc is one stored log record.
@@ -116,6 +118,60 @@ type Store struct {
 	shards []*shard
 	mu     sync.Mutex
 	nextID int64
+
+	// Observability (see Instrument). All fields are nil until a
+	// registry is attached; obs metrics no-op on nil, and latency timing
+	// is additionally gated so an uninstrumented store never calls
+	// time.Now on the index or query paths.
+	indexTotal  *obs.Counter
+	indexLat    *obs.Histogram
+	querySearch *obs.Counter
+	queryCount  *obs.Counter
+	queryHist   *obs.Counter
+	queryTerms  *obs.Counter
+	queryLat    *obs.Histogram
+}
+
+// Instrument publishes the store's metrics — index/query counters and
+// latency histograms, plus a docs gauge — into r. Call it once, before
+// concurrent use (typically right after New). A nil registry is a no-op.
+func (st *Store) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	st.indexTotal = r.Counter("store_index_total", "documents indexed")
+	st.indexLat = r.Histogram("store_index_seconds",
+		"per-document index latency", obs.LatencyBuckets)
+	st.querySearch = r.Counter(`store_query_total{op="search"}`,
+		"queries served, by operation")
+	st.queryCount = r.Counter(`store_query_total{op="count"}`,
+		"queries served, by operation")
+	st.queryHist = r.Counter(`store_query_total{op="datehist"}`,
+		"queries served, by operation")
+	st.queryTerms = r.Counter(`store_query_total{op="terms"}`,
+		"queries served, by operation")
+	st.queryLat = r.Histogram("store_query_seconds",
+		"query latency across all operations", obs.LatencyBuckets)
+	r.GaugeFunc("store_docs", "live documents in the index",
+		func() int64 { return int64(st.Count()) })
+}
+
+// observeQuery records one query of the given op; it returns immediately
+// when the store is uninstrumented.
+func (st *Store) observeQuery(op *obs.Counter, start time.Time) {
+	op.Inc()
+	if st.queryLat != nil {
+		st.queryLat.ObserveDuration(time.Since(start))
+	}
+}
+
+// queryStart returns the wall clock only when latency is being measured,
+// keeping time.Now off the uninstrumented path.
+func (st *Store) queryStart() time.Time {
+	if st.queryLat == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // New creates a store with the given shard count (default 4 when n <= 0,
@@ -137,12 +193,20 @@ func (st *Store) NumShards() int { return len(st.shards) }
 // Index stores a document and returns its assigned id. Documents are
 // routed to shards round-robin by id, so time ranges spread evenly.
 func (st *Store) Index(d Doc) int64 {
+	var start time.Time
+	if st.indexLat != nil {
+		start = time.Now()
+	}
 	st.mu.Lock()
 	id := st.nextID
 	st.nextID++
 	st.mu.Unlock()
 	d.ID = id
 	st.shards[id%int64(len(st.shards))].index(d)
+	st.indexTotal.Inc()
+	if st.indexLat != nil {
+		st.indexLat.ObserveDuration(time.Since(start))
+	}
 	return id
 }
 

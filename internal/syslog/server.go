@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"hetsyslog/internal/obs"
 )
 
 // Handler receives parsed messages from a listener. Implementations must be
@@ -38,14 +40,39 @@ type Server struct {
 	// Defaults to time.Now.
 	Now func() time.Time
 
-	mu       sync.Mutex
-	udpConn  *net.UDPConn
-	tcpLn    net.Listener
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   bool
-	received int64
-	dropped  int64
+	// Metrics optionally publishes the server's counters (received,
+	// dropped, frames by transport) into a shared registry; set it before
+	// the first Listen call. Left nil the same counters still run
+	// standalone, so Stats() is always exact.
+	Metrics *obs.Registry
+
+	metricsOnce sync.Once
+	received    *obs.Counter
+	dropped     *obs.Counter
+	framesUDP   *obs.Counter
+	framesTCP   *obs.Counter
+
+	mu      sync.Mutex
+	udpConn *net.UDPConn
+	tcpLn   net.Listener
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// initMetrics lazily creates the server's counters — inside Metrics when
+// set, standalone otherwise (obs treats a nil registry that way).
+func (s *Server) initMetrics() {
+	s.metricsOnce.Do(func() {
+		s.received = s.Metrics.Counter("syslog_received_total",
+			"syslog messages parsed and dispatched")
+		s.dropped = s.Metrics.Counter("syslog_dropped_total",
+			"unparseable syslog messages dropped")
+		s.framesUDP = s.Metrics.Counter(`syslog_frames_total{transport="udp"}`,
+			"raw frames read, by transport")
+		s.framesTCP = s.Metrics.Counter(`syslog_frames_total{transport="tcp"}`,
+			"raw frames read, by transport")
+	})
 }
 
 // trackConn registers an active TCP connection so Close can tear it down;
@@ -70,10 +97,10 @@ func (s *Server) untrackConn(c net.Conn) {
 }
 
 // Stats reports how many messages were accepted and dropped since start.
+// The values are reads of the same counters /metrics exports.
 func (s *Server) Stats() (received, dropped int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.received, s.dropped
+	s.initMetrics()
+	return s.received.Value(), s.dropped.Value()
 }
 
 func (s *Server) now() time.Time {
@@ -94,6 +121,7 @@ func (s *Server) ListenUDP(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.initMetrics()
 	s.mu.Lock()
 	s.udpConn = conn
 	s.mu.Unlock()
@@ -110,6 +138,7 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 		if err != nil {
 			return // closed
 		}
+		s.framesUDP.Inc()
 		s.dispatch(strings.TrimRight(string(buf[:n]), "\r\n\x00"))
 	}
 }
@@ -120,6 +149,7 @@ func (s *Server) ListenTCP(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.initMetrics()
 	s.mu.Lock()
 	s.tcpLn = ln
 	s.mu.Unlock()
@@ -156,9 +186,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		s.framesTCP.Inc()
 		s.dispatch(frame)
 	}
 }
+
+// maxFrameLen caps octet-counted frame sizes (RFC 6587 leaves the limit
+// to the receiver; 1 MiB comfortably exceeds any real syslog line).
+const maxFrameLen = 1 << 20
+
+// maxFrameDigits bounds the octet-count prefix to the digits of
+// maxFrameLen ("1048576" = 7), so a malicious peer streaming an endless
+// digit run is rejected after a handful of bytes instead of being
+// buffered without limit.
+const maxFrameDigits = 7
 
 // ReadFrame reads one syslog frame from r, auto-detecting octet-counted
 // ("123 <34>...") versus LF-delimited framing.
@@ -168,14 +209,30 @@ func ReadFrame(r *bufio.Reader) (string, error) {
 		return "", err
 	}
 	if first[0] >= '1' && first[0] <= '9' {
-		// Octet-counted: "LEN SP MSG".
-		lenStr, err := r.ReadString(' ')
-		if err != nil {
-			return "", err
+		// Octet-counted: "LEN SP MSG". Read the length digit by digit so
+		// the prefix is bounded before anything is buffered.
+		var lenBuf [maxFrameDigits]byte
+		nd := 0
+		for {
+			b, err := r.ReadByte()
+			if err != nil {
+				return "", err
+			}
+			if b == ' ' {
+				break
+			}
+			if b < '0' || b > '9' {
+				return "", fmt.Errorf("syslog: bad frame length byte %q", b)
+			}
+			if nd == maxFrameDigits {
+				return "", fmt.Errorf("syslog: frame length prefix exceeds %d digits", maxFrameDigits)
+			}
+			lenBuf[nd] = b
+			nd++
 		}
-		n, err := strconv.Atoi(strings.TrimSpace(lenStr))
-		if err != nil || n <= 0 || n > 1<<20 {
-			return "", fmt.Errorf("syslog: bad frame length %q", lenStr)
+		n, err := strconv.Atoi(string(lenBuf[:nd]))
+		if err != nil || n <= 0 || n > maxFrameLen {
+			return "", fmt.Errorf("syslog: bad frame length %q", lenBuf[:nd])
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -195,13 +252,12 @@ func (s *Server) dispatch(raw string) {
 		return
 	}
 	m, err := Parse(raw, s.now())
-	s.mu.Lock()
 	if err != nil {
-		s.dropped++
-		s.mu.Unlock()
+		s.dropped.Inc()
 		return
 	}
-	s.received++
+	s.received.Inc()
+	s.mu.Lock()
 	h := s.Handler
 	s.mu.Unlock()
 	if h != nil {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hetsyslog/internal/obs"
 )
 
 // gather is a Handler that appends into a slice under a mutex.
@@ -236,5 +238,94 @@ func TestServerCloseWithOpenConnection(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Close hung with an open client connection")
+	}
+}
+
+func TestReadFrameOversizedPrefix(t *testing.T) {
+	// A malicious peer streaming an endless digit run must be rejected
+	// after maxFrameDigits bytes, not buffered until memory runs out.
+	longRun := strings.Repeat("9", 1<<22)
+	r := bufio.NewReader(strings.NewReader(longRun))
+	if _, err := ReadFrame(r); err == nil {
+		t.Fatal("expected error for unbounded digit run")
+	}
+
+	// Eight digits exceed the prefix bound even with a space following.
+	r = bufio.NewReader(strings.NewReader("10485760 x"))
+	if _, err := ReadFrame(r); err == nil {
+		t.Error("expected error for 8-digit length prefix")
+	}
+
+	// Non-digit garbage inside the prefix is rejected.
+	r = bufio.NewReader(strings.NewReader("12a4 x"))
+	if _, err := ReadFrame(r); err == nil {
+		t.Error("expected error for non-digit in length prefix")
+	}
+
+	// The maximum legal frame still parses.
+	payload := strings.Repeat("x", maxFrameLen)
+	r = bufio.NewReader(strings.NewReader("1048576 " + payload))
+	f, err := ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != maxFrameLen {
+		t.Errorf("frame len = %d, want %d", len(f), maxFrameLen)
+	}
+}
+
+func TestServerMetricsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := &gather{}
+	srv := &Server{Handler: g, Metrics: reg}
+	ua, err := srv.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	us, err := DialSender("udp", ua.String(), FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer us.Close()
+	ts, err := DialSender("tcp", ta.String(), FormatRFC5424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		if err := us.Send(testMessage("udp msg")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := ts.Send(testMessage("tcp msg")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.wait(t, 5)
+
+	received, dropped := srv.Stats()
+	if received != 5 || dropped != 0 {
+		t.Errorf("Stats = %d/%d, want 5/0", received, dropped)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"syslog_received_total 5",
+		`syslog_frames_total{transport="udp"} 3`,
+		`syslog_frames_total{transport="tcp"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
 	}
 }
