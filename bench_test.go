@@ -24,6 +24,7 @@ import (
 	"hetsyslog/internal/loggen"
 	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
+	"hetsyslog/internal/tfidf"
 )
 
 func benchScale() int {
@@ -219,27 +220,104 @@ func serviceStream(b *testing.B, n int) (*core.TextClassifier, []collector.Recor
 	return tc, recs
 }
 
+// zipfStream pre-generates a Zipf-repetitive record stream: n records
+// drawn from `distinct` base messages with the heavy-headed repetition of
+// real syslog traffic (§4.4.1). This is the workload the classify cache
+// is built for.
+func zipfStream(b *testing.B, n, distinct int) []collector.Record {
+	b.Helper()
+	g := loggen.NewGenerator(29)
+	exs := g.ZipfExamples(n, distinct, 1.2)
+	recs := make([]collector.Record, n)
+	for i, ex := range exs {
+		recs[i] = collector.Record{Tag: "syslog", Time: ex.Time, Msg: ex.Message()}
+	}
+	return recs
+}
+
 // BenchmarkServiceThroughput measures the classification hot path —
-// core.Service.Write over a pre-generated batch — at several worker-pool
-// widths. The recs/s metric is the number that must scale past one core
-// for the deployed system to keep up with the cluster's ingest rate; run
-// with -bench ServiceThroughput to compare workers=1 against workers=N.
+// core.Service.Write over a pre-generated batch — across worker-pool
+// widths and two workloads: "uniform" (every message distinct, the
+// worst case for the cache and the historical baseline) and "zipf"
+// (realistic heavy repetition), the latter with the classify cache off
+// and on. The recs/s metric is the number that must keep up with the
+// cluster's >1M msgs/hour ingest rate; the zipf cache=on/off pair is the
+// cache's headline speedup.
 func BenchmarkServiceThroughput(b *testing.B) {
 	const batch = 2048
-	tc, recs := serviceStream(b, batch)
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			svc := &core.Service{Classifier: tc, Workers: workers}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := svc.Write(recs); err != nil {
-					b.Fatal(err)
+	tc, uniform := serviceStream(b, batch)
+	zipf := zipfStream(b, batch, 256)
+	for _, w := range []struct {
+		name string
+		recs []collector.Record
+	}{{"uniform", uniform}, {"zipf", zipf}} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, cached := range []bool{false, true} {
+				if cached && w.name == "uniform" {
+					continue // the cache targets repetition; skip the no-op combo
 				}
+				name := fmt.Sprintf("%s/workers=%d/cache=%v", w.name, workers, cached)
+				b.Run(name, func(b *testing.B) {
+					svc := &core.Service{Classifier: tc, Workers: workers}
+					if cached {
+						svc.Cache = core.NewClassifyCache(0, 0)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := svc.Write(w.recs); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "recs/s")
+				})
 			}
-			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "recs/s")
-		})
+		}
 	}
+}
+
+// BenchmarkServiceCacheHit measures a raw-level cache hit — the
+// steady-state cost of classifying a repeated message. Run with -benchmem:
+// the contract is 0 allocs/op (enforced by TestCachedClassifyZeroAllocs).
+func BenchmarkServiceCacheHit(b *testing.B) {
+	tc, _ := serviceStream(b, 1)
+	cache := core.NewClassifyCache(0, 0)
+	var sc core.ClassifyScratch
+	msg := "CPU 12 Temperature Above Non-Recoverable - Asserted. Current temperature: 96C"
+	if _, outcome := tc.PredictCached(msg, cache, &sc); outcome != core.CacheMiss {
+		b.Fatal("first call should miss")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, outcome := tc.PredictCached(msg, cache, &sc); outcome != core.CacheHitRaw {
+			b.Fatal("warm call should hit the raw level")
+		}
+	}
+}
+
+// BenchmarkVectorizeAllocs contrasts the allocating Transform against the
+// scratch-reusing TransformInto on the cache-miss path. Run with
+// -benchmem; the Into variant should be allocation-free in steady state.
+func BenchmarkVectorizeAllocs(b *testing.B) {
+	tc, _ := serviceStream(b, 1)
+	msg := "error: Node cn101 has low real_memory size (190000 < 256000)"
+	tokens := tc.Prep.Process(msg)
+	b.Run("Transform", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tc.Vectorizer.Transform(tokens)
+		}
+	})
+	b.Run("TransformInto", func(b *testing.B) {
+		var sc tfidf.TransformScratch
+		tc.Vectorizer.TransformInto(tokens, &sc) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tc.Vectorizer.TransformInto(tokens, &sc)
+		}
+	})
 }
 
 // BenchmarkServiceThroughputWithStore is the same sweep with store

@@ -25,12 +25,15 @@ func main() {
 	var (
 		modelName = flag.String("model", "Complement Naive Bayes",
 			"classifier: "+strings.Join(core.ModelNames(), " | "))
-		scale    = flag.Int("train-scale", 20000, "synthetic training corpus size")
-		trainTSV = flag.String("train-tsv", "", "train from TSV (category<TAB>[...<TAB>]text) instead of synthetic data")
-		seed     = flag.Int64("seed", 1, "generator/split seed")
-		eval     = flag.Bool("eval", false, "hold out 20% and print the evaluation report")
-		savePath = flag.String("save", "", "write the trained pipeline to this file")
-		loadPath = flag.String("load", "", "load a previously saved pipeline instead of training")
+		scale       = flag.Int("train-scale", 20000, "synthetic training corpus size")
+		trainTSV    = flag.String("train-tsv", "", "train from TSV (category<TAB>[...<TAB>]text) instead of synthetic data")
+		seed        = flag.Int64("seed", 1, "generator/split seed")
+		eval        = flag.Bool("eval", false, "hold out 20% and print the evaluation report")
+		savePath    = flag.String("save", "", "write the trained pipeline to this file")
+		loadPath    = flag.String("load", "", "load a previously saved pipeline instead of training")
+		cacheOn     = flag.Bool("classify-cache", true, "cache classifications of repeated/templated stdin lines")
+		cacheSize   = flag.Int("classify-cache-size", core.DefaultCacheSize, "classify cache entries per level")
+		cacheShards = flag.Int("classify-cache-shards", core.DefaultCacheShards, "classify cache shard count (rounded up to a power of two)")
 	)
 	flag.Parse()
 
@@ -94,6 +97,14 @@ func main() {
 		fmt.Printf("%s\t%s\n", tc.Classify(strings.Join(args, " ")), strings.Join(args, " "))
 		return
 	}
+	// The stdin loop runs the same cached, scratch-reusing fast path the
+	// collector service deploys: repeated and templated lines (the norm in
+	// piped-in log files) skip the model after the first occurrence.
+	var cache *core.ClassifyCache
+	if *cacheOn {
+		cache = core.NewClassifyCache(*cacheShards, *cacheSize)
+	}
+	var scratch core.ClassifyScratch
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -101,7 +112,8 @@ func main() {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		fmt.Printf("%s\t%s\n", tc.Classify(line), line)
+		label, _ := tc.PredictCached(line, cache, &scratch)
+		fmt.Printf("%s\t%s\n", tc.Labels[label], line)
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)

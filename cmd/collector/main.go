@@ -8,7 +8,8 @@
 //
 //	collector [-udp :5514] [-tcp :5514] [-http :9200] [-model "Random Forest"]
 //	          [-train-scale 20000] [-cooldown 1m] [-workers 8] [-flush-workers 2]
-//	          [-metrics-addr :9600]
+//	          [-metrics-addr :9600] [-classify-cache=false]
+//	          [-classify-cache-size 32768] [-classify-cache-shards 8]
 package main
 
 import (
@@ -47,6 +48,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "classification goroutines per batch (0 = GOMAXPROCS)")
 		flushers    = flag.Int("flush-workers", 1, "concurrent pipeline flushers (batches in flight)")
 		metricsAddr = flag.String("metrics-addr", "", "dedicated listen address serving /metrics and /debug/pprof (empty disables)")
+		cacheOn     = flag.Bool("classify-cache", true, "cache classifications of repeated/templated messages (disable when retraining the model in place)")
+		cacheSize   = flag.Int("classify-cache-size", core.DefaultCacheSize, "classify cache entries per level")
+		cacheShards = flag.Int("classify-cache-shards", core.DefaultCacheShards, "classify cache shard count (rounded up to a power of two)")
 	)
 	flag.Parse()
 
@@ -78,6 +82,9 @@ func main() {
 		}),
 	}
 	svc := &core.Service{Classifier: tc, Store: st, Alerts: alerts, Workers: *workers, Metrics: reg}
+	if *cacheOn {
+		svc.Cache = core.NewClassifyCache(*cacheShards, *cacheSize)
+	}
 
 	// Topology enrichment from the simulated cluster (in a real
 	// deployment this reads the site inventory).

@@ -12,6 +12,7 @@ package bucket
 import (
 	"sort"
 	"sync"
+	"unicode/utf8"
 
 	"hetsyslog/internal/editdist"
 	"hetsyslog/internal/taxonomy"
@@ -71,12 +72,13 @@ func (bk *Bucketer) Buckets() []*Bucket {
 // Caller must hold at least the read lock.
 func (bk *Bucketer) match(msg string) int {
 	k := bk.Threshold
-	n := len([]rune(msg))
+	rmsg := []rune(msg) // converted once, reused against every candidate
+	n := len(rmsg)
 	bestID, bestDist := -1, k+1
 	for l := n - k; l <= n+k; l++ {
 		for _, id := range bk.byLen[l] {
 			ex := bk.buckets[id].Exemplar
-			d, ok := editdist.BandedLevenshtein([]rune(ex), []rune(msg), k)
+			d, ok := editdist.BandedLevenshtein([]rune(ex), rmsg, k)
 			if ok && d < bestDist {
 				bestDist, bestID = d, id
 				if d == 0 {
@@ -116,7 +118,7 @@ func (bk *Bucketer) Assign(msg string) (b *Bucket, isNew bool) {
 	if bk.byLen == nil {
 		bk.byLen = make(map[int][]int)
 	}
-	l := len([]rune(msg))
+	l := utf8.RuneCountInString(msg)
 	bk.byLen[l] = append(bk.byLen[l], nb.ID)
 	return nb, true
 }

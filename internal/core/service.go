@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetsyslog/internal/collector"
@@ -44,6 +45,15 @@ type Service struct {
 	// sequence observation stays in batch order regardless.
 	Workers int
 
+	// Cache, when set, short-circuits classification of repeated and
+	// templated messages (see ClassifyCache). The cache caches *model
+	// outputs*: swap or retrain the classifier and this cache must be
+	// replaced with it. Set before the first Write; safe under
+	// Workers > 1 and concurrent Writes. Whether or not a cache is set,
+	// the service classifies through the pooled-scratch zero-allocation
+	// path (ProcessInto/TransformInto).
+	Cache *ClassifyCache
+
 	// Metrics optionally publishes the service's counters and the
 	// per-record classify-latency histogram into a shared registry; set
 	// it before the first Write. Left nil the counters still run
@@ -52,11 +62,20 @@ type Service struct {
 	// disabled entirely, so an unobserved service pays nothing.
 	Metrics *obs.Registry
 
-	metricsOnce sync.Once
-	classified  *obs.Counter
-	actionable  *obs.Counter
-	seqAnoms    *obs.Counter
-	classifyLat *obs.Histogram
+	metricsOnce  sync.Once
+	metricsReady atomic.Bool
+	classified   *obs.Counter
+	actionable   *obs.Counter
+	seqAnoms     *obs.Counter
+	classifyLat  *obs.Histogram
+
+	cacheHitsRaw    *obs.Counter
+	cacheHitsMasked *obs.Counter
+	cacheMisses     *obs.Counter
+
+	// scratchPool hands each classifying goroutine a reusable
+	// ClassifyScratch so the steady-state hot path allocates nothing.
+	scratchPool sync.Pool
 
 	seqMu sync.Mutex
 
@@ -69,7 +88,14 @@ type Service struct {
 // with a live registry: timing every record is the one instrumentation
 // cost worth gating.
 func (s *Service) initMetrics() {
+	// Fast path without the Do closure: constructing the capturing func
+	// value costs one small allocation per call, which would be the only
+	// allocation left on the cached classify path.
+	if s.metricsReady.Load() {
+		return
+	}
 	s.metricsOnce.Do(func() {
+		defer s.metricsReady.Store(true)
 		s.classified = s.Metrics.Counter("service_classified_total",
 			"records classified in real time")
 		s.actionable = s.Metrics.Counter("service_actionable_total",
@@ -79,6 +105,30 @@ func (s *Service) initMetrics() {
 		if s.Metrics != nil {
 			s.classifyLat = s.Metrics.Histogram("service_classify_seconds",
 				"per-record classify+index latency", obs.LatencyBuckets)
+		}
+		if s.Cache != nil {
+			s.cacheHitsRaw = s.Metrics.Counter(`service_cache_hits_total{level="raw"}`,
+				"classifications answered by the cache, by level")
+			s.cacheHitsMasked = s.Metrics.Counter(`service_cache_hits_total{level="masked"}`,
+				"classifications answered by the cache, by level")
+			s.cacheMisses = s.Metrics.Counter("service_cache_misses_total",
+				"classifications that ran the model (both cache levels missed)")
+			s.Cache.rawEvictions = s.Metrics.Counter(`service_cache_evictions_total{level="raw"}`,
+				"classify cache LRU evictions, by level")
+			s.Cache.maskedEvictions = s.Metrics.Counter(`service_cache_evictions_total{level="masked"}`,
+				"classify cache LRU evictions, by level")
+			if s.Metrics != nil {
+				s.Metrics.GaugeFuncFloat("service_cache_hit_ratio",
+					"fraction of classifications answered by either cache level",
+					func() float64 {
+						hits := s.cacheHitsRaw.Value() + s.cacheHitsMasked.Value()
+						total := hits + s.cacheMisses.Value()
+						if total == 0 {
+							return 0
+						}
+						return float64(hits) / float64(total)
+					})
+			}
 		}
 	})
 }
@@ -113,11 +163,15 @@ func (s *Service) Write(batch []collector.Record) error {
 	cats := make([]taxonomy.Category, len(batch))
 	valid := make([]bool, len(batch))
 	var wg sync.WaitGroup
+	// The goroutine closures capture stride, not workers: capturing the
+	// latter would move it to the heap and cost the serial path — the
+	// cached zero-allocation path — one allocation per Write.
+	stride := workers
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < len(batch); i += workers {
+			for i := w; i < len(batch); i += stride {
 				cats[i], valid[i] = s.classify(batch[i])
 			}
 		}(w)
@@ -148,7 +202,7 @@ func (s *Service) classify(r collector.Record) (taxonomy.Category, bool) {
 	if s.classifyLat != nil {
 		start = time.Now()
 	}
-	cat := s.Classifier.ClassifyCategory(r.Msg.Content)
+	cat := s.predictCategory(r.Msg.Content)
 	s.classified.Inc()
 	if taxonomy.Actionable(cat) {
 		s.actionable.Inc()
@@ -162,6 +216,36 @@ func (s *Service) classify(r collector.Record) (taxonomy.Category, bool) {
 		s.classifyLat.ObserveDuration(time.Since(start))
 	}
 	return cat, true
+}
+
+// predictCategory runs the cached, scratch-pooled classify fast path for
+// one message: exact-repeat cache, tokenize into per-worker scratch,
+// template-family cache, then vectorize + predict only on a full miss.
+func (s *Service) predictCategory(text string) taxonomy.Category {
+	sc, _ := s.scratchPool.Get().(*ClassifyScratch)
+	if sc == nil {
+		sc = &ClassifyScratch{}
+	}
+	label, outcome := s.Classifier.PredictCached(text, s.Cache, sc)
+	s.scratchPool.Put(sc)
+	if s.Cache != nil {
+		switch outcome {
+		case CacheHitRaw:
+			s.cacheHitsRaw.Inc()
+		case CacheHitMasked:
+			s.cacheHitsMasked.Inc()
+		default:
+			s.cacheMisses.Inc()
+		}
+	}
+	return taxonomy.Category(s.Classifier.Labels[label])
+}
+
+// CacheStats reports the cache counters (hits by level, misses) — reads
+// of the same atomics /metrics exports. All zero when no cache is set.
+func (s *Service) CacheStats() (rawHits, maskedHits, misses int64) {
+	s.initMetrics()
+	return s.cacheHitsRaw.Value(), s.cacheHitsMasked.Value(), s.cacheMisses.Value()
 }
 
 // finish runs the order-sensitive tail for one classified record:

@@ -66,6 +66,12 @@ func WithinLevenshtein(a, b string, k int) bool {
 // BandedLevenshtein computes Levenshtein distance restricted to a diagonal
 // band of half-width k. The boolean result is false when the true distance
 // exceeds k (the returned int is then meaningless).
+//
+// When the shorter string fits the bit-parallel fast path (at most 64
+// runes, all Latin-1) the distance comes from Myers' algorithm instead of
+// the banded dynamic program: one word of bookkeeping per text character,
+// no row slices allocated. Both WithinLevenshtein and the bucket matcher
+// route through here, so they inherit the fast path automatically.
 func BandedLevenshtein(ra, rb []rune, k int) (int, bool) {
 	if len(rb) > len(ra) {
 		ra, rb = rb, ra
@@ -77,6 +83,9 @@ func BandedLevenshtein(ra, rb []rune, k int) (int, bool) {
 	n := len(rb)
 	if n == 0 {
 		return len(ra), len(ra) <= k
+	}
+	if n <= 64 && isLatin1(rb) {
+		return myersLev(ra, rb, k)
 	}
 	prev := make([]int, n+1)
 	curr := make([]int, n+1)
@@ -135,6 +144,68 @@ func BandedLevenshtein(ra, rb []rune, k int) (int, bool) {
 		return 0, false
 	}
 	return prev[n], true
+}
+
+// isLatin1 reports whether every rune fits the 256-entry match table the
+// bit-parallel path indexes directly. Syslog text is overwhelmingly ASCII,
+// so this almost always holds; anything wider falls back to the banded DP.
+func isLatin1(rs []rune) bool {
+	for _, r := range rs {
+		if r > 0xff {
+			return false
+		}
+	}
+	return true
+}
+
+// myersLev is Myers' bit-parallel Levenshtein algorithm (in Hyyrö's
+// formulation): the pattern rb (m <= 64 runes, Latin-1) is encoded as one
+// match bitmask per character class, and each text character updates two
+// delta words — pv/mv, the positions where the current DP column increases
+// or decreases relative to the previous row — in O(1) word operations.
+// The running score is the DP cell D[m][j]; after consuming the whole
+// text it equals the full Levenshtein distance.
+//
+// Like the banded DP it reports (0, false) as soon as the distance
+// provably exceeds k: each remaining text character can lower the final
+// score by at most one, so score > k + remaining is a proof.
+func myersLev(ra, rb []rune, k int) (int, bool) {
+	m := len(rb)
+	var peq [256]uint64
+	for i, r := range rb {
+		peq[r] |= 1 << uint(i)
+	}
+	var pv uint64 = ^uint64(0)
+	var mv uint64
+	score := m
+	last := uint64(1) << uint(m-1)
+	for j, r := range ra {
+		var eq uint64
+		if r <= 0xff {
+			eq = peq[r]
+		}
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		}
+		if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		if remaining := len(ra) - j - 1; score > k+remaining {
+			return 0, false
+		}
+	}
+	if score > k {
+		return 0, false
+	}
+	return score, true
 }
 
 // DamerauLevenshtein returns the edit distance allowing adjacent

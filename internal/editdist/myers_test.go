@@ -1,0 +1,127 @@
+package editdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestMyersAgreesWithDP drives random string pairs across the fast-path
+// boundary conditions — pattern lengths around the 64-rune word limit,
+// non-Latin-1 runes forcing the banded fallback, and text runes outside
+// the pattern's match table — and checks WithinLevenshtein against the
+// full dynamic program on every pair.
+func TestMyersAgreesWithDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabets := []string{
+		"ab",          // dense matches
+		"abcdefgh",    // sparse matches
+		"aé¿ÿ",        // Latin-1 beyond ASCII (still fast path)
+		"ab界emoji🙂",   // multi-byte runes force the banded fallback
+		"0123456789.", // syslog-ish numerics
+	}
+	randWord := func(alpha string, maxLen int) string {
+		runes := []rune(alpha)
+		n := rng.Intn(maxLen + 1)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(runes[rng.Intn(len(runes))])
+		}
+		return b.String()
+	}
+	for i := 0; i < 4000; i++ {
+		alpha := alphabets[rng.Intn(len(alphabets))]
+		// Length cap swings across the 64-rune fast-path limit.
+		maxLen := []int{8, 30, 63, 64, 65, 90}[rng.Intn(6)]
+		a, b := randWord(alpha, maxLen), randWord(alpha, maxLen)
+		k := rng.Intn(12)
+		want := Levenshtein(a, b) <= k
+		if got := WithinLevenshtein(a, b, k); got != want {
+			t.Fatalf("WithinLevenshtein(%q,%q,%d) = %v, full DP says %v (distance %d)",
+				a, b, k, got, want, Levenshtein(a, b))
+		}
+	}
+}
+
+// TestMyersExactDistance checks the fast path returns the true distance,
+// not merely the within-k verdict, by comparing BandedLevenshtein's value
+// against the full DP at a generous k.
+func TestMyersExactDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	randWord := func(maxLen int) []rune {
+		n := rng.Intn(maxLen + 1)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = rune('a' + rng.Intn(5))
+		}
+		return rs
+	}
+	for i := 0; i < 1000; i++ {
+		ra, rb := randWord(50), randWord(50)
+		want := levRunes(ra, rb)
+		got, ok := BandedLevenshtein(ra, rb, 100)
+		if !ok || got != want {
+			t.Fatalf("BandedLevenshtein(%q,%q,100) = (%d,%v), want (%d,true)",
+				string(ra), string(rb), got, ok, want)
+		}
+	}
+}
+
+// TestMyersBoundary pins the word-size edge cases directly.
+func TestMyersBoundary(t *testing.T) {
+	a64 := strings.Repeat("a", 64)
+	cases := []struct {
+		a, b string
+		k    int
+		want bool
+	}{
+		{a64, a64, 0, true},
+		{a64, strings.Repeat("a", 63) + "b", 0, false},
+		{a64, strings.Repeat("a", 63) + "b", 1, true},
+		{a64, strings.Repeat("a", 63), 1, true},   // m=63 pattern, 64 text
+		{strings.Repeat("x", 64), a64, 63, false}, // distance exactly 64
+		{strings.Repeat("x", 64), a64, 64, true},
+		{"", a64, 64, true},
+		{"ÿ", "y", 1, true}, // 0xff boundary rune
+	}
+	for _, c := range cases {
+		if got := WithinLevenshtein(c.a, c.b, c.k); got != c.want {
+			t.Errorf("WithinLevenshtein(%q,%q,%d) = %v, want %v", c.a, c.b, c.k, got, c.want)
+		}
+	}
+}
+
+// FuzzWithinLevenshtein asserts the banded/bit-parallel predicate is
+// exactly equivalent to the reference dynamic program on arbitrary input.
+func FuzzWithinLevenshtein(f *testing.F) {
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "", 0)
+	f.Add(strings.Repeat("a", 64), strings.Repeat("b", 64), 7)
+	f.Add("héllo wörld", "hello world", 2)
+	f.Add("CPU 12 temperature above threshold", "CPU 3 Temperature Above", 10)
+	f.Fuzz(func(t *testing.T, a, b string, k int) {
+		if k > 200 {
+			k = 200 // keep the reference DP cheap
+		}
+		if len(a) > 300 {
+			a = a[:300]
+		}
+		if len(b) > 300 {
+			b = b[:300]
+		}
+		want := k >= 0 && Levenshtein(a, b) <= k
+		if got := WithinLevenshtein(a, b, k); got != want {
+			t.Fatalf("WithinLevenshtein(%q,%q,%d) = %v, reference says %v", a, b, k, got, want)
+		}
+	})
+}
+
+// BenchmarkLevenshteinMyers measures the bit-parallel fast path on the
+// bucketing-shaped pairs (both under 64 runes, ASCII).
+func BenchmarkLevenshteinMyers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range benchPairs {
+			WithinLevenshtein(p[0], p[1], 7)
+		}
+	}
+}

@@ -276,3 +276,46 @@ func BenchmarkTable2Generate(b *testing.B) {
 		}
 	}
 }
+
+func TestZipfExamples(t *testing.T) {
+	g := NewGenerator(5)
+	const n, distinct = 5000, 200
+	out := g.ZipfExamples(n, distinct, 1.2)
+	if len(out) != n {
+		t.Fatalf("len = %d, want %d", len(out), n)
+	}
+	counts := make(map[string]int)
+	for i, ex := range out {
+		if ex.Text == "" {
+			t.Fatal("empty text")
+		}
+		counts[ex.Text]++
+		if i > 0 && out[i].Time.Before(out[i-1].Time) {
+			t.Fatalf("timestamps not monotonic at %d", i)
+		}
+	}
+	if len(counts) > distinct {
+		t.Errorf("%d distinct texts, pool was %d", len(counts), distinct)
+	}
+	// Zipf head: the most frequent message must dominate a uniform share,
+	// and a meaningful tail of distinct messages must still appear.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5*n/distinct {
+		t.Errorf("head message count %d; expected heavy repetition (uniform share is %d)", max, n/distinct)
+	}
+	if len(counts) < distinct/10 {
+		t.Errorf("only %d distinct texts sampled from a pool of %d", len(counts), distinct)
+	}
+	// Determinism for a fixed seed.
+	again := NewGenerator(5).ZipfExamples(n, distinct, 1.2)
+	for i := range out {
+		if out[i].Text != again[i].Text {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}

@@ -242,6 +242,10 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // gaugeFunc is a gauge whose value is computed at scrape time.
 type gaugeFunc struct{ fn func() int64 }
 
+// floatGaugeFunc is a float-valued gauge computed at scrape time, for
+// ratios and other fractional readings an int64 gauge would truncate.
+type floatGaugeFunc struct{ fn func() float64 }
+
 // GaugeFunc registers a gauge evaluated lazily at scrape time — ideal for
 // values that already exist (queue length, map size) where per-event
 // updates would cost hot-path atomics. Re-registering a name replaces the
@@ -253,6 +257,21 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.metrics[name] = &gaugeFunc{fn: fn}
+	r.setHelpLocked(name, help)
+}
+
+// GaugeFuncFloat registers a float-valued gauge evaluated lazily at
+// scrape time — the fractional counterpart of GaugeFunc, used for ratios
+// (e.g. cache hit rate) that an int64 gauge would truncate to 0 or 1.
+// Re-registering a name replaces the callback. fn must be safe to call
+// from the scrape goroutine.
+func (r *Registry) GaugeFuncFloat(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = &floatGaugeFunc{fn: fn}
 	r.setHelpLocked(name, help)
 }
 

@@ -54,6 +54,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			bw.WriteString(name + " " + strconv.FormatInt(m.Value(), 10) + "\n")
 		case *gaugeFunc:
 			bw.WriteString(name + " " + strconv.FormatInt(m.fn(), 10) + "\n")
+		case *floatGaugeFunc:
+			bw.WriteString(name + " " + formatFloat(m.fn()) + "\n")
 		case *Histogram:
 			cum, count, sum := m.snapshot()
 			for i, bound := range m.bounds {
@@ -73,7 +75,7 @@ func typeOf(m any) string {
 	switch m.(type) {
 	case *Counter:
 		return "counter"
-	case *Gauge, *gaugeFunc:
+	case *Gauge, *gaugeFunc, *floatGaugeFunc:
 		return "gauge"
 	case *Histogram:
 		return "histogram"

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag exposes whether the race detector is compiled in, so
+// allocation-counting tests (testing.AllocsPerRun ceilings) can skip
+// themselves under -race, where the instrumentation's own allocations
+// would make the counts meaningless.
+package raceflag
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = false

@@ -33,6 +33,15 @@ func NewVectorFromMap(m map[int32]float64) Vector {
 	return v
 }
 
+// NewVectorFromSorted wraps already-sorted parallel index/value slices as
+// a Vector without copying. The caller promises idx is strictly
+// increasing with no explicit zeros in val (Validate() normal form); the
+// returned vector aliases the slices, which suits scratch-buffer reuse in
+// allocation-free transform paths.
+func NewVectorFromSorted(idx []int32, val []float64) Vector {
+	return Vector{Idx: idx, Val: val}
+}
+
 // NNZ returns the number of stored (nonzero) entries.
 func (v Vector) NNZ() int { return len(v.Idx) }
 

@@ -1,6 +1,9 @@
 package textproc
 
-import "strings"
+import (
+	"strings"
+	"unicode/utf8"
+)
 
 // Lemmatizer reduces inflected word forms to a base lemma, following the
 // WordNet lemmatizer's architecture (paper §4.3.2, [5]): first consult an
@@ -323,4 +326,85 @@ func (p *Preprocessor) Process(text string) []string {
 		}
 	}
 	return tokens
+}
+
+// Scratch carries the per-worker reusable state for ProcessInto: the
+// output token slice and an interning table mapping raw tokens to their
+// fully processed form (normalized, masked, stopword-filtered,
+// lemmatized). Because the table caches the result of one pipeline
+// configuration, a Scratch must not be shared between Preprocessors with
+// different settings, and must not be used from multiple goroutines at
+// once. The zero value is ready to use.
+type Scratch struct {
+	tokens   []string
+	interned map[string]string
+}
+
+// maxInternedTokens bounds the intern table. Real syslog token
+// vocabularies are small (a few thousand distinct tokens per cluster), so
+// the cap only trips on adversarial input; the table is then cleared and
+// rebuilt rather than letting memory grow without bound.
+const maxInternedTokens = 8192
+
+// ProcessInto is Process on reusable memory: the returned slice aliases
+// sc and is valid until the next call with the same scratch. On the
+// steady state (every distinct raw token already interned) it performs no
+// allocations — tokenization yields substrings, and the per-token
+// normalize/mask/stopword/lemma pipeline collapses to one map lookup.
+func (p *Preprocessor) ProcessInto(text string, sc *Scratch) []string {
+	if sc.interned == nil {
+		sc.interned = make(map[string]string, 256)
+	}
+	sc.tokens = sc.tokens[:0]
+	start := -1
+	for i, r := range text {
+		if isTokenRune(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			p.emit(text[start:i], sc)
+			start = -1
+		}
+	}
+	if start >= 0 {
+		p.emit(text[start:], sc)
+	}
+	return sc.tokens
+}
+
+// emit appends the processed form of one raw token run to sc.tokens,
+// consulting and maintaining the intern table. Interned strings are
+// cloned so the table never pins a caller's message buffer.
+func (p *Preprocessor) emit(raw string, sc *Scratch) {
+	out, ok := sc.interned[raw]
+	if !ok {
+		if len(sc.interned) >= maxInternedTokens {
+			clear(sc.interned)
+		}
+		out = strings.Clone(p.processToken(raw))
+		sc.interned[strings.Clone(raw)] = out
+	}
+	if out != "" {
+		sc.tokens = append(sc.tokens, out)
+	}
+}
+
+// processToken runs the full per-token pipeline in Process order:
+// normalize/mask, minimum-length filter, stopword filter, lemmatize.
+// An empty result means the token is dropped.
+func (p *Preprocessor) processToken(raw string) string {
+	tok := p.Tokenizer.normalize(raw)
+	if tok == "" || utf8.RuneCountInString(tok) < p.Tokenizer.MinLen {
+		return ""
+	}
+	if !p.KeepStopwords && stopwords[tok] {
+		return ""
+	}
+	if !p.SkipLemmas {
+		tok = p.Lemmatizer.Lemma(tok)
+	}
+	return tok
 }

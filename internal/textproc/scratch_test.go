@@ -1,0 +1,115 @@
+package textproc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hetsyslog/internal/raceflag"
+)
+
+// processCases is a spread of syslog-shaped inputs covering masking, case
+// folding, trimming, stopwords, lemmas, unicode and adversarial shapes.
+var processCases = []string{
+	"",
+	"   ",
+	"CPU 12 Temperature Above Non-Recoverable - Asserted. Current temperature: 96C",
+	"error: Node cn042 has low real_memory size (153694 < 256000)",
+	"sshd[2783]: Connection closed by 10.12.0.7 port 22 [preauth]",
+	"usb 1-1.4: new high-speed USB device number 7 using xhci_hcd",
+	"GPU 0000beef:1a:00.0: temperature 93 exceeds slowdown threshold",
+	"session opened for user root by (uid=0)",
+	"__trimmed__ ..dots.. _.mixed._ ._",
+	"failures failing failed FAILURE retries Retried denying",
+	"über café 温度警告 processor throttled",
+	"a b c of the and to is", // stopwords + below MinLen
+	"0x7ffdeadbeef deadbeef12 1234567 12.34.56.78 999.1.1.1 1.2.3.4",
+	"slurm_rpc_node_registration from node cn001 version 21.08.8",
+}
+
+// TestProcessIntoMatchesProcess requires the scratch-based path to produce
+// exactly the tokens of the allocating path, across configurations and
+// with the intern table warm and cold.
+func TestProcessIntoMatchesProcess(t *testing.T) {
+	configs := []struct {
+		name          string
+		keepStopwords bool
+		skipLemmas    bool
+	}{
+		{"default", false, false},
+		{"keep-stopwords", true, false},
+		{"skip-lemmas", false, true},
+		{"raw", true, true},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			p := NewPreprocessor()
+			p.KeepStopwords = cfg.keepStopwords
+			p.SkipLemmas = cfg.skipLemmas
+			var sc Scratch
+			// Two passes: cold intern table, then warm.
+			for pass := 0; pass < 2; pass++ {
+				for _, text := range processCases {
+					want := p.Process(text)
+					got := p.ProcessInto(text, &sc)
+					if len(want) == 0 && len(got) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(append([]string(nil), got...), want) {
+						t.Errorf("pass %d, %q:\n got %q\nwant %q", pass, text, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTokenizeIntoMatchesTokenize checks the lower-level Into form and
+// that the destination slice's backing array is reused.
+func TestTokenizeIntoMatchesTokenize(t *testing.T) {
+	tk := NewTokenizer()
+	var dst []string
+	for _, text := range processCases {
+		want := tk.Tokenize(text)
+		dst = tk.TokenizeInto(dst[:0], text)
+		if fmt.Sprint(dst) != fmt.Sprint(want) {
+			t.Errorf("%q: got %q, want %q", text, dst, want)
+		}
+	}
+}
+
+// TestScratchInternBounded fills the intern table past its cap and checks
+// it resets instead of growing without bound, while staying correct.
+func TestScratchInternBounded(t *testing.T) {
+	p := NewPreprocessor()
+	var sc Scratch
+	for i := 0; i < maxInternedTokens+500; i++ {
+		text := fmt.Sprintf("unique_token_%d throttled", i)
+		got := p.ProcessInto(text, &sc)
+		want := p.Process(text)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("iteration %d: got %q, want %q", i, got, want)
+		}
+	}
+	if len(sc.interned) > maxInternedTokens {
+		t.Errorf("intern table grew to %d entries, cap is %d", len(sc.interned), maxInternedTokens)
+	}
+}
+
+// TestProcessIntoSteadyStateAllocs asserts the warm path is allocation
+// free: every distinct token interned, the token slice backing reused.
+func TestProcessIntoSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	p := NewPreprocessor()
+	var sc Scratch
+	msg := "CPU 12 Temperature Above Non-Recoverable - Asserted. Current temperature: 96C"
+	p.ProcessInto(msg, &sc) // warm the intern table
+	allocs := testing.AllocsPerRun(200, func() {
+		p.ProcessInto(msg, &sc)
+	})
+	if allocs != 0 {
+		t.Errorf("warm ProcessInto allocates %.1f objects/op, want 0", allocs)
+	}
+}

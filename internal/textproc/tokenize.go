@@ -7,6 +7,7 @@ package textproc
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenizer splits syslog message text into feature tokens. Underscores are
@@ -41,20 +42,16 @@ const (
 
 // Tokenize splits s into normalized tokens.
 func (t *Tokenizer) Tokenize(s string) []string {
-	tokens := make([]string, 0, 16)
+	return t.TokenizeInto(make([]string, 0, 16), s)
+}
+
+// TokenizeInto appends the normalized tokens of s to dst and returns the
+// extended slice. Passing the previous result re-sliced to dst[:0] reuses
+// its backing array, so a steady-state caller tokenizes without
+// allocating; the appended strings are substrings of s, mask constants,
+// or (for tokens that needed case folding) freshly folded copies.
+func (t *Tokenizer) TokenizeInto(dst []string, s string) []string {
 	start := -1
-	flush := func(end int) {
-		if start < 0 {
-			return
-		}
-		tok := s[start:end]
-		start = -1
-		tok = t.normalize(tok)
-		if tok == "" || len([]rune(tok)) < t.MinLen {
-			return
-		}
-		tokens = append(tokens, tok)
-	}
 	for i, r := range s {
 		if isTokenRune(r) {
 			if start < 0 {
@@ -62,10 +59,25 @@ func (t *Tokenizer) Tokenize(s string) []string {
 			}
 			continue
 		}
-		flush(i)
+		if start >= 0 {
+			dst = t.appendToken(dst, s[start:i])
+			start = -1
+		}
 	}
-	flush(len(s))
-	return tokens
+	if start >= 0 {
+		dst = t.appendToken(dst, s[start:])
+	}
+	return dst
+}
+
+// appendToken normalizes one raw token run and appends it to dst unless
+// normalization drops it.
+func (t *Tokenizer) appendToken(dst []string, raw string) []string {
+	tok := t.normalize(raw)
+	if tok == "" || utf8.RuneCountInString(tok) < t.MinLen {
+		return dst
+	}
+	return append(dst, tok)
 }
 
 func isTokenRune(r rune) bool {
@@ -74,13 +86,25 @@ func isTokenRune(r rune) bool {
 
 // normalize applies case folding and masking to one raw token.
 func (t *Tokenizer) normalize(tok string) string {
-	// Trim leading/trailing dots kept by the rune class ("threshold." or
-	// version fragments).
-	tok = strings.Trim(tok, "._")
+	// Trim leading/trailing dots and underscores kept by the rune class
+	// ("threshold." or version fragments). '.' and '_' are single ASCII
+	// bytes that never appear inside a UTF-8 multi-byte sequence, so a
+	// byte-wise trim is correct for any input and skips strings.Trim's
+	// per-rune cutset scan.
+	lo, hi := 0, len(tok)
+	for lo < hi && (tok[lo] == '.' || tok[lo] == '_') {
+		lo++
+	}
+	for hi > lo && (tok[hi-1] == '.' || tok[hi-1] == '_') {
+		hi--
+	}
+	tok = tok[lo:hi]
 	if tok == "" {
 		return ""
 	}
 	if t.Lowercase {
+		// strings.ToLower returns tok unchanged (no allocation) when it
+		// is already lower-case ASCII — the common case for syslog text.
 		tok = strings.ToLower(tok)
 	}
 	if looksLikeIP(tok) {
@@ -134,28 +158,33 @@ func isHexID(tok string) bool {
 	return hasDigit
 }
 
-// looksLikeIP reports whether tok is a dotted-quad IPv4 address.
+// looksLikeIP reports whether tok is a dotted-quad IPv4 address. It scans
+// bytes directly instead of strings.Split so the hot tokenize path never
+// allocates a parts slice.
 func looksLikeIP(tok string) bool {
-	parts := strings.Split(tok, ".")
-	if len(parts) != 4 {
-		return false
-	}
-	for _, p := range parts {
-		if p == "" || len(p) > 3 {
-			return false
-		}
-		n := 0
-		for _, r := range p {
-			if r < '0' || r > '9' {
+	octets, digits, n := 0, 0, 0
+	for i := 0; i < len(tok); i++ {
+		switch c := tok[i]; {
+		case c >= '0' && c <= '9':
+			digits++
+			if digits > 3 {
 				return false
 			}
-			n = n*10 + int(r-'0')
-		}
-		if n > 255 {
+			n = n*10 + int(c-'0')
+			if n > 255 {
+				return false
+			}
+		case c == '.':
+			if digits == 0 {
+				return false
+			}
+			octets++
+			digits, n = 0, 0
+		default:
 			return false
 		}
 	}
-	return true
+	return octets == 3 && digits > 0
 }
 
 // stopwords is the usual small English function-word list plus syslog

@@ -1,0 +1,69 @@
+package tfidf
+
+import (
+	"fmt"
+	"testing"
+
+	"hetsyslog/internal/raceflag"
+)
+
+func fittedVectorizer(sublinear bool, minDF int) (*Vectorizer, [][]string) {
+	corpus := [][]string{
+		{"cpu", "temperature", "throttle", "cpu", "sensor"},
+		{"memory", "size", "low", "node", "real_memory"},
+		{"connection", "close", "port", "preauth", "user"},
+		{"cpu", "clock", "throttle", "firmware"},
+		{"usb", "device", "hub", "new", "number"},
+		{"temperature", "sensor", "exceed", "threshold", "cpu"},
+	}
+	vz := &Vectorizer{Sublinear: sublinear, MinDF: minDF}
+	vz.Fit(corpus)
+	return vz, corpus
+}
+
+// TestTransformIntoMatchesTransform requires the scratch path to return
+// byte-identical vectors to the map-based path, including unknown and
+// pruned tokens, repeated terms, and the empty document.
+func TestTransformIntoMatchesTransform(t *testing.T) {
+	for _, sublinear := range []bool{false, true} {
+		for _, minDF := range []int{0, 2} {
+			vz, corpus := fittedVectorizer(sublinear, minDF)
+			docs := append([][]string{
+				{},
+				{"unseen", "tokens", "only"},
+				{"cpu", "cpu", "cpu", "temperature", "unseen"},
+			}, corpus...)
+			var sc TransformScratch
+			for _, doc := range docs {
+				want := vz.Transform(doc)
+				got := vz.TransformInto(doc, &sc)
+				if fmt.Sprint(got.Idx) != fmt.Sprint(want.Idx) ||
+					fmt.Sprint(got.Val) != fmt.Sprint(want.Val) {
+					t.Errorf("sublinear=%v minDF=%d doc %q:\n got %v %v\nwant %v %v",
+						sublinear, minDF, doc, got.Idx, got.Val, want.Idx, want.Val)
+				}
+				if err := got.Validate(); err != nil {
+					t.Errorf("doc %q: %v", doc, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTransformIntoSteadyStateAllocs asserts the warm scratch path is
+// allocation free.
+func TestTransformIntoSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	vz, _ := fittedVectorizer(true, 0)
+	doc := []string{"cpu", "temperature", "throttle", "cpu", "sensor", "threshold"}
+	var sc TransformScratch
+	vz.TransformInto(doc, &sc) // size the buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		vz.TransformInto(doc, &sc)
+	})
+	if allocs != 0 {
+		t.Errorf("warm TransformInto allocates %.1f objects/op, want 0", allocs)
+	}
+}

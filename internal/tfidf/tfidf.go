@@ -11,6 +11,7 @@ package tfidf
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"hetsyslog/internal/sparse"
@@ -170,10 +171,32 @@ func (vz *Vectorizer) IDF(feature int32) float64 { return vz.idf[feature] }
 // state (vocab, remap, idf), so it is safe to call concurrently after
 // Fit returns.
 func (vz *Vectorizer) Transform(tokens []string) sparse.Vector {
+	// A function-local scratch means the returned vector owns its memory.
+	var sc TransformScratch
+	return vz.TransformInto(tokens, &sc)
+}
+
+// TransformScratch holds the reusable buffers for TransformInto: the
+// feature index list used for counting and the output index/value
+// slices. The zero value is ready to use; a scratch must not be shared
+// between goroutines.
+type TransformScratch struct {
+	feats []int32
+	idx   []int32
+	val   []float64
+}
+
+// TransformInto is Transform on reusable memory: term counting
+// accumulates feature indices into a scratch list which is sorted and
+// run-length counted, replacing Transform's map build and map-order sort.
+// On the steady state it performs no allocations. The returned vector
+// aliases sc and is valid until the next call with the same scratch; it
+// is byte-identical to Transform's result for the same tokens.
+func (vz *Vectorizer) TransformInto(tokens []string, sc *TransformScratch) sparse.Vector {
 	if vz.vocab == nil {
 		panic("tfidf: Transform before Fit")
 	}
-	counts := make(map[int32]float64, len(tokens))
+	sc.feats = sc.feats[:0]
 	for _, t := range tokens {
 		raw := vz.vocab.Index(t)
 		if raw < 0 {
@@ -183,15 +206,25 @@ func (vz *Vectorizer) Transform(tokens []string) sparse.Vector {
 		if f < 0 {
 			continue
 		}
-		counts[f]++
+		sc.feats = append(sc.feats, f)
 	}
-	for f, tf := range counts {
+	slices.Sort(sc.feats)
+	sc.idx, sc.val = sc.idx[:0], sc.val[:0]
+	for i := 0; i < len(sc.feats); {
+		f := sc.feats[i]
+		j := i + 1
+		for j < len(sc.feats) && sc.feats[j] == f {
+			j++
+		}
+		tf := float64(j - i)
+		i = j
 		if vz.Sublinear {
 			tf = 1 + math.Log(tf)
 		}
-		counts[f] = tf * vz.idf[f]
+		sc.idx = append(sc.idx, f)
+		sc.val = append(sc.val, tf*vz.idf[f])
 	}
-	v := sparse.NewVectorFromMap(counts)
+	v := sparse.NewVectorFromSorted(sc.idx, sc.val)
 	if !vz.SkipNormalize {
 		v.Normalize()
 	}
