@@ -13,9 +13,11 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"hetsyslog/internal/collector"
 	"hetsyslog/internal/core"
@@ -23,6 +25,7 @@ import (
 	"hetsyslog/internal/llm"
 	"hetsyslog/internal/loggen"
 	"hetsyslog/internal/obs"
+	"hetsyslog/internal/resilience"
 	"hetsyslog/internal/store"
 	"hetsyslog/internal/tfidf"
 )
@@ -265,7 +268,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						if err := svc.Write(w.recs); err != nil {
+						if err := svc.Write(context.Background(), w.recs); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -332,7 +335,7 @@ func BenchmarkServiceThroughputWithStore(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := svc.Write(recs); err != nil {
+				if err := svc.Write(context.Background(), recs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -375,6 +378,54 @@ func BenchmarkPipelineFlushWorkers(b *testing.B) {
 			b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "recs/s")
 		})
 	}
+}
+
+// BenchmarkPipelineFlushUnderFaults measures end-to-end pipeline
+// throughput with the full resilience stack engaged against a misbehaving
+// sink: a seeded ChaosSink injects write errors and partial deliveries in
+// front of the classifying service while the circuit breaker and the disk
+// spill queue keep delivery lossless (Dropped must stay 0). Compare
+// recs/s against BenchmarkPipelineFlushWorkers for the cost of surviving
+// faults.
+func BenchmarkPipelineFlushUnderFaults(b *testing.B) {
+	const n = 4096
+	tc, recs := serviceStream(b, n)
+	spoolRoot := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := &core.Service{Classifier: tc, Workers: 2}
+		chaos := resilience.NewChaosSink(svc.Write, resilience.ChaosPlan{
+			Seed: int64(i + 1), ErrorRate: 0.05, PartialRate: 0.25,
+		})
+		ch := make(chan collector.Record, 256)
+		p := &collector.Pipeline{
+			Source: &collector.ChannelSource{Ch: ch},
+			Sink:   chaos,
+			Config: &collector.Config{
+				BatchSize:        128,
+				FlushWorkers:     2,
+				MaxRetries:       2,
+				RetryBackoff:     500 * time.Microsecond,
+				MaxRetryBackoff:  5 * time.Millisecond,
+				BreakerThreshold: 4,
+				ReplayInterval:   time.Millisecond,
+				SpoolDir:         filepath.Join(spoolRoot, strconv.Itoa(i)),
+			},
+		}
+		done := make(chan error, 1)
+		go func() { done <- p.Run(context.Background()) }()
+		for _, r := range recs {
+			ch <- r
+		}
+		close(ch)
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		if s := p.Stats(); s.Dropped != 0 {
+			b.Fatalf("faults must spool, not drop: %+v", s)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "recs/s")
 }
 
 // BenchmarkSimulatedLLMThroughput is the Table 3 counterpoint to
@@ -458,7 +509,7 @@ func BenchmarkServiceObsOverhead(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := svc.Write(recs); err != nil {
+				if err := svc.Write(context.Background(), recs); err != nil {
 					b.Fatal(err)
 				}
 			}

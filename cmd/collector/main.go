@@ -10,6 +10,8 @@
 //	          [-train-scale 20000] [-cooldown 1m] [-workers 8] [-flush-workers 2]
 //	          [-metrics-addr :9600] [-classify-cache=false]
 //	          [-classify-cache-size 32768] [-classify-cache-shards 8]
+//	          [-spool-dir /var/spool/collector] [-spool-max-bytes 1073741824]
+//	          [-write-timeout 30s] [-breaker-threshold 5]
 package main
 
 import (
@@ -51,6 +53,10 @@ func main() {
 		cacheOn     = flag.Bool("classify-cache", true, "cache classifications of repeated/templated messages (disable when retraining the model in place)")
 		cacheSize   = flag.Int("classify-cache-size", core.DefaultCacheSize, "classify cache entries per level")
 		cacheShards = flag.Int("classify-cache-shards", core.DefaultCacheShards, "classify cache shard count (rounded up to a power of two)")
+		spoolDir    = flag.String("spool-dir", "", "directory for the disk spill queue: batches the sink refuses spool here and replay on recovery (empty disables)")
+		spoolMax    = flag.Int64("spool-max-bytes", 0, "spool size bound; oldest segment evicted past it (0 = unbounded)")
+		writeTO     = flag.Duration("write-timeout", 0, "per-attempt sink write timeout (0 = default 30s)")
+		breakerThr  = flag.Int("breaker-threshold", 0, "consecutive failed writes that trip the sink circuit breaker (0 = default 5)")
 	)
 	flag.Parse()
 
@@ -117,15 +123,25 @@ func main() {
 
 	src := collector.NewSyslogSource(*udpAddr, *tcpAddr)
 	src.Metrics = reg
+	pipeCfg := &collector.Config{
+		FlushWorkers:     *flushers,
+		SpoolDir:         *spoolDir,
+		SpoolMaxBytes:    *spoolMax,
+		WriteTimeout:     *writeTO,
+		BreakerThreshold: *breakerThr,
+	}
+	if err := pipeCfg.Validate(); err != nil {
+		fatal(err)
+	}
 	pipe := &collector.Pipeline{
 		Source: src,
 		// rsyslog-style dedup in front of classification keeps identical
 		// message storms from flooding the store; the optional blacklist
 		// drops administrator-listed noise before classification (§5.1).
-		Filters:      filters,
-		Sink:         svc,
-		FlushWorkers: *flushers,
-		Metrics:      reg,
+		Filters: filters,
+		Sink:    svc,
+		Config:  pipeCfg,
+		Metrics: reg,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -176,6 +192,10 @@ func main() {
 	sent, muted := alerts.Counts()
 	fmt.Fprintf(os.Stderr, "\ncollector: classified=%d actionable=%d alerts sent=%d muted=%d; %s\n",
 		classified, actionable, sent, muted, st.String())
+	if ps := pipe.Stats(); ps.Spooled > 0 {
+		fmt.Fprintf(os.Stderr, "collector: %d records spooled in %s await replay on next start\n",
+			ps.Spooled, *spoolDir)
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(shutCtx)

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	tivan [-http :9200] [-udp :5514] [-tcp :5514] [-shards 6] [-flush-workers 2]
-//	      [-metrics-addr :9600]
+//	      [-metrics-addr :9600] [-spool-dir /var/spool/tivan]
+//	      [-spool-max-bytes 1073741824] [-write-timeout 30s]
 //
 // Try it:
 //
@@ -41,6 +42,10 @@ func main() {
 		retention   = flag.Duration("retention", 0, "drop documents older than this (0 = keep forever)")
 		flushers    = flag.Int("flush-workers", 1, "concurrent pipeline flushers (batches in flight)")
 		metricsAddr = flag.String("metrics-addr", "", "dedicated listen address serving /metrics and /debug/pprof (empty disables)")
+		spoolDir    = flag.String("spool-dir", "", "directory for the disk spill queue: batches the store refuses spool here and replay on recovery (empty disables)")
+		spoolMax    = flag.Int64("spool-max-bytes", 0, "spool size bound; oldest segment evicted past it (0 = unbounded)")
+		writeTO     = flag.Duration("write-timeout", 0, "per-attempt sink write timeout (0 = default 30s)")
+		breakerThr  = flag.Int("breaker-threshold", 0, "consecutive failed writes that trip the sink circuit breaker (0 = default 5)")
 	)
 	flag.Parse()
 
@@ -59,11 +64,22 @@ func main() {
 	}
 	src := collector.NewSyslogSource(*udpAddr, *tcpAddr)
 	src.Metrics = reg
+	pipeCfg := &collector.Config{
+		FlushWorkers:     *flushers,
+		SpoolDir:         *spoolDir,
+		SpoolMaxBytes:    *spoolMax,
+		WriteTimeout:     *writeTO,
+		BreakerThreshold: *breakerThr,
+	}
+	if err := pipeCfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tivan:", err)
+		os.Exit(1)
+	}
 	pipe := &collector.Pipeline{
-		Source:       src,
-		Sink:         &collector.StoreSink{Store: st},
-		FlushWorkers: *flushers,
-		Metrics:      reg,
+		Source:  src,
+		Sink:    &collector.StoreSink{Store: st},
+		Config:  pipeCfg,
+		Metrics: reg,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,27 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// encodeBatch serializes a batch into one spool frame payload. gob is
+// self-describing, so frames written by an older build replay under a
+// newer one as long as field names are stable; an undecodable frame is
+// detected (decodeBatch errors) and skipped rather than poisoning replay.
+func encodeBatch(batch []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBatch reverses encodeBatch.
+func decodeBatch(payload []byte) ([]Record, error) {
+	var batch []Record
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&batch); err != nil {
+		return nil, err
+	}
+	return batch, nil
+}

@@ -2,7 +2,10 @@
 // infrastructure (§4.2): it ingests records from a source (typically the
 // syslog listener), runs them through a filter chain (parsing, metadata
 // enrichment, noise dropping), buffers them, and flushes batches to a sink
-// (typically the Tivan store) with bounded retry and backpressure.
+// (typically the Tivan store) with bounded retry, backpressure, a circuit
+// breaker, and an optional disk spill queue so a sink outage spools
+// records instead of dropping them — the durability Fluentd's file buffer
+// provides in the paper's deployment.
 package collector
 
 import (
@@ -12,6 +15,7 @@ import (
 	"time"
 
 	"hetsyslog/internal/obs"
+	"hetsyslog/internal/resilience"
 	"hetsyslog/internal/syslog"
 )
 
@@ -26,21 +30,45 @@ type Record struct {
 	Meta map[string]string
 }
 
-// WithMeta returns a copy of r with key=value added to Meta.
+// WithMeta returns a copy of r with key=value added to Meta. Each call
+// copies the map; filters adding several keys should use WithMetas.
 func (r Record) WithMeta(key, value string) Record {
-	meta := make(map[string]string, len(r.Meta)+1)
+	return r.WithMetas(key, value)
+}
+
+// WithMetas returns a copy of r with every key/value pair added to Meta,
+// copying the map once instead of once per key — the enrichment-chain
+// fast path. kv must alternate keys and values; an odd trailing key is a
+// programming error and panics.
+func (r Record) WithMetas(kv ...string) Record {
+	if len(kv)%2 != 0 {
+		panic("collector: WithMetas requires alternating key/value pairs")
+	}
+	meta := make(map[string]string, len(r.Meta)+len(kv)/2)
 	for k, v := range r.Meta {
 		meta[k] = v
 	}
-	meta[key] = value
+	for i := 0; i < len(kv); i += 2 {
+		meta[kv[i]] = kv[i+1]
+	}
 	r.Meta = meta
 	return r
 }
 
+// ErrPipelineClosed is returned by a pipeline's emit callback when the
+// pipeline is shutting down and can no longer accept the record. Sources
+// should stop producing when they see it; the record it was returned for
+// has been accounted as Dropped.
+var ErrPipelineClosed = errors.New("collector: pipeline closed")
+
 // Source produces records until ctx is cancelled.
 type Source interface {
-	// Run blocks, calling emit for each record, until ctx is done.
-	Run(ctx context.Context, emit func(Record)) error
+	// Run blocks, calling emit for each record, until ctx is done or
+	// emit returns an error. emit returns nil when the record was
+	// accepted and ErrPipelineClosed when the pipeline is shutting down;
+	// a source receiving an error should stop and return (returning
+	// ErrPipelineClosed itself is treated as a clean shutdown).
+	Run(ctx context.Context, emit func(Record) error) error
 }
 
 // Filter transforms or drops records.
@@ -61,70 +89,111 @@ func (f FilterFunc) Apply(r Record) (Record, bool) { return f(r) }
 // injected records are run through the remaining filter chain (everything
 // downstream of the emitting filter), counted as Ingested, and enqueued
 // like any other record, so the accounting invariant
-// Ingested == Filtered + Flushed + Dropped still holds.
+// Ingested == Filtered + Flushed + Dropped + Spooled still holds.
 type EmittingFilter interface {
 	Filter
 	SetEmit(emit func(Record))
 }
 
-// Sink receives flushed batches. Write must be safe to retry: the pipeline
-// re-delivers the whole batch on error.
+// Sink receives flushed batches. Write must be safe to retry: the
+// pipeline re-delivers the whole batch on error (possibly replayed from
+// the disk spool, possibly on a different goroutine). ctx carries the
+// pipeline's per-attempt write timeout; implementations doing I/O should
+// honor it. Sinks that predate the context parameter can be wrapped with
+// AdaptSink.
 type Sink interface {
-	Write(batch []Record) error
+	Write(ctx context.Context, batch []Record) error
 }
 
 // SinkFunc adapts a function to Sink.
-type SinkFunc func(batch []Record) error
+type SinkFunc func(ctx context.Context, batch []Record) error
 
 // Write calls f.
-func (f SinkFunc) Write(batch []Record) error { return f(batch) }
+func (f SinkFunc) Write(ctx context.Context, batch []Record) error { return f(ctx, batch) }
+
+// LegacySink is the pre-context sink interface.
+//
+// Deprecated: implement Sink (context-aware Write) instead. LegacySink
+// and AdaptSink remain for one release to ease migration.
+type LegacySink interface {
+	Write(batch []Record) error
+}
+
+// AdaptSink wraps a LegacySink into a Sink, discarding the context (the
+// wrapped sink cannot observe per-attempt timeouts or shutdown).
+func AdaptSink(s LegacySink) Sink {
+	return SinkFunc(func(_ context.Context, batch []Record) error { return s.Write(batch) })
+}
 
 // Stats counts pipeline activity.
 type Stats struct {
-	Ingested int64 // records emitted by the source
+	Ingested int64 // records emitted by the source (plus spool-recovered ones)
 	Filtered int64 // records dropped by the filter chain
-	Flushed  int64 // records successfully written to the sink
+	Flushed  int64 // records successfully written to the sink (incl. replayed)
 	Retries  int64 // batch write retries
-	// Dropped counts records lost for any reason: retries exhausted,
-	// retry abandoned at shutdown, or discarded at enqueue because the
-	// context was cancelled while the queue was full. After Run returns,
-	// Ingested == Filtered + Flushed + Dropped.
+	// Dropped counts records lost for any reason: retries exhausted with
+	// no spool configured, spool write failure, spool eviction under its
+	// byte bound, retry abandoned at shutdown with no spool, or discarded
+	// at enqueue because the context was cancelled while the queue was
+	// full. After Run returns,
+	// Ingested == Filtered + Flushed + Dropped + Spooled.
 	Dropped int64
+	// Spooled counts records currently sitting in the disk spill queue
+	// awaiting replay (they survive the process and are recovered by the
+	// next Run over the same spool directory).
+	Spooled int64
 }
 
-// Pipeline wires source -> filters -> buffer -> sink.
+// Pipeline wires source -> filters -> buffer -> sink, with a circuit
+// breaker and an optional disk spill queue between buffer and sink.
+//
+// Knobs live in Config. The loose fields below predate it and keep
+// working: a knob left zero in Config (or with Config nil) falls back to
+// the corresponding loose field, and whatever is still unset gets the
+// documented default. See Config for the mapping.
 type Pipeline struct {
 	Source  Source
 	Filters []Filter
 	Sink    Sink
 
-	// BatchSize flushes when the buffer reaches this many records
-	// (default 128).
+	// Config groups and validates every pipeline knob. Optional: a nil
+	// Config behaves as the zero Config (loose fields, then defaults).
+	Config *Config
+
+	// BatchSize flushes when the buffer reaches this many records.
+	//
+	// Deprecated: set Config.BatchSize.
 	BatchSize int
-	// FlushInterval flushes a partial buffer after this long
-	// (default 250ms).
+	// FlushInterval flushes a partial buffer after this long.
+	//
+	// Deprecated: set Config.FlushInterval.
 	FlushInterval time.Duration
-	// MaxRetries bounds redelivery attempts per batch (default 3).
+	// MaxRetries bounds redelivery attempts per batch.
+	//
+	// Deprecated: set Config.MaxRetries.
 	MaxRetries int
-	// RetryBackoff is the initial backoff, doubled per attempt
-	// (default 10ms).
+	// RetryBackoff is the initial backoff of the jittered ladder.
+	//
+	// Deprecated: set Config.RetryBackoff.
 	RetryBackoff time.Duration
-	// QueueDepth is the buffered-channel depth between ingest and flush;
-	// when full the source's emit blocks (backpressure, default 1024).
+	// QueueDepth is the buffered-channel depth between ingest and flush.
+	//
+	// Deprecated: set Config.QueueDepth.
 	QueueDepth int
-	// FlushWorkers is the number of concurrent flusher goroutines
-	// (default 1). Each worker keeps its own batch buffer and flush
-	// timer, so up to FlushWorkers batches can be in flight against the
-	// sink at once; the sink must then be safe for concurrent Write
-	// calls (StoreSink and core.Service both are). With more than one
-	// worker, batch delivery order is not the arrival order.
+	// FlushWorkers is the number of concurrent flusher goroutines.
+	//
+	// Deprecated: set Config.FlushWorkers.
 	FlushWorkers int
 
 	// Metrics optionally publishes the pipeline's counters, queue-depth
-	// gauge and batch/flush histograms into a shared registry; set it
-	// before Run. Left nil the same counters still run standalone, so
-	// Stats() is always exact.
+	// gauge, breaker/spool gauges and batch/flush/attempt histograms into
+	// a shared registry; set it before Run. Left nil the same counters
+	// still run standalone, so Stats() is always exact.
 	Metrics *obs.Registry
+
+	cfg     Config
+	breaker *resilience.Breaker
+	spool   *resilience.Spool
 
 	metricsOnce  sync.Once
 	ingested     *obs.Counter
@@ -132,8 +201,13 @@ type Pipeline struct {
 	flushed      *obs.Counter
 	retries      *obs.Counter
 	dropped      *obs.Counter
+	spooled      *obs.Gauge
+	spooledTotal *obs.Counter
+	replayed     *obs.Counter
+	evicted      *obs.Counter
 	batchSize    *obs.Histogram
 	flushLatency *obs.Histogram
+	attemptLat   *obs.Histogram
 }
 
 // initMetrics lazily creates the pipeline's metrics — inside Metrics when
@@ -141,19 +215,29 @@ type Pipeline struct {
 func (p *Pipeline) initMetrics() {
 	p.metricsOnce.Do(func() {
 		p.ingested = p.Metrics.Counter("pipeline_ingested_total",
-			"records emitted by the source (including filter-injected records)")
+			"records emitted by the source (including filter-injected and spool-recovered records)")
 		p.filtered = p.Metrics.Counter("pipeline_filtered_total",
 			"records dropped by the filter chain")
 		p.flushed = p.Metrics.Counter("pipeline_flushed_total",
-			"records successfully written to the sink")
+			"records successfully written to the sink (including spool replays)")
 		p.retries = p.Metrics.Counter("pipeline_retries_total",
 			"batch write retries")
 		p.dropped = p.Metrics.Counter("pipeline_dropped_total",
-			"records lost: retries exhausted, retry abandoned at shutdown, or discarded at enqueue")
+			"records lost: no spool on sink failure, spool failure/eviction, or discarded at enqueue")
+		p.spooled = p.Metrics.Gauge("pipeline_spooled",
+			"records currently in the disk spill queue awaiting replay")
+		p.spooledTotal = p.Metrics.Counter("pipeline_spooled_total",
+			"records spilled to the disk queue (cumulative)")
+		p.replayed = p.Metrics.Counter("spool_replayed_total",
+			"records replayed from the disk spill queue into the sink")
+		p.evicted = p.Metrics.Counter("spool_evicted_total",
+			"spooled records evicted (oldest first) to respect the spool byte bound")
 		p.batchSize = p.Metrics.Histogram("pipeline_batch_size",
 			"records per flushed batch", obs.SizeBuckets)
 		p.flushLatency = p.Metrics.Histogram("pipeline_flush_seconds",
 			"sink flush latency per batch, including retries and backoff", obs.LatencyBuckets)
+		p.attemptLat = p.Metrics.Histogram("sink_write_attempt_seconds",
+			"sink write latency per attempt (excluding retries and backoff)", obs.LatencyBuckets)
 	})
 }
 
@@ -167,42 +251,71 @@ func (p *Pipeline) Stats() Stats {
 		Flushed:  p.flushed.Value(),
 		Retries:  p.retries.Value(),
 		Dropped:  p.dropped.Value(),
+		Spooled:  p.spooled.Value(),
 	}
 }
 
-func (p *Pipeline) defaults() error {
+// prepare validates the pipeline, resolves the effective Config and
+// initializes metrics.
+func (p *Pipeline) prepare() error {
 	if p.Source == nil || p.Sink == nil {
 		return errors.New("collector: pipeline needs a Source and a Sink")
 	}
-	if p.BatchSize <= 0 {
-		p.BatchSize = 128
+	cfg := Config{}
+	if p.Config != nil {
+		cfg = *p.Config
 	}
-	if p.FlushInterval <= 0 {
-		p.FlushInterval = 250 * time.Millisecond
+	cfg.fillFromLegacy(p)
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	if p.MaxRetries <= 0 {
-		p.MaxRetries = 3
-	}
-	if p.RetryBackoff <= 0 {
-		p.RetryBackoff = 10 * time.Millisecond
-	}
-	if p.QueueDepth <= 0 {
-		p.QueueDepth = 1024
-	}
-	if p.FlushWorkers <= 0 {
-		p.FlushWorkers = 1
-	}
+	p.cfg = cfg.withDefaults()
 	p.initMetrics()
 	return nil
 }
 
 // Run operates the pipeline until ctx is cancelled, then drains the buffer
-// and returns the source's error (nil on clean shutdown).
+// (and, if the sink is accepting writes, the spool) and returns the
+// source's error (nil on clean shutdown).
 func (p *Pipeline) Run(ctx context.Context) error {
-	if err := p.defaults(); err != nil {
+	if err := p.prepare(); err != nil {
 		return err
 	}
-	queue := make(chan Record, p.QueueDepth)
+	p.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: p.cfg.BreakerThreshold,
+		InitialBackoff:   p.cfg.RetryBackoff,
+		MaxBackoff:       p.cfg.MaxRetryBackoff,
+		Jitter:           p.cfg.RetryJitter,
+		Seed:             p.cfg.Seed,
+	})
+	p.Metrics.GaugeFunc("sink_breaker_state",
+		"sink circuit breaker state (0 closed, 1 half-open, 2 open)",
+		func() int64 { return int64(p.breaker.State()) })
+	if p.cfg.SpoolDir != "" {
+		spool, err := resilience.OpenSpool(resilience.SpoolConfig{
+			Dir: p.cfg.SpoolDir, MaxBytes: p.cfg.SpoolMaxBytes,
+		})
+		if err != nil {
+			return err
+		}
+		p.spool = spool
+		defer p.spool.Close()
+		p.Metrics.GaugeFunc("spool_bytes",
+			"bytes of spooled batch frames on disk",
+			func() int64 { return spool.Bytes() })
+		p.Metrics.GaugeFunc("spool_segments",
+			"live WAL segment files in the spool directory",
+			func() int64 { return int64(spool.Segments()) })
+		// Records spooled by a previous process enter this run through
+		// the spool: count them as Ingested + Spooled so the accounting
+		// invariant spans restarts.
+		if rec := spool.Records(); rec > 0 {
+			p.ingested.Add(rec)
+			p.spooled.Add(rec)
+		}
+	}
+
+	queue := make(chan Record, p.cfg.QueueDepth)
 	// Scrape-time gauge: len on a buffered channel is exact and free, so
 	// the hot path pays nothing for queue visibility.
 	p.Metrics.GaugeFunc("pipeline_queue_depth",
@@ -210,7 +323,7 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		func() int64 { return int64(len(queue)) })
 
 	var wg sync.WaitGroup
-	for w := 0; w < p.FlushWorkers; w++ {
+	for w := 0; w < p.cfg.FlushWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -218,58 +331,86 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		}()
 	}
 
+	// The replayer drains the spool back into the sink whenever the
+	// breaker admits writes; it runs on its own context so it keeps
+	// replaying while the source drains during shutdown.
+	replayCtx, stopReplay := context.WithCancel(context.Background())
+	var replayWG sync.WaitGroup
+	if p.spool != nil {
+		replayWG.Add(1)
+		go func() {
+			defer replayWG.Done()
+			p.replayer(replayCtx)
+		}()
+	}
+
 	// enqueue delivers one filtered record, preferring delivery over
-	// shutdown: a cancelled context only drops a record when the queue
-	// has no room for it.
-	enqueue := func(r Record) {
+	// shutdown: a cancelled context only refuses a record when the queue
+	// has no room for it, and the refusal is reported to the source as
+	// ErrPipelineClosed.
+	enqueue := func(r Record) error {
 		select {
 		case queue <- r:
-			return
+			return nil
 		default:
 		}
 		select {
 		case queue <- r:
+			return nil
 		case <-ctx.Done():
 			// The record was discarded, not delivered: account for it so
-			// Ingested == Filtered + Flushed + Dropped holds at shutdown.
+			// Ingested == Filtered + Flushed + Dropped + Spooled holds at
+			// shutdown, and tell the source to stop.
 			p.dropped.Add(1)
+			return ErrPipelineClosed
 		}
 	}
 
 	// filterFrom runs r through p.Filters[from:] and enqueues survivors.
-	filterFrom := func(r Record, from int) {
+	filterFrom := func(r Record, from int) error {
 		for _, f := range p.Filters[from:] {
 			var keep bool
 			r, keep = f.Apply(r)
 			if !keep {
 				p.filtered.Add(1)
-				return
+				return nil
 			}
 		}
-		enqueue(r)
+		return enqueue(r)
 	}
 
 	// Filters that inject their own records (dedup summaries) feed them
-	// through the rest of the chain, downstream of themselves.
+	// through the rest of the chain, downstream of themselves. Injected
+	// records refused at shutdown are already accounted by enqueue.
 	for i, f := range p.Filters {
 		if ef, ok := f.(EmittingFilter); ok {
 			after := i + 1
 			ef.SetEmit(func(r Record) {
 				p.ingested.Add(1)
-				filterFrom(r, after)
+				_ = filterFrom(r, after)
 			})
 		}
 	}
 
-	emit := func(r Record) {
+	emit := func(r Record) error {
 		p.ingested.Add(1)
-		filterFrom(r, 0)
+		return filterFrom(r, 0)
 	}
 
 	err := p.Source.Run(ctx, emit)
 	close(queue)
 	wg.Wait()
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if p.spool != nil {
+		stopReplay()
+		replayWG.Wait()
+		// Final drain: replay whatever the sink will still take. Bounded:
+		// the first refused or failed write stops it, leaving the rest on
+		// disk for the next run.
+		p.replayDrain(context.Background())
+	}
+	stopReplay()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrPipelineClosed) {
 		return nil
 	}
 	return err
@@ -279,14 +420,14 @@ func (p *Pipeline) Run(ctx context.Context) error {
 // FlushWorkers > 1 several flushers share the queue, each with its own
 // batch buffer and timer.
 func (p *Pipeline) flusher(ctx context.Context, queue <-chan Record) {
-	batch := make([]Record, 0, p.BatchSize)
-	timer := time.NewTimer(p.FlushInterval)
+	batch := make([]Record, 0, p.cfg.BatchSize)
+	timer := time.NewTimer(p.cfg.FlushInterval)
 	defer timer.Stop()
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		p.writeWithRetry(ctx, batch)
+		p.deliver(ctx, batch)
 		batch = batch[:0]
 	}
 	for {
@@ -297,7 +438,7 @@ func (p *Pipeline) flusher(ctx context.Context, queue <-chan Record) {
 				return
 			}
 			batch = append(batch, r)
-			if len(batch) >= p.BatchSize {
+			if len(batch) >= p.cfg.BatchSize {
 				flush()
 				if !timer.Stop() {
 					select {
@@ -305,44 +446,142 @@ func (p *Pipeline) flusher(ctx context.Context, queue <-chan Record) {
 					default:
 					}
 				}
-				timer.Reset(p.FlushInterval)
+				timer.Reset(p.cfg.FlushInterval)
 			}
 		case <-timer.C:
 			flush()
-			timer.Reset(p.FlushInterval)
+			timer.Reset(p.cfg.FlushInterval)
 		}
 	}
 }
 
-// writeWithRetry delivers one batch, retrying with exponential backoff.
-// Backoff sleeps watch ctx so shutdown never waits out the backoff
-// ladder; a batch abandoned mid-retry counts as Dropped. The in-flight
-// Sink.Write itself is never interrupted (Write is not ctx-aware), so
-// shutdown latency is bounded by one Write plus nothing.
-func (p *Pipeline) writeWithRetry(ctx context.Context, batch []Record) {
+// deliver writes one batch through the circuit breaker, retrying with the
+// breaker's jittered capped backoff. A batch the sink will not take —
+// breaker open, retries exhausted, or retry abandoned at shutdown — is
+// diverted to the spool (or dropped when none is configured). Backoff
+// sleeps watch ctx so shutdown never waits out the ladder; the in-flight
+// write attempt itself is never cancelled by shutdown, only by the
+// per-attempt timeout, so shutdown latency is bounded by one attempt.
+func (p *Pipeline) deliver(ctx context.Context, batch []Record) {
 	p.batchSize.Observe(float64(len(batch)))
 	start := time.Now()
-	backoff := p.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		err := p.Sink.Write(batch)
+		if !p.breaker.Allow() {
+			p.divert(batch)
+			return
+		}
+		err := p.writeAttempt(ctx, batch)
 		if err == nil {
+			p.breaker.Success()
 			p.flushed.Add(int64(len(batch)))
 			p.flushLatency.ObserveDuration(time.Since(start))
 			return
 		}
-		if attempt >= p.MaxRetries {
-			p.dropped.Add(int64(len(batch)))
+		p.breaker.Failure()
+		if attempt >= p.cfg.MaxRetries {
+			p.divert(batch)
 			return
 		}
 		p.retries.Add(1)
-		t := time.NewTimer(backoff)
+		t := time.NewTimer(p.breaker.RetryDelay(attempt))
 		select {
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			p.dropped.Add(int64(len(batch)))
+			p.divert(batch)
 			return
 		}
-		backoff *= 2
+	}
+}
+
+// writeAttempt performs one sink write under the per-attempt timeout. The
+// write context is detached from pipeline cancellation: an in-flight
+// attempt is never abandoned halfway through shutdown (a half-written
+// remote batch is worse than a slightly slower exit), so shutdown waits
+// at most WriteTimeout for it.
+func (p *Pipeline) writeAttempt(ctx context.Context, batch []Record) error {
+	wctx := context.WithoutCancel(ctx)
+	if p.cfg.WriteTimeout > 0 {
+		var cancel context.CancelFunc
+		wctx, cancel = context.WithTimeout(wctx, p.cfg.WriteTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	err := p.Sink.Write(wctx, batch)
+	p.attemptLat.ObserveDuration(time.Since(start))
+	return err
+}
+
+// divert routes a batch the sink refused into the disk spill queue so
+// nothing is lost; without a spool (or when the disk fails too) the batch
+// is dropped, preserving the pre-spool behaviour.
+func (p *Pipeline) divert(batch []Record) {
+	n := int64(len(batch))
+	if p.spool == nil {
+		p.dropped.Add(n)
+		return
+	}
+	payload, err := encodeBatch(batch)
+	if err == nil {
+		var evicted int64
+		evicted, err = p.spool.Append(payload, len(batch))
+		if evicted > 0 {
+			p.spooled.Add(-evicted)
+			p.dropped.Add(evicted)
+			p.evicted.Add(evicted)
+		}
+	}
+	if err != nil {
+		p.dropped.Add(n)
+		return
+	}
+	p.spooled.Add(n)
+	p.spooledTotal.Add(n)
+}
+
+// replayer polls the spool, draining it into the sink whenever the
+// breaker admits writes — including the half-open probe after an outage,
+// which is taken by the oldest spooled frame so replay stays in order.
+func (p *Pipeline) replayer(ctx context.Context) {
+	tick := time.NewTicker(p.cfg.ReplayInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			p.replayDrain(ctx)
+		}
+	}
+}
+
+// replayDrain replays spooled frames oldest-first while the breaker
+// admits writes and they succeed. Replayed records move from Spooled to
+// Flushed; an undecodable frame (version skew) is dropped.
+func (p *Pipeline) replayDrain(ctx context.Context) {
+	for ctx.Err() == nil {
+		payload, n, ok, err := p.spool.Peek()
+		if err != nil || !ok {
+			return
+		}
+		batch, derr := decodeBatch(payload)
+		if derr != nil {
+			p.spool.Pop()
+			p.spooled.Add(-int64(n))
+			p.dropped.Add(int64(n))
+			continue
+		}
+		if !p.breaker.Allow() {
+			return
+		}
+		if err := p.writeAttempt(ctx, batch); err != nil {
+			p.breaker.Failure()
+			return
+		}
+		p.breaker.Success()
+		p.spool.Pop()
+		p.spooled.Add(-int64(n))
+		p.flushed.Add(int64(n))
+		p.replayed.Add(int64(n))
 	}
 }

@@ -105,7 +105,7 @@ func TestTopologyEnricher(t *testing.T) {
 
 func TestPipelineRetriesAndDrops(t *testing.T) {
 	var calls atomic.Int64
-	failing := SinkFunc(func(batch []Record) error {
+	failing := SinkFunc(func(ctx context.Context, batch []Record) error {
 		calls.Add(1)
 		return errors.New("sink down")
 	})
@@ -132,11 +132,11 @@ func TestPipelineRetriesAndDrops(t *testing.T) {
 func TestPipelineRecoversAfterTransientFailure(t *testing.T) {
 	var calls atomic.Int64
 	sink := &MemorySink{}
-	flaky := SinkFunc(func(batch []Record) error {
+	flaky := SinkFunc(func(ctx context.Context, batch []Record) error {
 		if calls.Add(1) == 1 {
 			return errors.New("transient")
 		}
-		return sink.Write(batch)
+		return sink.Write(ctx, batch)
 	})
 	p := &Pipeline{Sink: flaky, BatchSize: 2, MaxRetries: 3, RetryBackoff: time.Millisecond}
 	runPipeline(t, p, func(ch chan<- Record) {
@@ -174,7 +174,7 @@ func TestPipelineFlushOnInterval(t *testing.T) {
 // ladder out, and the abandoned batch must be accounted as Dropped.
 func TestShutdownInterruptsRetryBackoff(t *testing.T) {
 	var calls atomic.Int64
-	failing := SinkFunc(func(batch []Record) error {
+	failing := SinkFunc(func(ctx context.Context, batch []Record) error {
 		calls.Add(1)
 		return errors.New("sink down")
 	})
@@ -222,9 +222,9 @@ func TestShutdownInterruptsRetryBackoff(t *testing.T) {
 func TestStatsInvariantWhenCancelledWithFullQueue(t *testing.T) {
 	release := make(chan struct{})
 	sink := &MemorySink{}
-	blocking := SinkFunc(func(batch []Record) error {
+	blocking := SinkFunc(func(ctx context.Context, batch []Record) error {
 		<-release
-		return sink.Write(batch)
+		return sink.Write(ctx, batch)
 	})
 	p := &Pipeline{
 		Sink: blocking, BatchSize: 2, FlushInterval: time.Millisecond,

@@ -29,20 +29,26 @@ type SyslogSource struct {
 	BoundUDP string
 	BoundTCP string
 	ready    chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 // NewSyslogSource returns a source listening on the given addresses.
 func NewSyslogSource(udpAddr, tcpAddr string) *SyslogSource {
-	return &SyslogSource{UDPAddr: udpAddr, TCPAddr: tcpAddr, Tag: "syslog", ready: make(chan struct{})}
+	return &SyslogSource{UDPAddr: udpAddr, TCPAddr: tcpAddr, Tag: "syslog",
+		ready: make(chan struct{}), stop: make(chan struct{})}
 }
 
 // Ready is closed once the listeners are bound.
 func (s *SyslogSource) Ready() <-chan struct{} { return s.ready }
 
-// Run implements Source.
-func (s *SyslogSource) Run(ctx context.Context, emit func(Record)) error {
+// Run implements Source. When emit reports the pipeline closed, the
+// listeners shut down instead of parsing records nobody will take.
+func (s *SyslogSource) Run(ctx context.Context, emit func(Record) error) error {
 	s.server = &syslog.Server{Metrics: s.Metrics, Handler: syslog.HandlerFunc(func(m *syslog.Message) {
-		emit(Record{Tag: s.Tag, Time: m.Timestamp, Msg: m})
+		if err := emit(Record{Tag: s.Tag, Time: m.Timestamp, Msg: m}); err != nil {
+			s.stopOnce.Do(func() { close(s.stop) })
+		}
 	})}
 	if s.UDPAddr != "" {
 		addr, err := s.server.ListenUDP(s.UDPAddr)
@@ -59,7 +65,10 @@ func (s *SyslogSource) Run(ctx context.Context, emit func(Record)) error {
 		s.BoundTCP = addr.String()
 	}
 	close(s.ready)
-	<-ctx.Done()
+	select {
+	case <-ctx.Done():
+	case <-s.stop:
+	}
 	return s.server.Close()
 }
 
@@ -69,8 +78,9 @@ type ChannelSource struct {
 	Ch <-chan Record
 }
 
-// Run implements Source: it forwards until the channel closes or ctx ends.
-func (s *ChannelSource) Run(ctx context.Context, emit func(Record)) error {
+// Run implements Source: it forwards until the channel closes, ctx ends,
+// or emit reports the pipeline closed.
+func (s *ChannelSource) Run(ctx context.Context, emit func(Record) error) error {
 	for {
 		select {
 		case <-ctx.Done():
@@ -79,7 +89,9 @@ func (s *ChannelSource) Run(ctx context.Context, emit func(Record)) error {
 			if !ok {
 				return nil
 			}
-			emit(r)
+			if err := emit(r); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -115,7 +127,7 @@ func TopologyEnricher(lookup func(host string) (rack, arch string, ok bool)) Fil
 			return r, false
 		}
 		if rack, arch, ok := lookup(r.Msg.Hostname); ok {
-			r = r.WithMeta("rack", rack).WithMeta("arch", arch)
+			r = r.WithMetas("rack", rack, "arch", arch)
 		}
 		return r, true
 	})
@@ -127,8 +139,14 @@ type StoreSink struct {
 	Store *store.Store
 }
 
-// Write implements Sink.
-func (s *StoreSink) Write(batch []Record) error {
+// Write implements Sink. Indexing is in-memory and fast, so ctx is only
+// consulted between records; a batch interrupted by ctx reports the
+// context error and is safe to redeliver whole (Index is idempotent per
+// pipeline retry semantics: duplicates are preferred to loss).
+func (s *StoreSink) Write(ctx context.Context, batch []Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, r := range batch {
 		s.Store.Index(RecordToDoc(r))
 	}
@@ -166,7 +184,7 @@ type MemorySink struct {
 }
 
 // Write implements Sink.
-func (s *MemorySink) Write(batch []Record) error {
+func (s *MemorySink) Write(_ context.Context, batch []Record) error {
 	s.mu.Lock()
 	s.records = append(s.records, batch...)
 	s.mu.Unlock()

@@ -143,10 +143,10 @@ func TestServiceCacheMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	svc := &Service{Classifier: tc, Cache: NewClassifyCache(2, 128), Metrics: reg}
 	recs := streamRecords(3, 64)
-	if err := svc.Write(recs); err != nil {
+	if err := svc.Write(context.Background(), recs); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.Write(recs); err != nil { // second pass: all raw hits
+	if err := svc.Write(context.Background(), recs); err != nil { // second pass: all raw hits
 		t.Fatal(err)
 	}
 	rawHits, maskedHits, misses := svc.CacheStats()
@@ -296,11 +296,11 @@ func TestCachedClassifyZeroAllocs(t *testing.T) {
 	svc := &Service{Classifier: tc, Cache: NewClassifyCache(2, 1024), Workers: -1}
 	recs := streamRecords(9, 32)
 	// Warm: initMetrics, scratch pool, both cache levels.
-	if err := svc.Write(recs); err != nil {
+	if err := svc.Write(context.Background(), recs); err != nil {
 		t.Fatal(err)
 	}
 	if allocs := testing.AllocsPerRun(100, func() {
-		if err := svc.Write(recs); err != nil {
+		if err := svc.Write(context.Background(), recs); err != nil {
 			t.Fatal(err)
 		}
 	}); allocs > 0 {

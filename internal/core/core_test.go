@@ -200,7 +200,7 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Error("no alerts emitted")
 	}
 	// Nil-message records are ignored.
-	if err := svc.Write([]collector.Record{{}}); err != nil {
+	if err := svc.Write(context.Background(), []collector.Record{{}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -287,7 +287,7 @@ func TestServiceSequenceAnomaly(t *testing.T) {
 		ex := g.Example()
 		recs = append(recs, collector.Record{Time: ex.Time, Msg: ex.Message()})
 	}
-	if err := svc.Write(recs); err != nil {
+	if err := svc.Write(context.Background(), recs); err != nil {
 		t.Fatal(err)
 	}
 	healthyAnoms := svc.SequenceAnomalies()
@@ -298,7 +298,7 @@ func TestServiceSequenceAnomaly(t *testing.T) {
 	for _, ex := range g.Burst(taxonomy.MemoryIssue, bad, 30, 0) {
 		badRecs = append(badRecs, collector.Record{Time: ex.Time, Msg: ex.Message()})
 	}
-	if err := svc.Write(badRecs); err != nil {
+	if err := svc.Write(context.Background(), badRecs); err != nil {
 		t.Fatal(err)
 	}
 	if svc.SequenceAnomalies() <= healthyAnoms {

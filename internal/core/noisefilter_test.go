@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -81,7 +82,7 @@ func TestNoiseFilterInPipeline(t *testing.T) {
 	for _, r := range records {
 		if out, keep := f.Apply(r); keep {
 			kept++
-			if err := svc.Write([]collector.Record{out}); err != nil {
+			if err := svc.Write(context.Background(), []collector.Record{out}); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -46,7 +47,7 @@ func TestServiceMetricsUnderConcurrentScrapes(t *testing.T) {
 			base := w * batches * batchLen
 			for b := 0; b < batches; b++ {
 				lo := base + b*batchLen
-				if err := svc.Write(recs[lo : lo+batchLen]); err != nil {
+				if err := svc.Write(context.Background(), recs[lo:lo+batchLen]); err != nil {
 					t.Error(err)
 				}
 			}
@@ -132,7 +133,7 @@ func TestFiveStageRegistry(t *testing.T) {
 	st := store.New(2)
 	st.Instrument(reg)
 	svc := &Service{Classifier: tc, Store: st, Metrics: reg}
-	if err := svc.Write(streamRecords(3, 20)); err != nil {
+	if err := svc.Write(context.Background(), streamRecords(3, 20)); err != nil {
 		t.Fatal(err)
 	}
 	st.Search(store.SearchRequest{})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -137,8 +138,14 @@ func (s *Service) initMetrics() {
 // outweighs the parallel speedup and Write stays serial.
 const minParallelBatch = 8
 
-// Write implements collector.Sink.
-func (s *Service) Write(batch []collector.Record) error {
+// Write implements collector.Sink. Classification and indexing are
+// in-memory, so ctx is only checked on entry: a batch whose write
+// context already expired is refused whole (safe to redeliver), never
+// half-classified.
+func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.initMetrics()
 	workers := s.Workers
 	if workers == 0 {

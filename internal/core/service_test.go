@@ -142,7 +142,7 @@ func TestServiceConcurrentWrites(t *testing.T) {
 		wg.Add(1)
 		go func(batch []collector.Record) {
 			defer wg.Done()
-			if err := svc.Write(batch); err != nil {
+			if err := svc.Write(context.Background(), batch); err != nil {
 				t.Error(err)
 			}
 		}(recs[w*per : (w+1)*per])
@@ -170,10 +170,10 @@ func TestServiceWorkerDefaults(t *testing.T) {
 	for _, workers := range []int{0, -1, 1, 3, 64} {
 		svc := &Service{Classifier: tc, Workers: workers}
 		// Small batch (below minParallelBatch) then a large one.
-		if err := svc.Write(recs[:3]); err != nil {
+		if err := svc.Write(context.Background(), recs[:3]); err != nil {
 			t.Fatal(err)
 		}
-		if err := svc.Write(recs[3:]); err != nil {
+		if err := svc.Write(context.Background(), recs[3:]); err != nil {
 			t.Fatal(err)
 		}
 		if cl, _ := svc.Counts(); cl != int64(len(recs)) {

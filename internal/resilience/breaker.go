@@ -1,0 +1,249 @@
+// Package resilience provides the fault-tolerant delivery building
+// blocks the collector pipeline composes around its sink: a circuit
+// breaker with jittered exponential backoff, a disk-backed spill queue
+// (an append-only WAL the pipeline writes batches into when the sink is
+// unavailable, replayed in order once it recovers), and a deterministic
+// fault-injection sink wrapper for testing all of it.
+//
+// The package mirrors the durability properties the paper's collection
+// substrate gets from Fluentd's file buffer (§4.2): a slow or down
+// OpenSearch must never translate into lost log lines, because lost log
+// lines are lost evidence. Everything here is dependency-free and
+// payload-agnostic: the breaker counts failures, the spool stores opaque
+// byte frames, and the chaos sink wraps any batch-shaped write function.
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int32
+
+const (
+	// Closed: writes flow normally; failures are counted.
+	Closed State = iota
+	// HalfOpen: the backoff deadline passed; exactly one probe write is
+	// allowed through to test the sink.
+	HalfOpen
+	// Open: the failure threshold tripped; writes are refused until the
+	// backoff deadline.
+	Open
+)
+
+// String returns the conventional lowercase state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value is usable: every
+// field has a default applied by NewBreaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// open (default 5).
+	FailureThreshold int
+	// InitialBackoff is the first open-state duration and the base of the
+	// retry ladder (default 10ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential ladder (default 30s).
+	MaxBackoff time.Duration
+	// Jitter is the fraction of random spread added on top of each
+	// backoff: the delay for step k is uniform in
+	// [base_k, base_k*(1+Jitter)] where base_k = min(Initial<<k, Max).
+	// Default 0.5; set negative for none (0 means the default, so tests
+	// that need determinism must pass -1... use NoJitter).
+	Jitter float64
+	// Seed seeds the jitter source, so two breakers (e.g. two collector
+	// processes restarted against the same struggling sink) desynchronize
+	// deterministically (default 1).
+	Seed int64
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+// NoJitter disables jitter spread when assigned to BreakerConfig.Jitter.
+const NoJitter = -1.0
+
+// Breaker is a circuit breaker: it sits in front of an unreliable sink,
+// counts consecutive failures, and once a threshold trips it refuses
+// writes for an exponentially growing, jittered, capped backoff window.
+// After the window one probe is let through (half-open); success closes
+// the breaker, failure re-opens it with a longer window.
+//
+// All methods are safe for concurrent use. The breaker does not perform
+// writes itself: callers bracket each attempt with Allow / Success /
+// Failure.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	state     State
+	failures  int       // consecutive failures
+	step      int       // backoff ladder position
+	openUntil time.Time // when Open may transition to HalfOpen
+	probing   bool      // a HalfOpen probe is in flight
+	trips     int64     // cumulative Closed->Open transitions
+}
+
+// NewBreaker returns a Breaker with defaults applied to cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.5
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Allow reports whether a write attempt may proceed now. In Closed state
+// it always may; in Open state it may not until the backoff deadline, at
+// which point the breaker turns HalfOpen and grants exactly one caller a
+// probe (concurrent callers keep being refused until the probe resolves
+// via Success or Failure).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Before(b.openUntil) {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful write: the breaker closes and the backoff
+// ladder resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = Closed
+	b.failures = 0
+	b.step = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed write. In HalfOpen it re-opens immediately
+// with the next (longer) backoff; in Closed it trips to Open once
+// FailureThreshold consecutive failures accumulate.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case HalfOpen:
+		b.probing = false
+		b.openLocked()
+	case Closed:
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trips++
+			b.openLocked()
+		}
+	case Open:
+		// Late failure from a write that started before the trip: the
+		// breaker is already open; just keep counting.
+	}
+}
+
+// openLocked moves to Open with the current ladder step's jittered
+// delay, then advances the ladder. Caller holds b.mu.
+func (b *Breaker) openLocked() {
+	b.state = Open
+	b.openUntil = b.cfg.Now().Add(b.delayLocked(b.step))
+	if b.step < 62 { // avoid shifting into overflow; MaxBackoff caps anyway
+		b.step++
+	}
+}
+
+// delayLocked computes the jittered, capped exponential delay for ladder
+// step k. Caller holds b.mu (the rng is not concurrency-safe).
+func (b *Breaker) delayLocked(k int) time.Duration {
+	base := b.cfg.InitialBackoff << uint(k)
+	if base <= 0 || base > b.cfg.MaxBackoff { // <<= can overflow negative
+		base = b.cfg.MaxBackoff
+	}
+	if b.cfg.Jitter <= 0 {
+		return base
+	}
+	spread := time.Duration(b.cfg.Jitter * float64(base) * b.rng.Float64())
+	d := base + spread
+	if d > b.cfg.MaxBackoff {
+		d = b.cfg.MaxBackoff
+	}
+	return d
+}
+
+// RetryDelay returns the jittered, capped backoff for retry attempt k of
+// a single batch (k starting at 0). It shares the breaker's ladder shape
+// and jitter source, so per-batch retry sleeps and open-state windows
+// follow the same schedule — this is the replacement for the pipeline's
+// former naked doubling.
+func (b *Breaker) RetryDelay(k int) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.delayLocked(k)
+}
+
+// State returns the current state, resolving an expired Open window to
+// HalfOpen-eligible Open (the transition itself happens in Allow).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped Closed -> Open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// NextProbe returns when an Open breaker will next grant a probe (zero
+// time when the breaker is not Open). Pollers use it to schedule their
+// next replay attempt instead of spinning.
+func (b *Breaker) NextProbe() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return time.Time{}
+	}
+	return b.openUntil
+}

@@ -1,0 +1,157 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, jitter float64) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		InitialBackoff:   10 * time.Millisecond,
+		MaxBackoff:       time.Second,
+		Jitter:           jitter,
+		Now:              clk.now,
+	})
+	return b, clk
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, NoJitter)
+	if b.State() != Closed {
+		t.Fatal("new breaker should be closed")
+	}
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatal("under threshold must stay closed")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("threshold reached: breaker must open")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse before the deadline")
+	}
+	if b.Trips() != 1 {
+		t.Errorf("trips = %d", b.Trips())
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	b, clk := newTestBreaker(1, NoJitter)
+	b.Failure() // trips immediately: 10ms window
+	if b.Allow() {
+		t.Fatal("must refuse inside the window")
+	}
+	clk.advance(11 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("past the deadline one probe must pass")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("only one probe may be in flight")
+	}
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("probe success must close the breaker")
+	}
+}
+
+func TestBreakerProbeFailureDoublesBackoff(t *testing.T) {
+	b, clk := newTestBreaker(1, NoJitter)
+	b.Failure() // open, step 0: 10ms
+	clk.advance(11 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe expected")
+	}
+	b.Failure() // re-open, step 1: 20ms
+	clk.advance(11 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("doubled window: 11ms must still refuse")
+	}
+	clk.advance(10 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("past the doubled window a probe must pass")
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	b, _ := newTestBreaker(1, 0.5)
+	for k := 0; k < 40; k++ {
+		if d := b.RetryDelay(k); d > time.Second {
+			t.Fatalf("RetryDelay(%d) = %v exceeds the 1s cap", k, d)
+		}
+	}
+	if d := b.RetryDelay(30); d != time.Second {
+		t.Errorf("deep ladder steps should sit at the cap, got %v", d)
+	}
+}
+
+// TestBreakerRetryJitterDesynchronized is the regression test for the
+// former naked-doubling backoff: two breakers with the same config but
+// different seeds (two flush workers, or two collector processes,
+// hammering the same recovering sink) must NOT produce identical retry
+// schedules, and each schedule must stay within [base, base*(1+jitter)]
+// capped — lockstep retries are what the jitter exists to break.
+func TestBreakerRetryJitterDesynchronized(t *testing.T) {
+	mk := func(seed int64) *Breaker {
+		return NewBreaker(BreakerConfig{
+			FailureThreshold: 1,
+			InitialBackoff:   10 * time.Millisecond,
+			MaxBackoff:       10 * time.Second,
+			Jitter:           0.5,
+			Seed:             seed,
+		})
+	}
+	a, b := mk(1), mk(2)
+	identical := true
+	for k := 0; k < 8; k++ {
+		da, db := a.RetryDelay(k), b.RetryDelay(k)
+		base := 10 * time.Millisecond << uint(k)
+		for _, d := range []time.Duration{da, db} {
+			if d < base || d > base+base/2 {
+				t.Fatalf("step %d: delay %v outside [%v, %v]", k, d, base, base+base/2)
+			}
+		}
+		if da != db {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("differently seeded breakers produced identical retry schedules (lockstep)")
+	}
+	// And one breaker's successive draws at the same step must vary too.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 16; i++ {
+		seen[a.RetryDelay(3)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced a constant delay")
+	}
+}
+
+func TestBreakerNextProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, NoJitter)
+	if !b.NextProbe().IsZero() {
+		t.Fatal("closed breaker has no probe deadline")
+	}
+	b.Failure()
+	want := clk.t.Add(10 * time.Millisecond)
+	if got := b.NextProbe(); !got.Equal(want) {
+		t.Fatalf("NextProbe = %v, want %v", got, want)
+	}
+}

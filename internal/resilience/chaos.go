@@ -1,0 +1,131 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrChaos is the default error injected by a ChaosSink.
+var ErrChaos = errors.New("resilience: injected fault")
+
+// ChaosPlan is a deterministic, seeded fault schedule for a ChaosSink.
+// The zero value injects nothing. All probabilities are evaluated from
+// one seeded source in call order, so a given (seed, call sequence)
+// always produces the same fault sequence — tests are reproducible.
+type ChaosPlan struct {
+	// Seed seeds the fault source (default 1).
+	Seed int64
+	// ErrorRate is the probability a write fails (outside outage
+	// windows, which always fail).
+	ErrorRate float64
+	// PartialRate is, given a failing write, the probability the sink
+	// first delivers a prefix of the batch to the inner sink before
+	// erroring — the nastiest real-world failure mode, which exercises
+	// the caller's retry idempotency.
+	PartialRate float64
+	// MaxDelay adds uniform random latency in [0, MaxDelay) before each
+	// write (a slow sink rather than a dead one). The sleep respects ctx.
+	MaxDelay time.Duration
+	// OutageAfter/OutageFor define one total outage window relative to
+	// the first write: every write starting in
+	// [first+OutageAfter, first+OutageAfter+OutageFor) fails without
+	// reaching the inner sink. OutageFor == 0 disables the window.
+	OutageAfter time.Duration
+	OutageFor   time.Duration
+	// Err overrides the injected error (default ErrChaos).
+	Err error
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+// ChaosSink wraps a batch write function with the deterministic fault
+// schedule of a ChaosPlan: injected errors, added latency, total outage
+// windows, and partial deliveries. E is the batch element type (the
+// collector instantiates it with its Record), which keeps this package
+// free of a dependency on any particular pipeline.
+//
+// Write is safe for concurrent use; concurrent callers draw faults from
+// the shared seeded source in arrival order.
+type ChaosSink[E any] struct {
+	inner func(context.Context, []E) error
+	plan  ChaosPlan
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	first  time.Time
+	calls  int64
+	faults int64
+}
+
+// NewChaosSink wraps inner with plan.
+func NewChaosSink[E any](inner func(context.Context, []E) error, plan ChaosPlan) *ChaosSink[E] {
+	if plan.Seed == 0 {
+		plan.Seed = 1
+	}
+	if plan.Err == nil {
+		plan.Err = ErrChaos
+	}
+	if plan.Now == nil {
+		plan.Now = time.Now
+	}
+	return &ChaosSink[E]{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Write applies the schedule, then (unless a total fault fires) delegates
+// to the inner sink.
+func (c *ChaosSink[E]) Write(ctx context.Context, batch []E) error {
+	now := c.plan.Now()
+	c.mu.Lock()
+	if c.first.IsZero() {
+		c.first = now
+	}
+	c.calls++
+	inOutage := c.plan.OutageFor > 0 &&
+		!now.Before(c.first.Add(c.plan.OutageAfter)) &&
+		now.Before(c.first.Add(c.plan.OutageAfter+c.plan.OutageFor))
+	var delay time.Duration
+	if c.plan.MaxDelay > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(c.plan.MaxDelay)))
+	}
+	fail := inOutage || (c.plan.ErrorRate > 0 && c.rng.Float64() < c.plan.ErrorRate)
+	partial := 0
+	if fail && !inOutage && c.plan.PartialRate > 0 && c.rng.Float64() < c.plan.PartialRate && len(batch) > 1 {
+		partial = 1 + c.rng.Intn(len(batch)-1)
+	}
+	if fail {
+		c.faults++
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if fail {
+		if partial > 0 {
+			// Deliver a prefix, then fail the attempt: the caller will
+			// redeliver the whole batch, so the inner sink sees the
+			// prefix twice (at-least-once semantics under retry).
+			if err := c.inner(ctx, batch[:partial]); err != nil {
+				return err
+			}
+		}
+		return c.plan.Err
+	}
+	return c.inner(ctx, batch)
+}
+
+// Stats reports how many writes the sink saw and how many it failed.
+func (c *ChaosSink[E]) Stats() (calls, faults int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls, c.faults
+}

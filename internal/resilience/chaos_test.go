@@ -1,0 +1,116 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectInner records delivered batches.
+type collectInner struct {
+	mu      sync.Mutex
+	batches [][]int
+}
+
+func (c *collectInner) write(_ context.Context, batch []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := append([]int(nil), batch...)
+	c.batches = append(c.batches, cp)
+	return nil
+}
+
+func TestChaosSinkDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []bool {
+		cs := NewChaosSink((&collectInner{}).write, ChaosPlan{Seed: seed, ErrorRate: 0.5})
+		var fails []bool
+		for i := 0; i < 50; i++ {
+			fails = append(fails, cs.Write(context.Background(), []int{i}) != nil)
+		}
+		return fails
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical 50-call fault sequence")
+	}
+}
+
+func TestChaosSinkOutageWindow(t *testing.T) {
+	clk := &fakeClock{t: time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)}
+	inner := &collectInner{}
+	cs := NewChaosSink(inner.write, ChaosPlan{
+		OutageAfter: 100 * time.Millisecond,
+		OutageFor:   time.Second,
+		Now:         clk.now,
+	})
+	ctx := context.Background()
+	if err := cs.Write(ctx, []int{1}); err != nil {
+		t.Fatalf("before the outage: %v", err)
+	}
+	clk.advance(150 * time.Millisecond)
+	if err := cs.Write(ctx, []int{2}); !errors.Is(err, ErrChaos) {
+		t.Fatalf("inside the outage, want ErrChaos, got %v", err)
+	}
+	clk.advance(time.Second)
+	if err := cs.Write(ctx, []int{3}); err != nil {
+		t.Fatalf("after the outage: %v", err)
+	}
+	// The outage write must never have reached the inner sink.
+	if len(inner.batches) != 2 {
+		t.Fatalf("inner saw %d batches, want 2", len(inner.batches))
+	}
+	if calls, faults := cs.Stats(); calls != 3 || faults != 1 {
+		t.Errorf("stats = %d calls / %d faults", calls, faults)
+	}
+}
+
+func TestChaosSinkPartialDelivery(t *testing.T) {
+	inner := &collectInner{}
+	cs := NewChaosSink(inner.write, ChaosPlan{Seed: 7, ErrorRate: 1, PartialRate: 1})
+	batch := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	err := cs.Write(context.Background(), batch)
+	if !errors.Is(err, ErrChaos) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(inner.batches) != 1 {
+		t.Fatalf("partial failure must deliver exactly one prefix, saw %d", len(inner.batches))
+	}
+	got := inner.batches[0]
+	if len(got) == 0 || len(got) >= len(batch) {
+		t.Fatalf("prefix length %d, want in (0, %d)", len(got), len(batch))
+	}
+	for i, v := range got {
+		if v != batch[i] {
+			t.Fatalf("delivered %v is not a prefix of %v", got, batch)
+		}
+	}
+}
+
+func TestChaosSinkLatencyRespectsContext(t *testing.T) {
+	cs := NewChaosSink((&collectInner{}).write, ChaosPlan{MaxDelay: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := cs.Write(ctx, []int{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("ctx cancellation did not interrupt the injected latency")
+	}
+}

@@ -1,0 +1,201 @@
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestSpool(t *testing.T, dir string, maxBytes, segBytes int64) *Spool {
+	t.Helper()
+	s, err := OpenSpool(SpoolConfig{Dir: dir, MaxBytes: maxBytes, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestSpoolAppendPeekPopRoundtrip(t *testing.T) {
+	s := openTestSpool(t, t.TempDir(), 0, 0)
+	payloads := [][]byte{[]byte("batch-one"), []byte("batch-two"), []byte("batch-three")}
+	for i, p := range payloads {
+		if ev, err := s.Append(p, i+1); err != nil || ev != 0 {
+			t.Fatalf("append %d: evicted=%d err=%v", i, ev, err)
+		}
+	}
+	if got := s.Records(); got != 6 {
+		t.Fatalf("Records = %d, want 6", got)
+	}
+	for i, want := range payloads {
+		p, n, ok, err := s.Peek()
+		if err != nil || !ok {
+			t.Fatalf("peek %d: ok=%v err=%v", i, ok, err)
+		}
+		if string(p) != string(want) || n != i+1 {
+			t.Fatalf("frame %d = %q/%d, want %q/%d", i, p, n, want, i+1)
+		}
+		s.Pop()
+	}
+	if _, _, ok, _ := s.Peek(); ok {
+		t.Fatal("spool should be empty")
+	}
+	if got := s.Records(); got != 0 {
+		t.Errorf("Records after drain = %d", got)
+	}
+}
+
+func TestSpoolSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSpool(t, dir, 0, 0)
+	if _, err := s.Append([]byte("persist-me"), 7); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openTestSpool(t, dir, 0, 0)
+	if got := s2.Records(); got != 7 {
+		t.Fatalf("recovered Records = %d, want 7", got)
+	}
+	p, n, ok, err := s2.Peek()
+	if err != nil || !ok || string(p) != "persist-me" || n != 7 {
+		t.Fatalf("recovered frame = %q/%d ok=%v err=%v", p, n, ok, err)
+	}
+}
+
+// TestSpoolCrashRecoveryTruncatedFrame simulates a crash mid-append: the
+// final frame's bytes are cut short, so its length prefix promises more
+// than the file holds. On reopen the torn frame must be skipped and every
+// earlier frame must replay intact.
+func TestSpoolCrashRecoveryTruncatedFrame(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSpool(t, dir, 0, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("intact-frame-%d", i)), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Append([]byte("doomed-final-frame"), 5); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments = %v, err = %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the final frame's payload (kill -9 mid-write).
+	if err := os.Truncate(last, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestSpool(t, dir, 0, 0)
+	if got := s2.Records(); got != 6 {
+		t.Fatalf("recovered Records = %d, want 6 (3 intact frames)", got)
+	}
+	if got := s2.Skipped(); got != 5 {
+		t.Errorf("Skipped = %d, want 5 (the torn frame's count)", got)
+	}
+	for i := 0; i < 3; i++ {
+		p, n, ok, err := s2.Peek()
+		if err != nil || !ok || n != 2 || string(p) != fmt.Sprintf("intact-frame-%d", i) {
+			t.Fatalf("frame %d after recovery = %q/%d ok=%v err=%v", i, p, n, ok, err)
+		}
+		s2.Pop()
+	}
+	if _, _, ok, _ := s2.Peek(); ok {
+		t.Fatal("torn frame must not be replayable")
+	}
+}
+
+// TestSpoolCrashRecoveryCorruptCRC flips a payload byte of the middle
+// frame: that frame and everything after it in the segment are skipped
+// (the stream cannot resynchronize), earlier frames replay.
+func TestSpoolCrashRecoveryCorruptCRC(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSpool(t, dir, 0, 0)
+	offsets := make([]int64, 0, 3)
+	for i := 0; i < 3; i++ {
+		offsets = append(offsets, s.Bytes())
+		if _, err := s.Append([]byte(fmt.Sprintf("frame-%d-payload", i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside frame 1's payload.
+	if _, err := f.WriteAt([]byte{0xFF}, offsets[1]+frameHeader+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestSpool(t, dir, 0, 0)
+	if got := s2.Records(); got != 1 {
+		t.Fatalf("recovered Records = %d, want 1 (only the frame before the corruption)", got)
+	}
+	p, _, ok, err := s2.Peek()
+	if err != nil || !ok || string(p) != "frame-0-payload" {
+		t.Fatalf("surviving frame = %q ok=%v err=%v", p, ok, err)
+	}
+}
+
+func TestSpoolEvictsOldestSegmentWhenFull(t *testing.T) {
+	// Tiny segments so every frame rotates; bound of ~3 frames.
+	payload := make([]byte, 100)
+	s := openTestSpool(t, t.TempDir(), 3*(frameHeader+100), frameHeader+100)
+	var evicted int64
+	for i := 0; i < 10; i++ {
+		ev, err := s.Append(payload, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evicted += ev
+	}
+	if evicted == 0 {
+		t.Fatal("bound exceeded: eviction must fire")
+	}
+	if s.Records()+evicted != 10 {
+		t.Errorf("records %d + evicted %d != 10 appended", s.Records(), evicted)
+	}
+	if s.Evicted() != evicted {
+		t.Errorf("Evicted() = %d, want %d", s.Evicted(), evicted)
+	}
+	if s.Bytes() > 3*(frameHeader+100) {
+		t.Errorf("Bytes = %d exceeds the bound", s.Bytes())
+	}
+	// Oldest evicted first: the head of the queue is not frame 0.
+	// (Frames hold identical payloads; ordering is observable through
+	// how many survive — the newest must be among them.)
+	if s.Segments() == 0 {
+		t.Error("the newest segment must survive eviction")
+	}
+}
+
+func TestSpoolRotatesSegments(t *testing.T) {
+	s := openTestSpool(t, t.TempDir(), 0, 64)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(make([]byte, 60), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Segments(); got < 2 {
+		t.Fatalf("Segments = %d, want rotation to have split the log", got)
+	}
+}
+
+func TestSpoolRequiresDir(t *testing.T) {
+	if _, err := OpenSpool(SpoolConfig{}); err == nil {
+		t.Fatal("empty dir must error")
+	}
+}
