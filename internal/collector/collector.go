@@ -558,17 +558,25 @@ func (p *Pipeline) replayer(ctx context.Context) {
 // replayDrain replays spooled frames oldest-first while the breaker
 // admits writes and they succeed. Replayed records move from Spooled to
 // Flushed; an undecodable frame (version skew) is dropped.
+//
+// Eviction can race an in-flight replay: a flush worker's divert ->
+// Spool.Append may evict the head segment while the peeked frame is
+// being written to the sink. Pop therefore takes the Peek token and
+// refuses to consume a different frame; a refused Pop means eviction
+// already accounted the frame (Spooled -> Dropped via divert), so only
+// the delta between that and what actually happened is applied here.
 func (p *Pipeline) replayDrain(ctx context.Context) {
 	for ctx.Err() == nil {
-		payload, n, ok, err := p.spool.Peek()
+		payload, n, tok, ok, err := p.spool.Peek()
 		if err != nil || !ok {
 			return
 		}
 		batch, derr := decodeBatch(payload)
 		if derr != nil {
-			p.spool.Pop()
-			p.spooled.Add(-int64(n))
-			p.dropped.Add(int64(n))
+			if p.spool.Pop(tok) {
+				p.spooled.Add(-int64(n))
+				p.dropped.Add(int64(n))
+			}
 			continue
 		}
 		if !p.breaker.Allow() {
@@ -579,8 +587,15 @@ func (p *Pipeline) replayDrain(ctx context.Context) {
 			return
 		}
 		p.breaker.Success()
-		p.spool.Pop()
-		p.spooled.Add(-int64(n))
+		if p.spool.Pop(tok) {
+			p.spooled.Add(-int64(n))
+		} else {
+			// The frame reached the sink but was evicted mid-write and
+			// billed as Dropped (and evicted): it was in fact delivered,
+			// so reclassify Dropped -> Flushed.
+			p.dropped.Add(-int64(n))
+			p.evicted.Add(-int64(n))
+		}
 		p.flushed.Add(int64(n))
 		p.replayed.Add(int64(n))
 	}

@@ -120,31 +120,35 @@ func (c Config) Validate() error {
 }
 
 // fillFromLegacy backfills zero Config fields from the pipeline's
-// deprecated loose knob fields, preserving the pre-Config API.
+// deprecated loose knob fields, preserving the pre-Config API. A loose
+// field <= 0 is treated as unset — the old defaults() ran with the
+// documented default for it — so it is not copied into the Config and
+// never reaches Validate, which only rejects negatives set explicitly
+// on Config itself.
 func (c *Config) fillFromLegacy(p *Pipeline) {
-	if c.BatchSize == 0 {
+	if c.BatchSize == 0 && p.BatchSize > 0 {
 		c.BatchSize = p.BatchSize
 	}
-	if c.FlushInterval == 0 {
+	if c.FlushInterval == 0 && p.FlushInterval > 0 {
 		c.FlushInterval = p.FlushInterval
 	}
-	if c.MaxRetries == 0 {
+	if c.MaxRetries == 0 && p.MaxRetries > 0 {
 		c.MaxRetries = p.MaxRetries
 	}
-	if c.RetryBackoff == 0 {
+	if c.RetryBackoff == 0 && p.RetryBackoff > 0 {
 		c.RetryBackoff = p.RetryBackoff
 	}
-	if c.QueueDepth == 0 {
+	if c.QueueDepth == 0 && p.QueueDepth > 0 {
 		c.QueueDepth = p.QueueDepth
 	}
-	if c.FlushWorkers == 0 {
+	if c.FlushWorkers == 0 && p.FlushWorkers > 0 {
 		c.FlushWorkers = p.FlushWorkers
 	}
 }
 
 // withDefaults returns c with the documented default for every field
-// still unset. Negative legacy values are clamped to the default too,
-// matching the old defaults() behaviour.
+// still unset. It runs after Validate, so every field is non-negative
+// here; the <= guards are only belt and braces.
 func (c Config) withDefaults() Config {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 128

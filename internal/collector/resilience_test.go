@@ -459,6 +459,92 @@ func TestSpoolEvictionCountsAsDropped(t *testing.T) {
 	checkInvariant(t, s)
 }
 
+// TestSpoolReplayEvictionRaceNoLoss deterministically reproduces the
+// replay/eviction race: while a replayed frame's sink write is in
+// flight, a concurrent divert evicts that frame's segment from the
+// bounded spool. Before the FrameToken fix, Pop then consumed the next
+// (never-delivered) frame — losing it without any accounting — and the
+// delivered frame was double-counted as both Dropped (eviction) and
+// Flushed. Now every record must reach the sink exactly once, end with
+// Dropped == 0, and keep the invariant balanced.
+func TestSpoolReplayEvictionRaceNoLoss(t *testing.T) {
+	mkBatch := func(prefix string) []Record {
+		b := make([]Record, 3)
+		for i := range b {
+			b[i] = record("cn9", "kernel", fmt.Sprintf("%s %d", prefix, i), syslog.Info)
+		}
+		return b
+	}
+	// Same-length prefixes so the three gob frames are byte-identical in
+	// size and the spool bound below admits exactly two of them.
+	batchA, batchB, batchC := mkBatch("evict-a"), mkBatch("frame-b"), mkBatch("frame-c")
+	payA, err := encodeBatch(batchA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payB, err := encodeBatch(batchB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inner := &MemorySink{}
+	p := &Pipeline{Source: sourceFunc(func(context.Context, func(Record) error) error { return nil })}
+	var raced atomic.Bool
+	p.Sink = SinkFunc(func(ctx context.Context, batch []Record) error {
+		if raced.CompareAndSwap(false, true) {
+			// Mid-write of frame A: a flush worker diverts a new batch,
+			// overflowing the bound and evicting frame A's segment.
+			p.divert(batchC)
+		}
+		return inner.Write(ctx, batch)
+	})
+	if err := p.prepare(); err != nil {
+		t.Fatal(err)
+	}
+	p.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: 3, InitialBackoff: time.Millisecond,
+		MaxBackoff: 10 * time.Millisecond, Seed: 1,
+	})
+	// SegmentBytes 1 puts every frame in its own segment; the bound holds
+	// exactly two frames (12 bytes of header per frame).
+	spool, err := resilience.OpenSpool(resilience.SpoolConfig{
+		Dir:          t.TempDir(),
+		MaxBytes:     int64(len(payA) + len(payB) + 2*12),
+		SegmentBytes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spool.Close()
+	p.spool = spool
+
+	p.ingested.Add(9) // the three batches, as if emitted by a source
+	p.divert(batchA)
+	p.divert(batchB)
+	p.replayDrain(context.Background())
+
+	s := p.Stats()
+	if s.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0 (evicted-mid-replay frame was delivered)", s.Dropped)
+	}
+	if s.Flushed != 9 || s.Spooled != 0 {
+		t.Errorf("stats = %+v, want Flushed=9 Spooled=0", s)
+	}
+	checkInvariant(t, s)
+	seen := uniqueContents(inner)
+	if len(seen) != 9 {
+		t.Fatalf("unique records delivered = %d, want 9 (frame B must not be consumed undelivered)", len(seen))
+	}
+	for content, n := range seen {
+		if n != 1 {
+			t.Errorf("record %q delivered %d times, want exactly once", content, n)
+		}
+	}
+	if got := p.evicted.Value(); got != 0 {
+		t.Errorf("spool_evicted_total = %d, want 0 after reclassification", got)
+	}
+}
+
 // sourceFunc adapts a function to Source for tests.
 type sourceFunc func(ctx context.Context, emit func(Record) error) error
 
@@ -645,6 +731,31 @@ func TestConfigLegacyFieldFallback(t *testing.T) {
 	}
 	if p2.cfg.BatchSize != 11 {
 		t.Errorf("Config.BatchSize = %d, want 11 (Config wins over loose fields)", p2.cfg.BatchSize)
+	}
+
+	// Negative loose fields mean "unset" under the pre-Config API (the
+	// old defaults() clamped them): they must resolve to the defaults,
+	// not be rejected by Validate.
+	p3 := &Pipeline{
+		Source: &ChannelSource{}, Sink: &MemorySink{},
+		BatchSize: -1, FlushInterval: -time.Second, MaxRetries: -2,
+		RetryBackoff: -time.Millisecond, QueueDepth: -5, FlushWorkers: -1,
+	}
+	if err := p3.prepare(); err != nil {
+		t.Fatalf("negative legacy fields must fall back to defaults, got error: %v", err)
+	}
+	if p3.cfg.BatchSize != 128 || p3.cfg.FlushInterval != 250*time.Millisecond ||
+		p3.cfg.MaxRetries != 3 || p3.cfg.RetryBackoff != 10*time.Millisecond ||
+		p3.cfg.QueueDepth != 1024 || p3.cfg.FlushWorkers != 1 {
+		t.Errorf("negative legacy fields not defaulted: %+v", p3.cfg)
+	}
+	// A negative field set explicitly on Config stays an error.
+	p4 := &Pipeline{
+		Source: &ChannelSource{}, Sink: &MemorySink{},
+		Config: &Config{BatchSize: -1},
+	}
+	if err := p4.prepare(); err == nil {
+		t.Error("negative Config.BatchSize must be rejected by Validate")
 	}
 }
 

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -29,13 +30,16 @@ import (
 // survives a crash. A frame whose length prefix runs past the end of the
 // segment (torn final write) or whose CRC mismatches is detected on open
 // and skipped along with the rest of its segment; frames before it replay
-// intact.
+// intact, and the file is truncated to its valid prefix so on-disk size
+// always matches the Bytes() accounting.
 //
 // Capacity is bounded by MaxBytes with oldest-segment eviction: when an
 // append would exceed the bound, whole leading segments are deleted and
 // their record counts reported back to the caller (the pipeline accounts
 // them as Dropped — the spool prefers losing the oldest evidence to
-// refusing the newest).
+// refusing the newest). MaxBytes is a hard bound: a single frame that
+// would not fit in an otherwise empty spool is rejected with
+// ErrFrameTooLarge instead of overshooting.
 //
 // Replay position is tracked per-process: a fully replayed segment is
 // deleted, a partially replayed one is re-replayed from its start after
@@ -126,7 +130,7 @@ func (s *Spool) scan() error {
 		if _, err := fmt.Sscanf(filepath.Base(path), "seg-%016d.wal", &seq); err != nil {
 			continue // not ours
 		}
-		seg, skippedRecs, err := indexSegment(path, seq)
+		seg, skippedRecs, fileSize, err := indexSegment(path, seq)
 		if err != nil {
 			return err
 		}
@@ -134,6 +138,14 @@ func (s *Spool) scan() error {
 		if len(seg.frames) == 0 {
 			os.Remove(path) // nothing replayable in it
 			continue
+		}
+		if seg.bytes < fileSize {
+			// Drop the torn/corrupt tail from disk too, so file sizes
+			// match the Bytes()/MaxBytes accounting and eviction frees
+			// exactly what it claims to.
+			if err := os.Truncate(path, seg.bytes); err != nil {
+				return err
+			}
 		}
 		s.segments = append(s.segments, seg)
 		s.bytes += seg.bytes
@@ -148,17 +160,18 @@ func (s *Spool) scan() error {
 }
 
 // indexSegment reads one segment file, returning the index of its valid
-// frames and how many records sit in torn/corrupt frames past the valid
-// prefix (best effort: a torn length field counts as 0 records).
-func indexSegment(path string, seq uint64) (*segment, int64, error) {
+// frames, how many records sit in torn/corrupt frames past the valid
+// prefix (best effort: a torn length field counts as 0 records), and the
+// file's on-disk size so the caller can truncate the damaged tail.
+func indexSegment(path string, seq uint64) (*segment, int64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer f.Close()
 	size, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	seg := &segment{path: path, seq: seq}
 	var off int64
@@ -192,7 +205,7 @@ func indexSegment(path string, seq uint64) (*segment, int64, error) {
 		off += frameHeader + int64(length)
 	}
 	seg.bytes = off
-	return seg, skipped, nil
+	return seg, skipped, size, nil
 }
 
 // frameCRC covers the record-count field and the payload.
@@ -203,13 +216,23 @@ func frameCRC(countField, payload []byte) uint32 {
 	return h.Sum32()
 }
 
+// ErrFrameTooLarge reports an Append whose frame alone would exceed the
+// spool's MaxBytes bound even with every older segment evicted. The
+// caller should account the batch as dropped rather than blow the bound.
+var ErrFrameTooLarge = errors.New("resilience: frame exceeds spool MaxBytes")
+
 // Append spills one encoded batch of records records. It returns how many
 // previously spooled records were evicted to stay under MaxBytes (0 when
-// nothing was evicted). The frame is fsync'd before Append returns.
+// nothing was evicted). The frame is fsync'd before Append returns. A
+// frame larger than MaxBytes on its own is rejected with ErrFrameTooLarge
+// before anything is evicted.
 func (s *Spool) Append(payload []byte, records int) (evicted int64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	need := int64(frameHeader + len(payload))
+	if s.maxBytes > 0 && need > s.maxBytes {
+		return 0, ErrFrameTooLarge
+	}
 	if s.maxBytes > 0 {
 		for s.bytes+need > s.maxBytes && len(s.segments) > 1 {
 			evicted += s.evictOldestLocked()
@@ -307,9 +330,20 @@ func (s *Spool) headFrameIndexLocked(seg *segment) int {
 	return 0
 }
 
-// Peek returns the oldest unreplayed frame's payload and record count
-// without consuming it. ok is false when the spool is empty.
-func (s *Spool) Peek() (payload []byte, records int, ok bool, err error) {
+// FrameToken identifies the exact frame a Peek returned: the segment's
+// sequence number (never reused) plus the frame index within it. Pop
+// takes it back so a frame evicted between Peek and Pop — eviction can
+// run concurrently with a replay's in-flight sink write — is never
+// confused with whatever frame sits at the head afterwards.
+type FrameToken struct {
+	seq uint64
+	frm int
+}
+
+// Peek returns the oldest unreplayed frame's payload, record count, and a
+// token identifying that frame for Pop. ok is false when the spool is
+// empty.
+func (s *Spool) Peek() (payload []byte, records int, tok FrameToken, ok bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.segments) > 0 {
@@ -318,36 +352,42 @@ func (s *Spool) Peek() (payload []byte, records int, ok bool, err error) {
 			fr := seg.frames[s.headFrm]
 			f, err := os.Open(seg.path)
 			if err != nil {
-				return nil, 0, false, err
+				return nil, 0, FrameToken{}, false, err
 			}
 			payload = make([]byte, fr.length)
 			_, err = f.ReadAt(payload, fr.off+frameHeader)
 			f.Close()
 			if err != nil {
-				return nil, 0, false, err
+				return nil, 0, FrameToken{}, false, err
 			}
-			return payload, int(fr.records), true, nil
+			return payload, int(fr.records), FrameToken{seq: seg.seq, frm: s.headFrm}, true, nil
 		}
 		s.dropHeadSegmentLocked()
 	}
-	return nil, 0, false, nil
+	return nil, 0, FrameToken{}, false, nil
 }
 
-// Pop consumes the oldest unreplayed frame (after a successful replay).
-func (s *Spool) Pop() {
+// Pop consumes the frame tok identifies (after a successful replay). It
+// reports whether the frame was still the head and got consumed: false
+// means eviction removed it in the meantime — the caller has already been
+// billed for it through Append's evicted count and must not account the
+// pop again.
+func (s *Spool) Pop(tok FrameToken) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.segments) == 0 {
-		return
+		return false
 	}
 	seg := s.segments[0]
-	if s.headFrm < len(seg.frames) {
-		s.records -= int64(seg.frames[s.headFrm].records)
-		s.headFrm++
+	if seg.seq != tok.seq || s.headFrm != tok.frm || s.headFrm >= len(seg.frames) {
+		return false
 	}
+	s.records -= int64(seg.frames[s.headFrm].records)
+	s.headFrm++
 	if s.headFrm >= len(seg.frames) {
 		s.dropHeadSegmentLocked()
 	}
+	return true
 }
 
 // dropHeadSegmentLocked removes a fully replayed head segment.

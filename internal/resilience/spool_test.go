@@ -29,16 +29,18 @@ func TestSpoolAppendPeekPopRoundtrip(t *testing.T) {
 		t.Fatalf("Records = %d, want 6", got)
 	}
 	for i, want := range payloads {
-		p, n, ok, err := s.Peek()
+		p, n, tok, ok, err := s.Peek()
 		if err != nil || !ok {
 			t.Fatalf("peek %d: ok=%v err=%v", i, ok, err)
 		}
 		if string(p) != string(want) || n != i+1 {
 			t.Fatalf("frame %d = %q/%d, want %q/%d", i, p, n, want, i+1)
 		}
-		s.Pop()
+		if !s.Pop(tok) {
+			t.Fatalf("pop %d: head token must still match", i)
+		}
 	}
-	if _, _, ok, _ := s.Peek(); ok {
+	if _, _, _, ok, _ := s.Peek(); ok {
 		t.Fatal("spool should be empty")
 	}
 	if got := s.Records(); got != 0 {
@@ -58,7 +60,7 @@ func TestSpoolSurvivesReopen(t *testing.T) {
 	if got := s2.Records(); got != 7 {
 		t.Fatalf("recovered Records = %d, want 7", got)
 	}
-	p, n, ok, err := s2.Peek()
+	p, n, _, ok, err := s2.Peek()
 	if err != nil || !ok || string(p) != "persist-me" || n != 7 {
 		t.Fatalf("recovered frame = %q/%d ok=%v err=%v", p, n, ok, err)
 	}
@@ -103,13 +105,13 @@ func TestSpoolCrashRecoveryTruncatedFrame(t *testing.T) {
 		t.Errorf("Skipped = %d, want 5 (the torn frame's count)", got)
 	}
 	for i := 0; i < 3; i++ {
-		p, n, ok, err := s2.Peek()
+		p, n, tok, ok, err := s2.Peek()
 		if err != nil || !ok || n != 2 || string(p) != fmt.Sprintf("intact-frame-%d", i) {
 			t.Fatalf("frame %d after recovery = %q/%d ok=%v err=%v", i, p, n, ok, err)
 		}
-		s2.Pop()
+		s2.Pop(tok)
 	}
-	if _, _, ok, _ := s2.Peek(); ok {
+	if _, _, _, ok, _ := s2.Peek(); ok {
 		t.Fatal("torn frame must not be replayable")
 	}
 }
@@ -144,7 +146,7 @@ func TestSpoolCrashRecoveryCorruptCRC(t *testing.T) {
 	if got := s2.Records(); got != 1 {
 		t.Fatalf("recovered Records = %d, want 1 (only the frame before the corruption)", got)
 	}
-	p, _, ok, err := s2.Peek()
+	p, _, _, ok, err := s2.Peek()
 	if err != nil || !ok || string(p) != "frame-0-payload" {
 		t.Fatalf("surviving frame = %q ok=%v err=%v", p, ok, err)
 	}
@@ -197,5 +199,107 @@ func TestSpoolRotatesSegments(t *testing.T) {
 func TestSpoolRequiresDir(t *testing.T) {
 	if _, err := OpenSpool(SpoolConfig{}); err == nil {
 		t.Fatal("empty dir must error")
+	}
+}
+
+// TestSpoolPopRefusesEvictedFrame pins the replay/eviction race: a frame
+// peeked for replay is evicted (bounded spool, concurrent Append) before
+// Pop. Pop must report the mismatch instead of silently consuming the
+// new head frame, which would lose it without delivery or accounting.
+func TestSpoolPopRefusesEvictedFrame(t *testing.T) {
+	frame := int64(frameHeader + 100)
+	s := openTestSpool(t, t.TempDir(), 3*frame, frame) // one frame per segment
+	pay := func(b byte) []byte {
+		p := make([]byte, 100)
+		p[0] = b
+		return p
+	}
+	for _, b := range []byte{'a', 'b', 'c'} {
+		if _, err := s.Append(pay(b), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, _, tok, ok, err := s.Peek()
+	if err != nil || !ok || p[0] != 'a' {
+		t.Fatalf("peek head = %q ok=%v err=%v", p[:1], ok, err)
+	}
+	// The fourth frame overflows the bound and evicts the peeked head.
+	ev, err := s.Append(pay('d'), 1)
+	if err != nil || ev != 1 {
+		t.Fatalf("evicting append: evicted=%d err=%v", ev, err)
+	}
+	if s.Pop(tok) {
+		t.Fatal("Pop must refuse a token for an evicted frame")
+	}
+	if got := s.Records(); got != 3 {
+		t.Errorf("Records after refused pop = %d, want 3", got)
+	}
+	p, _, tok, ok, err = s.Peek()
+	if err != nil || !ok || p[0] != 'b' {
+		t.Fatalf("post-eviction head = %q ok=%v err=%v", p[:1], ok, err)
+	}
+	if !s.Pop(tok) {
+		t.Error("Pop with a fresh token must consume the head")
+	}
+}
+
+// TestSpoolRejectsOversizedFrame: a frame that cannot fit under MaxBytes
+// even alone is refused up front — nothing is evicted and the bound holds.
+func TestSpoolRejectsOversizedFrame(t *testing.T) {
+	frame := int64(frameHeader + 100)
+	s := openTestSpool(t, t.TempDir(), 3*frame, frame)
+	if _, err := s.Append(make([]byte, 100), 4); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.Append(make([]byte, 400), 9)
+	if err != ErrFrameTooLarge {
+		t.Fatalf("oversized append err = %v, want ErrFrameTooLarge", err)
+	}
+	if ev != 0 {
+		t.Errorf("oversized append evicted %d records; must evict nothing", ev)
+	}
+	if got := s.Records(); got != 4 {
+		t.Errorf("Records after rejection = %d, want 4 (spool untouched)", got)
+	}
+	if got := s.Bytes(); got != frame {
+		t.Errorf("Bytes after rejection = %d, want %d", got, frame)
+	}
+}
+
+// TestSpoolScanTruncatesTornTail: reopening a spool with a torn final
+// frame must truncate the file to its valid prefix, so on-disk size
+// matches Bytes() and eviction frees exactly what the accounting claims.
+func TestSpoolScanTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSpool(t, dir, 0, 0)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("frame-%d-payload", i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want one", segs)
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestSpool(t, dir, 0, 0)
+	if got := s2.Records(); got != 1 {
+		t.Fatalf("recovered Records = %d, want 1", got)
+	}
+	fi, err = os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != s2.Bytes() {
+		t.Errorf("on-disk size %d != Bytes() %d after scan truncation", fi.Size(), s2.Bytes())
 	}
 }
