@@ -12,9 +12,11 @@ package hetsyslog_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"hetsyslog/internal/obs"
 	"hetsyslog/internal/resilience"
 	"hetsyslog/internal/store"
+	"hetsyslog/internal/syslog"
 	"hetsyslog/internal/tfidf"
 )
 
@@ -378,6 +381,59 @@ func BenchmarkPipelineFlushWorkers(b *testing.B) {
 			b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "recs/s")
 		})
 	}
+}
+
+// BenchmarkIngestEndToEnd measures the whole ingest fast path at once:
+// loopback TCP socket -> octet-counted framing -> byte parsers -> pooled
+// messages -> batched pipeline handoff -> classification -> store
+// indexing. The recs/s metric is the end-to-end number to compare against
+// the cluster's >1M msgs/hour rate; BenchmarkIngestParse and
+// BenchmarkServerIngestTCP in internal/syslog isolate the stages.
+func BenchmarkIngestEndToEnd(b *testing.B) {
+	const n = 4096
+	tc, recs := serviceStream(b, n)
+	var wireBuf strings.Builder
+	for _, r := range recs {
+		wire := syslog.FormatRFC5424(r.Msg)
+		fmt.Fprintf(&wireBuf, "%d %s", len(wire), wire)
+	}
+	payload := []byte(wireBuf.String())
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := &core.Service{Classifier: tc, Store: store.New(8), Workers: 2}
+		src := collector.NewSyslogSource("", "127.0.0.1:0")
+		p := &collector.Pipeline{
+			Source: src, Sink: svc,
+			BatchSize: 128, FlushInterval: time.Millisecond,
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- p.Run(ctx) }()
+		<-src.Ready()
+		conn, err := net.Dial("tcp", src.BoundTCP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if got, _ := svc.Counts(); got >= n {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+		if s := p.Stats(); s.Ingested != n || s.Flushed != n {
+			b.Fatalf("lossy ingest: %+v", s)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "recs/s")
 }
 
 // BenchmarkPipelineFlushUnderFaults measures end-to-end pipeline

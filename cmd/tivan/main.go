@@ -46,6 +46,7 @@ func main() {
 		spoolMax    = flag.Int64("spool-max-bytes", 0, "spool size bound; oldest segment evicted past it (0 = unbounded)")
 		writeTO     = flag.Duration("write-timeout", 0, "per-attempt sink write timeout (0 = default 30s)")
 		breakerThr  = flag.Int("breaker-threshold", 0, "consecutive failed writes that trip the sink circuit breaker (0 = default 5)")
+		ingestBatch = flag.Int("ingest-batch", 0, "max syslog messages per listener read-loop batch handed to the pipeline (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		}
 	}
 	src := collector.NewSyslogSource(*udpAddr, *tcpAddr)
+	src.MaxBatch = *ingestBatch
 	src.Metrics = reg
 	pipeCfg := &collector.Config{
 		FlushWorkers:     *flushers,

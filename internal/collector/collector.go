@@ -71,6 +71,23 @@ type Source interface {
 	Run(ctx context.Context, emit func(Record) error) error
 }
 
+// BatchSource is an optional upgrade interface for Source: when the
+// pipeline's Source implements it, Run is never called — RunBatch is,
+// with an additional emitBatch that ingests a whole batch through the
+// filter chain and into the queue with one channel operation, amortizing
+// enqueue cost for sources that naturally produce bursts (the syslog
+// listener's per-read-loop batches). emitBatch returns nil when the
+// surviving records were accepted and ErrPipelineClosed when the pipeline
+// refused them at shutdown (they are accounted as Dropped); the batch
+// slice is copied before emitBatch returns, so callers may reuse it.
+// Accounting is identical to per-record emit, so
+// Ingested == Filtered + Flushed + Dropped + Spooled is unaffected.
+type BatchSource interface {
+	Source
+	RunBatch(ctx context.Context, emit func(Record) error,
+		emitBatch func([]Record) error) error
+}
+
 // Filter transforms or drops records.
 type Filter interface {
 	// Apply returns the (possibly modified) record and whether to keep it.
@@ -195,7 +212,12 @@ type Pipeline struct {
 	breaker *resilience.Breaker
 	spool   *resilience.Spool
 
+	// chunkPool recycles the []Record chunks flowing through the queue
+	// channel, so batched ingest does not allocate a slice per handoff.
+	chunkPool sync.Pool
+
 	metricsOnce  sync.Once
+	queueDepth   *obs.Gauge
 	ingested     *obs.Counter
 	filtered     *obs.Counter
 	flushed      *obs.Counter
@@ -214,6 +236,8 @@ type Pipeline struct {
 // set, standalone otherwise.
 func (p *Pipeline) initMetrics() {
 	p.metricsOnce.Do(func() {
+		p.queueDepth = p.Metrics.Gauge("pipeline_queue_depth",
+			"records buffered between ingest and flush")
 		p.ingested = p.Metrics.Counter("pipeline_ingested_total",
 			"records emitted by the source (including filter-injected and spool-recovered records)")
 		p.filtered = p.Metrics.Counter("pipeline_filtered_total",
@@ -315,12 +339,12 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		}
 	}
 
-	queue := make(chan Record, p.cfg.QueueDepth)
-	// Scrape-time gauge: len on a buffered channel is exact and free, so
-	// the hot path pays nothing for queue visibility.
-	p.Metrics.GaugeFunc("pipeline_queue_depth",
-		"records buffered between ingest and flush",
-		func() int64 { return int64(len(queue)) })
+	// The queue carries chunks — one chunk per emit on the per-record
+	// path, one per batch on the batched path — so a batched source pays
+	// one channel operation per read-loop iteration instead of one per
+	// message. QueueDepth therefore bounds buffered *handoffs*; the
+	// queueDepth gauge still counts records exactly.
+	queue := make(chan []Record, p.cfg.QueueDepth)
 
 	var wg sync.WaitGroup
 	for w := 0; w < p.cfg.FlushWorkers; w++ {
@@ -344,29 +368,38 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		}()
 	}
 
-	// enqueue delivers one filtered record, preferring delivery over
-	// shutdown: a cancelled context only refuses a record when the queue
-	// has no room for it, and the refusal is reported to the source as
-	// ErrPipelineClosed.
-	enqueue := func(r Record) error {
+	// sendChunk delivers one chunk of filtered records, preferring
+	// delivery over shutdown: a cancelled context only refuses a chunk
+	// when the queue has no room for it, and the refusal is reported to
+	// the source as ErrPipelineClosed.
+	sendChunk := func(chunk []Record) error {
+		n := int64(len(chunk))
+		if n == 0 {
+			p.putChunk(chunk)
+			return nil
+		}
+		p.queueDepth.Add(n)
 		select {
-		case queue <- r:
+		case queue <- chunk:
 			return nil
 		default:
 		}
 		select {
-		case queue <- r:
+		case queue <- chunk:
 			return nil
 		case <-ctx.Done():
-			// The record was discarded, not delivered: account for it so
-			// Ingested == Filtered + Flushed + Dropped + Spooled holds at
-			// shutdown, and tell the source to stop.
-			p.dropped.Add(1)
+			// The records were discarded, not delivered: account for them
+			// so Ingested == Filtered + Flushed + Dropped + Spooled holds
+			// at shutdown, and tell the source to stop.
+			p.queueDepth.Add(-n)
+			p.dropped.Add(n)
+			p.putChunk(chunk)
 			return ErrPipelineClosed
 		}
 	}
 
-	// filterFrom runs r through p.Filters[from:] and enqueues survivors.
+	// filterFrom runs r through p.Filters[from:] and enqueues survivors
+	// as single-record chunks.
 	filterFrom := func(r Record, from int) error {
 		for _, f := range p.Filters[from:] {
 			var keep bool
@@ -376,7 +409,7 @@ func (p *Pipeline) Run(ctx context.Context) error {
 				return nil
 			}
 		}
-		return enqueue(r)
+		return sendChunk(append(p.getChunk(), r))
 	}
 
 	// Filters that inject their own records (dedup summaries) feed them
@@ -397,7 +430,33 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		return filterFrom(r, 0)
 	}
 
-	err := p.Source.Run(ctx, emit)
+	// emitBatch ingests a whole batch: every record runs the full filter
+	// chain, survivors share one chunk and one channel operation.
+	emitBatch := func(rs []Record) error {
+		p.ingested.Add(int64(len(rs)))
+		chunk := p.getChunk()
+		for _, r := range rs {
+			keep := true
+			for _, f := range p.Filters {
+				r, keep = f.Apply(r)
+				if !keep {
+					p.filtered.Add(1)
+					break
+				}
+			}
+			if keep {
+				chunk = append(chunk, r)
+			}
+		}
+		return sendChunk(chunk)
+	}
+
+	var err error
+	if bs, ok := p.Source.(BatchSource); ok {
+		err = bs.RunBatch(ctx, emit, emitBatch)
+	} else {
+		err = p.Source.Run(ctx, emit)
+	}
 	close(queue)
 	wg.Wait()
 	if p.spool != nil {
@@ -416,10 +475,30 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	return err
 }
 
+// getChunk takes a queue chunk from the pool (or makes a small one).
+func (p *Pipeline) getChunk() []Record {
+	if v := p.chunkPool.Get(); v != nil {
+		return (*v.(*[]Record))[:0]
+	}
+	return make([]Record, 0, 16)
+}
+
+// putChunk recycles a drained chunk, clearing it first so pooled capacity
+// does not pin messages or meta maps.
+func (p *Pipeline) putChunk(c []Record) {
+	if cap(c) == 0 {
+		return
+	}
+	c = c[:cap(c)]
+	clear(c)
+	c = c[:0]
+	p.chunkPool.Put(&c)
+}
+
 // flusher drains the queue into batches and writes them with retry. When
 // FlushWorkers > 1 several flushers share the queue, each with its own
 // batch buffer and timer.
-func (p *Pipeline) flusher(ctx context.Context, queue <-chan Record) {
+func (p *Pipeline) flusher(ctx context.Context, queue <-chan []Record) {
 	batch := make([]Record, 0, p.cfg.BatchSize)
 	timer := time.NewTimer(p.cfg.FlushInterval)
 	defer timer.Stop()
@@ -432,22 +511,26 @@ func (p *Pipeline) flusher(ctx context.Context, queue <-chan Record) {
 	}
 	for {
 		select {
-		case r, ok := <-queue:
+		case chunk, ok := <-queue:
 			if !ok {
 				flush()
 				return
 			}
-			batch = append(batch, r)
-			if len(batch) >= p.cfg.BatchSize {
-				flush()
-				if !timer.Stop() {
-					select {
-					case <-timer.C:
-					default:
+			p.queueDepth.Add(-int64(len(chunk)))
+			for _, r := range chunk {
+				batch = append(batch, r)
+				if len(batch) >= p.cfg.BatchSize {
+					flush()
+					if !timer.Stop() {
+						select {
+						case <-timer.C:
+						default:
+						}
 					}
+					timer.Reset(p.cfg.FlushInterval)
 				}
-				timer.Reset(p.cfg.FlushInterval)
 			}
+			p.putChunk(chunk)
 		case <-timer.C:
 			flush()
 			timer.Reset(p.cfg.FlushInterval)

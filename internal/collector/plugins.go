@@ -19,6 +19,10 @@ type SyslogSource struct {
 	TCPAddr string
 	// Tag stamps every record (default "syslog").
 	Tag string
+	// MaxBatch caps the per-read-loop message batches the listener hands
+	// to the batched ingest path (syslog.Server.MaxBatch); 0 means
+	// syslog.DefaultMaxBatch.
+	MaxBatch int
 	// Metrics optionally publishes the underlying syslog server's
 	// counters into a shared registry; set it before Run.
 	Metrics *obs.Registry
@@ -43,13 +47,25 @@ func NewSyslogSource(udpAddr, tcpAddr string) *SyslogSource {
 func (s *SyslogSource) Ready() <-chan struct{} { return s.ready }
 
 // Run implements Source. When emit reports the pipeline closed, the
-// listeners shut down instead of parsing records nobody will take.
+// listeners shut down instead of parsing records nobody will take. The
+// listener's messages are pooled, so every retained one is Detached.
 func (s *SyslogSource) Run(ctx context.Context, emit func(Record) error) error {
-	s.server = &syslog.Server{Metrics: s.Metrics, Handler: syslog.HandlerFunc(func(m *syslog.Message) {
-		if err := emit(Record{Tag: s.Tag, Time: m.Timestamp, Msg: m}); err != nil {
+	return s.run(ctx, syslog.HandlerFunc(func(m *syslog.Message) {
+		if err := emit(Record{Tag: s.Tag, Time: m.Timestamp, Msg: m.Detach()}); err != nil {
 			s.stopOnce.Do(func() { close(s.stop) })
 		}
-	})}
+	}))
+}
+
+// RunBatch implements BatchSource: the listener's per-read-loop batches
+// flow through emitBatch, one pipeline handoff per batch.
+func (s *SyslogSource) RunBatch(ctx context.Context, emit func(Record) error,
+	emitBatch func([]Record) error) error {
+	return s.run(ctx, &sourceBatchHandler{src: s, emit: emit, emitBatch: emitBatch})
+}
+
+func (s *SyslogSource) run(ctx context.Context, h syslog.Handler) error {
+	s.server = &syslog.Server{Metrics: s.Metrics, Handler: h, MaxBatch: s.MaxBatch}
 	if s.UDPAddr != "" {
 		addr, err := s.server.ListenUDP(s.UDPAddr)
 		if err != nil {
@@ -70,6 +86,44 @@ func (s *SyslogSource) Run(ctx context.Context, emit func(Record) error) error {
 	case <-s.stop:
 	}
 	return s.server.Close()
+}
+
+// sourceBatchHandler adapts the listener's BatchHandler delivery to the
+// pipeline's emitBatch. It must be safe for concurrent use (the UDP loop
+// and every TCP connection deliver on their own goroutines), so the
+// Record staging buffers come from a pool rather than being shared state.
+type sourceBatchHandler struct {
+	src       *SyslogSource
+	emit      func(Record) error
+	emitBatch func([]Record) error
+	recsPool  sync.Pool
+}
+
+func (h *sourceBatchHandler) HandleSyslog(m *syslog.Message) {
+	if err := h.emit(Record{Tag: h.src.Tag, Time: m.Timestamp, Msg: m.Detach()}); err != nil {
+		h.src.stopOnce.Do(func() { close(h.src.stop) })
+	}
+}
+
+func (h *sourceBatchHandler) HandleSyslogBatch(ms []*syslog.Message) {
+	var recs []Record
+	if v := h.recsPool.Get(); v != nil {
+		recs = (*v.(*[]Record))[:0]
+	} else {
+		recs = make([]Record, 0, len(ms))
+	}
+	for _, m := range ms {
+		// Detach: the message outlives the handler inside the Record.
+		recs = append(recs, Record{Tag: h.src.Tag, Time: m.Timestamp, Msg: m.Detach()})
+	}
+	err := h.emitBatch(recs)
+	recs = recs[:cap(recs)]
+	clear(recs)
+	recs = recs[:0]
+	h.recsPool.Put(&recs)
+	if err != nil {
+		h.src.stopOnce.Do(func() { close(h.src.stop) })
+	}
 }
 
 // ChannelSource ingests records from a Go channel (generator-driven

@@ -20,6 +20,7 @@ func (st *Store) DateHistogram(q Query, interval time.Duration) []HistogramBucke
 	if q == nil {
 		q = MatchAll{}
 	}
+	q = prepareQuery(q)
 	if interval <= 0 {
 		interval = time.Minute
 	}
@@ -74,6 +75,7 @@ func (st *Store) Terms(q Query, field string, size int) []TermBucket {
 	if q == nil {
 		q = MatchAll{}
 	}
+	q = prepareQuery(q)
 	counts := make(map[string]int)
 	for _, sh := range st.shards {
 		sh.mu.RLock()

@@ -38,20 +38,70 @@ type Match struct {
 }
 
 func (m Match) matches(d *Doc) bool {
-	want := Analyze(m.Text)
-	if len(want) == 0 {
+	// Fallback for Match nodes evaluated outside the store's entry points
+	// (which rewrite them via prepareQuery so the query text is analyzed
+	// once per query, not once per candidate document).
+	return matchPrepared{want: Analyze(m.Text)}.matches(d)
+}
+
+// matchPrepared is the query-time rewrite of Match: Text already
+// analyzed, so per-document evaluation only tokenizes the document.
+type matchPrepared struct {
+	want []string
+}
+
+func (m matchPrepared) matches(d *Doc) bool {
+	if len(m.want) == 0 {
 		return true
 	}
-	have := map[string]bool{}
-	for _, tok := range Analyze(d.Body) {
-		have[tok] = true
-	}
-	for _, tok := range want {
-		if !have[tok] {
+	// Containment via nested scan: syslog bodies tokenize short, so this
+	// beats building a per-document set.
+	toks := Analyze(d.Body)
+	for _, w := range m.want {
+		found := false
+		for _, tok := range toks {
+			if tok == w {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
 	return true
+}
+
+// prepareQuery rewrites Match nodes (recursively through Bool) into their
+// prepared form. Called once per query at every store entry point.
+func prepareQuery(q Query) Query {
+	switch t := q.(type) {
+	case Match:
+		return matchPrepared{want: Analyze(t.Text)}
+	case Bool:
+		out := Bool{}
+		if len(t.Must) > 0 {
+			out.Must = make([]Query, len(t.Must))
+			for i, c := range t.Must {
+				out.Must[i] = prepareQuery(c)
+			}
+		}
+		if len(t.Should) > 0 {
+			out.Should = make([]Query, len(t.Should))
+			for i, c := range t.Should {
+				out.Should[i] = prepareQuery(c)
+			}
+		}
+		if len(t.MustNot) > 0 {
+			out.MustNot = make([]Query, len(t.MustNot))
+			for i, c := range t.MustNot {
+				out.MustNot[i] = prepareQuery(c)
+			}
+		}
+		return out
+	default:
+		return q
+	}
 }
 
 // TimeRange matches documents with From <= Time < To. Zero bounds are
@@ -141,6 +191,7 @@ func (st *Store) Search(req SearchRequest) []Hit {
 	if req.Query == nil {
 		req.Query = MatchAll{}
 	}
+	req.Query = prepareQuery(req.Query)
 	size := req.Size
 	if size == 0 {
 		size = 10
@@ -183,6 +234,7 @@ func (st *Store) Search(req SearchRequest) []Hit {
 // CountQuery returns the number of documents matching q.
 func (st *Store) CountQuery(q Query) int {
 	defer st.observeQuery(st.queryCount, st.queryStart())
+	q = prepareQuery(q)
 	n := 0
 	for _, sh := range st.shards {
 		n += len(sh.search(q))
@@ -228,28 +280,9 @@ func (s *shard) candidates(q Query) ([]int32, bool) {
 	case Term:
 		return s.field[fieldKey(t.Field, t.Value)], true
 	case Match:
-		toks := Analyze(t.Text)
-		if len(toks) == 0 {
-			return nil, false
-		}
-		// Intersect postings, rarest first.
-		lists := make([][]int32, 0, len(toks))
-		for _, tok := range toks {
-			p, ok := s.text[tok]
-			if !ok {
-				return nil, true // a required token is absent: no matches
-			}
-			lists = append(lists, p)
-		}
-		sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
-		acc := lists[0]
-		for _, l := range lists[1:] {
-			acc = intersect(acc, l)
-			if len(acc) == 0 {
-				return nil, true
-			}
-		}
-		return acc, true
+		return s.matchCandidates(Analyze(t.Text))
+	case matchPrepared:
+		return s.matchCandidates(t.want)
 	case Bool:
 		// Use the most selective indexable Must clause as the candidate
 		// driver; correctness comes from the matches() re-check.
@@ -269,6 +302,31 @@ func (s *shard) candidates(q Query) ([]int32, bool) {
 	default:
 		return nil, false
 	}
+}
+
+// matchCandidates intersects the body postings of the analyzed tokens,
+// rarest list first.
+func (s *shard) matchCandidates(toks []string) ([]int32, bool) {
+	if len(toks) == 0 {
+		return nil, false
+	}
+	lists := make([][]int32, 0, len(toks))
+	for _, tok := range toks {
+		p, ok := s.text[tok]
+		if !ok {
+			return nil, true // a required token is absent: no matches
+		}
+		lists = append(lists, p)
+	}
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		acc = intersect(acc, l)
+		if len(acc) == 0 {
+			return nil, true
+		}
+	}
+	return acc, true
 }
 
 func intersect(a, b []int32) []int32 {

@@ -30,11 +30,18 @@ type Doc struct {
 // underscores and dots form tokens (so "cn101", "real_memory" and IP
 // fragments stay searchable).
 func Analyze(s string) []string {
-	var out []string
+	return AnalyzeInto(s, nil)
+}
+
+// AnalyzeInto is Analyze appending into out — pass a reused scratch slice
+// (truncated to len 0) and the call does not allocate a token slice, and
+// tokens that are already lowercase ASCII (the common case for syslog
+// bodies) are substrings of s rather than fresh ToLower copies.
+func AnalyzeInto(s string, out []string) []string {
 	start := -1
 	flush := func(end int) {
 		if start >= 0 {
-			out = append(out, strings.ToLower(s[start:end]))
+			out = append(out, lowerToken(s[start:end]))
 			start = -1
 		}
 	}
@@ -51,6 +58,19 @@ func Analyze(s string) []string {
 	return out
 }
 
+// lowerToken lowercases a token, returning it unchanged (no copy) when it
+// is already lowercase ASCII; any uppercase or non-ASCII byte defers to
+// strings.ToLower for exact Unicode behaviour.
+func lowerToken(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 || ('A' <= c && c <= 'Z') {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}
+
 // shard is one index partition. All access goes through its lock.
 type shard struct {
 	mu   sync.RWMutex
@@ -62,6 +82,9 @@ type shard struct {
 	field map[string][]int32
 	// dead holds tombstoned offsets awaiting Compact.
 	dead map[int32]struct{}
+	// tokScratch is reused across indexLocked calls (always under the
+	// write lock) so indexing does not allocate a token slice per doc.
+	tokScratch []string
 }
 
 // deleted reports whether the offset is tombstoned. Caller holds a lock.
@@ -100,11 +123,30 @@ func (s *shard) indexLocked(d Doc) {
 	off := int32(len(s.docs))
 	s.docs = append(s.docs, d)
 	s.byID[d.ID] = int(off)
-	seen := map[string]bool{}
-	for _, tok := range Analyze(d.Body) {
-		if !seen[tok] {
-			seen[tok] = true
-			s.text[tok] = append(s.text[tok], off)
+	s.tokScratch = AnalyzeInto(d.Body, s.tokScratch[:0])
+	toks := s.tokScratch
+	if len(toks) <= maxScanDedup {
+		// Typical syslog bodies: a handful of tokens, so a nested scan
+		// dedups without the per-doc map allocation.
+		for i, tok := range toks {
+			dup := false
+			for _, prev := range toks[:i] {
+				if prev == tok {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				s.text[tok] = append(s.text[tok], off)
+			}
+		}
+	} else {
+		seen := make(map[string]bool, len(toks))
+		for _, tok := range toks {
+			if !seen[tok] {
+				seen[tok] = true
+				s.text[tok] = append(s.text[tok], off)
+			}
 		}
 	}
 	for f, v := range d.Fields {
@@ -112,6 +154,10 @@ func (s *shard) indexLocked(d Doc) {
 		s.field[k] = append(s.field[k], off)
 	}
 }
+
+// maxScanDedup bounds the quadratic scan dedup during indexing; larger
+// token lists (pathological mega-lines) fall back to a map.
+const maxScanDedup = 128
 
 // Store is the sharded index.
 type Store struct {

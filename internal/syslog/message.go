@@ -113,6 +113,14 @@ type StructuredData map[string]map[string]string
 // ProcID and Content. RFC 5424 messages additionally carry MsgID and
 // Structured. Raw preserves the original wire bytes when the message came
 // off a network listener or parser.
+//
+// Ownership: a Message delivered by a Server's Handler (or BatchHandler)
+// comes from an internal pool and is valid only until the handler
+// returns. A handler that retains the message — stores it, enqueues it,
+// sends it to another goroutine — must call Detach first; the server then
+// leaves that message alone and its string fields stay valid forever.
+// Messages obtained any other way (literals, the string parsers, Clone)
+// are ordinary heap values and never recycled.
 type Message struct {
 	Facility   Facility
 	Severity   Severity
@@ -124,6 +132,31 @@ type Message struct {
 	Structured StructuredData
 	Content    string
 	Raw        string
+
+	// buf is the materialization slab for the byte parsers: one sized
+	// copy of the wire frame that Raw, Hostname, AppName, ProcID, MsgID
+	// and Content alias. Reset keeps it, so a pooled Message re-parses
+	// without allocating.
+	buf []byte
+	// pooled marks a message currently owned by a Server pool. Detach
+	// clears it.
+	pooled bool
+}
+
+// Reset clears the message for reuse, retaining the materialization slab
+// so the next byte-parse into it does not allocate.
+func (m *Message) Reset() {
+	buf, pooled := m.buf, m.pooled
+	*m = Message{buf: buf[:0], pooled: pooled}
+}
+
+// Detach releases a pool-owned message from its Server's pool: the server
+// will not recycle it after the handler returns, so the message and every
+// string field remain valid indefinitely. It returns m for chaining.
+// Calling Detach on a message that never came from a pool is a no-op.
+func (m *Message) Detach() *Message {
+	m.pooled = false
+	return m
 }
 
 // Priority returns the combined <PRI> value of the message.
@@ -155,9 +188,22 @@ func (m *Message) String() string {
 	return b.String()
 }
 
-// Clone returns a deep copy of the message.
+// Clone returns a deep copy of the message. The copy is always an
+// ordinary heap value: cloning a still-pooled message copies its string
+// fields out of the pool's slab, so the clone stays valid after the
+// original is recycled.
 func (m *Message) Clone() *Message {
 	c := *m
+	c.buf = nil
+	if c.pooled {
+		c.pooled = false
+		c.Hostname = strings.Clone(m.Hostname)
+		c.AppName = strings.Clone(m.AppName)
+		c.ProcID = strings.Clone(m.ProcID)
+		c.MsgID = strings.Clone(m.MsgID)
+		c.Content = strings.Clone(m.Content)
+		c.Raw = strings.Clone(m.Raw)
+	}
 	if m.Structured != nil {
 		c.Structured = make(StructuredData, len(m.Structured))
 		for id, params := range m.Structured {

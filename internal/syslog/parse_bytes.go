@@ -1,0 +1,397 @@
+package syslog
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+	"unsafe"
+)
+
+// This file holds the zero-allocation ingest fast path: parsers that work
+// directly on the listener's read buffer and fill a caller-supplied
+// Message. Field extraction tracks byte spans into the frame; on success
+// the frame is materialized into the Message with ONE sized copy (the
+// slab behind Raw) and every string field aliases that slab. The string
+// parsers in rfc3164.go / rfc5424.go are thin wrappers over these;
+// equivalence is pinned by FuzzParseBytesEquivalence.
+
+// span is a half-open byte range into the frame being parsed.
+type span struct{ a, b int }
+
+// bstr reinterprets b as a string without copying. Callers must guarantee
+// b's bytes are never mutated afterwards; the byte parsers uphold this by
+// only handing out views of a Message's private slab.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// stringBytes gives a read-only byte view of s without copying.
+func stringBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+// materialize copies the frame into the message's reusable slab and wires
+// every retained field as a view of that single copy.
+func (m *Message) materialize(buf []byte, host, app, pid, msgid, content span) {
+	n := len(buf)
+	if cap(m.buf) < n {
+		c := 2 * cap(m.buf)
+		if c < n {
+			c = n
+		}
+		if c < 128 {
+			c = 128
+		}
+		m.buf = make([]byte, n, c)
+	} else {
+		m.buf = m.buf[:n]
+	}
+	copy(m.buf, buf)
+	m.Raw = bstr(m.buf)
+	m.Hostname = m.sub(host)
+	m.AppName = m.sub(app)
+	m.ProcID = m.sub(pid)
+	m.MsgID = m.sub(msgid)
+	m.Content = m.sub(content)
+}
+
+func (m *Message) sub(s span) string {
+	if s.a >= s.b {
+		return ""
+	}
+	return bstr(m.buf[s.a:s.b])
+}
+
+// parsePriBytes consumes "<NNN>" at the start of b, returning the
+// priority and the offset of the first byte after '>'.
+func parsePriBytes(b []byte) (Priority, int, error) {
+	if len(b) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if b[0] != '<' {
+		return 0, 0, ErrNoPriority
+	}
+	end := bytes.IndexByte(b, '>')
+	if end < 2 || end > 4 {
+		return 0, 0, ErrBadPriority
+	}
+	pri := 0
+	for _, c := range b[1:end] {
+		if c < '0' || c > '9' {
+			return 0, 0, ErrBadPriority
+		}
+		pri = pri*10 + int(c-'0')
+	}
+	p := Priority(pri)
+	if !p.Valid() {
+		return 0, 0, ErrBadPriority
+	}
+	return p, end + 1, nil
+}
+
+// ParseRFC3164Bytes parses a classic BSD syslog message from buf into m,
+// semantically identical to ParseRFC3164 but without per-token
+// allocation: the only steady-state cost is the single slab copy inside
+// materialize. m is reset first; buf may be reused by the caller as soon
+// as the call returns.
+func ParseRFC3164Bytes(buf []byte, ref time.Time, m *Message) error {
+	m.Reset()
+	pri, off, err := parsePriBytes(buf)
+	if err != nil {
+		return err
+	}
+	m.Facility = pri.Facility()
+	m.Severity = pri.Severity()
+
+	ts, rest := consumeTimestampBytes(buf, off, ref)
+	m.Timestamp = ts
+
+	// HOSTNAME is the token up to the next space — but only if a timestamp
+	// was present; otherwise the whole remainder is the content.
+	var host span
+	if !ts.IsZero() {
+		if sp := bytes.IndexByte(buf[rest:], ' '); sp > 0 {
+			host = span{rest, rest + sp}
+			rest += sp + 1
+		}
+	}
+
+	app, pid, content := splitTagBytes(buf, rest)
+	m.materialize(buf, host, app, pid, span{}, content)
+	return nil
+}
+
+// consumeTimestampBytes mirrors consumeTimestamp: RFC 3339 variants are
+// detected by the '-' at offset 4, the BSD format by its month
+// abbreviation. The hand-rolled parsers cover the canonical forms;
+// anything they reject goes through the exact legacy time.Parse calls so
+// behaviour is unchanged for torn or exotic timestamps.
+func consumeTimestampBytes(buf []byte, off int, ref time.Time) (time.Time, int) {
+	s := buf[off:]
+	if len(s) >= 20 && s[4] == '-' {
+		if end := bytes.IndexByte(s, ' '); end > 0 {
+			if t, ok := parseRFC3339Bytes(s[:end]); ok {
+				return t, off + end + 1
+			}
+			tok := string(s[:end])
+			for _, layout := range rfc3164TimeLayouts[1:] {
+				if t, err := time.Parse(layout, tok); err == nil {
+					return t, off + end + 1
+				}
+			}
+		}
+	}
+	if len(s) >= 15 {
+		t, ok, monthOK := parseStampBytes(s, ref)
+		if !ok && monthOK {
+			// The month matched but the rest is non-canonical; defer to
+			// time.Parse for the handful of spellings it is laxer about.
+			if lt, err := time.Parse(time.Stamp, string(s[:15])); err == nil {
+				year := ref.Year()
+				if year == 0 {
+					year = 1
+				}
+				t = time.Date(year, lt.Month(), lt.Day(), lt.Hour(), lt.Minute(),
+					lt.Second(), 0, ref.Location())
+				ok = true
+			}
+		}
+		if ok {
+			rest := off + 15
+			if rest < len(buf) && buf[rest] == ' ' {
+				rest++
+			}
+			return t, rest
+		}
+	}
+	return time.Time{}, off
+}
+
+// splitTagBytes mirrors splitTag over spans: "app[pid]: content". When no
+// well-formed tag is present, the whole input from off is the content.
+func splitTagBytes(buf []byte, off int) (app, pid, content span) {
+	whole := span{off, len(buf)}
+	s := buf[off:]
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == ':' || c == '[' || c == ' ' {
+			break
+		}
+		if !isTagChar(c) {
+			return span{}, span{}, whole
+		}
+		i++
+	}
+	if i == 0 || i > 48 {
+		return span{}, span{}, whole
+	}
+	app = span{off, off + i}
+	rest := off + i
+	if rest < len(buf) && buf[rest] == '[' {
+		end := bytes.IndexByte(buf[rest:], ']')
+		if end < 0 {
+			return span{}, span{}, whole
+		}
+		pid = span{rest + 1, rest + end}
+		rest += end + 1
+	}
+	if rest >= len(buf) || buf[rest] != ':' {
+		return span{}, span{}, whole
+	}
+	rest++
+	if rest < len(buf) && buf[rest] == ' ' {
+		rest++
+	}
+	return app, pid, span{rest, len(buf)}
+}
+
+// ParseRFC5424Bytes parses a modern syslog message from buf into m,
+// semantically identical to ParseRFC5424. The header fast path is
+// allocation-free; structured-data elements (rare on real traffic) still
+// allocate their maps.
+func ParseRFC5424Bytes(buf []byte, m *Message) error {
+	m.Reset()
+	pri, off, err := parsePriBytes(buf)
+	if err != nil {
+		return err
+	}
+	m.Facility = pri.Facility()
+	m.Severity = pri.Severity()
+
+	// VERSION
+	if len(buf)-off < 2 || buf[off] != '1' || buf[off+1] != ' ' {
+		return fmt.Errorf("%w: unsupported version", ErrBadFormat)
+	}
+	p := off + 2
+
+	// TIMESTAMP HOSTNAME APP-NAME PROCID MSGID — space-separated tokens.
+	var fields [5]span
+	for i := 0; i < 5; i++ {
+		sp := bytes.IndexByte(buf[p:], ' ')
+		if sp < 0 {
+			return fmt.Errorf("%w: truncated header", ErrBadFormat)
+		}
+		fields[i] = span{p, p + sp}
+		p += sp + 1
+	}
+	if ts := buf[fields[0].a:fields[0].b]; !(len(ts) == 1 && ts[0] == '-') {
+		t, ok := parseRFC3339Bytes(ts)
+		if !ok {
+			var perr error
+			t, perr = time.Parse(time.RFC3339Nano, string(ts))
+			if perr != nil {
+				return fmt.Errorf("%w: bad timestamp %q", ErrBadFormat, ts)
+			}
+		}
+		m.Timestamp = t
+	}
+	host := nilSpan(buf, fields[1])
+	app := nilSpan(buf, fields[2])
+	pid := nilSpan(buf, fields[3])
+	msgid := nilSpan(buf, fields[4])
+
+	// STRUCTURED-DATA: "-" or one or more [id k="v" ...] elements.
+	sd, p, err := parseStructuredDataBytes(buf, p)
+	if err != nil {
+		return err
+	}
+	m.Structured = sd
+
+	// MSG: optional, preceded by a single space; a UTF-8 BOM is stripped
+	// per the RFC.
+	content := span{p, len(buf)}
+	if content.a < content.b && buf[content.a] == ' ' {
+		content.a++
+	}
+	if content.b-content.a >= 3 && buf[content.a] == 0xef &&
+		buf[content.a+1] == 0xbb && buf[content.a+2] == 0xbf {
+		content.a += 3
+	}
+	m.materialize(buf, host, app, pid, msgid, content)
+	return nil
+}
+
+// nilSpan maps the RFC 5424 NILVALUE ("-") to the empty span.
+func nilSpan(buf []byte, s span) span {
+	if s.b-s.a == 1 && buf[s.a] == '-' {
+		return span{}
+	}
+	return s
+}
+
+func parseStructuredDataBytes(buf []byte, p int) (StructuredData, int, error) {
+	if p < len(buf) && buf[p] == '-' {
+		return nil, p + 1, nil
+	}
+	if p >= len(buf) || buf[p] != '[' {
+		return nil, 0, fmt.Errorf("%w: expected structured data", ErrBadFormat)
+	}
+	sd := make(StructuredData)
+	for p < len(buf) && buf[p] == '[' {
+		elemEnd := findSDEndBytes(buf[p:])
+		if elemEnd < 0 {
+			return nil, 0, fmt.Errorf("%w: unterminated SD element", ErrBadFormat)
+		}
+		elem := buf[p+1 : p+elemEnd]
+		p += elemEnd + 1
+		id, params, err := parseSDElementBytes(elem)
+		if err != nil {
+			return nil, 0, err
+		}
+		sd[id] = params
+	}
+	return sd, p, nil
+}
+
+// findSDEndBytes locates the closing ']' of the SD element opening at
+// b[0], honouring escaped \] inside quoted values.
+func findSDEndBytes(b []byte) int {
+	inQuote := false
+	for i := 1; i < len(b); i++ {
+		switch b[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			inQuote = !inQuote
+		case ']':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseSDElementBytes(elem []byte) (string, map[string]string, error) {
+	sp := bytes.IndexByte(elem, ' ')
+	if sp < 0 {
+		return string(elem), map[string]string{}, nil
+	}
+	id := string(elem[:sp])
+	params := make(map[string]string)
+	rest := elem[sp+1:]
+	for len(rest) != 0 {
+		rest = bytes.TrimLeft(rest, " ")
+		if len(rest) == 0 {
+			break
+		}
+		eq := bytes.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", nil, fmt.Errorf("%w: bad SD param in %q", ErrBadFormat, elem)
+		}
+		name := string(rest[:eq])
+		val, remainder, err := parseQuotedBytes(rest[eq+1:])
+		if err != nil {
+			return "", nil, err
+		}
+		params[name] = val
+		rest = remainder
+	}
+	return id, params, nil
+}
+
+// parseQuotedBytes consumes a leading `"..."` handling \" \\ \] escapes.
+func parseQuotedBytes(b []byte) (string, []byte, error) {
+	if len(b) == 0 || b[0] != '"' {
+		return "", nil, fmt.Errorf("%w: expected quoted value", ErrBadFormat)
+	}
+	var sb strings.Builder
+	for i := 1; i < len(b); i++ {
+		switch b[i] {
+		case '\\':
+			if i+1 < len(b) {
+				sb.WriteByte(b[i+1])
+				i++
+			}
+		case '"':
+			return sb.String(), b[i+1:], nil
+		default:
+			sb.WriteByte(b[i])
+		}
+	}
+	return "", nil, fmt.Errorf("%w: unterminated quoted value", ErrBadFormat)
+}
+
+// ParseBytes auto-detects the wire format like Parse: RFC 5424 messages
+// have "1 " after the PRI; anything else — including malformed 5424 —
+// falls back to the RFC 3164 path, which accepts any content.
+func ParseBytes(buf []byte, ref time.Time, m *Message) error {
+	_, off, err := parsePriBytes(buf)
+	if err != nil {
+		return err
+	}
+	if len(buf)-off >= 2 && buf[off] == '1' && buf[off+1] == ' ' {
+		if err := ParseRFC5424Bytes(buf, m); err == nil {
+			return nil
+		}
+	}
+	return ParseRFC3164Bytes(buf, ref, m)
+}

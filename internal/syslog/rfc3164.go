@@ -59,7 +59,21 @@ var rfc3164TimeLayouts = []string{
 // required to cope with them); the zero time and empty hostname result.
 // The reference year for BSD timestamps (which carry no year) is taken from
 // ref; pass time.Now() in production code.
+//
+// This is a thin wrapper over ParseRFC3164Bytes; use the byte parser
+// directly on hot paths to reuse the Message allocation.
 func ParseRFC3164(raw string, ref time.Time) (*Message, error) {
+	m := &Message{}
+	if err := ParseRFC3164Bytes(stringBytes(raw), ref, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseRFC3164Legacy is the original token-by-token string implementation,
+// kept unexported as the reference oracle for FuzzParseBytesEquivalence:
+// the byte parsers must agree with it on every input.
+func parseRFC3164Legacy(raw string, ref time.Time) (*Message, error) {
 	m := &Message{Raw: raw}
 	pri, rest, err := parsePri(raw)
 	if err != nil {

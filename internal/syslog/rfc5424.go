@@ -12,7 +12,21 @@ import (
 //	  [exampleSDID@32473 iut="3"] BOMAn application event log entry...
 //
 // The version must be 1. NILVALUE ("-") fields come back as empty strings.
+//
+// This is a thin wrapper over ParseRFC5424Bytes; use the byte parser
+// directly on hot paths to reuse the Message allocation.
 func ParseRFC5424(raw string) (*Message, error) {
+	m := &Message{}
+	if err := ParseRFC5424Bytes(stringBytes(raw), m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseRFC5424Legacy is the original string implementation, kept
+// unexported as the reference oracle for FuzzParseBytesEquivalence: the
+// byte parsers must agree with it on every input.
+func parseRFC5424Legacy(raw string) (*Message, error) {
 	m := &Message{Raw: raw}
 	pri, rest, err := parsePri(raw)
 	if err != nil {
@@ -233,15 +247,28 @@ func sortStrings(s []string) {
 // Parse auto-detects the wire format: RFC 5424 messages have "1 " after
 // the PRI; anything else — including malformed 5424 — falls back to the
 // RFC 3164 path, which (per that RFC's relay rules) accepts any content.
+//
+// This is a thin wrapper over ParseBytes; use the byte parser directly on
+// hot paths to reuse the Message allocation.
 func Parse(raw string, ref time.Time) (*Message, error) {
+	m := &Message{}
+	if err := ParseBytes(stringBytes(raw), ref, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseLegacy is the original auto-detecting string implementation, kept
+// unexported as the reference oracle for FuzzParseBytesEquivalence.
+func parseLegacy(raw string, ref time.Time) (*Message, error) {
 	_, rest, err := parsePri(raw)
 	if err != nil {
 		return nil, err
 	}
 	if strings.HasPrefix(rest, "1 ") {
-		if m, err := ParseRFC5424(raw); err == nil {
+		if m, err := parseRFC5424Legacy(raw); err == nil {
 			return m, nil
 		}
 	}
-	return ParseRFC3164(raw, ref)
+	return parseRFC3164Legacy(raw, ref)
 }

@@ -2,13 +2,12 @@ package syslog
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -18,6 +17,11 @@ import (
 // Handler receives parsed messages from a listener. Implementations must be
 // safe for concurrent use: UDP datagrams and TCP connections are handled on
 // separate goroutines.
+//
+// Ownership: the *Message comes from the server's pool and is recycled as
+// soon as the handler returns. A handler that retains it beyond the call —
+// stores it, enqueues it, hands it to another goroutine — must call
+// m.Detach() (keeping the message forever) or work on m.Clone().
 type Handler interface {
 	HandleSyslog(m *Message)
 }
@@ -28,6 +32,32 @@ type HandlerFunc func(m *Message)
 // HandleSyslog calls f(m).
 func (f HandlerFunc) HandleSyslog(m *Message) { f(m) }
 
+// BatchHandler is an optional upgrade interface for Handler: when the
+// configured Handler also implements it, the server delivers one batch per
+// read-loop iteration (UDP: the datagrams drained from the socket queue;
+// TCP: the frames already buffered on the connection) instead of one call
+// per message, amortizing downstream synchronization.
+//
+// Ownership matches Handler: the slice and every Message in it are valid
+// only until HandleSyslogBatch returns; retain individual messages with
+// Detach or Clone. The slice itself is always reused — never keep it.
+type BatchHandler interface {
+	HandleSyslogBatch(ms []*Message)
+}
+
+// messagePool recycles Messages (and their materialization slabs) across
+// frames. Pool-owned messages carry the pooled flag so Detach can opt out.
+var messagePool = sync.Pool{New: func() any { return &Message{pooled: true} }}
+
+func getMessage() *Message { return messagePool.Get().(*Message) }
+
+// putMessage returns m to the pool unless a handler detached it.
+func putMessage(m *Message) {
+	if m.pooled {
+		messagePool.Put(m)
+	}
+}
+
 // Server listens for syslog traffic on UDP and/or TCP and dispatches parsed
 // messages to a Handler. TCP connections accept both octet-counted framing
 // (RFC 6587 §3.4.1) and LF-delimited framing (§3.4.2), auto-detected per
@@ -35,6 +65,12 @@ func (f HandlerFunc) HandleSyslog(m *Message) { f(m) }
 // rsyslog treats garbage input.
 type Server struct {
 	Handler Handler
+
+	// MaxBatch caps how many messages a read-loop iteration accumulates
+	// before delivering to a BatchHandler (and bounds the drain window on
+	// UDP). Defaults to DefaultMaxBatch; irrelevant when the Handler does
+	// not implement BatchHandler beyond bounding pool residency.
+	MaxBatch int
 
 	// Now supplies the reference time for year-less RFC 3164 timestamps.
 	// Defaults to time.Now.
@@ -130,16 +166,95 @@ func (s *Server) ListenUDP(addr string) (net.Addr, error) {
 	return conn.LocalAddr(), nil
 }
 
+// DefaultMaxBatch is the per-iteration batch cap when Server.MaxBatch is
+// unset.
+const DefaultMaxBatch = 256
+
+// udpDrainWindow is the read deadline used while draining already-queued
+// datagrams after a blocking read delivered the first one. Long enough
+// that a kernel-queued packet always makes it, short enough that a lone
+// trailing message is not held back noticeably.
+const udpDrainWindow = 100 * time.Microsecond
+
+func (s *Server) maxBatch() int {
+	if s.MaxBatch > 0 {
+		return s.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
 func (s *Server) serveUDP(conn *net.UDPConn) {
 	defer s.wg.Done()
 	buf := make([]byte, 64*1024)
+	maxBatch := s.maxBatch()
+	batch := make([]*Message, 0, maxBatch)
 	for {
+		// First read blocks until traffic arrives.
+		_ = conn.SetReadDeadline(time.Time{})
 		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
 		s.framesUDP.Inc()
-		s.dispatch(strings.TrimRight(string(buf[:n]), "\r\n\x00"))
+		s.appendParsed(bytes.TrimRight(buf[:n], "\r\n\x00"), &batch)
+		// Drain datagrams the kernel already queued behind it, up to
+		// MaxBatch. A short *future* deadline is required: Go fails every
+		// read once a deadline is in the past, even with data queued.
+		for len(batch) < maxBatch {
+			_ = conn.SetReadDeadline(time.Now().Add(udpDrainWindow))
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					break // queue drained
+				}
+				s.deliver(batch)
+				return // closed
+			}
+			s.framesUDP.Inc()
+			s.appendParsed(bytes.TrimRight(buf[:n], "\r\n\x00"), &batch)
+		}
+		s.deliver(batch)
+		batch = batch[:0]
+	}
+}
+
+// appendParsed parses one wire frame into a pooled Message and appends it
+// to the batch; unparseable frames are counted and dropped, empty frames
+// ignored.
+func (s *Server) appendParsed(frame []byte, batch *[]*Message) {
+	if len(frame) == 0 {
+		return
+	}
+	m := getMessage()
+	if err := ParseBytes(frame, s.now(), m); err != nil {
+		s.dropped.Inc()
+		putMessage(m)
+		return
+	}
+	s.received.Inc()
+	*batch = append(*batch, m)
+}
+
+// deliver hands a batch to the Handler — one HandleSyslogBatch call when
+// it implements BatchHandler, per-message HandleSyslog otherwise — then
+// recycles every message a handler did not Detach.
+func (s *Server) deliver(batch []*Message) {
+	if len(batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	h := s.Handler
+	s.mu.Unlock()
+	if bh, ok := h.(BatchHandler); ok {
+		bh.HandleSyslogBatch(batch)
+	} else if h != nil {
+		for _, m := range batch {
+			h.HandleSyslog(m)
+		}
+	}
+	for _, m := range batch {
+		putMessage(m)
 	}
 }
 
@@ -180,14 +295,29 @@ func (s *Server) serveTCP(ln net.Listener) {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	r := bufio.NewReader(conn)
+	fr := NewFrameReader(conn)
+	maxBatch := s.maxBatch()
+	batch := make([]*Message, 0, maxBatch)
 	for {
-		frame, err := ReadFrame(r)
+		// First frame blocks; after it, keep going only while a complete
+		// frame is already sitting in the read buffer, so a batch never
+		// waits on the network.
+		frame, err := fr.ReadFrame()
 		if err != nil {
 			return
 		}
 		s.framesTCP.Inc()
-		s.dispatch(frame)
+		s.appendParsed(frame, &batch)
+		for len(batch) < maxBatch && fr.FrameBuffered() {
+			frame, err := fr.ReadFrame()
+			if err != nil {
+				break
+			}
+			s.framesTCP.Inc()
+			s.appendParsed(frame, &batch)
+		}
+		s.deliver(batch)
+		batch = batch[:0]
 	}
 }
 
@@ -201,68 +331,133 @@ const maxFrameLen = 1 << 20
 // buffered without limit.
 const maxFrameDigits = 7
 
-// ReadFrame reads one syslog frame from r, auto-detecting octet-counted
-// ("123 <34>...") versus LF-delimited framing.
-func ReadFrame(r *bufio.Reader) (string, error) {
-	first, err := r.Peek(1)
-	if err != nil {
-		return "", err
+// ErrEmptyFrame reports an octet-counted frame declaring a length of
+// zero. RFC 6587 gives zero-length frames no meaning, and accepting them
+// would let "0 " round-trip as an invisible message.
+var ErrEmptyFrame = errors.New("syslog: zero-length frame")
+
+// FrameReader reads syslog frames from a TCP stream, auto-detecting
+// octet-counted ("123 <34>...") versus LF-delimited framing per frame.
+// Unlike the package-level ReadFrame it returns frames as byte slices
+// aliasing internal buffers — valid only until the next ReadFrame call —
+// and reuses one scratch buffer per connection, so steady-state framing
+// does not allocate. It is not safe for concurrent use.
+type FrameReader struct {
+	r       *bufio.Reader
+	scratch []byte
+}
+
+// NewFrameReader wraps r; an existing *bufio.Reader is used as-is.
+func NewFrameReader(r io.Reader) *FrameReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64*1024)
 	}
-	if first[0] >= '1' && first[0] <= '9' {
+	return &FrameReader{r: br}
+}
+
+// ReadFrame reads one frame. The returned slice is valid only until the
+// next call.
+func (fr *FrameReader) ReadFrame() ([]byte, error) {
+	first, err := fr.r.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if first[0] >= '0' && first[0] <= '9' {
 		// Octet-counted: "LEN SP MSG". Read the length digit by digit so
 		// the prefix is bounded before anything is buffered.
-		var lenBuf [maxFrameDigits]byte
-		nd := 0
+		n, nd := 0, 0
 		for {
-			b, err := r.ReadByte()
+			b, err := fr.r.ReadByte()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			if b == ' ' {
 				break
 			}
 			if b < '0' || b > '9' {
-				return "", fmt.Errorf("syslog: bad frame length byte %q", b)
+				return nil, fmt.Errorf("syslog: bad frame length byte %q", b)
 			}
 			if nd == maxFrameDigits {
-				return "", fmt.Errorf("syslog: frame length prefix exceeds %d digits", maxFrameDigits)
+				return nil, fmt.Errorf("syslog: frame length prefix exceeds %d digits", maxFrameDigits)
 			}
-			lenBuf[nd] = b
+			n = n*10 + int(b-'0')
 			nd++
 		}
-		n, err := strconv.Atoi(string(lenBuf[:nd]))
-		if err != nil || n <= 0 || n > maxFrameLen {
-			return "", fmt.Errorf("syslog: bad frame length %q", lenBuf[:nd])
+		if n == 0 {
+			return nil, ErrEmptyFrame
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return "", err
+		if n > maxFrameLen {
+			return nil, fmt.Errorf("syslog: bad frame length %d", n)
 		}
-		return string(buf), nil
+		if cap(fr.scratch) < n {
+			fr.scratch = make([]byte, n)
+		}
+		buf := fr.scratch[:n]
+		if _, err := io.ReadFull(fr.r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
 	}
-	line, err := r.ReadString('\n')
-	if err != nil && line == "" {
-		return "", err
+	// LF-delimited. ReadSlice hands back a view of the bufio buffer; only
+	// lines longer than the buffer fall into the accumulate path.
+	line, err := fr.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		fr.scratch = append(fr.scratch[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = fr.r.ReadSlice('\n')
+			fr.scratch = append(fr.scratch, line...)
+		}
+		line = fr.scratch
 	}
-	return strings.TrimRight(line, "\r\n"), nil
+	if err != nil && len(line) == 0 {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
 }
 
-func (s *Server) dispatch(raw string) {
-	if raw == "" {
-		return
+// FrameBuffered reports whether a complete frame is already buffered, so
+// the next ReadFrame is guaranteed not to block on the network. Malformed
+// buffered input also reports true: ReadFrame will fail on it without
+// blocking.
+func (fr *FrameReader) FrameBuffered() bool {
+	n := fr.r.Buffered()
+	if n == 0 {
+		return false
 	}
-	m, err := Parse(raw, s.now())
+	b, _ := fr.r.Peek(n)
+	if len(b) == 0 {
+		return false
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		i, ln := 0, 0
+		for i < len(b) && i < maxFrameDigits && b[i] >= '0' && b[i] <= '9' {
+			ln = ln*10 + int(b[i]-'0')
+			i++
+		}
+		if i == len(b) && i < maxFrameDigits {
+			return false // length prefix still incomplete
+		}
+		if i == maxFrameDigits || b[i] != ' ' {
+			return true // over-long or malformed prefix: fails fast
+		}
+		return len(b) >= i+1+ln
+	}
+	return bytes.IndexByte(b, '\n') >= 0
+}
+
+// ReadFrame reads one syslog frame from r, auto-detecting octet-counted
+// ("123 <34>...") versus LF-delimited framing.
+//
+// Compatibility wrapper over FrameReader; the server's connection loop
+// uses a per-connection FrameReader to avoid the per-frame copy.
+func ReadFrame(r *bufio.Reader) (string, error) {
+	fr := FrameReader{r: r}
+	frame, err := fr.ReadFrame()
 	if err != nil {
-		s.dropped.Inc()
-		return
+		return "", err
 	}
-	s.received.Inc()
-	s.mu.Lock()
-	h := s.Handler
-	s.mu.Unlock()
-	if h != nil {
-		h.HandleSyslog(m)
-	}
+	return string(frame), nil
 }
 
 // Close shuts down all listeners and waits for in-flight handlers.

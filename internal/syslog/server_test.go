@@ -10,7 +10,9 @@ import (
 	"hetsyslog/internal/obs"
 )
 
-// gather is a Handler that appends into a slice under a mutex.
+// gather is a Handler that appends into a slice under a mutex. It retains
+// the messages past the handler return, so it must Detach them from the
+// server's pool (the ownership rule every retaining Handler follows).
 type gather struct {
 	mu   sync.Mutex
 	msgs []*Message
@@ -18,7 +20,7 @@ type gather struct {
 
 func (g *gather) HandleSyslog(m *Message) {
 	g.mu.Lock()
-	g.msgs = append(g.msgs, m)
+	g.msgs = append(g.msgs, m.Detach())
 	g.mu.Unlock()
 }
 

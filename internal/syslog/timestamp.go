@@ -1,0 +1,256 @@
+package syslog
+
+import (
+	"sync"
+	"time"
+)
+
+// Hand-rolled, allocation-free parsers for the timestamp layouts accepted
+// on the ingest fast path: time.Stamp ("Jan _2 15:04:05") and
+// RFC 3339 / RFC 3339Nano. Both are deliberately *conservative*: they
+// accept a subset of what time.Parse accepts (exactly the canonical wire
+// forms) and report ok=false for anything else, so callers can fall back
+// to time.Parse for the rare non-canonical case. For every input they do
+// accept, the result is bit-for-bit what time.Parse produces (pinned by
+// FuzzParseBytesEquivalence).
+
+// monthFromAbbrev decodes a 3-byte English month abbreviation,
+// case-insensitively (time.Parse's month matching is case-insensitive
+// too). Returns 0 when the bytes are not a month name.
+func monthFromAbbrev(b0, b1, b2 byte) time.Month {
+	// Lowercase the three bytes; non-letters map to garbage that will
+	// miss every case below.
+	b0 |= 0x20
+	b1 |= 0x20
+	b2 |= 0x20
+	switch b0 {
+	case 'j':
+		if b1 == 'a' && b2 == 'n' {
+			return time.January
+		}
+		if b1 == 'u' {
+			if b2 == 'n' {
+				return time.June
+			}
+			if b2 == 'l' {
+				return time.July
+			}
+		}
+	case 'f':
+		if b1 == 'e' && b2 == 'b' {
+			return time.February
+		}
+	case 'm':
+		if b1 == 'a' {
+			if b2 == 'r' {
+				return time.March
+			}
+			if b2 == 'y' {
+				return time.May
+			}
+		}
+	case 'a':
+		if b1 == 'p' && b2 == 'r' {
+			return time.April
+		}
+		if b1 == 'u' && b2 == 'g' {
+			return time.August
+		}
+	case 's':
+		if b1 == 'e' && b2 == 'p' {
+			return time.September
+		}
+	case 'o':
+		if b1 == 'c' && b2 == 't' {
+			return time.October
+		}
+	case 'n':
+		if b1 == 'o' && b2 == 'v' {
+			return time.November
+		}
+	case 'd':
+		if b1 == 'e' && b2 == 'c' {
+			return time.December
+		}
+	}
+	return 0
+}
+
+// daysInYear0 holds the day count per month in year 0, the year
+// time.Parse assigns to year-less time.Stamp timestamps. Year 0 is a leap
+// year in Go's proleptic calendar, so February has 29 days.
+var daysInYear0 = [13]int{0, 31, 29, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// two decodes a fixed two-digit number.
+func two(b0, b1 byte) (int, bool) {
+	if !isDigit(b0) || !isDigit(b1) {
+		return 0, false
+	}
+	return int(b0-'0')*10 + int(b1-'0'), true
+}
+
+// parseStampBytes parses the canonical BSD timestamp "Jan _2 15:04:05"
+// from exactly 15 bytes, applying the reference year and location the way
+// consumeTimestamp always has: the parsed (month, day, clock) is rebuilt
+// with ref's year via time.Date, which also normalizes Feb 29 in non-leap
+// reference years exactly like the time.Parse path did.
+//
+// The month lookup doubles as the cheap dispatch test: when it misses,
+// the caller can skip the time.Parse fallback entirely, because
+// time.Parse(time.Stamp, ...) matches month names case-insensitively and
+// would reject the input too.
+func parseStampBytes(b []byte, ref time.Time) (t time.Time, ok bool, monthOK bool) {
+	if len(b) < 15 {
+		return time.Time{}, false, false
+	}
+	month := monthFromAbbrev(b[0], b[1], b[2])
+	if month == 0 {
+		return time.Time{}, false, false
+	}
+	if b[3] != ' ' || b[6] != ' ' || b[9] != ':' || b[12] != ':' {
+		return time.Time{}, false, true
+	}
+	var day int
+	switch {
+	case b[4] == ' ' && isDigit(b[5]):
+		day = int(b[5] - '0')
+	default:
+		var dok bool
+		day, dok = two(b[4], b[5])
+		if !dok {
+			return time.Time{}, false, true
+		}
+	}
+	if day < 1 || day > daysInYear0[month] {
+		return time.Time{}, false, true
+	}
+	hour, hok := two(b[7], b[8])
+	min, mok := two(b[10], b[11])
+	sec, sok := two(b[13], b[14])
+	if !hok || !mok || !sok || hour > 23 || min > 59 || sec > 59 {
+		return time.Time{}, false, true
+	}
+	year := ref.Year()
+	if year == 0 {
+		year = 1
+	}
+	return time.Date(year, month, day, hour, min, sec, 0, ref.Location()), true, true
+}
+
+// fixedZoneCache caches time.FixedZone locations by offset so repeated
+// non-UTC RFC 3339 timestamps don't allocate a *Location per message.
+var fixedZoneCache sync.Map // offsetSeconds int -> *time.Location
+
+func cachedFixedZone(offset int) *time.Location {
+	if loc, ok := fixedZoneCache.Load(offset); ok {
+		return loc.(*time.Location)
+	}
+	loc := time.FixedZone("", offset)
+	fixedZoneCache.Store(offset, loc)
+	return loc
+}
+
+// parseRFC3339Bytes parses "2006-01-02T15:04:05[.fraction](Z|±hh:mm)"
+// mirroring the strict fast path time.Parse uses for the RFC3339 and
+// RFC3339Nano layouts (including its local-zone reuse for numeric
+// offsets). ok=false means "fall back to time.Parse": the standard
+// library's slow path additionally accepts a few non-canonical spellings
+// (comma fractions, for one) that never appear on the wire.
+func parseRFC3339Bytes(b []byte) (time.Time, bool) {
+	if len(b) < 20 {
+		return time.Time{}, false
+	}
+	year, y1ok := two(b[0], b[1])
+	y2, y2ok := two(b[2], b[3])
+	if !y1ok || !y2ok || b[4] != '-' || b[7] != '-' || b[10] != 'T' ||
+		b[13] != ':' || b[16] != ':' {
+		return time.Time{}, false
+	}
+	year = year*100 + y2
+	month, mok := two(b[5], b[6])
+	day, dok := two(b[8], b[9])
+	hour, hok := two(b[11], b[12])
+	min, minok := two(b[14], b[15])
+	sec, sok := two(b[17], b[18])
+	if !mok || !dok || !hok || !minok || !sok {
+		return time.Time{}, false
+	}
+	if month < 1 || month > 12 || hour > 23 || min > 59 || sec > 59 {
+		return time.Time{}, false
+	}
+	if day < 1 || day > daysIn(year, time.Month(month)) {
+		return time.Time{}, false
+	}
+	i := 19
+	nsec := 0
+	if b[i] == '.' {
+		j := i + 1
+		for j < len(b) && isDigit(b[j]) {
+			j++
+		}
+		if j == i+1 {
+			return time.Time{}, false // "." with no digits
+		}
+		// First nine digits are significant; the rest (legal per the
+		// grammar) are consumed and truncated, like time.Parse does.
+		scale := 100_000_000
+		for k := i + 1; k < j && k <= i+9; k++ {
+			nsec += int(b[k]-'0') * scale
+			scale /= 10
+		}
+		i = j
+		if i >= len(b) {
+			return time.Time{}, false
+		}
+	}
+	switch b[i] {
+	case 'Z':
+		if i+1 != len(b) {
+			return time.Time{}, false
+		}
+		return time.Date(year, time.Month(month), day, hour, min, sec, nsec, time.UTC), true
+	case '+', '-':
+		if i+6 != len(b) || b[i+3] != ':' {
+			return time.Time{}, false
+		}
+		zh, zhok := two(b[i+1], b[i+2])
+		zm, zmok := two(b[i+4], b[i+5])
+		if !zhok || !zmok || zh > 23 || zm > 59 {
+			return time.Time{}, false
+		}
+		offset := (zh*60 + zm) * 60
+		if b[i] == '-' {
+			offset = -offset
+		}
+		t := time.Date(year, time.Month(month), day, hour, min, sec, nsec, time.UTC).
+			Add(-time.Duration(offset) * time.Second)
+		// Prefer the local zone when it has this offset at this instant —
+		// exactly what time.Parse does — so formatting round-trips match.
+		if _, localOff := t.In(time.Local).Zone(); localOff == offset {
+			return t.In(time.Local), true
+		}
+		return t.In(cachedFixedZone(offset)), true
+	}
+	return time.Time{}, false
+}
+
+// daysIn returns the day count of a month, honouring leap Februaries.
+func daysIn(year int, m time.Month) int {
+	if m == time.February && isLeap(year) {
+		return 29
+	}
+	return daysInYear0[m] - b2i(m == time.February)
+}
+
+func isLeap(year int) bool {
+	return year%4 == 0 && (year%100 != 0 || year%400 == 0)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
