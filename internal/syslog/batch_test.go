@@ -169,6 +169,60 @@ func TestReadFrameRejectsEmptyOctetFrame(t *testing.T) {
 	}
 }
 
+// TestReadFrameLeadingZeroLFLine: an LF-delimited line that happens to
+// start with '0' is not an octet-count prefix (compliant counts have no
+// leading zeros); it must be delivered as a normal line, as it was before
+// the zero-length-frame hardening.
+func TestReadFrameLeadingZeroLFLine(t *testing.T) {
+	fr := NewFrameReader(strings.NewReader("0hello\n07:00 up\n3 abc"))
+	for i, want := range []string{"0hello", "07:00 up", "abc"} {
+		f, err := fr.ReadFrame()
+		if err != nil || string(f) != want {
+			t.Fatalf("frame %d = %q err=%v, want %q", i, f, err, want)
+		}
+	}
+}
+
+// TestServerTCPBatchClosesOnFramingError: a malformed octet-count prefix
+// inside the drain loop desynchronizes the byte stream; the server must
+// deliver what already parsed and close the connection rather than resume
+// reading garbage.
+func TestServerTCPBatchClosesOnFramingError(t *testing.T) {
+	g := &batchGather{}
+	srv := &Server{Handler: g}
+	addr, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire := FormatRFC5424(testMessage("before the tear"))
+	// One segment: a valid frame, a malformed prefix, then a frame that
+	// must NOT be ingested from the desynchronized stream.
+	tail := FormatRFC5424(testMessage("after the tear"))
+	frame := fmt.Sprintf("%d %s99x garbage%d %s", len(wire), wire, len(tail), tail)
+	if _, err := conn.Write([]byte(frame)); err != nil {
+		t.Fatal(err)
+	}
+	g.wait(t, 1)
+
+	// The server closes its side; the client read must hit EOF.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after framing error")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.msgs) != 1 || g.msgs[0].Content != "before the tear" {
+		t.Fatalf("delivered %d messages, want the single pre-error frame: %+v", len(g.msgs), g.msgs)
+	}
+}
+
 // TestFrameReaderScratchReuse pins the documented contract: a returned
 // frame is valid only until the next ReadFrame, because the octet path
 // reuses one per-connection scratch buffer instead of allocating per frame.
@@ -205,9 +259,14 @@ func TestFrameBuffered(t *testing.T) {
 		{"complete_octet", "5 hello3 abc", true, "full second frame buffered"},
 		{"short_octet_payload", "5 hello9 abc", false, "declared 9, only 3 buffered"},
 		{"incomplete_prefix", "5 hello12", false, "length prefix still incomplete"},
+		{"seven_digit_prefix", "5 hello1048576", false, "7-digit prefix is legal but its space has not arrived"},
+		{"overlong_prefix", "5 hello12345678 x", true, "8-digit prefix fails fast"},
 		{"malformed_prefix", "5 hello12x4 y", true, "malformed prefix fails fast"},
 		{"lf_frame", "5 hello<34>next\n", true, "newline-terminated frame buffered"},
 		{"lf_partial", "5 hello<34>torn", false, "no newline yet"},
+		{"zero_lf_frame", "5 hello0abc\n", true, "leading-zero LF line with newline buffered"},
+		{"zero_lf_partial", "5 hello0abc", false, "leading-zero LF line, no newline yet"},
+		{"zero_octet", "5 hello0 x", true, "zero-length octet frame fails fast"},
 		{"drained", "5 hello", false, "nothing left"},
 	}
 	for _, tc := range cases {

@@ -189,14 +189,14 @@ func (m *Message) String() string {
 }
 
 // Clone returns a deep copy of the message. The copy is always an
-// ordinary heap value: cloning a still-pooled message copies its string
-// fields out of the pool's slab, so the clone stays valid after the
-// original is recycled.
+// ordinary heap value: cloning a byte-parsed message (pooled or not)
+// copies its string fields out of the materialization slab, so the clone
+// stays valid after the original is re-parsed or recycled.
 func (m *Message) Clone() *Message {
 	c := *m
 	c.buf = nil
-	if c.pooled {
-		c.pooled = false
+	c.pooled = false
+	if len(m.buf) > 0 {
 		c.Hostname = strings.Clone(m.Hostname)
 		c.AppName = strings.Clone(m.AppName)
 		c.ProcID = strings.Clone(m.ProcID)

@@ -300,6 +300,26 @@ func TestCloneOfPooledMessageCopiesStrings(t *testing.T) {
 	}
 }
 
+// TestCloneOfReusedByteParsedMessageCopiesStrings: Clone must deep-copy
+// the slab-aliased strings of ANY byte-parsed message, not just pooled
+// ones. A user reusing a non-pooled Message across ParseBytes calls (the
+// documented hot-path pattern) would otherwise see earlier clones mutate
+// when the slab is overwritten in place.
+func TestCloneOfReusedByteParsedMessageCopiesStrings(t *testing.T) {
+	m := &Message{} // ordinary heap value, never pooled
+	if err := ParseBytes([]byte("<34>Oct 11 22:14:15 host app: keep me"), equivalenceRef, m); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if err := ParseBytes([]byte("<34>Oct 11 22:14:15 mutated mut: other"), equivalenceRef, m); err != nil {
+		t.Fatal(err)
+	}
+	if c.Content != "keep me" || c.Hostname != "host" || c.AppName != "app" ||
+		c.Raw != "<34>Oct 11 22:14:15 host app: keep me" {
+		t.Errorf("clone aliased the reused slab: %+v", c)
+	}
+}
+
 // TestParseBytesLongMessage exercises slab growth across reuse.
 func TestParseBytesLongMessage(t *testing.T) {
 	m := &Message{}

@@ -311,7 +311,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		for len(batch) < maxBatch && fr.FrameBuffered() {
 			frame, err := fr.ReadFrame()
 			if err != nil {
-				break
+				// A framing error mid-stream leaves the byte stream
+				// desynchronized; deliver what parsed and close the
+				// connection, as the single-frame path does.
+				s.deliver(batch)
+				return
 			}
 			s.framesTCP.Inc()
 			s.appendParsed(frame, &batch)
@@ -363,7 +367,15 @@ func (fr *FrameReader) ReadFrame() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if first[0] >= '0' && first[0] <= '9' {
+	// '1'-'9' selects octet-counted framing as before. A leading '0' is
+	// ambiguous: compliant octet counts have no leading zeros, but "0 "
+	// (a zero-length frame) should be rejected rather than round-trip as
+	// an invisible LF line. Treat '0' as octet-counted only when the
+	// lookahead confirms an all-digit, space-terminated prefix; anything
+	// else (e.g. an LF line that happens to start with '0') keeps the
+	// pre-existing LF-delimited behaviour.
+	if first[0] >= '1' && first[0] <= '9' ||
+		first[0] == '0' && fr.leadingZeroIsOctet() {
 		// Octet-counted: "LEN SP MSG". Read the length digit by digit so
 		// the prefix is bounded before anything is buffered.
 		n, nd := 0, 0
@@ -416,6 +428,28 @@ func (fr *FrameReader) ReadFrame() ([]byte, error) {
 	return bytes.TrimRight(line, "\r\n"), nil
 }
 
+// leadingZeroIsOctet disambiguates a frame whose first byte is '0': it
+// peeks ahead and reports whether the stream opens with an all-digit,
+// space-terminated length prefix (octet-counted framing, e.g. the
+// zero-length frame "0 "). Blocking inside Peek is acceptable here:
+// whichever framing applies, ReadFrame needs the same bytes before a
+// frame can complete.
+func (fr *FrameReader) leadingZeroIsOctet() bool {
+	for i := 1; i <= maxFrameDigits; i++ {
+		b, err := fr.r.Peek(i + 1)
+		if err != nil {
+			return false // short stream: let the LF path surface it
+		}
+		switch c := b[i]; {
+		case c == ' ':
+			return true
+		case c < '0' || c > '9':
+			return false
+		}
+	}
+	return false // more than maxFrameDigits digits: not a valid prefix
+}
+
 // FrameBuffered reports whether a complete frame is already buffered, so
 // the next ReadFrame is guaranteed not to block on the network. Malformed
 // buffered input also reports true: ReadFrame will fail on it without
@@ -435,10 +469,18 @@ func (fr *FrameReader) FrameBuffered() bool {
 			ln = ln*10 + int(b[i]-'0')
 			i++
 		}
-		if i == len(b) && i < maxFrameDigits {
-			return false // length prefix still incomplete
+		if i == len(b) {
+			// All buffered bytes are digits: the prefix (or, for a
+			// leading '0', the LF line) may still be incomplete. Even at
+			// maxFrameDigits a legal prefix needs its terminating space.
+			return false
 		}
-		if i == maxFrameDigits || b[i] != ' ' {
+		if b[0] == '0' && b[i] != ' ' {
+			// Leading zero without a space-terminated digit prefix:
+			// ReadFrame treats this as an LF-delimited line.
+			return bytes.IndexByte(b, '\n') >= 0
+		}
+		if b[i] != ' ' {
 			return true // over-long or malformed prefix: fails fast
 		}
 		return len(b) >= i+1+ln
