@@ -334,12 +334,22 @@ func BenchmarkServiceThroughputWithStore(b *testing.B) {
 	tc, recs := serviceStream(b, batch)
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			svc := &core.Service{Classifier: tc, Store: store.New(8), Workers: workers}
+			st := store.New(8)
+			svc := &core.Service{Classifier: tc, Store: st, Workers: workers}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := svc.Write(context.Background(), recs); err != nil {
 					b.Fatal(err)
+				}
+				// Keep the store bounded off the clock, as retention would:
+				// otherwise long -benchtime runs measure GC over an
+				// ever-growing heap instead of the indexing path.
+				if st.Count() >= 16*batch {
+					b.StopTimer()
+					st.DeleteBefore(time.Unix(1<<40, 0))
+					st.Compact()
+					b.StartTimer()
 				}
 			}
 			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "recs/s")
@@ -383,57 +393,167 @@ func BenchmarkPipelineFlushWorkers(b *testing.B) {
 	}
 }
 
+// signalSink wraps the real sink with a completion notification so the
+// end-to-end bench can wait for an exact flushed-record count instead of
+// polling Counts() in a sleep loop (the sleeps dominated the old
+// measurement and hid the actual pipeline latency).
+type signalSink struct {
+	inner collector.Sink
+	mu    sync.Mutex
+	total int64
+	want  int64
+	ch    chan struct{}
+}
+
+func (s *signalSink) Write(ctx context.Context, batch []collector.Record) error {
+	if err := s.inner.Write(ctx, batch); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.total += int64(len(batch))
+	if s.ch != nil && s.total >= s.want {
+		close(s.ch)
+		s.ch = nil
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// expect returns a channel closed once the cumulative flushed-record
+// count reaches target. One waiter at a time (the bench loop).
+func (s *signalSink) expect(target int64) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan struct{})
+	if s.total >= target {
+		close(ch)
+		return ch
+	}
+	s.want, s.ch = target, ch
+	return ch
+}
+
+// reportStages prints the per-stage latency attribution the obs registry
+// collected during the run — the profile that pins the socket→store gap
+// to a stage instead of guessing. Shown with -v.
+func reportStages(b *testing.B, reg *obs.Registry, records int64, wall time.Duration) {
+	if !testing.Verbose() {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "per-stage attribution over %d records (wall %v):\n", records, wall.Round(time.Millisecond))
+	for _, st := range []struct{ label, metric string }{
+		{"ingest (read-loop batch)", "syslog_ingest_batch_seconds"},
+		{"flush (pipeline→sink)", "pipeline_flush_seconds"},
+		{"classify (per record)", "service_classify_seconds"},
+		{"index (store batch)", "store_index_batch_seconds"},
+	} {
+		h := reg.Histogram(st.metric, "", obs.LatencyBuckets)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-26s %9d obs  mean=%-12v p99=%-12v busy=%5.1f%%\n",
+			st.label, h.Count(),
+			time.Duration(h.Mean()*float64(time.Second)).Round(time.Nanosecond),
+			time.Duration(h.Quantile(0.99)*float64(time.Second)).Round(time.Nanosecond),
+			100*h.Sum()/wall.Seconds())
+	}
+	b.Log("\n" + sb.String())
+}
+
 // BenchmarkIngestEndToEnd measures the whole ingest fast path at once:
 // loopback TCP socket -> octet-counted framing -> byte parsers -> pooled
-// messages -> batched pipeline handoff -> classification -> store
+// messages -> batched pipeline handoff -> classification -> batched store
 // indexing. The recs/s metric is the end-to-end number to compare against
 // the cluster's >1M msgs/hour rate; BenchmarkIngestParse and
-// BenchmarkServerIngestTCP in internal/syslog isolate the stages.
+// BenchmarkServerIngestTCP in internal/syslog isolate the stages, and -v
+// prints the per-stage latency attribution from the obs registry.
+//
+// Two workloads: "uniform/cache=off" (every message distinct — the
+// classify cache's worst case and the historical baseline) and
+// "zipf/cache=on" (heavy-headed repetition with the cache enabled — the
+// deployed cmd/collector default against realistic syslog traffic).
 func BenchmarkIngestEndToEnd(b *testing.B) {
 	const n = 4096
-	tc, recs := serviceStream(b, n)
-	var wireBuf strings.Builder
-	for _, r := range recs {
-		wire := syslog.FormatRFC5424(r.Msg)
-		fmt.Fprintf(&wireBuf, "%d %s", len(wire), wire)
-	}
-	payload := []byte(wireBuf.String())
-
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		svc := &core.Service{Classifier: tc, Store: store.New(8), Workers: 2}
-		src := collector.NewSyslogSource("", "127.0.0.1:0")
-		p := &collector.Pipeline{
-			Source: src, Sink: svc,
-			BatchSize: 128, FlushInterval: time.Millisecond,
-		}
-		ctx, cancel := context.WithCancel(context.Background())
-		done := make(chan error, 1)
-		go func() { done <- p.Run(ctx) }()
-		<-src.Ready()
-		conn, err := net.Dial("tcp", src.BoundTCP)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := conn.Write(payload); err != nil {
-			b.Fatal(err)
-		}
-		for {
-			if got, _ := svc.Counts(); got >= n {
-				break
+	tc, uniform := serviceStream(b, n)
+	zipf := zipfStream(b, n, 256)
+	for _, w := range []struct {
+		name   string
+		recs   []collector.Record
+		cached bool
+	}{
+		{"uniform/cache=off", uniform, false},
+		{"zipf/cache=on", zipf, true},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			var wireBuf strings.Builder
+			for _, r := range w.recs {
+				wire := syslog.FormatRFC5424(r.Msg)
+				fmt.Fprintf(&wireBuf, "%d %s", len(wire), wire)
 			}
-			time.Sleep(100 * time.Microsecond)
-		}
-		cancel()
-		if err := <-done; err != nil {
-			b.Fatal(err)
-		}
-		conn.Close()
-		if s := p.Stats(); s.Ingested != n || s.Flushed != n {
-			b.Fatalf("lossy ingest: %+v", s)
-		}
+			payload := []byte(wireBuf.String())
+
+			// Everything below runs once: service, listener, store and the
+			// TCP connection live across iterations, so the timed region
+			// measures the pipeline, not its construction and teardown.
+			reg := obs.NewRegistry()
+			st := store.New(8)
+			st.Instrument(reg)
+			svc := &core.Service{Classifier: tc, Store: st, Metrics: reg}
+			if w.cached {
+				svc.Cache = core.NewClassifyCache(0, 0)
+			}
+			sink := &signalSink{inner: svc}
+			src := collector.NewSyslogSource("", "127.0.0.1:0")
+			src.Metrics = reg
+			p := &collector.Pipeline{
+				Source: src, Sink: sink,
+				BatchSize: 128, FlushInterval: time.Millisecond,
+				Metrics: reg,
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- p.Run(ctx) }()
+			<-src.Ready()
+			conn, err := net.Dial("tcp", src.BoundTCP)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arrived := sink.expect(int64(i+1) * n)
+				if _, err := conn.Write(payload); err != nil {
+					b.Fatal(err)
+				}
+				<-arrived
+				// Bound the live store between iterations, off the clock: a
+				// deployed store runs under retention, and without a bound
+				// b.N iterations grow the heap until the bench measures GC
+				// mark time instead of the ingest path.
+				if st.Count() >= 16*n {
+					b.StopTimer()
+					st.DeleteBefore(time.Unix(1<<40, 0))
+					st.Compact()
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "recs/s")
+
+			cancel()
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			total := int64(b.N) * n
+			if s := p.Stats(); s.Ingested != total || s.Flushed != total {
+				b.Fatalf("lossy ingest: %+v, want %d", s, total)
+			}
+			reportStages(b, reg, total, b.Elapsed())
+		})
 	}
-	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "recs/s")
 }
 
 // BenchmarkPipelineFlushUnderFaults measures end-to-end pipeline

@@ -1,0 +1,170 @@
+// Command benchdelta turns `go test -bench` output into a small JSON
+// document and compares runs, so benchmark trajectories can be committed
+// next to the code they measure and CI can print a benchstat-style delta
+// against the recorded baseline without external tooling.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchdelta -out bench.json
+//	go test -run '^$' -bench . -benchmem ./... | benchdelta -baseline bench.json
+//
+// With -out the parsed results are written as JSON. With -baseline the
+// current run is compared metric by metric against the recorded file and
+// printed as a table; the tool always exits zero, because benchmark noise
+// on shared runners must not fail a build — the delta is information, not
+// a gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's metrics, keyed by unit ("ns/op",
+// "recs/s", "B/op", "allocs/op", ...).
+type Result map[string]float64
+
+// File is the JSON document benchdelta reads and writes.
+type File struct {
+	Benches map[string]Result `json:"benches"`
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. A result line looks like:
+//
+//	BenchmarkName/sub-8   206   18490968 ns/op   221514 recs/s   14927 allocs/op
+//
+// i.e. a Benchmark- prefixed name, the iteration count, then value/unit
+// pairs. Non-benchmark lines (goos, pkg, PASS, ok ...) are skipped. The
+// trailing -N GOMAXPROCS suffix is stripped so results compare across
+// machines.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(f[1]); err != nil {
+			continue // not an iteration count: some other Benchmark- line
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			res[f[i+1]] = v
+		}
+		if len(res) > 0 {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// delta formats the relative change from old to new: negative is a
+// reduction. For throughput units (anything per second) higher is better;
+// for everything else (ns/op, B/op, allocs/op) lower is better, and the
+// sign convention is left to the reader — the table shows both values.
+func delta(old, cur float64) string {
+	if old == 0 {
+		if cur == 0 {
+			return "0%"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-old)/old*100)
+}
+
+func main() {
+	outPath := flag.String("out", "", "write parsed results as JSON to this file")
+	basePath := flag.String("baseline", "", "compare against this recorded JSON file")
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdelta: no benchmark results on stdin")
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(File{Benches: cur}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdelta:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdelta:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchdelta: %d results written to %s\n", len(cur), *outPath)
+	}
+
+	if *basePath != "" {
+		data, err := os.ReadFile(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdelta:", err)
+			os.Exit(1)
+		}
+		var base File
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdelta:", err)
+			os.Exit(1)
+		}
+		printDelta(os.Stdout, base.Benches, cur)
+	}
+}
+
+// printDelta writes the comparison table: one line per benchmark metric
+// present in either run, sorted by benchmark name.
+func printDelta(w io.Writer, base, cur map[string]Result) {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	for n := range base {
+		if _, ok := cur[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "%-55s %-12s %14s %14s %8s\n", "benchmark", "metric", "baseline", "current", "delta")
+	for _, n := range names {
+		b, c := base[n], cur[n]
+		units := make([]string, 0, len(c))
+		for u := range c {
+			units = append(units, u)
+		}
+		for u := range b {
+			if _, ok := c[u]; !ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Fprintf(tw, "%-55s %-12s %14.1f %14.1f %8s\n",
+				n, u, b[u], c[u], delta(b[u], c[u]))
+		}
+	}
+}

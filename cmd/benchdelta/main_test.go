@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hetsyslog
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkIngestEndToEnd/uniform/cache=off-8         	     115	  37800011 ns/op	    108360 recs/s	 5250427 B/op	   18492 allocs/op
+BenchmarkIngestEndToEnd/zipf/cache=on             	     206	  18490968 ns/op	    221514 recs/s	 5198828 B/op	   14927 allocs/op
+BenchmarkStoreIndexBatch  	   23978	    108423 ns/op	   1180558 recs/s	   76941 B/op	       4 allocs/op
+PASS
+ok  	hetsyslog	12.457s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// The -8 GOMAXPROCS suffix is stripped so names compare across boxes.
+	r, ok := got["BenchmarkIngestEndToEnd/uniform/cache=off"]
+	if !ok {
+		t.Fatalf("missing uniform bench in %v", got)
+	}
+	if r["ns/op"] != 37800011 || r["recs/s"] != 108360 || r["allocs/op"] != 18492 {
+		t.Errorf("uniform metrics = %v", r)
+	}
+	if got["BenchmarkStoreIndexBatch"]["recs/s"] != 1180558 {
+		t.Errorf("store batch metrics = %v", got["BenchmarkStoreIndexBatch"])
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok  \thetsyslog\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from non-bench output", got)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	cases := []struct {
+		old, cur float64
+		want     string
+	}{
+		{100, 150, "+50.0%"},
+		{200, 100, "-50.0%"},
+		{0, 5, "new"},
+		{0, 0, "0%"},
+	}
+	for _, tc := range cases {
+		if got := delta(tc.old, tc.cur); got != tc.want {
+			t.Errorf("delta(%v, %v) = %q, want %q", tc.old, tc.cur, got, tc.want)
+		}
+	}
+}
+
+func TestPrintDelta(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA":    {"ns/op": 200, "recs/s": 1000},
+		"BenchmarkGone": {"ns/op": 50},
+	}
+	cur := map[string]Result{
+		"BenchmarkA":   {"ns/op": 100, "recs/s": 2000},
+		"BenchmarkNew": {"ns/op": 42},
+	}
+	var sb strings.Builder
+	printDelta(&sb, base, cur)
+	out := sb.String()
+	for _, want := range []string{"BenchmarkA", "BenchmarkGone", "BenchmarkNew", "-50.0%", "+100.0%", "new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+}

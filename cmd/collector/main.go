@@ -58,8 +58,16 @@ func main() {
 		writeTO     = flag.Duration("write-timeout", 0, "per-attempt sink write timeout (0 = default 30s)")
 		breakerThr  = flag.Int("breaker-threshold", 0, "consecutive failed writes that trip the sink circuit breaker (0 = default 5)")
 		ingestBatch = flag.Int("ingest-batch", 0, "max syslog messages per listener read-loop batch handed to the pipeline (0 = default 256)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file at clean shutdown (empty disables)")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at clean shutdown (empty disables)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	// Train the deployed model.
 	fmt.Fprintf(os.Stderr, "collector: training %s on %d synthetic messages...\n", *modelName, *scale)

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles begins file-based profiling for headless runs (benchmark
+// boxes, CI) where the /debug/pprof HTTP surface on -metrics-addr is
+// awkward to reach. A non-empty cpuPath starts a CPU profile immediately;
+// the returned stop flushes it and, when memPath is set, writes an
+// allocation profile. Profiles are written on clean shutdown only — a
+// fatal startup error exits without them.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "profile: cpu written to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+				return
+			}
+			runtime.GC() // flush unreachable objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "profile: heap written to %s\n", memPath)
+		}
+	}, nil
+}

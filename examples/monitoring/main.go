@@ -35,13 +35,13 @@ func main() {
 		cat := clf.ClassifyCategory(ex.Text)
 		st.Index(store.Doc{
 			Time: ex.Time,
-			Fields: map[string]string{
-				"hostname": ex.Node.Name,
-				"app":      ex.App,
-				"rack":     fmt.Sprintf("r%d", ex.Node.Rack),
-				"arch":     string(ex.Node.Arch),
-				"category": string(cat),
-			},
+			Fields: store.F(
+				"hostname", ex.Node.Name,
+				"app", ex.App,
+				"rack", fmt.Sprintf("r%d", ex.Node.Rack),
+				"arch", string(ex.Node.Arch),
+				"category", string(cat),
+			),
 			Body: ex.Text,
 		})
 	}

@@ -37,10 +37,10 @@ func main() {
 		ex := gen.Example()
 		st.Index(store.Doc{
 			Time: ex.Time,
-			Fields: map[string]string{
-				"hostname": ex.Node.Name,
-				"category": string(clf.ClassifyCategory(ex.Text)),
-			},
+			Fields: store.F(
+				"hostname", ex.Node.Name,
+				"category", string(clf.ClassifyCategory(ex.Text)),
+			),
 			Body: ex.Text,
 		})
 	}
@@ -49,10 +49,10 @@ func main() {
 	for _, ex := range gen.Burst(taxonomy.MemoryIssue, bad, 40, time.Minute) {
 		st.Index(store.Doc{
 			Time: ex.Time,
-			Fields: map[string]string{
-				"hostname": ex.Node.Name,
-				"category": string(clf.ClassifyCategory(ex.Text)),
-			},
+			Fields: store.F(
+				"hostname", ex.Node.Name,
+				"category", string(clf.ClassifyCategory(ex.Text)),
+			),
 			Body: ex.Text,
 		})
 	}

@@ -299,9 +299,9 @@ func TestRecordToDoc(t *testing.T) {
 	r := record("cn7", "sshd", "Connection closed", syslog.Warning).
 		WithMeta("rack", "r2").WithMeta("arch", "aarch64-cavium")
 	d := RecordToDoc(r)
-	if d.Body != "Connection closed" || d.Fields["hostname"] != "cn7" ||
-		d.Fields["app"] != "sshd" || d.Fields["severity"] != "warning" ||
-		d.Fields["rack"] != "r2" {
+	if d.Body != "Connection closed" || d.Fields.Value("hostname") != "cn7" ||
+		d.Fields.Value("app") != "sshd" || d.Fields.Value("severity") != "warning" ||
+		d.Fields.Value("rack") != "r2" {
 		t.Errorf("doc = %+v", d)
 	}
 }

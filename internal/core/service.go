@@ -78,6 +78,13 @@ type Service struct {
 	// ClassifyScratch so the steady-state hot path allocates nothing.
 	scratchPool sync.Pool
 
+	// docsPool recycles the []store.Doc staging slice Write uses to hand
+	// a whole classified batch to Store.IndexBatch in one call — one
+	// id-range reservation and one lock per shard per batch, replacing
+	// the per-record Store.Index mutex/lock pair that dominated the
+	// socket→store profile.
+	docsPool sync.Pool
+
 	seqMu sync.Mutex
 
 	catIdxOnce sync.Once
@@ -105,7 +112,8 @@ func (s *Service) initMetrics() {
 			"per-node sequence anomalies fired")
 		if s.Metrics != nil {
 			s.classifyLat = s.Metrics.Histogram("service_classify_seconds",
-				"per-record classify+index latency", obs.LatencyBuckets)
+				"per-record classify latency (indexing is timed by store_index_batch_seconds)",
+				obs.LatencyBuckets)
 		}
 		if s.Cache != nil {
 			s.cacheHitsRaw = s.Metrics.Counter(`service_cache_hits_total{level="raw"}`,
@@ -155,20 +163,38 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 		workers = len(batch)
 	}
 	if workers <= 1 || len(batch) < minParallelBatch {
+		if s.Store == nil {
+			for _, r := range batch {
+				cat, ok := s.classify(r)
+				if ok {
+					s.finish(r, cat)
+				}
+			}
+			return nil
+		}
+		docs := s.getDocs(0)
 		for _, r := range batch {
 			cat, ok := s.classify(r)
-			if ok {
-				s.finish(r, cat)
+			if !ok {
+				continue
 			}
+			docs = appendDoc(docs, r, cat)
+			s.finish(r, cat)
 		}
+		s.Store.IndexBatch(docs)
+		s.putDocs(docs)
 		return nil
 	}
 
-	// Parallel phase: classify + index. Both are safe concurrently (see
-	// the type comment); records are striped across workers so each
-	// goroutine writes a disjoint subset of cats.
+	// Parallel phase: classification fans out; records are striped across
+	// workers so each goroutine writes a disjoint subset of cats (and doc
+	// slots, when a store is attached).
 	cats := make([]taxonomy.Category, len(batch))
 	valid := make([]bool, len(batch))
+	var docs []store.Doc
+	if s.Store != nil {
+		docs = s.getDocs(len(batch))
+	}
 	var wg sync.WaitGroup
 	// The goroutine closures capture stride, not workers: capturing the
 	// latter would move it to the heap and cost the serial path — the
@@ -180,10 +206,28 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 			defer wg.Done()
 			for i := w; i < len(batch); i += stride {
 				cats[i], valid[i] = s.classify(batch[i])
+				if valid[i] && docs != nil {
+					docs[i] = buildDoc(batch[i], cats[i])
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+
+	// Batched index handoff: the whole classified batch reaches the store
+	// in one IndexBatch call (invalid slots compacted away first), so
+	// parallel workers never contend on shard locks record by record.
+	if docs != nil {
+		j := 0
+		for i := range docs {
+			if valid[i] {
+				docs[j] = docs[i]
+				j++
+			}
+		}
+		s.Store.IndexBatch(docs[:j])
+		s.putDocs(docs)
+	}
 
 	// Serial phase: alerting and the per-node Markov chains run in batch
 	// order on this goroutine, so parallel classification can neither
@@ -198,9 +242,50 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 	return nil
 }
 
+// getDocs takes the pooled doc staging slice, sized to n slots (n = 0
+// for the append-style serial path).
+func (s *Service) getDocs(n int) []store.Doc {
+	var docs []store.Doc
+	if v := s.docsPool.Get(); v != nil {
+		docs = *(v.(*[]store.Doc))
+	}
+	if cap(docs) < n {
+		docs = make([]store.Doc, n)
+	}
+	return docs[:n]
+}
+
+// putDocs recycles the staging slice, clearing it first so pooled
+// capacity does not pin field maps or message strings.
+func (s *Service) putDocs(docs []store.Doc) {
+	if cap(docs) == 0 {
+		return
+	}
+	docs = docs[:cap(docs)]
+	clear(docs)
+	docs = docs[:0]
+	s.docsPool.Put(&docs)
+}
+
+// buildDoc converts one classified record to its store document, with
+// the predicted category stamped as a queryable field.
+func buildDoc(r collector.Record, cat taxonomy.Category) store.Doc {
+	doc := collector.RecordToDoc(r)
+	doc.Fields = doc.Fields.Set("category", string(cat))
+	return doc
+}
+
+// appendDoc is buildDoc appending into the staging slice.
+func appendDoc(docs []store.Doc, r collector.Record, cat taxonomy.Category) []store.Doc {
+	return append(docs, buildDoc(r, cat))
+}
+
 // classify runs the order-independent part of the hot path for one
-// record: predict the category, count it, index the document. It reports
-// the category and whether the record carried a message.
+// record: predict the category and count it. It reports the category and
+// whether the record carried a message. Indexing is no longer here — the
+// caller batches the whole Write into one Store.IndexBatch call, so
+// service_classify_seconds now times classification alone and the index
+// stage is attributed separately by store_index_batch_seconds.
 func (s *Service) classify(r collector.Record) (taxonomy.Category, bool) {
 	if r.Msg == nil {
 		return "", false
@@ -213,11 +298,6 @@ func (s *Service) classify(r collector.Record) (taxonomy.Category, bool) {
 	s.classified.Inc()
 	if taxonomy.Actionable(cat) {
 		s.actionable.Inc()
-	}
-	if s.Store != nil {
-		doc := collector.RecordToDoc(r)
-		doc.Fields["category"] = string(cat)
-		s.Store.Index(doc)
 	}
 	if s.classifyLat != nil {
 		s.classifyLat.ObserveDuration(time.Since(start))

@@ -87,12 +87,13 @@ func (m *ComplementNB) DecisionScores(x sparse.Vector) []float64 {
 	return out
 }
 
-// Predict implements ml.Classifier.
+// Predict implements ml.Classifier. The argmax runs over the class dots
+// directly — no scores slice, so the per-record classify path stays
+// allocation-free (DecisionScores serves callers that need the values).
 func (m *ComplementNB) Predict(x sparse.Vector) int {
-	s := m.DecisionScores(x)
 	best, bi := math.Inf(-1), 0
-	for c, v := range s {
-		if v > best {
+	for c := 0; c < m.k; c++ {
+		if v := sparse.DotDense(x, m.w[c]); v > best {
 			best, bi = v, c
 		}
 	}

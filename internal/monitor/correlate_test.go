@@ -30,7 +30,7 @@ func TestCorrelateBadgeToUSB(t *testing.T) {
 		t.Fatalf("pairs = %d, want 1", len(pairs))
 	}
 	p := pairs[0]
-	if p.A.Fields["app"] != "badge" || p.B.Fields["hostname"] != "cn07" {
+	if p.A.Fields.Value("app") != "badge" || p.B.Fields.Value("hostname") != "cn07" {
 		t.Errorf("pair = %+v", p)
 	}
 	if p.Gap != 40*time.Second {
@@ -52,7 +52,7 @@ func TestCorrelateNegativeGapAndOrdering(t *testing.T) {
 	if len(pairs) != 1 {
 		t.Fatalf("pairs = %d", len(pairs))
 	}
-	if pairs[0].B.Fields["hostname"] != "b1" || pairs[0].Gap != -10*time.Second {
+	if pairs[0].B.Fields.Value("hostname") != "b1" || pairs[0].Gap != -10*time.Second {
 		t.Errorf("nearest-B selection wrong: %+v", pairs[0])
 	}
 }

@@ -15,10 +15,10 @@ var t0 = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
 func indexEvent(st *store.Store, offset time.Duration, host, rack, arch, app string, cat taxonomy.Category, body string) {
 	st.Index(store.Doc{
 		Time: t0.Add(offset),
-		Fields: map[string]string{
-			"hostname": host, "rack": rack, "arch": arch, "app": app,
-			"category": string(cat),
-		},
+		Fields: store.F(
+			"hostname", host, "rack", rack, "arch", arch, "app", app,
+			"category", string(cat),
+		),
 		Body: body,
 	})
 }

@@ -148,6 +148,48 @@ func (h *Histogram) Sum() float64 {
 	return float64(h.sumMicro.Load()) / 1e6
 }
 
+// Mean returns the average observed value (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding it, the same estimate
+// Prometheus' histogram_quantile gives. Observations above the last
+// finite bound clamp to that bound. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	cum, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	i := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if i >= len(h.bounds) {
+		return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+	}
+	lo := 0.0
+	var below int64
+	if i > 0 {
+		lo = h.bounds[i-1]
+		below = cum[i-1]
+	}
+	in := cum[i] - below
+	if in == 0 {
+		return h.bounds[i]
+	}
+	return lo + (h.bounds[i]-lo)*(rank-float64(below))/float64(in)
+}
+
 // snapshot returns cumulative bucket counts aligned with bounds + the
 // +Inf bucket, plus total count and sum. Reads are atomic per bucket;
 // a scrape concurrent with observations may be off by the in-flight

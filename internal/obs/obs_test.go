@@ -195,3 +195,34 @@ func TestConcurrentUpdatesAndScrapes(t *testing.T) {
 		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
 	}
 }
+
+func TestHistogramMeanQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4, 8})
+	var nilH *Histogram
+	if nilH.Mean() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must report zero mean/quantile")
+	}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zero mean/quantile")
+	}
+	// 100 observations spread evenly through (0,4]: mean ~2.02, median ~2.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	if m := h.Mean(); m < 1.9 || m > 2.1 {
+		t.Errorf("Mean = %v, want ~2.02", m)
+	}
+	if q := h.Quantile(0.5); q < 1.8 || q > 2.2 {
+		t.Errorf("Quantile(0.5) = %v, want ~2", q)
+	}
+	if q := h.Quantile(1); q < 3.9 || q > 4.1 {
+		t.Errorf("Quantile(1) = %v, want ~4", q)
+	}
+	// Above the last finite bound: clamps to it.
+	h2 := r.Histogram("lat2", "", []float64{1})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Errorf("overflow Quantile = %v, want clamp to 1", q)
+	}
+}

@@ -87,7 +87,7 @@ func (st *Store) Terms(q Query, field string, size int) []TermBucket {
 			if !q.matches(d) {
 				continue
 			}
-			if v, ok := d.Fields[field]; ok {
+			if v, ok := d.Fields.Get(field); ok {
 				counts[v]++
 			}
 		}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/raceflag"
+)
+
+// canonicalDoc builds a doc shaped like the collector's RecordToDoc
+// output: the canonical field set plus a short repeated body, i.e. the
+// steady-state input the index hot path sees from live syslog traffic.
+func canonicalDoc(i int) Doc {
+	return Doc{
+		Time: time.Unix(int64(i), 0),
+		Fields: F(
+			"tag", "syslog",
+			"hostname", fmt.Sprintf("cn%03d", i%64),
+			"app", "kernel",
+			"severity", "warning",
+			"facility", "kern",
+			"category", "hardware_issue",
+		),
+		Body: fmt.Sprintf("CPU %d temperature above threshold, cpu clock throttled", i%16),
+	}
+}
+
+// TestIndexBatchSteadyStateAllocs enforces the store-side acceptance bar
+// of the socket→store fast path: once the shard has seen a body shape and
+// its field values, indexing another canonical doc performs zero heap
+// allocations — the body resolves through bodyMemo, every posting append
+// is in place, and field keys build in the shard's scratch buffer. Only
+// amortized posting-list growth allocates, and the warmup leaves enough
+// capacity slack that the measured window never grows. Skipped under
+// -race like every AllocsPerRun ceiling in this repo.
+func TestIndexBatchSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	st := New(1)
+	warm := make([]Doc, 4608)
+	for i := range warm {
+		warm[i] = canonicalDoc(i)
+	}
+	st.IndexBatch(warm)
+
+	batch := make([]Doc, 8)
+	for i := range batch {
+		batch[i] = canonicalDoc(i)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		st.IndexBatch(batch)
+	}); n != 0 {
+		t.Errorf("IndexBatch steady-state allocs/op = %v, want 0", n)
+	}
+}
+
+// TestIndexSteadyStateAllocs is the single-doc counterpart: the Index
+// entry point shares indexLocked with IndexBatch, so it inherits the same
+// zero-allocation steady state.
+func TestIndexSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	st := New(1)
+	warm := make([]Doc, 4608)
+	for i := range warm {
+		warm[i] = canonicalDoc(i)
+	}
+	st.IndexBatch(warm)
+
+	d := canonicalDoc(1)
+	if n := testing.AllocsPerRun(100, func() {
+		st.Index(d)
+	}); n != 0 {
+		t.Errorf("Index steady-state allocs/op = %v, want 0", n)
+	}
+}
+
+// TestQuerySteadyStateAllocs pins the allocation ceilings of the prepared
+// query hot paths. A Term count is fully allocation-free: the field key
+// builds in a stack buffer, candidates come straight from the posting
+// list, and the per-candidate re-check scans the doc's field slice. Match
+// counts allocate only at prepare time (the analyzed token slice, plus
+// intersection staging for multi-token queries) — never per candidate,
+// which is what keeps query cost independent of corpus size.
+func TestQuerySteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	st := New(4)
+	for i := 0; i < 4096; i++ {
+		st.Index(canonicalDoc(i))
+	}
+	cases := []struct {
+		name    string
+		q       Query
+		ceiling float64
+	}{
+		// Match ceilings are per query, not per candidate: the prepare
+		// step boxes the rewritten query and analyzes its text (2), and
+		// multi-token intersection stages lists per shard (4 shards
+		// here). None of it scales with the 4096-doc corpus.
+		{"term", Term{Field: "app", Value: "kernel"}, 0},
+		{"match_single_token", Match{Text: "throttled"}, 2},
+		{"match_multi_token", Match{Text: "temperature threshold"}, 24},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := st.CountQuery(tc.q); got == 0 {
+				t.Fatalf("query %v matched nothing; bad fixture", tc.q)
+			}
+			if n := testing.AllocsPerRun(100, func() {
+				st.CountQuery(tc.q)
+			}); n > tc.ceiling {
+				t.Errorf("CountQuery(%v) allocs/op = %v, want <= %v", tc.q, n, tc.ceiling)
+			}
+		})
+	}
+}
+
+// BenchmarkStoreIndexBatch measures the batched index path in isolation —
+// the store-side half of the socket→store gap. Retention pruning runs
+// off-clock, as a deployment's retention loop would, so the numbers
+// reflect steady-state indexing rather than unbounded corpus growth.
+func BenchmarkStoreIndexBatch(b *testing.B) {
+	const batchSize = 128
+	st := New(4)
+	batch := make([]Doc, batchSize)
+	for i := range batch {
+		batch[i] = canonicalDoc(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.IndexBatch(batch)
+		if st.Count() >= 1<<16 {
+			b.StopTimer()
+			st.DeleteBefore(time.Unix(1<<40, 0))
+			st.Compact()
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "recs/s")
+}
+
+// BenchmarkStoreIndexSingle is the per-doc baseline the batch path is
+// measured against: same docs, one lock round-trip per document.
+func BenchmarkStoreIndexSingle(b *testing.B) {
+	st := New(4)
+	docs := make([]Doc, 1024)
+	for i := range docs {
+		docs[i] = canonicalDoc(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Index(docs[i%1024])
+		if st.Count() >= 1<<16 {
+			b.StopTimer()
+			st.DeleteBefore(time.Unix(1<<40, 0))
+			st.Compact()
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+}

@@ -12,12 +12,12 @@ func ExampleStore() {
 	base := time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC)
 	st.Index(store.Doc{
 		Time:   base,
-		Fields: map[string]string{"hostname": "cn101", "app": "kernel"},
+		Fields: store.F("hostname", "cn101", "app", "kernel"),
 		Body:   "CPU 3 temperature above threshold, cpu clock throttled",
 	})
 	st.Index(store.Doc{
 		Time:   base.Add(time.Minute),
-		Fields: map[string]string{"hostname": "cn102", "app": "sshd"},
+		Fields: store.F("hostname", "cn102", "app", "sshd"),
 		Body:   "Connection closed by 10.0.0.1 port 22 [preauth]",
 	})
 
@@ -25,7 +25,7 @@ func ExampleStore() {
 		Query: store.Match{Text: "temperature throttled"},
 		Size:  10,
 	})
-	fmt.Println(len(hits), hits[0].Doc.Fields["hostname"])
+	fmt.Println(len(hits), hits[0].Doc.Fields.Value("hostname"))
 	// Output: 1 cn101
 }
 
@@ -33,7 +33,7 @@ func ExampleParseQueryString() {
 	st := store.New(2)
 	st.Index(store.Doc{
 		Time:   time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC),
-		Fields: map[string]string{"app": "sshd"},
+		Fields: store.F("app", "sshd"),
 		Body:   "Connection closed by 10.0.0.1 port 22 [preauth]",
 	})
 	q, err := store.ParseQueryString("app:sshd -temperature")

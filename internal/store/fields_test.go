@@ -1,0 +1,94 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFieldsGetSetValue(t *testing.T) {
+	fs := F("app", "sshd", "severity", "err")
+	if v, ok := fs.Get("app"); !ok || v != "sshd" {
+		t.Errorf("Get(app) = %q, %v", v, ok)
+	}
+	if v, ok := fs.Get("missing"); ok || v != "" {
+		t.Errorf("Get(missing) = %q, %v", v, ok)
+	}
+	if fs.Value("severity") != "err" || fs.Value("missing") != "" {
+		t.Errorf("Value lookups wrong: %v", fs)
+	}
+	fs = fs.Set("severity", "warning")
+	if len(fs) != 2 || fs.Value("severity") != "warning" {
+		t.Errorf("Set should replace in place: %v", fs)
+	}
+	fs = fs.Set("hostname", "cn101")
+	if len(fs) != 3 || fs.Value("hostname") != "cn101" {
+		t.Errorf("Set should append new keys: %v", fs)
+	}
+}
+
+func TestFieldsFDuplicatesAndPanic(t *testing.T) {
+	// Later duplicates overwrite earlier ones, matching the map literals
+	// F replaced.
+	fs := F("app", "sshd", "app", "kernel")
+	if len(fs) != 1 || fs.Value("app") != "kernel" {
+		t.Errorf("duplicate key handling: %v", fs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("F with odd argument count should panic")
+		}
+	}()
+	F("orphan")
+}
+
+// TestFieldsJSONWireCompat pins the serialized form to the JSON object
+// the old map[string]string representation produced, so snapshots written
+// before the slice redesign load unchanged and HTTP API clients see no
+// difference.
+func TestFieldsJSONWireCompat(t *testing.T) {
+	d := Doc{ID: 7, Fields: F("b", "2", "a", "1"), Body: "x"}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `"fields":{"a":"1","b":"2"}`
+	if got := string(data); !containsStr(got, want) {
+		t.Errorf("marshaled doc %s missing %s", got, want)
+	}
+
+	// The legacy object form (any member order) unmarshals back.
+	var fs Fields
+	if err := json.Unmarshal([]byte(`{"hostname":"cn1","app":"sshd"}`), &fs); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs.Value("hostname") != "cn1" || fs.Value("app") != "sshd" {
+		t.Errorf("unmarshal: %v", fs)
+	}
+
+	// Round trip.
+	var back Doc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fields.Value("a") != "1" || back.Fields.Value("b") != "2" {
+		t.Errorf("round trip: %v", back.Fields)
+	}
+
+	// Empty fields stay an object, not null.
+	data, err = json.Marshal(Doc{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsStr(string(data), `"fields":{}`) {
+		t.Errorf("empty fields serialized as %s", data)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -32,7 +32,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	for i, body := range []string{"CPU temperature above threshold", "Connection closed by peer"} {
 		resp := postJSON(t, srv, "/index", Doc{
 			Time:   t0.Add(time.Duration(i) * time.Minute),
-			Fields: map[string]string{"hostname": "cn101"},
+			Fields: F("hostname", "cn101"),
 			Body:   body,
 		})
 		if resp.StatusCode != http.StatusOK {

@@ -26,10 +26,10 @@ func randomStore(rng *rand.Rand, n int) *Store {
 		}
 		st.Index(Doc{
 			Time: t0.Add(time.Duration(rng.Intn(3600)) * time.Second),
-			Fields: map[string]string{
-				"hostname": hosts[rng.Intn(len(hosts))],
-				"app":      apps[rng.Intn(len(apps))],
-			},
+			Fields: F(
+				"hostname", hosts[rng.Intn(len(hosts))],
+				"app", apps[rng.Intn(len(apps))],
+			),
 			Body: body,
 		})
 	}

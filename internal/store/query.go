@@ -28,7 +28,7 @@ type Term struct {
 }
 
 func (t Term) matches(d *Doc) bool {
-	v, ok := d.Fields[t.Field]
+	v, ok := d.Fields.Get(t.Field)
 	return ok && equalFold(v, t.Value)
 }
 
@@ -50,26 +50,53 @@ type matchPrepared struct {
 	want []string
 }
 
+// tokScratchPool recycles token slices across matchPrepared evaluations.
+// Per-document tokenization runs under shard read locks, possibly from
+// several shard goroutines sharing one prepared query, so the scratch is
+// pooled rather than carried on the query value.
+var tokScratchPool = sync.Pool{New: func() any { s := make([]string, 0, 32); return &s }}
+
 func (m matchPrepared) matches(d *Doc) bool {
 	if len(m.want) == 0 {
 		return true
 	}
+	sc := tokScratchPool.Get().(*[]string)
+	// Tokenize without lowercasing and compare fold-wise: a body token
+	// with uppercase letters (think "CPU") would otherwise force a
+	// strings.ToLower copy per candidate document.
+	toks := analyzeRawInto(d.Body, (*sc)[:0])
 	// Containment via nested scan: syslog bodies tokenize short, so this
 	// beats building a per-document set.
-	toks := Analyze(d.Body)
+	ok := true
 	for _, w := range m.want {
 		found := false
 		for _, tok := range toks {
-			if tok == w {
+			if tokenEqualFold(tok, w) {
 				found = true
 				break
 			}
 		}
 		if !found {
-			return false
+			ok = false
+			break
 		}
 	}
-	return true
+	*sc = toks[:0]
+	tokScratchPool.Put(sc)
+	return ok
+}
+
+// tokenEqualFold reports whether the raw body token tok analyzes to the
+// already-lowercase query token want, without materializing the lowercase
+// copy: ASCII tokens compare fold-wise in place; a token with any
+// non-ASCII byte defers to lowerToken for exact Unicode behaviour.
+func tokenEqualFold(tok, want string) bool {
+	for i := 0; i < len(tok); i++ {
+		if tok[i] >= 0x80 {
+			return lowerToken(tok) == want
+		}
+	}
+	return equalFold(tok, want)
 }
 
 // prepareQuery rewrites Match nodes (recursively through Bool) into their
@@ -237,7 +264,29 @@ func (st *Store) CountQuery(q Query) int {
 	q = prepareQuery(q)
 	n := 0
 	for _, sh := range st.shards {
-		n += len(sh.search(q))
+		n += sh.count(q)
+	}
+	return n
+}
+
+// count evaluates q on one shard without materializing hits — the
+// allocation-free counterpart of search used by CountQuery.
+func (s *shard) count(q Query) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	if cand, ok := s.candidates(q); ok {
+		for _, off := range cand {
+			if !s.deleted(off) && q.matches(&s.docs[off]) {
+				n++
+			}
+		}
+		return n
+	}
+	for i := range s.docs {
+		if !s.deleted(int32(i)) && q.matches(&s.docs[i]) {
+			n++
+		}
 	}
 	return n
 }
@@ -278,7 +327,7 @@ func (s *shard) search(q Query) []Hit {
 func (s *shard) candidates(q Query) ([]int32, bool) {
 	switch t := q.(type) {
 	case Term:
-		return s.field[fieldKey(t.Field, t.Value)], true
+		return s.fieldPostings(t.Field, t.Value), true
 	case Match:
 		return s.matchCandidates(Analyze(t.Text))
 	case matchPrepared:
@@ -310,13 +359,20 @@ func (s *shard) matchCandidates(toks []string) ([]int32, bool) {
 	if len(toks) == 0 {
 		return nil, false
 	}
+	if len(toks) == 1 {
+		// Single-token fast path: no list staging, no intersection.
+		if p, ok := s.text[toks[0]]; ok {
+			return p.offs, true
+		}
+		return nil, true
+	}
 	lists := make([][]int32, 0, len(toks))
 	for _, tok := range toks {
 		p, ok := s.text[tok]
 		if !ok {
 			return nil, true // a required token is absent: no matches
 		}
-		lists = append(lists, p)
+		lists = append(lists, p.offs)
 	}
 	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
 	acc := lists[0]

@@ -33,7 +33,7 @@ func (st *Store) Delete(id int64) bool {
 	sh := st.shards[id%int64(len(st.shards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	off, ok := sh.byID[id]
+	off, ok := sh.offByID(id)
 	if !ok || sh.deleted(int32(off)) {
 		return false
 	}
@@ -72,9 +72,9 @@ func (st *Store) Compact() {
 			fresh.indexLocked(d)
 		}
 		sh.docs = fresh.docs
-		sh.byID = fresh.byID
 		sh.text = fresh.text
 		sh.field = fresh.field
+		sh.bodyMemo = fresh.bodyMemo
 		sh.dead = nil
 		sh.mu.Unlock()
 	}

@@ -21,7 +21,7 @@ type Doc struct {
 	Time time.Time `json:"time"`
 	// Fields holds exact-match metadata: hostname, app, severity,
 	// facility, rack, arch, category, ...
-	Fields map[string]string `json:"fields"`
+	Fields Fields `json:"fields"`
 	// Body is the free-text message content (analyzed).
 	Body string `json:"body"`
 }
@@ -58,6 +58,31 @@ func AnalyzeInto(s string, out []string) []string {
 	return out
 }
 
+// analyzeRawInto splits s into tokens with AnalyzeInto's boundary rules
+// but leaves case untouched, returning substrings of s. Match evaluation
+// uses it to fold-compare candidate bodies without a ToLower copy per
+// uppercase token.
+func analyzeRawInto(s string, out []string) []string {
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			out = append(out, s[start:end])
+			start = -1
+		}
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(s))
+	return out
+}
+
 // lowerToken lowercases a token, returning it unchanged (no copy) when it
 // is already lowercase ASCII; any uppercase or non-ASCII byte defers to
 // strings.ToLower for exact Unicode behaviour.
@@ -71,20 +96,57 @@ func lowerToken(s string) string {
 	return s
 }
 
+// postings is one term's posting list: doc offsets, ascending and
+// deduplicated. The shard maps hold *postings so the steady-state insert
+// — a term the index has already seen — is a map read plus an in-place
+// append; the per-token map assignment it replaces (mapassign_faststr)
+// was the single hottest call on the socket→store profile.
+type postings struct {
+	offs []int32
+}
+
 // shard is one index partition. All access goes through its lock.
 type shard struct {
 	mu   sync.RWMutex
 	docs []Doc
-	byID map[int64]int
-	// body postings: token -> doc offsets (ascending, deduplicated)
-	text map[string][]int32
-	// field postings: "field\x00value" -> doc offsets
-	field map[string][]int32
+	// body postings: token -> posting list
+	text map[string]*postings
+	// field postings: "field\x00lower(value)" -> posting list
+	field map[string]*postings
+	// bodyMemo caches the resolved posting lists of a body's deduplicated
+	// tokens, keyed by the body text (the key aliases the copy retained in
+	// docs). Real syslog traffic repeats a small set of message shapes
+	// (§4.4.1), so the steady-state body insert skips tokenization and the
+	// per-token map probes entirely: one lookup, then one in-place append
+	// per list. Cleared wholesale when it reaches maxBodyMemo entries.
+	bodyMemo map[string][]*postings
 	// dead holds tombstoned offsets awaiting Compact.
 	dead map[int32]struct{}
-	// tokScratch is reused across indexLocked calls (always under the
-	// write lock) so indexing does not allocate a token slice per doc.
+	// tokScratch and keyScratch are reused across indexLocked calls
+	// (always under the write lock) so indexing allocates neither a token
+	// slice nor a field-key string per doc.
 	tokScratch []string
+	keyScratch []byte
+}
+
+// offByID locates a document's offset by binary search: ids are assigned
+// monotonically and documents append in id order, so each shard's docs
+// are sorted by ID. Read-path searches replace the per-doc byID map
+// assignment that was pure overhead on the index hot path.
+func (s *shard) offByID(id int64) (int, bool) {
+	lo, hi := 0, len(s.docs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.docs[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.docs) && s.docs[lo].ID == id {
+		return lo, true
+	}
+	return -1, false
 }
 
 // deleted reports whether the offset is tombstoned. Caller holds a lock.
@@ -103,13 +165,35 @@ func (s *shard) tombstone(off int32) {
 
 func newShard() *shard {
 	return &shard{
-		byID:  make(map[int64]int),
-		text:  make(map[string][]int32),
-		field: make(map[string][]int32),
+		text:     make(map[string]*postings),
+		field:    make(map[string]*postings),
+		bodyMemo: make(map[string][]*postings),
 	}
 }
 
-func fieldKey(field, value string) string { return field + "\x00" + strings.ToLower(value) }
+// appendFieldKey appends the field-postings key "field\x00lower(value)"
+// to dst and returns it. ASCII values are lowercased byte-wise in place;
+// a value with any non-ASCII byte defers to strings.ToLower for exact
+// Unicode behaviour. Unlike the string concatenation it replaces, the
+// common case allocates nothing: index inserts build into the shard's
+// keyScratch, Term lookups into a stack buffer.
+func appendFieldKey(dst []byte, field, value string) []byte {
+	dst = append(dst, field...)
+	dst = append(dst, 0)
+	for i := 0; i < len(value); i++ {
+		if value[i] >= 0x80 {
+			return append(dst, strings.ToLower(value)...)
+		}
+	}
+	for i := 0; i < len(value); i++ {
+		c := value[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
 
 func (s *shard) index(d Doc) {
 	s.mu.Lock()
@@ -122,9 +206,25 @@ func (s *shard) index(d Doc) {
 func (s *shard) indexLocked(d Doc) {
 	off := int32(len(s.docs))
 	s.docs = append(s.docs, d)
-	s.byID[d.ID] = int(off)
-	s.tokScratch = AnalyzeInto(d.Body, s.tokScratch[:0])
+	if lists, ok := s.bodyMemo[d.Body]; ok {
+		// Memoized body: every token's posting list is already resolved.
+		for _, p := range lists {
+			p.offs = append(p.offs, off)
+		}
+	} else {
+		s.indexBody(d.Body, off)
+	}
+	for _, fv := range d.Fields {
+		s.addField(fv.K, fv.V, off)
+	}
+}
+
+// indexBody analyzes a body the shard has not memoized, adds its text
+// postings, and memoizes the resolved lists for the repeats to come.
+func (s *shard) indexBody(body string, off int32) {
+	s.tokScratch = AnalyzeInto(body, s.tokScratch[:0])
 	toks := s.tokScratch
+	lists := make([]*postings, 0, len(toks))
 	if len(toks) <= maxScanDedup {
 		// Typical syslog bodies: a handful of tokens, so a nested scan
 		// dedups without the per-doc map allocation.
@@ -137,7 +237,7 @@ func (s *shard) indexLocked(d Doc) {
 				}
 			}
 			if !dup {
-				s.text[tok] = append(s.text[tok], off)
+				lists = append(lists, s.addText(tok, off))
 			}
 		}
 	} else {
@@ -145,19 +245,63 @@ func (s *shard) indexLocked(d Doc) {
 		for _, tok := range toks {
 			if !seen[tok] {
 				seen[tok] = true
-				s.text[tok] = append(s.text[tok], off)
+				lists = append(lists, s.addText(tok, off))
 			}
 		}
 	}
-	for f, v := range d.Fields {
-		k := fieldKey(f, v)
-		s.field[k] = append(s.field[k], off)
+	if len(s.bodyMemo) >= maxBodyMemo {
+		clear(s.bodyMemo)
 	}
+	s.bodyMemo[body] = lists
+}
+
+// addText appends off to tok's body postings and returns the list. Only
+// a brand-new term allocates (its posting list); a known term appends in
+// place. The key may alias the document body (AnalyzeInto returns
+// substrings), which is safe: the body itself is retained in s.docs for
+// the shard's lifetime.
+func (s *shard) addText(tok string, off int32) *postings {
+	if p, ok := s.text[tok]; ok {
+		p.offs = append(p.offs, off)
+		return p
+	}
+	p := &postings{offs: []int32{off}}
+	s.text[tok] = p
+	return p
+}
+
+// addField appends off to the field=value postings, building the lookup
+// key in the shard's scratch buffer. The steady-state insert — a
+// field/value pair the index has seen before, i.e. every canonical doc —
+// is allocation-free; only a new pair copies the key out of scratch.
+func (s *shard) addField(f, v string, off int32) {
+	s.keyScratch = appendFieldKey(s.keyScratch[:0], f, v)
+	if p, ok := s.field[string(s.keyScratch)]; ok {
+		p.offs = append(p.offs, off)
+		return
+	}
+	s.field[string(s.keyScratch)] = &postings{offs: []int32{off}}
+}
+
+// fieldPostings returns the posting list for field=value, building the
+// key in a stack buffer so the Term query path does not allocate.
+func (s *shard) fieldPostings(field, value string) []int32 {
+	var buf [64]byte
+	k := appendFieldKey(buf[:0], field, value)
+	if p, ok := s.field[string(k)]; ok {
+		return p.offs
+	}
+	return nil
 }
 
 // maxScanDedup bounds the quadratic scan dedup during indexing; larger
 // token lists (pathological mega-lines) fall back to a map.
 const maxScanDedup = 128
+
+// maxBodyMemo caps each shard's body memo (a few MB at worst); a shard
+// seeing more distinct bodies than this drops the memo and rebuilds it
+// from the traffic that follows.
+const maxBodyMemo = 4096
 
 // Store is the sharded index.
 type Store struct {
@@ -169,13 +313,14 @@ type Store struct {
 	// registry is attached; obs metrics no-op on nil, and latency timing
 	// is additionally gated so an uninstrumented store never calls
 	// time.Now on the index or query paths.
-	indexTotal  *obs.Counter
-	indexLat    *obs.Histogram
-	querySearch *obs.Counter
-	queryCount  *obs.Counter
-	queryHist   *obs.Counter
-	queryTerms  *obs.Counter
-	queryLat    *obs.Histogram
+	indexTotal    *obs.Counter
+	indexLat      *obs.Histogram
+	indexBatchLat *obs.Histogram
+	querySearch   *obs.Counter
+	queryCount    *obs.Counter
+	queryHist     *obs.Counter
+	queryTerms    *obs.Counter
+	queryLat      *obs.Histogram
 }
 
 // Instrument publishes the store's metrics — index/query counters and
@@ -188,6 +333,9 @@ func (st *Store) Instrument(r *obs.Registry) {
 	st.indexTotal = r.Counter("store_index_total", "documents indexed")
 	st.indexLat = r.Histogram("store_index_seconds",
 		"per-document index latency", obs.LatencyBuckets)
+	st.indexBatchLat = r.Histogram("store_index_batch_seconds",
+		"per-batch IndexBatch latency (the index stage of the per-stage profile)",
+		obs.LatencyBuckets)
 	st.querySearch = r.Counter(`store_query_total{op="search"}`,
 		"queries served, by operation")
 	st.queryCount = r.Counter(`store_query_total{op="count"}`,
@@ -256,6 +404,53 @@ func (st *Store) Index(d Doc) int64 {
 	return id
 }
 
+// IndexBatch stores a batch of documents, assigning consecutive ids
+// (written into the caller's slice: docs[i].ID = first + i), and returns
+// the first id (-1 for an empty batch). One id-range reservation replaces
+// len(docs) mutex acquisitions and each shard's write lock is taken once
+// per batch instead of once per document, so a flushed pipeline batch
+// reaches the postings with a handful of lock operations total.
+func (st *Store) IndexBatch(docs []Doc) (firstID int64) {
+	if len(docs) == 0 {
+		return -1
+	}
+	var start time.Time
+	if st.indexBatchLat != nil {
+		start = time.Now()
+	}
+	st.mu.Lock()
+	firstID = st.nextID
+	st.nextID += int64(len(docs))
+	st.mu.Unlock()
+	for i := range docs {
+		docs[i].ID = firstID + int64(i)
+	}
+	nsh := int64(len(st.shards))
+	for si := int64(0); si < nsh && si < int64(len(docs)); si++ {
+		// Doc i routes to shard (firstID+i) % nsh, matching Index; si is
+		// the smallest doc index landing on this shard.
+		sh := st.shards[(firstID+si)%nsh]
+		cnt := (len(docs) - int(si) + int(nsh) - 1) / int(nsh)
+		sh.mu.Lock()
+		// Grow the docs slice once for the whole batch share instead of
+		// amortizing inside the append loop.
+		if need := len(sh.docs) + cnt; need > cap(sh.docs) {
+			grown := make([]Doc, len(sh.docs), need+need/4)
+			copy(grown, sh.docs)
+			sh.docs = grown
+		}
+		for i := si; i < int64(len(docs)); i += nsh {
+			sh.indexLocked(docs[i])
+		}
+		sh.mu.Unlock()
+	}
+	st.indexTotal.Add(int64(len(docs)))
+	if st.indexBatchLat != nil {
+		st.indexBatchLat.ObserveDuration(time.Since(start))
+	}
+	return firstID
+}
+
 // Get returns the document with the given id.
 func (st *Store) Get(id int64) (Doc, bool) {
 	if id < 0 || len(st.shards) == 0 {
@@ -264,7 +459,7 @@ func (st *Store) Get(id int64) (Doc, bool) {
 	sh := st.shards[id%int64(len(st.shards))]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	off, ok := sh.byID[id]
+	off, ok := sh.offByID(id)
 	if !ok || sh.deleted(int32(off)) {
 		return Doc{}, false
 	}

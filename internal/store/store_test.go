@@ -13,7 +13,7 @@ var t0 = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
 func doc(offset time.Duration, host, app, body string) Doc {
 	return Doc{
 		Time:   t0.Add(offset),
-		Fields: map[string]string{"hostname": host, "app": app},
+		Fields: F("hostname", host, "app", app),
 		Body:   body,
 	}
 }
@@ -89,7 +89,7 @@ func TestBoolQuery(t *testing.T) {
 		t.Fatalf("hits = %d, want 2", len(hits))
 	}
 	for _, h := range hits {
-		if h.Doc.Fields["app"] != "kernel" {
+		if h.Doc.Fields.Value("app") != "kernel" {
 			t.Errorf("unexpected hit: %+v", h.Doc)
 		}
 	}

@@ -138,6 +138,12 @@ type Message struct {
 	// and Content alias. Reset keeps it, so a pooled Message re-parses
 	// without allocating.
 	buf []byte
+	// sdRaw is the validated-but-unparsed STRUCTURED-DATA section of a
+	// byte-parsed message (a view of buf, like the other fields). The
+	// byte parsers defer building the Structured maps because most
+	// consumers — the collector pipeline, the store mapping — never read
+	// them; SD materializes on first use.
+	sdRaw string
 	// pooled marks a message currently owned by a Server pool. Detach
 	// clears it.
 	pooled bool
@@ -157,6 +163,20 @@ func (m *Message) Reset() {
 func (m *Message) Detach() *Message {
 	m.pooled = false
 	return m
+}
+
+// SD returns the message's structured data, materializing it on first
+// use: the byte parsers validate the SD section during parsing but defer
+// building its maps until something asks for them. Reading the
+// Structured field directly is still correct for messages built by hand
+// or by the string parsers; SD covers both.
+func (m *Message) SD() StructuredData {
+	if m.Structured == nil && m.sdRaw != "" {
+		// Framing and params were validated at parse time, so this
+		// cannot fail on a parser-produced message.
+		m.Structured, _, _ = parseStructuredDataBytes(stringBytes(m.sdRaw), 0)
+	}
+	return m.Structured
 }
 
 // Priority returns the combined <PRI> value of the message.
@@ -203,6 +223,7 @@ func (m *Message) Clone() *Message {
 		c.MsgID = strings.Clone(m.MsgID)
 		c.Content = strings.Clone(m.Content)
 		c.Raw = strings.Clone(m.Raw)
+		c.sdRaw = strings.Clone(m.sdRaw)
 	}
 	if m.Structured != nil {
 		c.Structured = make(StructuredData, len(m.Structured))

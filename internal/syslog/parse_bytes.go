@@ -39,7 +39,7 @@ func stringBytes(s string) []byte {
 
 // materialize copies the frame into the message's reusable slab and wires
 // every retained field as a view of that single copy.
-func (m *Message) materialize(buf []byte, host, app, pid, msgid, content span) {
+func (m *Message) materialize(buf []byte, host, app, pid, msgid, content, sd span) {
 	n := len(buf)
 	if cap(m.buf) < n {
 		c := 2 * cap(m.buf)
@@ -60,6 +60,7 @@ func (m *Message) materialize(buf []byte, host, app, pid, msgid, content span) {
 	m.ProcID = m.sub(pid)
 	m.MsgID = m.sub(msgid)
 	m.Content = m.sub(content)
+	m.sdRaw = m.sub(sd)
 }
 
 func (m *Message) sub(s span) string {
@@ -124,7 +125,7 @@ func ParseRFC3164Bytes(buf []byte, ref time.Time, m *Message) error {
 	}
 
 	app, pid, content := splitTagBytes(buf, rest)
-	m.materialize(buf, host, app, pid, span{}, content)
+	m.materialize(buf, host, app, pid, span{}, content, span{})
 	return nil
 }
 
@@ -258,12 +259,13 @@ func ParseRFC5424Bytes(buf []byte, m *Message) error {
 	pid := nilSpan(buf, fields[3])
 	msgid := nilSpan(buf, fields[4])
 
-	// STRUCTURED-DATA: "-" or one or more [id k="v" ...] elements.
-	sd, p, err := parseStructuredDataBytes(buf, p)
+	// STRUCTURED-DATA: "-" or one or more [id k="v" ...] elements,
+	// validated here but materialized lazily (Message.SD) — the ingest
+	// hot path never reads the maps.
+	sd, p, err := skipStructuredDataBytes(buf, p)
 	if err != nil {
 		return err
 	}
-	m.Structured = sd
 
 	// MSG: optional, preceded by a single space; a UTF-8 BOM is stripped
 	// per the RFC.
@@ -275,7 +277,7 @@ func ParseRFC5424Bytes(buf []byte, m *Message) error {
 		buf[content.a+1] == 0xbb && buf[content.a+2] == 0xbf {
 		content.a += 3
 	}
-	m.materialize(buf, host, app, pid, msgid, content)
+	m.materialize(buf, host, app, pid, msgid, content, sd)
 	return nil
 }
 
@@ -285,6 +287,75 @@ func nilSpan(buf []byte, s span) span {
 		return span{}
 	}
 	return s
+}
+
+// skipStructuredDataBytes walks the STRUCTURED-DATA section starting at
+// p with full validation — element framing and param shape — but builds
+// nothing: it returns the section's span for deferred materialization.
+// Rejecting exactly what parseStructuredDataBytes rejects keeps the
+// RFC 5424/3164 auto-detection fallback behavior unchanged.
+func skipStructuredDataBytes(buf []byte, p int) (span, int, error) {
+	if p < len(buf) && buf[p] == '-' {
+		return span{}, p + 1, nil
+	}
+	if p >= len(buf) || buf[p] != '[' {
+		return span{}, 0, fmt.Errorf("%w: expected structured data", ErrBadFormat)
+	}
+	start := p
+	for p < len(buf) && buf[p] == '[' {
+		elemEnd := findSDEndBytes(buf[p:])
+		if elemEnd < 0 {
+			return span{}, 0, fmt.Errorf("%w: unterminated SD element", ErrBadFormat)
+		}
+		if err := validateSDElementBytes(buf[p+1 : p+elemEnd]); err != nil {
+			return span{}, 0, err
+		}
+		p += elemEnd + 1
+	}
+	return span{start, p}, p, nil
+}
+
+// validateSDElementBytes checks one element's params without allocating:
+// the structural mirror of parseSDElementBytes.
+func validateSDElementBytes(elem []byte) error {
+	sp := bytes.IndexByte(elem, ' ')
+	if sp < 0 {
+		return nil
+	}
+	rest := elem[sp+1:]
+	for len(rest) != 0 {
+		rest = bytes.TrimLeft(rest, " ")
+		if len(rest) == 0 {
+			break
+		}
+		eq := bytes.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return fmt.Errorf("%w: bad SD param in %q", ErrBadFormat, elem)
+		}
+		remainder, err := skipQuotedBytes(rest[eq+1:])
+		if err != nil {
+			return err
+		}
+		rest = remainder
+	}
+	return nil
+}
+
+// skipQuotedBytes consumes a leading `"..."` like parseQuotedBytes but
+// discards the value.
+func skipQuotedBytes(b []byte) ([]byte, error) {
+	if len(b) == 0 || b[0] != '"' {
+		return nil, fmt.Errorf("%w: expected quoted value", ErrBadFormat)
+	}
+	for i := 1; i < len(b); i++ {
+		switch b[i] {
+		case '\\':
+			i++
+		case '"':
+			return b[i+1:], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: unterminated quoted value", ErrBadFormat)
 }
 
 func parseStructuredDataBytes(buf []byte, p int) (StructuredData, int, error) {
@@ -336,7 +407,7 @@ func parseSDElementBytes(elem []byte) (string, map[string]string, error) {
 		return string(elem), map[string]string{}, nil
 	}
 	id := string(elem[:sp])
-	params := make(map[string]string)
+	params := make(map[string]string, 4)
 	rest := elem[sp+1:]
 	for len(rest) != 0 {
 		rest = bytes.TrimLeft(rest, " ")
@@ -359,12 +430,31 @@ func parseSDElementBytes(elem []byte) (string, map[string]string, error) {
 }
 
 // parseQuotedBytes consumes a leading `"..."` handling \" \\ \] escapes.
+// Values without escapes — the overwhelming majority — are converted in
+// one string allocation; only a value containing a backslash pays for the
+// byte-at-a-time unescaping pass.
 func parseQuotedBytes(b []byte) (string, []byte, error) {
 	if len(b) == 0 || b[0] != '"' {
 		return "", nil, fmt.Errorf("%w: expected quoted value", ErrBadFormat)
 	}
-	var sb strings.Builder
 	for i := 1; i < len(b); i++ {
+		switch b[i] {
+		case '\\':
+			return parseQuotedEscapedBytes(b, i)
+		case '"':
+			return string(b[1:i]), b[i+1:], nil
+		}
+	}
+	return "", nil, fmt.Errorf("%w: unterminated quoted value", ErrBadFormat)
+}
+
+// parseQuotedEscapedBytes is the slow path of parseQuotedBytes, entered
+// at the first backslash (index i); everything before it is literal.
+func parseQuotedEscapedBytes(b []byte, i int) (string, []byte, error) {
+	var sb strings.Builder
+	sb.Grow(len(b) - 2)
+	sb.Write(b[1:i])
+	for ; i < len(b); i++ {
 		switch b[i] {
 		case '\\':
 			if i+1 < len(b) {

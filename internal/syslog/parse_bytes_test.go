@@ -39,12 +39,13 @@ func sameMessage(t *testing.T, input string, got, want *Message) {
 	if got.Raw != want.Raw {
 		t.Errorf("%q: raw %q != %q", input, got.Raw, want.Raw)
 	}
-	if len(got.Structured) != len(want.Structured) {
-		t.Errorf("%q: structured %v != %v", input, got.Structured, want.Structured)
+	gsd, wsd := got.SD(), want.SD()
+	if len(gsd) != len(wsd) {
+		t.Errorf("%q: structured %v != %v", input, gsd, wsd)
 		return
 	}
-	for id, params := range want.Structured {
-		gp, ok := got.Structured[id]
+	for id, params := range wsd {
+		gp, ok := gsd[id]
 		if !ok || len(gp) != len(params) {
 			t.Errorf("%q: structured[%q] %v != %v", input, id, gp, params)
 			continue

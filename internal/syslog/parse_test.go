@@ -109,8 +109,8 @@ func TestParseRFC5424Full(t *testing.T) {
 		m.ProcID != "111" || m.MsgID != "ID47" {
 		t.Errorf("header = %q %q %q %q", m.Hostname, m.AppName, m.ProcID, m.MsgID)
 	}
-	if m.Structured["exampleSDID@32473"]["iut"] != "3" {
-		t.Errorf("sd = %v", m.Structured)
+	if m.SD()["exampleSDID@32473"]["iut"] != "3" {
+		t.Errorf("sd = %v", m.SD())
 	}
 	if m.Content != "An application event log entry" {
 		t.Errorf("content = %q", m.Content)
@@ -136,7 +136,7 @@ func TestParseRFC5424EscapedSD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Structured["x@1"]["k"]; got != `a"b]c\d` {
+	if got := m.SD()["x@1"]["k"]; got != `a"b]c\d` {
 		t.Errorf("escaped SD value = %q", got)
 	}
 }
@@ -167,7 +167,7 @@ func TestFormatParse5424RoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Content != m.Content || got.Hostname != m.Hostname ||
-		got.Structured["meta@1"]["rack"] != "r7" {
+		got.SD()["meta@1"]["rack"] != "r7" {
 		t.Errorf("round trip mismatch: %+v", got)
 	}
 	if !got.Timestamp.Equal(m.Timestamp) {

@@ -193,19 +193,19 @@ func FormatRFC5424(m *Message) string {
 		b.WriteString(f)
 		b.WriteByte(' ')
 	}
-	if len(m.Structured) == 0 {
+	if sd := m.SD(); len(sd) == 0 {
 		b.WriteByte('-')
 	} else {
 		// Sort IDs for deterministic output.
-		ids := make([]string, 0, len(m.Structured))
-		for id := range m.Structured {
+		ids := make([]string, 0, len(sd))
+		for id := range sd {
 			ids = append(ids, id)
 		}
 		sortStrings(ids)
 		for _, id := range ids {
 			b.WriteByte('[')
 			b.WriteString(id)
-			params := m.Structured[id]
+			params := sd[id]
 			names := make([]string, 0, len(params))
 			for n := range params {
 				names = append(names, n)

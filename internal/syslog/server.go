@@ -88,6 +88,14 @@ type Server struct {
 	framesUDP   *obs.Counter
 	framesTCP   *obs.Counter
 
+	// ingestLat/ingestBatch time and size each read-loop batch (framing +
+	// parse + handler delivery, excluding the blocking first read) — the
+	// ingest stage of the per-stage profiling harness. They exist only
+	// with a live registry, so an unobserved server never calls time.Now
+	// in its read loops.
+	ingestLat   *obs.Histogram
+	ingestBatch *obs.Histogram
+
 	mu      sync.Mutex
 	udpConn *net.UDPConn
 	tcpLn   net.Listener
@@ -108,6 +116,13 @@ func (s *Server) initMetrics() {
 			"raw frames read, by transport")
 		s.framesTCP = s.Metrics.Counter(`syslog_frames_total{transport="tcp"}`,
 			"raw frames read, by transport")
+		if s.Metrics != nil {
+			s.ingestLat = s.Metrics.Histogram("syslog_ingest_batch_seconds",
+				"per-read-loop-batch ingest latency: framing + parse + handler delivery",
+				obs.LatencyBuckets)
+			s.ingestBatch = s.Metrics.Histogram("syslog_ingest_batch_size",
+				"messages per read-loop batch", obs.SizeBuckets)
+		}
 	})
 }
 
@@ -196,6 +211,10 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 			return // closed
 		}
 		s.framesUDP.Inc()
+		var start time.Time
+		if s.ingestLat != nil {
+			start = time.Now()
+		}
 		s.appendParsed(bytes.TrimRight(buf[:n], "\r\n\x00"), &batch)
 		// Drain datagrams the kernel already queued behind it, up to
 		// MaxBatch. A short *future* deadline is required: Go fails every
@@ -214,9 +233,21 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 			s.framesUDP.Inc()
 			s.appendParsed(bytes.TrimRight(buf[:n], "\r\n\x00"), &batch)
 		}
+		n = len(batch)
 		s.deliver(batch)
+		s.observeIngest(start, n)
 		batch = batch[:0]
 	}
+}
+
+// observeIngest records one read-loop batch on the ingest-stage
+// histograms; a no-op (and no time.Now call) when uninstrumented.
+func (s *Server) observeIngest(start time.Time, n int) {
+	if s.ingestLat == nil || n == 0 {
+		return
+	}
+	s.ingestLat.ObserveDuration(time.Since(start))
+	s.ingestBatch.Observe(float64(n))
 }
 
 // appendParsed parses one wire frame into a pooled Message and appends it
@@ -307,6 +338,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		s.framesTCP.Inc()
+		var start time.Time
+		if s.ingestLat != nil {
+			start = time.Now()
+		}
 		s.appendParsed(frame, &batch)
 		for len(batch) < maxBatch && fr.FrameBuffered() {
 			frame, err := fr.ReadFrame()
@@ -320,7 +355,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.framesTCP.Inc()
 			s.appendParsed(frame, &batch)
 		}
+		n := len(batch)
 		s.deliver(batch)
+		s.observeIngest(start, n)
 		batch = batch[:0]
 	}
 }
