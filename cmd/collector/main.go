@@ -12,10 +12,18 @@
 //	          [-classify-cache-size 32768] [-classify-cache-shards 8]
 //	          [-spool-dir /var/spool/collector] [-spool-max-bytes 1073741824]
 //	          [-write-timeout 30s] [-breaker-threshold 5]
+//
+// With -cluster-nodes, classified documents route across the listed
+// remote store nodes (replication 2 by default) instead of an embedded
+// store, and the HTTP API scatter-gathers queries across them; the
+// /views dashboard reads an embedded store and is disabled in this mode:
+//
+//	collector -cluster-nodes http://10.0.0.1:9200,http://10.0.0.2:9200 -replication 2
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -26,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetsyslog/internal/cluster"
 	"hetsyslog/internal/collector"
 	"hetsyslog/internal/core"
 	"hetsyslog/internal/llm"
@@ -60,6 +69,11 @@ func main() {
 		ingestBatch = flag.Int("ingest-batch", 0, "max syslog messages per listener read-loop batch handed to the pipeline (0 = default 256)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file at clean shutdown (empty disables)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at clean shutdown (empty disables)")
+
+		clusterNodes = flag.String("cluster-nodes", "", "comma-separated store node base URLs; non-empty indexes classified documents across them instead of an embedded store (dashboard views are single-node-only and are disabled)")
+		replication  = flag.Int("replication", 0, "copies of each document across cluster nodes (0 = default 2)")
+		partitions   = flag.Int("partitions", 0, "hash partitions for cluster placement (0 = default 32; pick once per cluster)")
+		timeSlice    = flag.Duration("time-slice", 0, "time bucket mixed into cluster routing so hosts spread over nodes (0 = default 1h)")
 	)
 	flag.Parse()
 
@@ -88,24 +102,59 @@ func main() {
 		tc.TrainTime.Round(time.Millisecond), tc.Vectorizer.Dims())
 
 	reg := obs.NewRegistry()
-	st := store.New(*shards)
-	st.Instrument(reg)
+	// Storage backend: an embedded store by default, or — in cluster mode —
+	// a router spreading classified documents across remote store nodes
+	// through the service's Indexer seam.
+	var st *store.Store
+	var router *cluster.Router
+	var coord *cluster.Coordinator
+	if *clusterNodes != "" {
+		var nodes []string
+		for _, n := range strings.Split(*clusterNodes, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+		ccfg := cluster.Config{
+			Nodes:            nodes,
+			Replication:      *replication,
+			Partitions:       *partitions,
+			TimeSlice:        *timeSlice,
+			SpoolDir:         *spoolDir,
+			SpoolMaxBytes:    *spoolMax,
+			BreakerThreshold: *breakerThr,
+		}
+		if router, err = cluster.NewRouter(ccfg, reg); err != nil {
+			fatal(err)
+		}
+		if coord, err = cluster.NewCoordinator(ccfg, reg); err != nil {
+			fatal(err)
+		}
+	} else {
+		st = store.New(*shards)
+		st.Instrument(reg)
+	}
 	alerts := &monitor.AlertManager{
 		Cooldown: *cooldown,
 		Notifier: monitor.NotifierFunc(func(a monitor.Alert) {
 			fmt.Println("ALERT", a)
 		}),
 	}
-	svc := &core.Service{Classifier: tc, Store: st, Alerts: alerts, Workers: *workers, Metrics: reg}
+	svc := &core.Service{Classifier: tc, Alerts: alerts, Workers: *workers, Metrics: reg}
+	if router != nil {
+		svc.Indexer = router
+	} else {
+		svc.Store = st
+	}
 	if *cacheOn {
 		svc.Cache = core.NewClassifyCache(*cacheShards, *cacheSize)
 	}
 
 	// Topology enrichment from the simulated cluster (in a real
 	// deployment this reads the site inventory).
-	cluster := g.Cluster
+	topo := g.Cluster
 	enrich := collector.TopologyEnricher(func(host string) (string, string, bool) {
-		n, ok := cluster.Lookup(host)
+		n, ok := topo.Lookup(host)
 		if !ok {
 			return "", "", false
 		}
@@ -140,6 +189,12 @@ func main() {
 		WriteTimeout:     *writeTO,
 		BreakerThreshold: *breakerThr,
 	}
+	if router != nil {
+		// In cluster mode durability lives in the router's per-node
+		// breakers and spools; a second pipeline-level spool would replay
+		// records back through classification for no added safety.
+		pipeCfg.SpoolDir, pipeCfg.SpoolMaxBytes = "", 0
+	}
 	if err := pipeCfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -156,27 +211,40 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	// One HTTP surface: store API at the root, dashboard views at
-	// /views/..., LLM status summaries at /views/summary.
-	mux := http.NewServeMux()
-	mux.Handle("/", st.Handler())
-	mux.Handle("GET /metrics", reg.Handler())
-	dash := &monitor.Dashboard{
-		Store: st,
-		Archs: func(arch string) (int, bool) {
-			n := len(cluster.NodesWithArch(loggen.Arch(arch)))
-			return n, n > 0
-		},
+	if router != nil {
+		router.Start(ctx)
 	}
-	mux.Handle("/views/", dash.Handler())
-	summarizer := llm.NewSummarizer(llm.Falcon40B(), llm.A100Node(), *seed)
-	mux.HandleFunc("GET /views/summary", func(w http.ResponseWriter, r *http.Request) {
-		text, latency := summarizer.SummarizeSystem(nodeStatuses(st))
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"summary\": %q, \"modelled_latency_sec\": %.3f}\n",
-			text, latency.Seconds())
-	})
+
+	// One HTTP surface: store API at the root (the scatter-gather
+	// coordinator in cluster mode), dashboard views at /views/..., LLM
+	// status summaries at /views/summary. The /views surfaces read the
+	// embedded store directly, so they are single-node-only.
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	if router != nil {
+		mux.Handle("/", coord.Handler())
+		mux.HandleFunc("GET /cluster/nodes", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(router.Stats())
+		})
+	} else {
+		mux.Handle("/", st.Handler())
+		dash := &monitor.Dashboard{
+			Store: st,
+			Archs: func(arch string) (int, bool) {
+				n := len(topo.NodesWithArch(loggen.Arch(arch)))
+				return n, n > 0
+			},
+		}
+		mux.Handle("/views/", dash.Handler())
+		summarizer := llm.NewSummarizer(llm.Falcon40B(), llm.A100Node(), *seed)
+		mux.HandleFunc("GET /views/summary", func(w http.ResponseWriter, r *http.Request) {
+			text, latency := summarizer.SummarizeSystem(nodeStatuses(st))
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"summary\": %q, \"modelled_latency_sec\": %.3f}\n",
+				text, latency.Seconds())
+		})
+	}
 
 	errCh := make(chan error, 2)
 	go func() { errCh <- pipe.Run(ctx) }()
@@ -200,8 +268,12 @@ func main() {
 	}
 	classified, actionable := svc.Counts()
 	sent, muted := alerts.Counts()
+	backend := "cluster"
+	if st != nil {
+		backend = st.String()
+	}
 	fmt.Fprintf(os.Stderr, "\ncollector: classified=%d actionable=%d alerts sent=%d muted=%d; %s\n",
-		classified, actionable, sent, muted, st.String())
+		classified, actionable, sent, muted, backend)
 	if ps := pipe.Stats(); ps.Spooled > 0 {
 		fmt.Fprintf(os.Stderr, "collector: %d records spooled in %s await replay on next start\n",
 			ps.Spooled, *spoolDir)
@@ -209,6 +281,17 @@ func main() {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(shutCtx)
+	if router != nil {
+		if err := router.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "collector: router close:", err)
+		}
+		for i, ns := range router.Stats() {
+			if ns.SpoolRecords > 0 {
+				fmt.Fprintf(os.Stderr, "collector: node %d (%s): %d records spooled await replay on next start\n",
+					i, ns.URL, ns.SpoolRecords)
+			}
+		}
+	}
 }
 
 // nodeStatuses aggregates per-node per-category counts from the store for

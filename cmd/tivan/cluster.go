@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hetsyslog/internal/cluster"
+	"hetsyslog/internal/collector"
+	"hetsyslog/internal/obs"
+)
+
+// clusterFlags carries the subset of tivan's flags cluster front mode
+// uses; store-only flags (-shards, -data, -retention) do not apply — a
+// front holds no documents.
+type clusterFlags struct {
+	httpAddr, udpAddr, tcpAddr, metricsAddr string
+	flushers, ingestBatch                   int
+	writeTO                                 time.Duration
+
+	nodes       string
+	replication int
+	partitions  int
+	timeSlice   time.Duration
+	spoolDir    string
+	spoolMax    int64
+	breakerThr  int
+}
+
+// runClusterFront runs tivan as a stateless cluster front: syslog
+// listeners feed the pipeline, the pipeline's sink is the cluster
+// router (per-node breakers and spools instead of the single-node
+// pipeline spool), and the HTTP API is the scatter-gather coordinator
+// speaking the same query surface as a single store node.
+func runClusterFront(f clusterFlags) error {
+	var nodes []string
+	for _, n := range strings.Split(f.nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	ccfg := cluster.Config{
+		Nodes:            nodes,
+		Replication:      f.replication,
+		Partitions:       f.partitions,
+		TimeSlice:        f.timeSlice,
+		SpoolDir:         f.spoolDir,
+		SpoolMaxBytes:    f.spoolMax,
+		BreakerThreshold: f.breakerThr,
+	}
+
+	reg := obs.NewRegistry()
+	router, err := cluster.NewRouter(ccfg, reg)
+	if err != nil {
+		return err
+	}
+	coord, err := cluster.NewCoordinator(ccfg, reg)
+	if err != nil {
+		return err
+	}
+
+	src := collector.NewSyslogSource(f.udpAddr, f.tcpAddr)
+	src.MaxBatch = f.ingestBatch
+	src.Metrics = reg
+	// The router owns durability (per-node breakers + spools), so the
+	// pipeline runs without its own spool: a router write error already
+	// means "no replica and no spool took it", which the pipeline's
+	// retry/drop accounting surfaces honestly.
+	pipeCfg := &collector.Config{
+		FlushWorkers: f.flushers,
+		WriteTimeout: f.writeTO,
+	}
+	if err := pipeCfg.Validate(); err != nil {
+		return err
+	}
+	pipe := &collector.Pipeline{
+		Source:  src,
+		Sink:    router,
+		Config:  pipeCfg,
+		Metrics: reg,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	router.Start(ctx)
+
+	errCh := make(chan error, 2)
+	go func() { errCh <- pipe.Run(ctx) }()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", coord.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /cluster/nodes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(router.Stats())
+	})
+	httpSrv := &http.Server{Addr: f.httpAddr, Handler: mux}
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	if f.metricsAddr != "" {
+		go func() { errCh <- serveObs(f.metricsAddr, reg) }()
+	}
+
+	repl := f.replication
+	if repl == 0 {
+		repl = cluster.DefaultReplication
+		if repl > len(nodes) {
+			repl = len(nodes)
+		}
+	}
+	go func() {
+		<-src.Ready()
+		fmt.Printf("tivan: cluster front, syslog udp=%s tcp=%s, http=%s, %d nodes, replication %d\n",
+			src.BoundUDP, src.BoundTCP, f.httpAddr, len(nodes), repl)
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("\ntivan: cluster front shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+		if err := router.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tivan: router close:", err)
+		}
+		return nil
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+}

@@ -9,6 +9,14 @@
 //	      [-metrics-addr :9600] [-spool-dir /var/spool/tivan]
 //	      [-spool-max-bytes 1073741824] [-write-timeout 30s]
 //
+// With -cluster-nodes, tivan becomes a stateless cluster front instead
+// of a single-node store: ingest routes across the listed store nodes
+// (each itself a plain tivan) with -replication copies per document, and
+// the HTTP API scatter-gathers queries across them:
+//
+//	tivan -cluster-nodes http://10.0.0.1:9200,http://10.0.0.2:9200,http://10.0.0.3:9200 \
+//	      -replication 2 -spool-dir /var/spool/tivan
+//
 // Try it:
 //
 //	logger -n 127.0.0.1 -P 5514 -d "CPU 3 temperature above threshold"
@@ -49,8 +57,28 @@ func main() {
 		ingestBatch = flag.Int("ingest-batch", 0, "max syslog messages per listener read-loop batch handed to the pipeline (0 = default 256)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file at clean shutdown (empty disables)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at clean shutdown (empty disables)")
+
+		clusterNodes = flag.String("cluster-nodes", "", "comma-separated store node base URLs; non-empty switches tivan into cluster front mode (router + query coordinator, no local store)")
+		replication  = flag.Int("replication", 0, "copies of each document across cluster nodes (0 = default 2)")
+		partitions   = flag.Int("partitions", 0, "hash partitions for cluster placement (0 = default 32; pick once per cluster)")
+		timeSlice    = flag.Duration("time-slice", 0, "time bucket mixed into cluster routing so hosts spread over nodes (0 = default 1h)")
 	)
 	flag.Parse()
+
+	if *clusterNodes != "" {
+		if err := runClusterFront(clusterFlags{
+			httpAddr: *httpAddr, udpAddr: *udpAddr, tcpAddr: *tcpAddr,
+			metricsAddr: *metricsAddr, flushers: *flushers,
+			ingestBatch: *ingestBatch, writeTO: *writeTO,
+			nodes: *clusterNodes, replication: *replication,
+			partitions: *partitions, timeSlice: *timeSlice,
+			spoolDir: *spoolDir, spoolMax: *spoolMax, breakerThr: *breakerThr,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "tivan:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {

@@ -1,0 +1,123 @@
+package cluster
+
+// Cluster benchmarks: router fan-out ingest throughput and scatter-gather
+// query latency over in-process HTTP store nodes. The numbers bound the
+// cost of the cluster hop itself (HTTP + JSON + partition planning) since
+// the nodes run on the loopback of the same machine.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/store"
+)
+
+func benchCluster(b *testing.B, nNodes, replication int) (*Router, *Coordinator) {
+	b.Helper()
+	_, urls := newTestNodes(b, nNodes)
+	cfg := Config{
+		Nodes:       urls,
+		Replication: replication,
+		Partitions:  32,
+		TimeSlice:   time.Hour,
+		HTTPTimeout: 30 * time.Second,
+	}
+	rt, err := NewRouter(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { rt.Close() })
+	co, err := NewCoordinator(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt, co
+}
+
+func benchDocs(n int) []store.Doc {
+	base := time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
+	docs := make([]store.Doc, n)
+	for i := range docs {
+		docs[i] = store.Doc{
+			Time:   base.Add(time.Duration(i) * time.Second),
+			Fields: store.F("hostname", fmt.Sprintf("cn%03d", i%64), "app", "kernel"),
+			Body:   fmt.Sprintf("CPU %d temperature above threshold", i),
+		}
+	}
+	return docs
+}
+
+// BenchmarkClusterRouterIndexBatch measures routed ingest: one pipeline
+// batch partitioned, stamped, and delivered to every replica over HTTP.
+func BenchmarkClusterRouterIndexBatch(b *testing.B) {
+	for _, repl := range []int{1, 2} {
+		b.Run(fmt.Sprintf("replication=%d", repl), func(b *testing.B) {
+			rt, _ := benchCluster(b, 3, repl)
+			const batch = 256
+			docs := benchDocs(batch)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.IndexBatch(ctx, docs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "recs/s")
+		})
+	}
+}
+
+// BenchmarkClusterScatterGatherQuery measures coordinator queries against
+// a preloaded 3-node cluster: the scatter plan, per-node HTTP calls, and
+// the exact merge.
+func BenchmarkClusterScatterGatherQuery(b *testing.B) {
+	rt, co := benchCluster(b, 3, 2)
+	ctx := context.Background()
+	docs := benchDocs(20000)
+	for lo := 0; lo < len(docs); lo += 512 {
+		hi := lo + 512
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		if err := rt.IndexBatch(ctx, docs[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := store.Term{Field: "hostname", Value: "cn001"}
+
+	b.Run("count", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := co.Count(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("search", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := co.Search(ctx, q, -1, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("datehist", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := co.DateHistogram(ctx, nil, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("terms", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := co.Terms(ctx, nil, "hostname", 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hetsyslog/internal/store"
+)
+
+// NodeClient speaks the store's HTTP API to one cluster node. All calls
+// honor the passed context on top of the client's own timeout; a non-2xx
+// status or transport failure returns an error carrying the node URL so
+// breaker trips and failovers are attributable in logs.
+type NodeClient struct {
+	// BaseURL is the node's HTTP root, e.g. "http://10.0.0.1:9200".
+	BaseURL string
+	// HTTP is the underlying client (NewNodeClient sets the timeout).
+	HTTP *http.Client
+}
+
+// NewNodeClient returns a client for the node at baseURL.
+func NewNodeClient(baseURL string, timeout time.Duration) *NodeClient {
+	return &NodeClient{BaseURL: baseURL, HTTP: &http.Client{Timeout: timeout}}
+}
+
+// post sends body as JSON to path and decodes the JSON response into out
+// (skipped when out is nil).
+func (c *NodeClient) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: encode %s: %w", c.BaseURL, path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: %w", c.BaseURL, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: %s: %w", c.BaseURL, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: node %s: %s: HTTP %d: %s",
+			c.BaseURL, path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: node %s: decode %s: %w", c.BaseURL, path, err)
+	}
+	return nil
+}
+
+// IndexBatch bulk-indexes docs on the node via POST /index/batch.
+func (c *NodeClient) IndexBatch(ctx context.Context, docs []store.Doc) error {
+	return c.post(ctx, "/index/batch", struct {
+		Docs []store.Doc `json:"docs"`
+	}{docs}, nil)
+}
+
+// Search runs a query on the node. size < 0 means unlimited — the form
+// the coordinator uses so truncation happens exactly once, after merge.
+func (c *NodeClient) Search(ctx context.Context, q json.RawMessage, size int, sortAsc bool) ([]store.Hit, error) {
+	var out struct {
+		Hits []store.Hit `json:"hits"`
+	}
+	err := c.post(ctx, "/search", struct {
+		Query   json.RawMessage `json:"query"`
+		Size    int             `json:"size"`
+		SortAsc bool            `json:"sort_asc"`
+	}{q, size, sortAsc}, &out)
+	return out.Hits, err
+}
+
+// Count returns the node's matching-document count.
+func (c *NodeClient) Count(ctx context.Context, q json.RawMessage) (int, error) {
+	var out struct {
+		Count int `json:"count"`
+	}
+	err := c.post(ctx, "/count", struct {
+		Query json.RawMessage `json:"query"`
+	}{q}, &out)
+	return out.Count, err
+}
+
+// DateHistogramSparse returns the node's non-empty histogram buckets —
+// the merge-friendly form (summed by Start and gap-filled coordinator-
+// side, under the same MaxHistogramBuckets clamp as a single store).
+func (c *NodeClient) DateHistogramSparse(ctx context.Context, q json.RawMessage, interval time.Duration) ([]store.HistogramBucket, error) {
+	var out []store.HistogramBucket
+	err := c.post(ctx, "/agg/datehist", struct {
+		Query    json.RawMessage `json:"query"`
+		Interval string          `json:"interval"`
+		Sparse   bool            `json:"sparse"`
+	}{q, interval.String(), true}, &out)
+	return out, err
+}
+
+// Terms returns the node's full terms aggregation (size 0 = unlimited,
+// so the coordinator's merged top-k is exact, not an approximation from
+// per-node truncations).
+func (c *NodeClient) Terms(ctx context.Context, q json.RawMessage, field string, size int) ([]store.TermBucket, error) {
+	var out []store.TermBucket
+	err := c.post(ctx, "/agg/terms", struct {
+		Query json.RawMessage `json:"query"`
+		Field string          `json:"field"`
+		Size  int             `json:"size"`
+	}{q, field, size}, &out)
+	return out, err
+}
+
+// Stats returns the node's store stats via GET /stats.
+func (c *NodeClient) Stats(ctx context.Context) (store.Stats, error) {
+	var out store.Stats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
+	if err != nil {
+		return out, fmt.Errorf("cluster: node %s: %w", c.BaseURL, err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return out, fmt.Errorf("cluster: node %s: /stats: %w", c.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return out, fmt.Errorf("cluster: node %s: /stats: HTTP %d", c.BaseURL, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("cluster: node %s: decode /stats: %w", c.BaseURL, err)
+	}
+	return out, nil
+}

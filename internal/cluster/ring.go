@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// ring is the placement function: partition ids for documents (time+hash)
+// and rendezvous-ranked owner nodes per partition, precomputed once since
+// membership is fixed for the life of a router/coordinator.
+type ring struct {
+	partitions int
+	timeSlice  time.Duration
+	// owners[p] ranks every node for partition p, best first. The first
+	// replication entries are the partition's owners; the ranking beyond
+	// them is unused for placement but kept so failover code can reason
+	// about "next choice" uniformly.
+	owners [][]int
+}
+
+func newRing(cfg Config) *ring {
+	r := &ring{
+		partitions: cfg.Partitions,
+		timeSlice:  cfg.TimeSlice,
+		owners:     make([][]int, cfg.Partitions),
+	}
+	type scored struct {
+		node  int
+		score uint64
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		ranked := make([]scored, len(cfg.Nodes))
+		for n, url := range cfg.Nodes {
+			// Rendezvous (highest-random-weight) hashing: each node scores
+			// the partition independently, so removing one node leaves every
+			// other partition→node ranking untouched.
+			ranked[n] = scored{node: n, score: mix64(hash64(url) ^ mix64(uint64(p)+0x9e3779b97f4a7c15))}
+		}
+		sort.Slice(ranked, func(a, b int) bool {
+			if ranked[a].score != ranked[b].score {
+				return ranked[a].score > ranked[b].score
+			}
+			return ranked[a].node < ranked[b].node
+		})
+		order := make([]int, len(ranked))
+		for i, s := range ranked {
+			order[i] = s.node
+		}
+		r.owners[p] = order
+	}
+	return r
+}
+
+// partition maps a routing key (hostname) and timestamp onto a partition.
+// The time slot is floor-divided so pre-epoch timestamps stay stable, and
+// mixed into the key hash so one host's traffic walks the partitions as
+// time advances instead of pinning one partition forever.
+func (r *ring) partition(key string, t time.Time) int {
+	h := hash64(key)
+	if r.timeSlice > 0 {
+		slot := floorDiv(t.UnixNano(), int64(r.timeSlice))
+		h = mix64(h ^ mix64(uint64(slot)))
+	}
+	return int(h % uint64(r.partitions))
+}
+
+// replicas returns partition p's owner nodes, best first, truncated to n.
+func (r *ring) replicas(p, n int) []int {
+	if n > len(r.owners[p]) {
+		n = len(r.owners[p])
+	}
+	return r.owners[p][:n]
+}
+
+// hash64 is FNV-1a over s.
+func hash64(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer — cheap avalanche so xor-combined
+// hashes don't correlate.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// floorDiv is integer division rounding toward negative infinity,
+// mirroring the store's histogram grid so routing of pre-epoch
+// timestamps is as deterministic as bucketing them.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

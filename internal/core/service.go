@@ -29,10 +29,25 @@ import (
 // one Write call, alerting and sequence observation happen in batch
 // order on the calling goroutine, so a Notifier only sees concurrent
 // calls when Write itself is called concurrently.
+// DocIndexer receives a service's classified documents when they are
+// routed somewhere other than the local Store — e.g. a multi-node
+// cluster router (internal/cluster satisfies this without the import).
+// IndexBatch must be safe to retry: the pipeline redelivers the whole
+// batch on error, preferring duplicates to loss.
+type DocIndexer interface {
+	IndexBatch(ctx context.Context, docs []store.Doc) error
+}
+
 type Service struct {
 	Classifier *TextClassifier
 	Store      *store.Store
-	Alerts     *monitor.AlertManager
+	// Indexer, when set, takes precedence over Store as the destination
+	// for classified documents. Unlike the in-process Store it can fail;
+	// Write surfaces the error so the pipeline's retry/breaker/spool
+	// machinery applies. Alerting may re-fire on a redelivered batch (the
+	// per-category cooldown mutes the repeats).
+	Indexer DocIndexer
+	Alerts  *monitor.AlertManager
 	// Sequences optionally watches each node's category sequence with a
 	// fitted markov.SequenceDetector (related work [15]): nodes whose
 	// event *dynamics* become improbable fire OnSequenceAnomaly even when
@@ -162,8 +177,9 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 	if workers > len(batch) {
 		workers = len(batch)
 	}
+	hasSink := s.Store != nil || s.Indexer != nil
 	if workers <= 1 || len(batch) < minParallelBatch {
-		if s.Store == nil {
+		if !hasSink {
 			for _, r := range batch {
 				cat, ok := s.classify(r)
 				if ok {
@@ -181,9 +197,9 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 			docs = appendDoc(docs, r, cat)
 			s.finish(r, cat)
 		}
-		s.Store.IndexBatch(docs)
+		err := s.indexDocs(ctx, docs)
 		s.putDocs(docs)
-		return nil
+		return err
 	}
 
 	// Parallel phase: classification fans out; records are striped across
@@ -192,7 +208,7 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 	cats := make([]taxonomy.Category, len(batch))
 	valid := make([]bool, len(batch))
 	var docs []store.Doc
-	if s.Store != nil {
+	if hasSink {
 		docs = s.getDocs(len(batch))
 	}
 	var wg sync.WaitGroup
@@ -225,8 +241,13 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 				j++
 			}
 		}
-		s.Store.IndexBatch(docs[:j])
+		err := s.indexDocs(ctx, docs[:j])
 		s.putDocs(docs)
+		if err != nil {
+			// Refused before the alert phase: a redelivered batch re-runs
+			// classification but has not double-fired notifications.
+			return err
+		}
 	}
 
 	// Serial phase: alerting and the per-node Markov chains run in batch
@@ -239,6 +260,16 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 			}
 		}
 	}
+	return nil
+}
+
+// indexDocs delivers classified documents to the Indexer when one is
+// set, else to the local Store (which cannot fail).
+func (s *Service) indexDocs(ctx context.Context, docs []store.Doc) error {
+	if s.Indexer != nil {
+		return s.Indexer.IndexBatch(ctx, docs)
+	}
+	s.Store.IndexBatch(docs)
 	return nil
 }
 

@@ -11,11 +11,50 @@ type HistogramBucket struct {
 	Count int       `json:"count"`
 }
 
+// MaxHistogramBuckets bounds how many contiguous buckets DateHistogram
+// (and FillHistogram) will materialize. Without a bound, one document
+// with a wild timestamp — e.g. a record whose timestamp failed to parse
+// and stayed the zero time — plus a small interval would ask for billions
+// of buckets and OOM the process from a single HTTP request. Past the
+// bound the result degrades to the sparse form: non-empty buckets only.
+const MaxHistogramBuckets = 100_000
+
+// bucketIndex maps a document time onto the interval grid using floor
+// division, so pre-1970 timestamps (negative Unix nanos) land in the
+// bucket whose Start <= t < Start+interval instead of being shifted off
+// the grid by Go's truncate-toward-zero division. Every node of a
+// cluster computes the same grid, which is what lets per-node histograms
+// merge by bucket Start.
+func bucketIndex(t time.Time, interval time.Duration) int64 {
+	return floorDiv(t.UnixNano(), int64(interval))
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
 // DateHistogram counts matching documents per fixed interval — the
 // message-volume-over-time view behind the §4.5.1 frequency analysis.
 // Buckets are contiguous from the first to the last matching document;
-// empty buckets in between are included so surges stand out.
+// empty buckets in between are included so surges stand out. When the
+// span would exceed MaxHistogramBuckets the result is the sparse form
+// (non-empty buckets only, still sorted), so a single stray timestamp
+// cannot force a multi-GB allocation.
 func (st *Store) DateHistogram(q Query, interval time.Duration) []HistogramBucket {
+	return FillHistogram(st.DateHistogramSparse(q, interval), interval)
+}
+
+// DateHistogramSparse is DateHistogram without gap-filling: only
+// non-empty buckets, ascending by Start. This is the merge-friendly form
+// a cluster coordinator requests from each node — summing sparse buckets
+// by Start and gap-filling once after the merge is both cheaper on the
+// wire and immune to per-node span blowups.
+func (st *Store) DateHistogramSparse(q Query, interval time.Duration) []HistogramBucket {
 	defer st.observeQuery(st.queryHist, st.queryStart())
 	if q == nil {
 		q = MatchAll{}
@@ -25,8 +64,6 @@ func (st *Store) DateHistogram(q Query, interval time.Duration) []HistogramBucke
 		interval = time.Minute
 	}
 	counts := make(map[int64]int)
-	var lo, hi int64
-	first := true
 	for _, sh := range st.shards {
 		sh.mu.RLock()
 		for i := range sh.docs {
@@ -37,27 +74,52 @@ func (st *Store) DateHistogram(q Query, interval time.Duration) []HistogramBucke
 			if !q.matches(d) {
 				continue
 			}
-			b := d.Time.UnixNano() / int64(interval)
-			counts[b]++
-			if first || b < lo {
-				lo = b
-			}
-			if first || b > hi {
-				hi = b
-			}
-			first = false
+			counts[bucketIndex(d.Time, interval)]++
 		}
 		sh.mu.RUnlock()
 	}
-	if first {
+	if len(counts) == 0 {
 		return nil
 	}
-	out := make([]HistogramBucket, 0, hi-lo+1)
-	for b := lo; b <= hi; b++ {
+	out := make([]HistogramBucket, 0, len(counts))
+	for b, c := range counts {
 		out = append(out, HistogramBucket{
 			Start: time.Unix(0, b*int64(interval)).UTC(),
-			Count: counts[b],
+			Count: c,
 		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start.Before(out[b].Start) })
+	return out
+}
+
+// FillHistogram materializes the contiguous gap-filled histogram from
+// sparse non-empty buckets (ascending by Start, all on the same interval
+// grid). When the span from first to last bucket would exceed
+// MaxHistogramBuckets — or overflows outright — the sparse input is
+// returned unchanged, bounding the allocation. It is exported so a
+// cluster coordinator merging per-node sparse histograms applies exactly
+// the same materialization rule as a single store.
+func FillHistogram(sparse []HistogramBucket, interval time.Duration) []HistogramBucket {
+	if len(sparse) == 0 {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	lo := bucketIndex(sparse[0].Start, interval)
+	hi := bucketIndex(sparse[len(sparse)-1].Start, interval)
+	span := hi - lo
+	// span < 0 means hi-lo overflowed int64 (a zero-time doc next to a
+	// current one at a tiny interval does exactly this).
+	if span < 0 || span+1 > MaxHistogramBuckets || span+1 <= 0 {
+		return sparse
+	}
+	out := make([]HistogramBucket, span+1)
+	for i := range out {
+		out[i].Start = time.Unix(0, (lo+int64(i))*int64(interval)).UTC()
+	}
+	for _, b := range sparse {
+		out[bucketIndex(b.Start, interval)-lo].Count = b.Count
 	}
 	return out
 }
@@ -97,14 +159,21 @@ func (st *Store) Terms(q Query, field string, size int) []TermBucket {
 	for v, c := range counts {
 		out = append(out, TermBucket{Value: v, Count: c})
 	}
+	SortTerms(out)
+	if size > 0 && len(out) > size {
+		out = out[:size]
+	}
+	return out
+}
+
+// SortTerms orders term buckets the way Terms returns them: count
+// descending, then value ascending. Exported so merged multi-node terms
+// are truncated under exactly the same order as a single store's.
+func SortTerms(out []TermBucket) {
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Count != out[b].Count {
 			return out[a].Count > out[b].Count
 		}
 		return out[a].Value < out[b].Value
 	})
-	if size > 0 && len(out) > size {
-		out = out[:size]
-	}
-	return out
 }

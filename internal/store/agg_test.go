@@ -1,0 +1,123 @@
+package store
+
+// Regression tests for the aggregation edge cases the cluster work
+// exposed: unbounded histogram materialization on outlier timestamps,
+// and truncating (rather than flooring) division on the bucket grid.
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestDateHistogramZeroTimeDocBounded: one zero-time document used to
+// make DateHistogram materialize every bucket between year 1 and now —
+// at interval=1s that is an allocation in the exabucket range (the span
+// even overflows int64 nanoseconds). The clamp must degrade to the
+// sparse form instead, and conservation must survive.
+func TestDateHistogramZeroTimeDocBounded(t *testing.T) {
+	st := New(2)
+	st.Index(Doc{Time: time.Time{}, Body: "forged timestamp"})
+	st.Index(Doc{Time: time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC), Body: "normal"})
+
+	done := make(chan []HistogramBucket, 1)
+	go func() { done <- st.DateHistogram(nil, time.Second) }()
+	var buckets []HistogramBucket
+	select {
+	case buckets = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("DateHistogram did not return — unbounded materialization")
+	}
+	if len(buckets) > MaxHistogramBuckets {
+		t.Fatalf("materialized %d buckets, cap is %d", len(buckets), MaxHistogramBuckets)
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("sparse fallback should return the 2 non-empty buckets, got %d", len(buckets))
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != 2 {
+		t.Errorf("histogram total = %d, want 2 (conservation)", total)
+	}
+}
+
+// TestDateHistogramWithinCapStaysDense: the clamp must not cost the
+// dense (gap-filled) form when the span is reasonable.
+func TestDateHistogramWithinCapStaysDense(t *testing.T) {
+	st := New(2)
+	base := time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
+	st.Index(Doc{Time: base, Body: "a"})
+	st.Index(Doc{Time: base.Add(10 * time.Second), Body: "b"})
+	buckets := st.DateHistogram(nil, time.Second)
+	if len(buckets) != 11 {
+		t.Fatalf("buckets = %d, want 11 (dense form with gaps filled)", len(buckets))
+	}
+	if buckets[5].Count != 0 {
+		t.Errorf("gap bucket count = %d, want 0", buckets[5].Count)
+	}
+}
+
+// TestDateHistogramPreEpochFloorGrid: UnixNano()/interval truncates
+// toward zero, so pre-1970 timestamps used to land one bucket late and
+// the two sides of the epoch shared bucket 0. The grid must floor: a doc
+// at -1.5s with interval=1s belongs to the bucket starting at -2s, and
+// every bucket start must be an exact multiple of the interval.
+func TestDateHistogramPreEpochFloorGrid(t *testing.T) {
+	st := New(2)
+	preEpoch := time.Unix(0, 0).Add(-1500 * time.Millisecond)
+	st.Index(Doc{Time: preEpoch, Body: "pre epoch"})
+	st.Index(Doc{Time: time.Unix(0, 250_000_000), Body: "post epoch"})
+
+	buckets := st.DateHistogram(nil, time.Second)
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %v, want 3 (-2s, -1s, 0s)", buckets)
+	}
+	if want := time.Unix(-2, 0).UTC(); !buckets[0].Start.Equal(want) {
+		t.Errorf("first bucket starts %v, want %v (floor, not truncate)", buckets[0].Start, want)
+	}
+	if buckets[0].Count != 1 || buckets[1].Count != 0 || buckets[2].Count != 1 {
+		t.Errorf("bucket counts = %v, want [1 0 1]", buckets)
+	}
+	for _, b := range buckets {
+		if b.Start.UnixNano()%int64(time.Second) != 0 {
+			t.Errorf("bucket start %v off the interval grid", b.Start)
+		}
+	}
+}
+
+// TestFillHistogramClamp pins the exported materialization rule the
+// cluster coordinator reuses: dense within the cap, sparse beyond it,
+// overflow-safe on extreme spans.
+func TestFillHistogramClamp(t *testing.T) {
+	grid := func(idx int64) time.Time { return time.Unix(0, idx*int64(time.Second)).UTC() }
+	// Within cap: dense.
+	dense := FillHistogram([]HistogramBucket{
+		{Start: grid(0), Count: 1}, {Start: grid(4), Count: 2},
+	}, time.Second)
+	if len(dense) != 5 || dense[0].Count != 1 || dense[4].Count != 2 {
+		t.Fatalf("dense fill = %v", dense)
+	}
+	// Beyond cap: unchanged sparse.
+	sparse := []HistogramBucket{
+		{Start: grid(0), Count: 1},
+		{Start: grid(int64(MaxHistogramBuckets)), Count: 1},
+	}
+	if got := FillHistogram(sparse, time.Second); len(got) != 2 {
+		t.Fatalf("over-cap fill materialized %d buckets", len(got))
+	}
+	// Arithmetic overflow of the span itself (zero time vs the far future
+	// at nanosecond interval: hi-lo wraps negative): unchanged sparse.
+	overflow := []HistogramBucket{
+		{Start: time.Time{}, Count: 1},
+		{Start: time.Unix(0, math.MaxInt64), Count: 1},
+	}
+	if got := FillHistogram(overflow, time.Nanosecond); len(got) != 2 {
+		t.Fatalf("overflow fill materialized %d buckets", len(got))
+	}
+	// Empty and nil: pass through.
+	if got := FillHistogram(nil, time.Second); got != nil {
+		t.Fatalf("nil fill = %v", got)
+	}
+}

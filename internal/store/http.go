@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -51,6 +52,58 @@ func ParseQuery(raw []byte) (Query, error) {
 	return jq.toQuery()
 }
 
+// MarshalQuery renders a Query back into the JSON DSL — the inverse of
+// ParseQuery, used by cluster coordinators forwarding (possibly
+// partition-restricted) queries to remote store nodes over HTTP.
+func MarshalQuery(q Query) (json.RawMessage, error) {
+	jq, err := toJSONQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jq)
+}
+
+func toJSONQuery(q Query) (jsonQuery, error) {
+	switch t := q.(type) {
+	case nil, MatchAll:
+		return jsonQuery{MatchAll: &struct{}{}}, nil
+	case Term:
+		return jsonQuery{Term: &jsonTerm{Field: t.Field, Value: t.Value}}, nil
+	case Match:
+		return jsonQuery{Match: &jsonMatch{Text: t.Text}}, nil
+	case matchPrepared:
+		return jsonQuery{Match: &jsonMatch{Text: strings.Join(t.want, " ")}}, nil
+	case TimeRange:
+		return jsonQuery{Range: &jsonRange{From: t.From, To: t.To}}, nil
+	case Bool:
+		jb := &jsonBool{}
+		for _, sub := range t.Must {
+			j, err := toJSONQuery(sub)
+			if err != nil {
+				return jsonQuery{}, err
+			}
+			jb.Must = append(jb.Must, j)
+		}
+		for _, sub := range t.Should {
+			j, err := toJSONQuery(sub)
+			if err != nil {
+				return jsonQuery{}, err
+			}
+			jb.Should = append(jb.Should, j)
+		}
+		for _, sub := range t.MustNot {
+			j, err := toJSONQuery(sub)
+			if err != nil {
+				return jsonQuery{}, err
+			}
+			jb.MustNot = append(jb.MustNot, j)
+		}
+		return jsonQuery{Bool: jb}, nil
+	default:
+		return jsonQuery{}, fmt.Errorf("store: cannot marshal query type %T", q)
+	}
+}
+
 func (jq jsonQuery) toQuery() (Query, error) {
 	switch {
 	case jq.Term != nil:
@@ -91,14 +144,18 @@ func (jq jsonQuery) toQuery() (Query, error) {
 // Handler returns an http.Handler exposing the store API:
 //
 //	POST /index         {"time": ..., "fields": {...}, "body": "..."}
+//	POST /index/batch   {"docs": [{...}, ...]}
 //	POST /search        {"query": {...}, "size": 100, "sort_asc": false}
-//	POST /agg/datehist  {"query": {...}, "interval": "1m"}
+//	POST /count         {"query": {...}}
+//	POST /agg/datehist  {"query": {...}, "interval": "1m", "sparse": false}
 //	POST /agg/terms     {"query": {...}, "field": "hostname", "size": 10}
 //	GET  /stats
 func (st *Store) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /index", st.handleIndex)
+	mux.HandleFunc("POST /index/batch", st.handleIndexBatch)
 	mux.HandleFunc("POST /search", st.handleSearch)
+	mux.HandleFunc("POST /count", st.handleCount)
 	mux.HandleFunc("POST /agg/datehist", st.handleDateHist)
 	mux.HandleFunc("POST /agg/terms", st.handleTerms)
 	mux.HandleFunc("GET /stats", st.handleStats)
@@ -143,6 +200,41 @@ func (st *Store) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int64{"id": id})
 }
 
+// indexBatchBody is the wire form of POST /index/batch — the bulk ingest
+// endpoint a cluster router uses so a whole pipeline batch reaches the
+// node as one request and one IndexBatch call.
+type indexBatchBody struct {
+	Docs []Doc `json:"docs"`
+}
+
+func (st *Store) handleIndexBatch(w http.ResponseWriter, r *http.Request) {
+	var body indexBatchBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	first := st.IndexBatch(body.Docs)
+	writeJSON(w, map[string]int64{"first_id": first, "count": int64(len(body.Docs))})
+}
+
+func (st *Store) handleCount(w http.ResponseWriter, r *http.Request) {
+	var body searchBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := Query(MatchAll{})
+	if len(body.Query) > 0 {
+		var err error
+		q, err = ParseQuery(body.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	writeJSON(w, map[string]int{"count": st.CountQuery(q)})
+}
+
 type searchBody struct {
 	Query   json.RawMessage `json:"query"`
 	Size    int             `json:"size"`
@@ -171,6 +263,9 @@ func (st *Store) handleSearch(w http.ResponseWriter, r *http.Request) {
 type dateHistBody struct {
 	Query    json.RawMessage `json:"query"`
 	Interval string          `json:"interval"`
+	// Sparse skips gap-filling: only non-empty buckets return. Cluster
+	// coordinators request this form and gap-fill once after merging.
+	Sparse bool `json:"sparse,omitempty"`
 }
 
 func (st *Store) handleDateHist(w http.ResponseWriter, r *http.Request) {
@@ -191,6 +286,10 @@ func (st *Store) handleDateHist(w http.ResponseWriter, r *http.Request) {
 	interval, err := time.ParseDuration(body.Interval)
 	if err != nil {
 		http.Error(w, "bad interval: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if body.Sparse {
+		writeJSON(w, st.DateHistogramSparse(q, interval))
 		return
 	}
 	writeJSON(w, st.DateHistogram(q, interval))

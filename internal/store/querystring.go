@@ -14,6 +14,7 @@ import (
 //	after:2023-07-01T00:00:00Z       time lower bound (inclusive)
 //	before:2023-07-02T00:00:00Z      time upper bound (exclusive)
 //	-preauth                         negated full-text token
+//	-app:sshd                        negated field equality
 //
 // Terms combine with AND semantics. An empty string matches everything.
 func ParseQueryString(s string) (Query, error) {
@@ -30,7 +31,23 @@ func ParseQueryString(s string) (Query, error) {
 	for _, tok := range fields {
 		switch {
 		case strings.HasPrefix(tok, "-") && len(tok) > 1:
-			mustNot = append(mustNot, Match{Text: tok[1:]})
+			// A negated field term (-app:sshd) must become MustNot(Term),
+			// not a full-text match on the literal "app:sshd" — the latter
+			// silently excludes the wrong documents.
+			neg := tok[1:]
+			switch {
+			case strings.HasPrefix(neg, "after:"), strings.HasPrefix(neg, "before:"):
+				return nil, fmt.Errorf("store: cannot negate %q (invert the bound instead)", tok)
+			case strings.Contains(neg, ":"):
+				parts := strings.SplitN(neg, ":", 2)
+				if parts[0] == "" || parts[1] == "" {
+					return nil, fmt.Errorf("store: bad field term %q", tok)
+				}
+				value := strings.ReplaceAll(parts[1], "+", " ")
+				mustNot = append(mustNot, Term{Field: parts[0], Value: value})
+			default:
+				mustNot = append(mustNot, Match{Text: neg})
+			}
 		case strings.HasPrefix(tok, "after:"):
 			t, err := time.Parse(time.RFC3339, strings.TrimPrefix(tok, "after:"))
 			if err != nil {

@@ -48,6 +48,68 @@ func TestParseQueryStringShapes(t *testing.T) {
 	}
 }
 
+// TestParseQueryStringNegatedFieldTerm: -field:value used to fall
+// through to full-text negation, matching the literal text "app:sshd"
+// (i.e. nothing) instead of excluding app=sshd documents.
+func TestParseQueryStringNegatedFieldTerm(t *testing.T) {
+	q, err := ParseQueryString("-app:sshd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := q.(Bool)
+	if !ok || len(b.MustNot) != 1 || len(b.Must) != 0 {
+		t.Fatalf("parsed = %#v, want Bool with one MustNot", q)
+	}
+	tm, ok := b.MustNot[0].(Term)
+	if !ok || tm.Field != "app" || tm.Value != "sshd" {
+		t.Fatalf("must_not = %#v, want Term{app sshd}", b.MustNot[0])
+	}
+	// '+' space stand-in applies inside negated values too.
+	q, err = ParseQueryString("-category:Thermal+Issue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm = q.(Bool).MustNot[0].(Term)
+	if tm.Value != "Thermal Issue" {
+		t.Errorf("negated value = %q, want %q", tm.Value, "Thermal Issue")
+	}
+	// Bare negation is still full-text.
+	q, err = ParseQueryString("-preauth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := q.(Bool).MustNot[0].(Match); !ok || m.Text != "preauth" {
+		t.Errorf("bare negation = %#v, want Match{preauth}", q.(Bool).MustNot[0])
+	}
+	// Negating a range bound or writing a malformed field term errors.
+	for _, bad := range []string{"-after:2023-07-01T00:00:00Z", "-before:2023-07-01T00:00:00Z", "-app:", "-:sshd"} {
+		if _, err := ParseQueryString(bad); err == nil {
+			t.Errorf("ParseQueryString(%q) should error", bad)
+		}
+	}
+}
+
+func TestParseQueryStringNegatedFieldAgainstStore(t *testing.T) {
+	st := New(2)
+	seed(st)
+	q, err := ParseQueryString("-hostname:cn101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := st.Search(SearchRequest{Query: q, Size: -1})
+	if len(hits) == 0 {
+		t.Fatal("negated field query matched nothing")
+	}
+	for _, h := range hits {
+		if v, _ := h.Doc.Fields.Get("hostname"); v == "cn101" {
+			t.Fatalf("hit %+v should have been excluded", h.Doc)
+		}
+	}
+	if got, want := len(hits)+st.CountQuery(Term{Field: "hostname", Value: "cn101"}), st.Count(); got != want {
+		t.Errorf("negation partition: %d + excluded != total %d", got, want)
+	}
+}
+
 func TestParseQueryStringAgainstStore(t *testing.T) {
 	st := New(2)
 	seed(st)
