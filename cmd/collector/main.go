@@ -74,6 +74,8 @@ func main() {
 		replication  = flag.Int("replication", 0, "copies of each document across cluster nodes (0 = default 2)")
 		partitions   = flag.Int("partitions", 0, "hash partitions for cluster placement (0 = default 32; pick once per cluster)")
 		timeSlice    = flag.Duration("time-slice", 0, "time bucket mixed into cluster routing so hosts spread over nodes (0 = default 1h)")
+		clusterCodec = flag.String("cluster-codec", "", "wire codec for node index batches: binary (default, falls back to json per node) or json")
+		queryCache   = flag.Int("query-cache-size", 0, "coordinator merged-result cache entries for count/datehist/terms (0 = default 256, negative disables)")
 	)
 	flag.Parse()
 
@@ -123,6 +125,11 @@ func main() {
 			SpoolDir:         *spoolDir,
 			SpoolMaxBytes:    *spoolMax,
 			BreakerThreshold: *breakerThr,
+			Codec:            *clusterCodec,
+			QueryCacheSize:   *queryCache,
+			// Shared ingest generation: router deliveries invalidate the
+			// coordinator's cached aggregates.
+			Gen: cluster.NewGeneration(),
 		}
 		if router, err = cluster.NewRouter(ccfg, reg); err != nil {
 			fatal(err)

@@ -24,13 +24,15 @@ type clusterFlags struct {
 	flushers, ingestBatch                   int
 	writeTO                                 time.Duration
 
-	nodes       string
-	replication int
-	partitions  int
-	timeSlice   time.Duration
-	spoolDir    string
-	spoolMax    int64
-	breakerThr  int
+	nodes          string
+	replication    int
+	partitions     int
+	timeSlice      time.Duration
+	spoolDir       string
+	spoolMax       int64
+	breakerThr     int
+	codec          string
+	queryCacheSize int
 }
 
 // runClusterFront runs tivan as a stateless cluster front: syslog
@@ -53,6 +55,12 @@ func runClusterFront(f clusterFlags) error {
 		SpoolDir:         f.spoolDir,
 		SpoolMaxBytes:    f.spoolMax,
 		BreakerThreshold: f.breakerThr,
+		Codec:            f.codec,
+		QueryCacheSize:   f.queryCacheSize,
+		// One shared ingest generation ties the router to the coordinator's
+		// query cache: deliveries and spool replays invalidate cached
+		// aggregates by advancing it.
+		Gen: cluster.NewGeneration(),
 	}
 
 	reg := obs.NewRegistry()

@@ -62,6 +62,8 @@ func main() {
 		replication  = flag.Int("replication", 0, "copies of each document across cluster nodes (0 = default 2)")
 		partitions   = flag.Int("partitions", 0, "hash partitions for cluster placement (0 = default 32; pick once per cluster)")
 		timeSlice    = flag.Duration("time-slice", 0, "time bucket mixed into cluster routing so hosts spread over nodes (0 = default 1h)")
+		clusterCodec = flag.String("cluster-codec", "", "wire codec for node index batches: binary (default, falls back to json per node) or json")
+		queryCache   = flag.Int("query-cache-size", 0, "coordinator merged-result cache entries for count/datehist/terms (0 = default 256, negative disables)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func main() {
 			nodes: *clusterNodes, replication: *replication,
 			partitions: *partitions, timeSlice: *timeSlice,
 			spoolDir: *spoolDir, spoolMax: *spoolMax, breakerThr: *breakerThr,
+			codec: *clusterCodec, queryCacheSize: *queryCache,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "tivan:", err)
 			os.Exit(1)

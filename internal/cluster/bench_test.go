@@ -2,28 +2,36 @@ package cluster
 
 // Cluster benchmarks: router fan-out ingest throughput and scatter-gather
 // query latency over in-process HTTP store nodes. The numbers bound the
-// cost of the cluster hop itself (HTTP + JSON + partition planning) since
-// the nodes run on the loopback of the same machine.
+// cost of the cluster hop itself (HTTP + wire codec + partition planning)
+// since the nodes run on the loopback of the same machine.
 
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"hetsyslog/internal/store"
 )
 
-func benchCluster(b *testing.B, nNodes, replication int) (*Router, *Coordinator) {
+func benchClusterCfg(b *testing.B, nNodes, replication int, codec string) Config {
 	b.Helper()
 	_, urls := newTestNodes(b, nNodes)
-	cfg := Config{
+	return Config{
 		Nodes:       urls,
 		Replication: replication,
 		Partitions:  32,
 		TimeSlice:   time.Hour,
 		HTTPTimeout: 30 * time.Second,
+		Codec:       codec,
+		Gen:         NewGeneration(),
 	}
+}
+
+func benchCluster(b *testing.B, nNodes, replication int, codec string) (*Router, *Coordinator) {
+	b.Helper()
+	cfg := benchClusterCfg(b, nNodes, replication, codec)
 	rt, err := NewRouter(cfg, nil)
 	if err != nil {
 		b.Fatal(err)
@@ -51,16 +59,76 @@ func benchDocs(n int) []store.Doc {
 
 // BenchmarkClusterRouterIndexBatch measures routed ingest: one pipeline
 // batch partitioned, stamped, and delivered to every replica over HTTP.
+// The bare replication=N names run the default (binary) codec and are the
+// series compared against prior-PR baselines; the codec-labeled variants
+// isolate the wire-format contribution (json is the pre-PR-8 path).
+//
+// The cluster is recycled off-timer every resetEvery iterations so the
+// node-side corpus stays bounded: without the reset, a faster wire path
+// simply runs more iterations, grows the stores further, and pays ever
+// more for server-side indexing — the benchmark would measure corpus
+// growth, not the hop. Every variant gets the identical cap.
 func BenchmarkClusterRouterIndexBatch(b *testing.B) {
-	for _, repl := range []int{1, 2} {
-		b.Run(fmt.Sprintf("replication=%d", repl), func(b *testing.B) {
-			rt, _ := benchCluster(b, 3, repl)
-			const batch = 256
+	const (
+		batch      = 256
+		resetEvery = 128
+	)
+	for _, bc := range []struct {
+		name  string
+		repl  int
+		codec string
+	}{
+		{"replication=1", 1, CodecBinary},
+		{"replication=2", 2, CodecBinary},
+		{"replication=1/codec=json", 1, CodecJSON},
+		{"replication=2/codec=json", 2, CodecJSON},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var (
+				rt      *Router
+				servers []*httptest.Server
+			)
+			makeCluster := func() {
+				urls := make([]string, 3)
+				servers = servers[:0]
+				for i := range urls {
+					srv := httptest.NewServer(store.New(2).Handler())
+					servers = append(servers, srv)
+					urls[i] = srv.URL
+				}
+				var err error
+				rt, err = NewRouter(Config{
+					Nodes:       urls,
+					Replication: bc.repl,
+					Partitions:  32,
+					TimeSlice:   time.Hour,
+					HTTPTimeout: 30 * time.Second,
+					Codec:       bc.codec,
+					Gen:         NewGeneration(),
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			closeCluster := func() {
+				rt.Close()
+				for _, srv := range servers {
+					srv.Close()
+				}
+			}
+			makeCluster()
+			defer func() { closeCluster() }()
 			docs := benchDocs(batch)
 			ctx := context.Background()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				if i > 0 && i%resetEvery == 0 {
+					b.StopTimer()
+					closeCluster()
+					makeCluster()
+					b.StartTimer()
+				}
 				if err := rt.IndexBatch(ctx, docs); err != nil {
 					b.Fatal(err)
 				}
@@ -72,9 +140,28 @@ func BenchmarkClusterRouterIndexBatch(b *testing.B) {
 
 // BenchmarkClusterScatterGatherQuery measures coordinator queries against
 // a preloaded 3-node cluster: the scatter plan, per-node HTTP calls, and
-// the exact merge.
+// the exact merge. The bare names run with the query cache enabled (the
+// default front wiring), so steady-state iterations after the first are
+// cache hits; the nocache variants measure the raw scatter every time —
+// the series comparable to pre-PR-8 baselines.
 func BenchmarkClusterScatterGatherQuery(b *testing.B) {
-	rt, co := benchCluster(b, 3, 2)
+	cfg := benchClusterCfg(b, 3, 2, CodecBinary)
+	rt, err := NewRouter(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { rt.Close() })
+	co, err := NewCoordinator(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uncachedCfg := cfg
+	uncachedCfg.QueryCacheSize = -1
+	coNC, err := NewCoordinator(uncachedCfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+
 	ctx := context.Background()
 	docs := benchDocs(20000)
 	for lo := 0; lo < len(docs); lo += 512 {
@@ -92,6 +179,14 @@ func BenchmarkClusterScatterGatherQuery(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := co.Count(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("count/nocache", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coNC.Count(ctx, q); err != nil {
 				b.Fatal(err)
 			}
 		}

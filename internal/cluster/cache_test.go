@@ -1,0 +1,223 @@
+package cluster
+
+// Query-cache suite. Names carry the Cluster prefix so CI's focused gate
+// (`go test -run 'Cluster|ScatterGather' ./internal/...`) includes them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/store"
+)
+
+// TestClusterQueryCacheLRU exercises hit/miss accounting and the LRU
+// entry bound, including recency promotion on hit.
+func TestClusterQueryCacheLRU(t *testing.T) {
+	qc := newQueryCache(2, nil)
+	ctx := context.Background()
+	fills := 0
+	fill := func(v string) func() (any, error) {
+		return func() (any, error) { fills++; return v, nil }
+	}
+
+	if v, err := qc.do(ctx, "a", fill("A")); err != nil || v != "A" {
+		t.Fatalf("first a: got %v, %v", v, err)
+	}
+	if v, err := qc.do(ctx, "a", fill("WRONG")); err != nil || v != "A" {
+		t.Fatalf("cached a: got %v, %v (want cached A)", v, err)
+	}
+	if fills != 1 {
+		t.Fatalf("fills after repeat = %d, want 1", fills)
+	}
+	if qc.hits.Value() != 1 || qc.misses.Value() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", qc.hits.Value(), qc.misses.Value())
+	}
+
+	// b fills; touching a promotes it, so adding c must evict b, not a.
+	if _, err := qc.do(ctx, "b", fill("B")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qc.do(ctx, "a", fill("WRONG")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qc.do(ctx, "c", fill("C")); err != nil {
+		t.Fatal(err)
+	}
+	if qc.len() != 2 {
+		t.Fatalf("entries = %d, want LRU bound 2", qc.len())
+	}
+	if qc.evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", qc.evictions.Value())
+	}
+	fills = 0
+	if v, err := qc.do(ctx, "a", fill("A2")); err != nil || v != "A" || fills != 0 {
+		t.Fatalf("a should have survived eviction: got %v, %v, fills=%d", v, err, fills)
+	}
+	if _, err := qc.do(ctx, "b", fill("B2")); err != nil || fills != 1 {
+		t.Fatalf("b should have been evicted: fills=%d, err=%v", fills, err)
+	}
+}
+
+// TestClusterQueryCacheSingleflight checks that concurrent identical keys
+// collapse onto one fill, and that errors are never cached.
+func TestClusterQueryCacheSingleflight(t *testing.T) {
+	qc := newQueryCache(8, nil)
+	ctx := context.Background()
+
+	var fillCalls atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := qc.do(ctx, "k", func() (any, error) {
+				fillCalls.Add(1)
+				<-release // hold the flight open until all callers queue up
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until every non-leader caller is either parked on the flight or
+	// yet to arrive, then release the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for qc.collapsed.Value()+qc.misses.Value() < callers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := fillCalls.Load(); got != 1 {
+		t.Fatalf("fill ran %d times for %d concurrent callers, want 1", got, callers)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %v, want 42", i, v)
+		}
+	}
+	if qc.collapsed.Value() != callers-1 {
+		t.Fatalf("collapsed = %d, want %d", qc.collapsed.Value(), callers-1)
+	}
+
+	// Errors must not be cached: the next caller refills.
+	boom := errors.New("scatter failed")
+	if _, err := qc.do(ctx, "err", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err fill: got %v", err)
+	}
+	refilled := false
+	if v, err := qc.do(ctx, "err", func() (any, error) { refilled = true; return "ok", nil }); err != nil || v != "ok" || !refilled {
+		t.Fatalf("error was cached: v=%v err=%v refilled=%v", v, err, refilled)
+	}
+}
+
+// TestClusterQueryCacheGenerationInvalidation is the coordinator-level
+// staleness contract: a cached aggregate may go stale only while no
+// ingest reaches the nodes. Data slipped in behind the router's back is
+// invisible until the generation advances; ingest through the router
+// invalidates immediately.
+func TestClusterQueryCacheGenerationInvalidation(t *testing.T) {
+	nodes, urls := newTestNodes(t, 3)
+	cfg := fastClusterCfg(urls, "")
+	rt, err := NewRouter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	co, err := NewCoordinator(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.cache == nil {
+		t.Fatal("cache should be enabled: Gen wired and QueryCacheSize defaulted")
+	}
+
+	ctx := context.Background()
+	const total = 120
+	var batch []store.Doc
+	for i := 0; i < total; i++ {
+		batch = append(batch, store.Doc{
+			Time: time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC),
+			Body: fmt.Sprintf("event %d", i),
+			Fields: store.F("hostname", fmt.Sprintf("gh%02d", i%10),
+				"app", "kernel"),
+		})
+	}
+	if err := rt.IndexBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := co.Count(ctx, nil)
+	if err != nil || n != total {
+		t.Fatalf("count = %d, %v; want %d", n, err, total)
+	}
+	// Same query again: served from cache.
+	if n, err = co.Count(ctx, nil); err != nil || n != total {
+		t.Fatalf("cached count = %d, %v; want %d", n, err, total)
+	}
+	if co.cache.hits.Value() != 1 {
+		t.Fatalf("cache hits = %d, want 1", co.cache.hits.Value())
+	}
+
+	// Mutate every node's store behind the router's back: one extra doc,
+	// stamped into partition 0 so exactly one live owner reports it.
+	for _, nd := range nodes {
+		nd.store.IndexBatch([]store.Doc{{
+			Time:   time.Date(2023, 7, 1, 1, 0, 0, 0, time.UTC),
+			Body:   "smuggled",
+			Fields: store.F(PartitionField, "0"),
+		}})
+	}
+	// No generation bump: the cache keeps answering with the stale total.
+	if n, _ = co.Count(ctx, nil); n != total {
+		t.Fatalf("count after silent mutation = %d, want stale cached %d", n, total)
+	}
+	// Advancing the generation retires the key; the next count re-scatters.
+	cfg.Gen.Bump()
+	if n, err = co.Count(ctx, nil); err != nil || n != total+1 {
+		t.Fatalf("count after bump = %d, %v; want %d", n, err, total+1)
+	}
+
+	// Ingest through the router invalidates without manual bumps.
+	if err := rt.IndexBatch(ctx, []store.Doc{{
+		Time:   time.Date(2023, 7, 1, 2, 0, 0, 0, time.UTC),
+		Body:   "routed",
+		Fields: store.F("hostname", "gh00", "app", "kernel"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err = co.Count(ctx, nil); err != nil || n != total+2 {
+		t.Fatalf("count after routed ingest = %d, %v; want %d", n, err, total+2)
+	}
+}
+
+// TestClusterQueryCacheDisabled pins the opt-outs: a negative
+// QueryCacheSize or an absent Generation must leave the coordinator
+// uncached (every call re-scatters).
+func TestClusterQueryCacheDisabled(t *testing.T) {
+	_, urls := newTestNodes(t, 2)
+	for name, mutate := range map[string]func(*Config){
+		"negative_size": func(c *Config) { c.QueryCacheSize = -1 },
+		"nil_gen":       func(c *Config) { c.Gen = nil },
+	} {
+		cfg := fastClusterCfg(urls, "")
+		mutate(&cfg)
+		co, err := NewCoordinator(cfg, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if co.cache != nil {
+			t.Fatalf("%s: cache should be disabled", name)
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"hetsyslog/internal/store"
@@ -15,31 +17,75 @@ import (
 // NodeClient speaks the store's HTTP API to one cluster node. All calls
 // honor the passed context on top of the client's own timeout; a non-2xx
 // status or transport failure returns an error carrying the node URL so
-// breaker trips and failovers are attributable in logs.
+// breaker trips and failovers are attributable in logs. Response bodies
+// are always read to EOF — with or without a decode target — so the
+// keep-alive connection returns to the transport's idle pool instead of
+// being torn down after every call.
 type NodeClient struct {
 	// BaseURL is the node's HTTP root, e.g. "http://10.0.0.1:9200".
 	BaseURL string
-	// HTTP is the underlying client (NewNodeClient sets the timeout).
+	// HTTP is the underlying client. Routers and coordinators share one
+	// tuned client (see newHTTPClient) across all their NodeClients so the
+	// keep-alive pool spans the whole fan-out.
 	HTTP *http.Client
+	// jsonOnly latches true when the node rejects the binary doc codec
+	// (HTTP 400 from an older build's JSON decoder, 415 from a different
+	// codec version): all later IndexBatchPayload calls renegotiate down
+	// to JSON without retrying binary.
+	jsonOnly atomic.Bool
 }
 
-// NewNodeClient returns a client for the node at baseURL.
+// NewNodeClient returns a client for the node at baseURL with its own
+// default-transport HTTP client. Cluster routers/coordinators prefer
+// newNodeClientShared so every node shares one tuned transport.
 func NewNodeClient(baseURL string, timeout time.Duration) *NodeClient {
 	return &NodeClient{BaseURL: baseURL, HTTP: &http.Client{Timeout: timeout}}
 }
 
-// post sends body as JSON to path and decodes the JSON response into out
-// (skipped when out is nil).
-func (c *NodeClient) post(ctx context.Context, path string, body, out any) error {
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("cluster: node %s: encode %s: %w", c.BaseURL, path, err)
+// newNodeClientShared returns a client for baseURL on a shared HTTP
+// client (one tuned transport for the whole cluster fan-out).
+func newNodeClientShared(baseURL string, httpc *http.Client) *NodeClient {
+	return &NodeClient{BaseURL: baseURL, HTTP: httpc}
+}
+
+// newHTTPClient builds the shared tuned client for a router or
+// coordinator: keep-alives sized for concurrent per-node fan-out, so
+// steady-state batches ride pooled connections instead of re-dialing.
+func newHTTPClient(timeout time.Duration, maxIdlePerHost int) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = maxIdlePerHost
+	if tr.MaxIdleConns < maxIdlePerHost*4 {
+		tr.MaxIdleConns = maxIdlePerHost * 4
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	return &http.Client{Transport: tr, Timeout: timeout}
+}
+
+// statusError is a non-2xx response, preserving the code so callers can
+// distinguish codec rejection (400/415) from node failure.
+type statusError struct {
+	url, path string
+	status    int
+	msg       string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("cluster: node %s: %s: HTTP %d: %s", e.url, e.path, e.status, e.msg)
+}
+
+// do issues one request and decodes the JSON response into out (out ==
+// nil: the body is drained and discarded). payload may be nil for GETs.
+func (c *NodeClient) do(ctx context.Context, method, path, contentType string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("cluster: node %s: %w", c.BaseURL, err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: node %s: %s: %w", c.BaseURL, path, err)
@@ -47,23 +93,71 @@ func (c *NodeClient) post(ctx context.Context, path string, body, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("cluster: node %s: %s: HTTP %d: %s",
-			c.BaseURL, path, resp.StatusCode, bytes.TrimSpace(msg))
+		drain(resp.Body)
+		return &statusError{url: c.BaseURL, path: path, status: resp.StatusCode,
+			msg: string(bytes.TrimSpace(msg))}
 	}
 	if out == nil {
+		drain(resp.Body)
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("cluster: node %s: decode %s: %w", c.BaseURL, path, err)
 	}
+	// The decoder stops at the end of the first JSON value; whatever
+	// trails it (the encoder's newline) must still be consumed or the
+	// transport abandons the connection instead of pooling it.
+	drain(resp.Body)
 	return nil
 }
 
-// IndexBatch bulk-indexes docs on the node via POST /index/batch.
+// drain consumes the remainder of a response body (bounded: a well-formed
+// store response never approaches the cap) so the connection is reusable.
+func drain(r io.Reader) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(r, 1<<22))
+}
+
+// post sends body as JSON to path and decodes the JSON response into out
+// (skipped, but drained, when out is nil).
+func (c *NodeClient) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: encode %s: %w", c.BaseURL, path, err)
+	}
+	return c.do(ctx, http.MethodPost, path, "application/json", payload, out)
+}
+
+// get fetches path and decodes the JSON response into out.
+func (c *NodeClient) get(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, "", nil, out)
+}
+
+// IndexBatch bulk-indexes docs on the node via POST /index/batch in the
+// JSON wire form — the compatibility path and the codec's oracle.
 func (c *NodeClient) IndexBatch(ctx context.Context, docs []store.Doc) error {
 	return c.post(ctx, "/index/batch", struct {
 		Docs []store.Doc `json:"docs"`
 	}{docs}, nil)
+}
+
+// IndexBatchPayload bulk-indexes a batch already encoded in the binary
+// doc codec. When the node rejects the codec (old build or foreign
+// version), the client latches JSON-only for this node and re-sends via
+// docs() — the caller provides the fallback lazily so the common path
+// never materializes a per-node doc slice.
+func (c *NodeClient) IndexBatchPayload(ctx context.Context, payload []byte, docs func() []store.Doc) error {
+	if !c.jsonOnly.Load() {
+		err := c.do(ctx, http.MethodPost, "/index/batch", store.DocsContentType, payload, nil)
+		if err == nil {
+			return nil
+		}
+		var se *statusError
+		if !errors.As(err, &se) || (se.status != http.StatusBadRequest && se.status != http.StatusUnsupportedMediaType) {
+			return err
+		}
+		c.jsonOnly.Store(true)
+	}
+	return c.IndexBatch(ctx, docs())
 }
 
 // Search runs a query on the node. size < 0 means unlimited — the form
@@ -120,20 +214,6 @@ func (c *NodeClient) Terms(ctx context.Context, q json.RawMessage, field string,
 // Stats returns the node's store stats via GET /stats.
 func (c *NodeClient) Stats(ctx context.Context) (store.Stats, error) {
 	var out store.Stats
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
-	if err != nil {
-		return out, fmt.Errorf("cluster: node %s: %w", c.BaseURL, err)
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return out, fmt.Errorf("cluster: node %s: /stats: %w", c.BaseURL, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return out, fmt.Errorf("cluster: node %s: /stats: HTTP %d", c.BaseURL, resp.StatusCode)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return out, fmt.Errorf("cluster: node %s: decode /stats: %w", c.BaseURL, err)
-	}
-	return out, nil
+	err := c.get(ctx, "/stats", &out)
+	return out, err
 }

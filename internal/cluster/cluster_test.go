@@ -54,6 +54,9 @@ func fastClusterCfg(urls []string, spoolDir string) Config {
 		MaxRetryBackoff:  50 * time.Millisecond,
 		ReplayInterval:   5 * time.Millisecond,
 		HTTPTimeout:      5 * time.Second,
+		// Shared ingest generation: router bumps, coordinator cache keys on
+		// it — the production wiring, so the suite exercises invalidation.
+		Gen: NewGeneration(),
 	}
 }
 
@@ -282,6 +285,121 @@ func TestClusterChaosNodeDeathZeroLoss(t *testing.T) {
 	if n, err := co.Count(ctx, nil); err != nil || n != total {
 		t.Fatalf("survivor Count = %d, %v; want %d", n, err, total)
 	}
+	hits, err := co.Search(ctx, nil, -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, h := range hits {
+		seen[h.Doc.Body]++
+	}
+	if len(seen) != total {
+		t.Fatalf("survivors returned %d unique records, want %d", len(seen), total)
+	}
+	for body, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %q returned %d times, want exactly once", body, n)
+		}
+	}
+}
+
+// TestClusterChaosNodeDeathBinaryCodecCacheExact is the PR-8 chaos
+// variant: binary wire codec and the coordinator query cache are both
+// live, queries run mid-ingest (populating the cache), and a node dies
+// mid-ingest at replication 2. The cache must never serve a stale result
+// across the failover re-plan — every post-ingest answer is exact — and
+// zero acknowledged records may be lost.
+func TestClusterChaosNodeDeathBinaryCodecCacheExact(t *testing.T) {
+	nodes, urls := newTestNodes(t, 3)
+	cfg := fastClusterCfg(urls, t.TempDir())
+	cfg.Codec = CodecBinary
+	rt, err := NewRouter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start(context.Background())
+	defer rt.Close()
+	co, err := NewCoordinator(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.cache == nil {
+		t.Fatal("query cache should be enabled")
+	}
+
+	p := &collector.Pipeline{Sink: rt, Config: &collector.Config{
+		BatchSize:     32,
+		FlushInterval: 2 * time.Millisecond,
+		MaxRetries:    1,
+		RetryBackoff:  time.Millisecond,
+		WriteTimeout:  5 * time.Second,
+	}}
+	ch := make(chan collector.Record)
+	p.Source = &collector.ChannelSource{Ch: ch}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+
+	ctx := context.Background()
+	const total = 4000
+	for i := 0; i < total; i++ {
+		switch i {
+		case total / 4:
+			// Populate the cache mid-ingest, while every node is alive.
+			// Whatever partial count this memoizes must be invalidated by
+			// the ingest that follows, not resurrected after failover.
+			if _, err := co.Count(ctx, nil); err != nil {
+				t.Fatalf("mid-ingest count: %v", err)
+			}
+		case total / 2:
+			// Kill node 1 mid-ingest: its share diverts to its spool and
+			// its partitions fail over on the query side.
+			nodes[1].server.CloseClientConnections()
+			nodes[1].server.Close()
+		}
+		ch <- clusterRecord(fmt.Sprintf("cn%03d", i%64), "slurmd", fmt.Sprintf("job %d", i))
+	}
+	close(ch)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	s := p.Stats()
+	if s.Ingested != s.Filtered+s.Flushed+s.Dropped+s.Spooled {
+		t.Errorf("invariant broken: Ingested (%d) != Filtered (%d) + Flushed (%d) + Dropped (%d) + Spooled (%d)",
+			s.Ingested, s.Filtered, s.Flushed, s.Dropped, s.Spooled)
+	}
+	if s.Ingested != total || s.Flushed != total || s.Dropped != 0 || s.Spooled != 0 {
+		t.Errorf("stats = %+v, want Ingested=Flushed=%d Dropped=Spooled=0", s, total)
+	}
+	for i, ns := range rt.Stats() {
+		if ns.Lost != 0 {
+			t.Errorf("node %d lost %d records", i, ns.Lost)
+		}
+	}
+	// The fast path must actually be the binary codec: live nodes never
+	// negotiated down to JSON.
+	if rt.binBatches.Value() == 0 {
+		t.Error("no batches went over the binary codec")
+	}
+	if rt.jsonBatches.Value() != 0 {
+		t.Errorf("%d batches fell back to JSON against same-build nodes", rt.jsonBatches.Value())
+	}
+
+	// Post-ingest exactness through the cache: the first count re-scatters
+	// (ingest advanced the generation past the mid-ingest snapshot), the
+	// second is a cache hit — and both must equal the acknowledged total.
+	hitsBefore := co.cache.hits.Value()
+	for round := 0; round < 2; round++ {
+		if n, err := co.Count(ctx, nil); err != nil || n != total {
+			t.Fatalf("post-ingest count round %d = %d, %v; want %d", round, n, err, total)
+		}
+	}
+	if co.cache.hits.Value() != hitsBefore+1 {
+		t.Errorf("second identical count missed the cache (hits %d -> %d)",
+			hitsBefore, co.cache.hits.Value())
+	}
+	// Search (uncached) agrees with the cached count: every acknowledged
+	// record exactly once across the survivors.
 	hits, err := co.Search(ctx, nil, -1, false)
 	if err != nil {
 		t.Fatal(err)

@@ -26,6 +26,11 @@ type Coordinator struct {
 	cfg     Config
 	ring    *ring
 	clients []*NodeClient
+	// gen is the front's shared ingest generation and cache its merged-
+	// result memo (Count/DateHistogram/Terms). Both nil when caching is
+	// disabled (no Gen wired, or QueryCacheSize < 0).
+	gen   *Generation
+	cache *queryCache
 
 	scatterLat  *obs.Histogram
 	fanout      *obs.Histogram
@@ -42,8 +47,15 @@ func NewCoordinator(cfg Config, reg *obs.Registry) (*Coordinator, error) {
 	}
 	cfg = cfg.withDefaults()
 	co := &Coordinator{cfg: cfg, ring: newRing(cfg)}
+	// One tuned transport spans every node, same as the router's, so
+	// scatter rounds ride pooled keep-alive connections.
+	httpc := newHTTPClient(cfg.HTTPTimeout, cfg.MaxIdleConnsPerHost)
 	for _, url := range cfg.Nodes {
-		co.clients = append(co.clients, NewNodeClient(url, cfg.HTTPTimeout))
+		co.clients = append(co.clients, newNodeClientShared(url, httpc))
+	}
+	if cfg.Gen != nil && cfg.QueryCacheSize > 0 {
+		co.gen = cfg.Gen
+		co.cache = newQueryCache(cfg.QueryCacheSize, reg)
 	}
 	co.scatterLat = reg.Histogram("cluster_scatter_seconds",
 		"scatter-gather latency per coordinator query (all rounds, merge included)",
@@ -146,9 +158,36 @@ func restrictToPartitions(q store.Query, parts []int) store.Query {
 	return store.Bool{Must: []store.Query{q}, Should: should}
 }
 
+// cached routes fill through the merged-result cache when it is enabled,
+// keying on (operation, parameters, canonical query JSON, current ingest
+// generation). Ingest bumps the generation, which makes every stale key
+// unreachable — a cached value can therefore never predate a data change
+// under its own key. Cached values are shared across callers and must be
+// treated as immutable.
+func (co *Coordinator) cached(ctx context.Context, op, params string, q store.Query, fill func() (any, error)) (any, error) {
+	if co.cache == nil {
+		return fill()
+	}
+	if q == nil {
+		q = store.MatchAll{}
+	}
+	raw, err := store.MarshalQuery(q)
+	if err != nil {
+		// Unmarshalable query shape: skip the cache and let the scatter
+		// surface the real error.
+		return fill()
+	}
+	key := op + "|g" + strconv.FormatInt(co.gen.Load(), 10) + "|" + params + "|" + string(raw)
+	return co.cache.do(ctx, key, fill)
+}
+
 // Search scatter-gathers a search. size limits the merged result
 // (negative = unlimited); each node is asked for its full result set so
-// truncation happens exactly once, after the merge.
+// truncation happens exactly once, after the merge. Search results are
+// deliberately not cached: hit payloads carry full documents, so one
+// broad query could pin an unbounded slice of the corpus in memory —
+// unlike the fixed-size merged aggregates Count/DateHistogram/Terms
+// memoize.
 func (co *Coordinator) Search(ctx context.Context, q store.Query, size int, sortAsc bool) ([]store.Hit, error) {
 	var mu sync.Mutex
 	var hits []store.Hit
@@ -169,23 +208,27 @@ func (co *Coordinator) Search(ctx context.Context, q store.Query, size int, sort
 }
 
 // Count scatter-gathers a count; per-partition counts sum exactly.
+// Results are memoized per ingest generation when the cache is enabled.
 func (co *Coordinator) Count(ctx context.Context, q store.Query) (int, error) {
-	var mu sync.Mutex
-	total := 0
-	err := co.scatter(ctx, q, func(ctx context.Context, node int, raw json.RawMessage) error {
-		n, err := co.clients[node].Count(ctx, raw)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		total += n
-		mu.Unlock()
-		return nil
+	v, err := co.cached(ctx, "count", "", q, func() (any, error) {
+		var mu sync.Mutex
+		total := 0
+		err := co.scatter(ctx, q, func(ctx context.Context, node int, raw json.RawMessage) error {
+			n, err := co.clients[node].Count(ctx, raw)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+			return nil
+		})
+		return total, err
 	})
 	if err != nil {
 		return 0, err
 	}
-	return total, nil
+	return v.(int), nil
 }
 
 // DateHistogram scatter-gathers the sparse per-node histograms, sums
@@ -196,44 +239,56 @@ func (co *Coordinator) DateHistogram(ctx context.Context, q store.Query, interva
 	if interval <= 0 {
 		interval = time.Minute
 	}
-	var mu sync.Mutex
-	var all [][]store.HistogramBucket
-	err := co.scatter(ctx, q, func(ctx context.Context, node int, raw json.RawMessage) error {
-		b, err := co.clients[node].DateHistogramSparse(ctx, raw, interval)
+	v, err := co.cached(ctx, "datehist", interval.String(), q, func() (any, error) {
+		var mu sync.Mutex
+		var all [][]store.HistogramBucket
+		err := co.scatter(ctx, q, func(ctx context.Context, node int, raw json.RawMessage) error {
+			b, err := co.clients[node].DateHistogramSparse(ctx, raw, interval)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			all = append(all, b)
+			mu.Unlock()
+			return nil
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		mu.Lock()
-		all = append(all, b)
-		mu.Unlock()
-		return nil
+		return MergeHistograms(all, interval), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return MergeHistograms(all, interval), nil
+	return v.([]store.HistogramBucket), nil
 }
 
 // Terms scatter-gathers the full per-node terms aggregations, sums by
 // value, and re-sorts/truncates once — exact, unlike merging per-node
 // top-k truncations.
 func (co *Coordinator) Terms(ctx context.Context, q store.Query, field string, size int) ([]store.TermBucket, error) {
-	var mu sync.Mutex
-	var all [][]store.TermBucket
-	err := co.scatter(ctx, q, func(ctx context.Context, node int, raw json.RawMessage) error {
-		b, err := co.clients[node].Terms(ctx, raw, field, 0)
+	v, err := co.cached(ctx, "terms", field+"|"+strconv.Itoa(size), q, func() (any, error) {
+		var mu sync.Mutex
+		var all [][]store.TermBucket
+		err := co.scatter(ctx, q, func(ctx context.Context, node int, raw json.RawMessage) error {
+			b, err := co.clients[node].Terms(ctx, raw, field, 0)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			all = append(all, b)
+			mu.Unlock()
+			return nil
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		mu.Lock()
-		all = append(all, b)
-		mu.Unlock()
-		return nil
+		return MergeTerms(all, size), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return MergeTerms(all, size), nil
+	return v.([]store.TermBucket), nil
 }
 
 // ClusterStats aggregates the per-node store stats the coordinator can

@@ -36,13 +36,20 @@ type Router struct {
 	cfg   Config
 	ring  *ring
 	nodes []*routerNode
+	// gen is the shared ingest generation (nil-safe): bumped whenever
+	// documents actually reach a node, so a coordinator's query cache on
+	// the same front invalidates exactly when results can change.
+	gen *Generation
 
 	replayCancel context.CancelFunc
 	replayWG     sync.WaitGroup
 	startOnce    sync.Once
 	closeOnce    sync.Once
 
-	writeLat *obs.Histogram
+	writeLat     *obs.Histogram
+	payloadBytes *obs.Histogram
+	binBatches   *obs.Counter
+	jsonBatches  *obs.Counter
 }
 
 // routerNode is one store node's delivery state.
@@ -68,13 +75,22 @@ func NewRouter(cfg Config, reg *obs.Registry) (*Router, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	rt := &Router{cfg: cfg, ring: newRing(cfg)}
+	rt := &Router{cfg: cfg, ring: newRing(cfg), gen: cfg.Gen}
 	rt.writeLat = reg.Histogram("cluster_route_write_seconds",
 		"router batch fan-out latency per sink write", obs.LatencyBuckets)
+	rt.payloadBytes = reg.Histogram("cluster_codec_payload_bytes",
+		"per-node /index/batch payload size", obs.ByteBuckets)
+	rt.binBatches = reg.Counter(`cluster_codec_batches_total{codec="binary"}`,
+		"per-node index batches sent, by wire codec")
+	rt.jsonBatches = reg.Counter(`cluster_codec_batches_total{codec="json"}`,
+		"per-node index batches sent, by wire codec")
+	// One tuned transport spans every node so concurrent fan-out reuses
+	// keep-alive connections instead of re-dialing per batch.
+	httpc := newHTTPClient(cfg.HTTPTimeout, cfg.MaxIdleConnsPerHost)
 	for i, url := range cfg.Nodes {
 		nd := &routerNode{
 			url:    url,
-			client: NewNodeClient(url, cfg.HTTPTimeout),
+			client: newNodeClientShared(url, httpc),
 			breaker: resilience.NewBreaker(resilience.BreakerConfig{
 				FailureThreshold: cfg.BreakerThreshold,
 				InitialBackoff:   cfg.RetryBackoff,
@@ -174,9 +190,50 @@ func (rt *Router) Write(ctx context.Context, batch []collector.Record) error {
 	return rt.IndexBatch(ctx, docs)
 }
 
+// encodedBatch is one batch's shared binary encoding: every doc encoded
+// exactly once into buf, with off[i]:off[i+1] spanning doc i. Per-node
+// payloads are assembled by copying the relevant spans after a header —
+// a memcpy per replica instead of a re-marshal per replica.
+type encodedBatch struct {
+	buf []byte
+	off []int
+}
+
+// encPool recycles encodedBatch values (and their buffers) across
+// IndexBatch calls; payloadPool recycles the per-node wire buffers.
+var (
+	encPool     = sync.Pool{New: func() any { return new(encodedBatch) }}
+	payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// encodeBatch encodes every doc once into a pooled buffer.
+func encodeBatch(docs []store.Doc) *encodedBatch {
+	enc := encPool.Get().(*encodedBatch)
+	enc.buf = enc.buf[:0]
+	enc.off = append(enc.off[:0], 0)
+	for i := range docs {
+		enc.buf = store.AppendDoc(enc.buf, &docs[i])
+		enc.off = append(enc.off, len(enc.buf))
+	}
+	return enc
+}
+
+// payload assembles the binary wire payload for one node's doc subset.
+func (enc *encodedBatch) payload(dst []byte, idxs []int) []byte {
+	dst = store.AppendDocsHeader(dst[:0], len(idxs))
+	for _, i := range idxs {
+		dst = append(dst, enc.buf[enc.off[i]:enc.off[i+1]]...)
+	}
+	return dst
+}
+
+func (enc *encodedBatch) release() { encPool.Put(enc) }
+
 // IndexBatch implements core.DocIndexer: it stamps each document's
-// partition into PartitionField (mutating docs[i].Fields) and fans the
-// batch out to every replica node, spooling each dead node's share.
+// partition into PartitionField (mutating docs[i].Fields), encodes the
+// batch once, and fans per-node payloads out concurrently — one goroutine
+// per replica node, assembled from the shared doc spans — spooling each
+// dead node's share.
 func (rt *Router) IndexBatch(ctx context.Context, docs []store.Doc) error {
 	if len(docs) == 0 {
 		return nil
@@ -191,25 +248,48 @@ func (rt *Router) IndexBatch(ctx context.Context, docs []store.Doc) error {
 			perNode[n] = append(perNode[n], i)
 		}
 	}
-	placed := make([]int, len(docs))
+	var enc *encodedBatch
+	if rt.cfg.Codec != CodecJSON {
+		enc = encodeBatch(docs)
+	}
+	// Concurrent fan-out: each replica node's delivery (HTTP round-trip
+	// or spool append) proceeds independently, so the batch costs one
+	// slowest-node RTT instead of the sum over replicas.
+	ok := make([]bool, len(rt.nodes))
+	var wg sync.WaitGroup
 	for n, idxs := range perNode {
 		if len(idxs) == 0 {
 			continue
 		}
-		nodeDocs := make([]store.Doc, len(idxs))
-		for j, i := range idxs {
-			nodeDocs[j] = docs[i]
+		wg.Add(1)
+		go func(n int, idxs []int) {
+			defer wg.Done()
+			ok[n] = rt.deliverOrSpool(ctx, n, docs, idxs, enc)
+		}(n, idxs)
+	}
+	wg.Wait()
+	if enc != nil {
+		enc.release()
+	}
+	delivered := false
+	placed := make([]bool, len(docs))
+	for n, idxs := range perNode {
+		if !ok[n] {
+			continue
 		}
-		if rt.deliverOrSpool(ctx, n, nodeDocs) {
-			for _, i := range idxs {
-				placed[i]++
-			}
+		delivered = true
+		for _, i := range idxs {
+			placed[i] = true
 		}
+	}
+	if delivered {
+		// Node-visible data may have changed: retire cached query results.
+		rt.gen.Bump()
 	}
 	rt.writeLat.ObserveDuration(time.Since(start))
 	unplaced := 0
 	for _, p := range placed {
-		if p == 0 {
+		if !p {
 			unplaced++
 		}
 	}
@@ -220,32 +300,57 @@ func (rt *Router) IndexBatch(ctx context.Context, docs []store.Doc) error {
 	return nil
 }
 
-// deliverOrSpool tries a live write to node n behind its breaker and
-// falls back to the node's spool. It reports whether the docs reached a
-// durable place.
-func (rt *Router) deliverOrSpool(ctx context.Context, n int, docs []store.Doc) bool {
+// deliverOrSpool tries a live write of the docs at idxs to node n behind
+// its breaker and falls back to the node's spool. enc carries the batch's
+// shared binary encoding (nil forces the JSON wire form). It reports
+// whether the docs reached a durable place.
+func (rt *Router) deliverOrSpool(ctx context.Context, n int, docs []store.Doc, idxs []int, enc *encodedBatch) bool {
 	nd := rt.nodes[n]
+	// The JSON fallback and the spool path both need the node's doc
+	// subset; materialize it lazily and at most once.
+	var nodeDocs []store.Doc
+	subset := func() []store.Doc {
+		if nodeDocs == nil {
+			nodeDocs = make([]store.Doc, len(idxs))
+			for j, i := range idxs {
+				nodeDocs[j] = docs[i]
+			}
+		}
+		return nodeDocs
+	}
 	if nd.breaker.Allow() {
-		if err := nd.client.IndexBatch(ctx, docs); err == nil {
+		var err error
+		if enc != nil && !nd.client.jsonOnly.Load() {
+			buf := payloadPool.Get().(*[]byte)
+			*buf = enc.payload(*buf, idxs)
+			rt.payloadBytes.Observe(float64(len(*buf)))
+			rt.binBatches.Inc()
+			err = nd.client.IndexBatchPayload(ctx, *buf, subset)
+			payloadPool.Put(buf)
+		} else {
+			rt.jsonBatches.Inc()
+			err = nd.client.IndexBatch(ctx, subset())
+		}
+		if err == nil {
 			nd.breaker.Success()
-			nd.delivered.Add(int64(len(docs)))
+			nd.delivered.Add(int64(len(idxs)))
 			return true
 		}
 		nd.breaker.Failure()
 	}
 	if nd.spool != nil {
-		if payload, err := encodeDocs(docs); err == nil {
-			evicted, err2 := nd.spool.Append(payload, len(docs))
+		if payload, err := encodeDocs(subset()); err == nil {
+			evicted, err2 := nd.spool.Append(payload, len(idxs))
 			if evicted > 0 {
 				nd.evicted.Add(evicted)
 			}
 			if err2 == nil {
-				nd.spooled.Add(int64(len(docs)))
+				nd.spooled.Add(int64(len(idxs)))
 				return true
 			}
 		}
 	}
-	nd.lost.Add(int64(len(docs)))
+	nd.lost.Add(int64(len(idxs)))
 	return false
 }
 
@@ -289,6 +394,9 @@ func (rt *Router) replayDrain(ctx context.Context, n int) {
 			return
 		}
 		nd.breaker.Success()
+		// Replayed docs just became queryable on the node: invalidate
+		// cached query results, same as a live delivery.
+		rt.gen.Bump()
 		// A refused Pop means the frame was concurrently evicted (and
 		// counted evicted) while the write was in flight; it was in fact
 		// delivered, so replayed is counted either way.

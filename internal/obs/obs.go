@@ -216,6 +216,10 @@ var LatencyBuckets = []float64{
 // queue lengths): powers of two up to 4096.
 var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
+// ByteBuckets is the default bound set for payload-size histograms (wire
+// batches, codec output): 64 B to 16 MiB, powers of four.
+var ByteBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
+
 // Registry holds named metrics for exposition. All methods are safe for
 // concurrent use and safe on a nil receiver: a nil registry hands out
 // standalone metrics (counters/gauges/histograms that still count, so

@@ -1,10 +1,13 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -200,14 +203,45 @@ func (st *Store) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int64{"id": id})
 }
 
-// indexBatchBody is the wire form of POST /index/batch — the bulk ingest
-// endpoint a cluster router uses so a whole pipeline batch reaches the
-// node as one request and one IndexBatch call.
+// indexBatchBody is the JSON wire form of POST /index/batch — the bulk
+// ingest endpoint a cluster router uses so a whole pipeline batch reaches
+// the node as one request and one IndexBatch call. Requests may instead
+// carry the binary doc codec (Content-Type DocsContentType, see codec.go);
+// JSON remains the negotiation fallback for clients and nodes that do not
+// share a codec version.
 type indexBatchBody struct {
 	Docs []Doc `json:"docs"`
 }
 
+// batchBufPool recycles the read buffers binary /index/batch requests
+// decode from; DecodeDocs copies the strings out, so the buffer is free
+// for the next request as soon as the handler returns.
+var batchBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (st *Store) handleIndexBatch(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, DocsContentType) {
+		buf := batchBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer batchBufPool.Put(buf)
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		docs, err := DecodeDocs(buf.Bytes(), nil)
+		if err != nil {
+			// A versioned-but-foreign payload gets 415 so the client knows
+			// to renegotiate down to JSON; garbage is a plain bad request.
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrCodecVersion) {
+				status = http.StatusUnsupportedMediaType
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		first := st.IndexBatch(docs)
+		writeJSON(w, map[string]int64{"first_id": first, "count": int64(len(docs))})
+		return
+	}
 	var body indexBatchBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
