@@ -12,6 +12,8 @@
 //	          [-classify-cache-size 32768] [-classify-cache-shards 8]
 //	          [-spool-dir /var/spool/collector] [-spool-max-bytes 1073741824]
 //	          [-write-timeout 30s] [-breaker-threshold 5]
+//	          [-detect] [-detect-window 1m] [-detect-zscore 3]
+//	          [-detect-max-sources 1048576]
 //
 // With -cluster-nodes, classified documents route across the listed
 // remote store nodes (replication 2 by default) instead of an embedded
@@ -37,6 +39,7 @@ import (
 	"hetsyslog/internal/cluster"
 	"hetsyslog/internal/collector"
 	"hetsyslog/internal/core"
+	"hetsyslog/internal/detect"
 	"hetsyslog/internal/llm"
 	"hetsyslog/internal/loggen"
 	"hetsyslog/internal/monitor"
@@ -69,6 +72,11 @@ func main() {
 		ingestBatch = flag.Int("ingest-batch", 0, "max syslog messages per listener read-loop batch handed to the pipeline (0 = default 256)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file at clean shutdown (empty disables)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at clean shutdown (empty disables)")
+
+		detectOn  = flag.Bool("detect", false, "enable the streaming security detectors (rate spikes + sensitive patterns) as a pipeline stage")
+		detectWin = flag.Duration("detect-window", 0, "detector sliding window and per-source alert cooldown (0 = default 1m)")
+		detectZ   = flag.Float64("detect-zscore", 0, "rate-spike threshold in decayed standard deviations (0 = default 3)")
+		detectMax = flag.Int("detect-max-sources", 0, "tracked detector sources before idlest-entry eviction (0 = default 1<<20)")
 
 		clusterNodes = flag.String("cluster-nodes", "", "comma-separated store node base URLs; non-empty indexes classified documents across them instead of an embedded store (dashboard views are single-node-only and are disabled)")
 		replication  = flag.Int("replication", 0, "copies of each document across cluster nodes (0 = default 2)")
@@ -205,6 +213,25 @@ func main() {
 	if err := pipeCfg.Validate(); err != nil {
 		fatal(err)
 	}
+	// Streaming detectors run as a pipeline stage after dedup/enrichment:
+	// attack traffic varies per line, so dedup passes it through, and the
+	// detectors key rate baselines on the same cached classifier the sink
+	// applies. Their synthetic alerts flow downstream into the store.
+	var det *detect.Detector
+	if *detectOn {
+		det, err = detect.New(detect.Config{
+			Window:     *detectWin,
+			ZScore:     *detectZ,
+			MaxSources: *detectMax,
+			Classify:   svc.CategoryOf,
+			Alerts:     alerts,
+			Metrics:    reg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	pipe := &collector.Pipeline{
 		Source: src,
 		// rsyslog-style dedup in front of classification keeps identical
@@ -214,6 +241,9 @@ func main() {
 		Sink:    svc,
 		Config:  pipeCfg,
 		Metrics: reg,
+	}
+	if det != nil {
+		pipe.Stages = []collector.Stage{det}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -228,6 +258,10 @@ func main() {
 	// embedded store directly, so they are single-node-only.
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /alerts", alerts.ServeAlerts)
+	if det != nil {
+		mux.HandleFunc("GET /detect/state", det.ServeState)
+	}
 	if router != nil {
 		mux.Handle("/", coord.Handler())
 		mux.HandleFunc("GET /cluster/nodes", func(w http.ResponseWriter, r *http.Request) {
@@ -281,6 +315,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "\ncollector: classified=%d actionable=%d alerts sent=%d muted=%d; %s\n",
 		classified, actionable, sent, muted, backend)
+	if det != nil {
+		for _, dc := range det.State(0).Detectors {
+			if dc.Fired > 0 || dc.Suppressed > 0 {
+				fmt.Fprintf(os.Stderr, "collector: detector %s fired=%d suppressed=%d\n",
+					dc.Detector, dc.Fired, dc.Suppressed)
+			}
+		}
+	}
 	if ps := pipe.Stats(); ps.Spooled > 0 {
 		fmt.Fprintf(os.Stderr, "collector: %d records spooled in %s await replay on next start\n",
 			ps.Spooled, *spoolDir)

@@ -7,6 +7,7 @@
 //	loggen -n 100                       # print 100 labelled messages
 //	loggen -n 0 -rate 10ms -send udp:127.0.0.1:5514   # stream forever
 //	loggen -dataset 20000               # dump a scaled Table 2 corpus as TSV
+//	loggen -attack spray -n 20          # scripted attack shape (burst|spray|scan)
 package main
 
 import (
@@ -33,10 +34,21 @@ func main() {
 		dataset = flag.Int("dataset", 0, "emit a unique-message corpus of ~this size as TSV and exit")
 		replay  = flag.String("replay", "", "replay a TSV corpus file instead of generating")
 		drift   = flag.Bool("drift", false, "apply a firmware update to every architecture halfway through")
+
+		attack       = flag.String("attack", "", "emit one scripted attack shape instead of the normal mix: burst, spray, or scan")
+		attackWindow = flag.Duration("attack-window", 30*time.Second, "time window the scripted attack spans")
 	)
 	flag.Parse()
 
 	g := loggen.NewGenerator(*seed)
+
+	if *attack != "" {
+		if err := runAttack(g, loggen.AttackKind(*attack), *n, *attackWindow, *send, *rate); err != nil {
+			fmt.Fprintln(os.Stderr, "loggen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *replay != "" {
 		if err := replayTSV(*replay, *send, *rate); err != nil {
@@ -108,6 +120,44 @@ func main() {
 			}
 		}
 	}
+}
+
+// runAttack scripts one adversarial traffic shape against a random node
+// and prints it or forwards it as syslog — the workload the streaming
+// detectors and their end-to-end tests consume.
+func runAttack(g *loggen.Generator, kind loggen.AttackKind, n int, window time.Duration, send string, rate time.Duration) error {
+	target := g.Cluster.Nodes[0]
+	examples, err := g.Attack(kind, target, n, window)
+	if err != nil {
+		return err
+	}
+	var sender *syslog.Sender
+	if send != "" {
+		parts := strings.SplitN(send, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-send wants net:addr")
+		}
+		sender, err = syslog.DialSender(parts[0], parts[1], syslog.FormatRFC5424)
+		if err != nil {
+			return err
+		}
+		defer sender.Close()
+	}
+	for _, ex := range examples {
+		if sender != nil {
+			if err := sender.Send(ex.Message()); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("[%-19s] %s %s: %s\n", ex.Category, ex.Node.Name, ex.App, ex.Text)
+		}
+		if rate > 0 {
+			time.Sleep(rate)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loggen: %s attack of %d messages against %s over %v\n",
+		kind, len(examples), target.Name, window)
+	return nil
 }
 
 // replayTSV reads a cmd/loggen -dataset style TSV and either prints it or

@@ -8,6 +8,7 @@
 //	tivan [-http :9200] [-udp :5514] [-tcp :5514] [-shards 6] [-flush-workers 2]
 //	      [-metrics-addr :9600] [-spool-dir /var/spool/tivan]
 //	      [-spool-max-bytes 1073741824] [-write-timeout 30s]
+//	      [-detect] [-detect-window 1m] [-detect-zscore 3]
 //
 // With -cluster-nodes, tivan becomes a stateless cluster front instead
 // of a single-node store: ingest routes across the listed store nodes
@@ -36,6 +37,8 @@ import (
 	"time"
 
 	"hetsyslog/internal/collector"
+	"hetsyslog/internal/detect"
+	"hetsyslog/internal/monitor"
 	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
 )
@@ -57,6 +60,11 @@ func main() {
 		ingestBatch = flag.Int("ingest-batch", 0, "max syslog messages per listener read-loop batch handed to the pipeline (0 = default 256)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file at clean shutdown (empty disables)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at clean shutdown (empty disables)")
+
+		detectOn  = flag.Bool("detect", false, "enable the streaming security detectors (rate spikes + sensitive patterns) as a pipeline stage; single-node mode only")
+		detectWin = flag.Duration("detect-window", 0, "detector sliding window and per-source alert cooldown (0 = default 1m)")
+		detectZ   = flag.Float64("detect-zscore", 0, "rate-spike threshold in decayed standard deviations (0 = default 3)")
+		detectMax = flag.Int("detect-max-sources", 0, "tracked detector sources before idlest-entry eviction (0 = default 1<<20)")
 
 		clusterNodes = flag.String("cluster-nodes", "", "comma-separated store node base URLs; non-empty switches tivan into cluster front mode (router + query coordinator, no local store)")
 		replication  = flag.Int("replication", 0, "copies of each document across cluster nodes (0 = default 2)")
@@ -124,6 +132,32 @@ func main() {
 		Metrics: reg,
 	}
 
+	// Streaming detectors: tivan has no classifier, so rate baselines key
+	// on (host, app) instead of (host, category); sensitive patterns are
+	// unaffected. Alerts print to stderr and are served at /alerts.
+	var alerts *monitor.AlertManager
+	var det *detect.Detector
+	if *detectOn {
+		alerts = &monitor.AlertManager{
+			Notifier: monitor.NotifierFunc(func(a monitor.Alert) {
+				fmt.Fprintln(os.Stderr, "ALERT", a)
+			}),
+		}
+		var err error
+		det, err = detect.New(detect.Config{
+			Window:     *detectWin,
+			ZScore:     *detectZ,
+			MaxSources: *detectMax,
+			Alerts:     alerts,
+			Metrics:    reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tivan:", err)
+			os.Exit(1)
+		}
+		pipe.Stages = []collector.Stage{det}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -151,6 +185,10 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", st.Handler())
 	mux.Handle("GET /metrics", reg.Handler())
+	if det != nil {
+		mux.HandleFunc("GET /alerts", alerts.ServeAlerts)
+		mux.HandleFunc("GET /detect/state", det.ServeState)
+	}
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	if *metricsAddr != "" {

@@ -88,7 +88,59 @@ type BatchSource interface {
 		emitBatch func([]Record) error) error
 }
 
+// Stage is a first-class element of the processing chain: it can
+// transform a record, drop it, and inject additional records of its own.
+// It unifies the older Filter/EmittingFilter pair behind one interface
+// and is the seam cross-message analytics (Dedup summaries, the
+// internal/detect streaming detectors) mount on.
+type Stage interface {
+	// Process handles one record, returning the (possibly modified)
+	// record and whether to keep it. emit injects extra records — dedup
+	// summaries, detector alerts — downstream of this stage: they run
+	// through the remaining chain, are counted as Ingested, and are
+	// enqueued like any other record, so the accounting invariant
+	// Ingested == Filtered + Flushed + Dropped + Spooled still holds.
+	//
+	// The pipeline passes the same emit function on every call to a
+	// given stage, and it stays valid until Run returns, so stages may
+	// retain it for emissions from the Sweep/Close lifecycle hooks.
+	// Stages must be safe for concurrent Process calls: batched sources
+	// deliver from several goroutines and the sweep ticker runs
+	// alongside them.
+	Process(r Record, emit func(Record)) (Record, bool)
+}
+
+// StageFunc adapts a function to Stage.
+type StageFunc func(r Record, emit func(Record)) (Record, bool)
+
+// Process calls f.
+func (f StageFunc) Process(r Record, emit func(Record)) (Record, bool) { return f(r, emit) }
+
+// SweepingStage is an optional Stage lifecycle extension. The pipeline
+// calls Sweep periodically (every Config.SweepInterval) so window-based
+// stages expire state and emit pending summaries during traffic lulls
+// instead of waiting for the next record to trigger a lazy sweep. Sweep
+// returns how many entries were evicted.
+type SweepingStage interface {
+	Stage
+	Sweep(now time.Time) int
+}
+
+// ClosingStage is an optional Stage lifecycle extension. The pipeline
+// calls Close once per Run, after the source has stopped and before the
+// flush queue closes, so a stage can flush whatever it is still holding
+// — records it emits from Close are delivered normally.
+type ClosingStage interface {
+	Stage
+	Close()
+}
+
 // Filter transforms or drops records.
+//
+// Deprecated: implement Stage. Filters wired through Pipeline.Filters
+// keep working — the pipeline adapts them — but cannot inject records or
+// receive lifecycle hooks unless they also implement Stage (as Dedup
+// does) or the legacy EmittingFilter interface.
 type Filter interface {
 	// Apply returns the (possibly modified) record and whether to keep it.
 	Apply(r Record) (Record, bool)
@@ -101,15 +153,30 @@ type FilterFunc func(r Record) (Record, bool)
 func (f FilterFunc) Apply(r Record) (Record, bool) { return f(r) }
 
 // EmittingFilter is a Filter that can inject additional records of its
-// own — e.g. Dedup's "message repeated N times" summaries when a burst's
-// window expires. The pipeline calls SetEmit before the source starts;
-// injected records are run through the remaining filter chain (everything
-// downstream of the emitting filter), counted as Ingested, and enqueued
-// like any other record, so the accounting invariant
-// Ingested == Filtered + Flushed + Dropped + Spooled still holds.
+// own. The pipeline calls SetEmit before the source starts; injected
+// records get the same treatment as Stage emissions.
+//
+// Deprecated: implement Stage, whose Process receives the emit function
+// directly.
 type EmittingFilter interface {
 	Filter
 	SetEmit(emit func(Record))
+}
+
+// filterStage adapts a legacy Filter into the Stage chain. Injection for
+// EmittingFilters still flows through SetEmit, wired by the pipeline.
+type filterStage struct{ f Filter }
+
+func (s filterStage) Process(r Record, _ func(Record)) (Record, bool) { return s.f.Apply(r) }
+
+// stageHooks resolves which value to probe for the SetEmit/Sweep/Close
+// hooks: the wrapped Filter for adapted legacy filters, the stage itself
+// otherwise.
+func stageHooks(s Stage) any {
+	if fs, ok := s.(filterStage); ok {
+		return fs.f
+	}
+	return s
 }
 
 // Sink receives flushed batches. Write must be safe to retry: the
@@ -169,9 +236,18 @@ type Stats struct {
 // the corresponding loose field, and whatever is still unset gets the
 // documented default. See Config for the mapping.
 type Pipeline struct {
-	Source  Source
+	Source Source
+	// Filters is the legacy processing chain, run before Stages.
+	//
+	// Deprecated: use Stages. A Filter that also implements Stage (Dedup)
+	// is used natively, so it gets the emit function and lifecycle hooks
+	// whichever field it was wired through.
 	Filters []Filter
-	Sink    Sink
+	// Stages is the processing chain: each record flows through every
+	// stage in order (after any adapted Filters), and stages may drop,
+	// transform, or inject records. See Stage.
+	Stages []Stage
+	Sink   Sink
 
 	// Config groups and validates every pipeline knob. Optional: a nil
 	// Config behaves as the zero Config (loose fields, then defaults).
@@ -277,6 +353,22 @@ func (p *Pipeline) Stats() Stats {
 		Dropped:  p.dropped.Value(),
 		Spooled:  p.spooled.Value(),
 	}
+}
+
+// chain resolves the effective processing chain: the deprecated Filters
+// (adapted) first, then Stages. A Filter that already implements Stage
+// is used directly so its emit function and lifecycle hooks work no
+// matter which field it was wired through.
+func (p *Pipeline) chain() []Stage {
+	chain := make([]Stage, 0, len(p.Filters)+len(p.Stages))
+	for _, f := range p.Filters {
+		if s, ok := f.(Stage); ok {
+			chain = append(chain, s)
+		} else {
+			chain = append(chain, filterStage{f: f})
+		}
+	}
+	return append(chain, p.Stages...)
 }
 
 // prepare validates the pipeline, resolves the effective Config and
@@ -398,12 +490,27 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		}
 	}
 
-	// filterFrom runs r through p.Filters[from:] and enqueues survivors
-	// as single-record chunks.
-	filterFrom := func(r Record, from int) error {
-		for _, f := range p.Filters[from:] {
+	// The effective chain: adapted legacy Filters first, then Stages.
+	chain := p.chain()
+
+	// processFrom runs r through chain[from:] and enqueues survivors as
+	// single-record chunks. Each stage gets one stable emit closure that
+	// injects records downstream of itself, counted as Ingested; records
+	// refused at shutdown are accounted by enqueue. Legacy
+	// EmittingFilters receive the same closure through SetEmit.
+	var processFrom func(r Record, from int) error
+	emitFor := make([]func(Record), len(chain))
+	for i := range chain {
+		after := i + 1
+		emitFor[i] = func(r Record) {
+			p.ingested.Add(1)
+			_ = processFrom(r, after)
+		}
+	}
+	processFrom = func(r Record, from int) error {
+		for i := from; i < len(chain); i++ {
 			var keep bool
-			r, keep = f.Apply(r)
+			r, keep = chain[i].Process(r, emitFor[i])
 			if !keep {
 				p.filtered.Add(1)
 				return nil
@@ -411,34 +518,26 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		}
 		return sendChunk(append(p.getChunk(), r))
 	}
-
-	// Filters that inject their own records (dedup summaries) feed them
-	// through the rest of the chain, downstream of themselves. Injected
-	// records refused at shutdown are already accounted by enqueue.
-	for i, f := range p.Filters {
-		if ef, ok := f.(EmittingFilter); ok {
-			after := i + 1
-			ef.SetEmit(func(r Record) {
-				p.ingested.Add(1)
-				_ = filterFrom(r, after)
-			})
+	for i, s := range chain {
+		if ef, ok := stageHooks(s).(interface{ SetEmit(func(Record)) }); ok {
+			ef.SetEmit(emitFor[i])
 		}
 	}
 
 	emit := func(r Record) error {
 		p.ingested.Add(1)
-		return filterFrom(r, 0)
+		return processFrom(r, 0)
 	}
 
-	// emitBatch ingests a whole batch: every record runs the full filter
-	// chain, survivors share one chunk and one channel operation.
+	// emitBatch ingests a whole batch: every record runs the full chain,
+	// survivors share one chunk and one channel operation.
 	emitBatch := func(rs []Record) error {
 		p.ingested.Add(int64(len(rs)))
 		chunk := p.getChunk()
 		for _, r := range rs {
 			keep := true
-			for _, f := range p.Filters {
-				r, keep = f.Apply(r)
+			for i := 0; i < len(chain); i++ {
+				r, keep = chain[i].Process(r, emitFor[i])
 				if !keep {
 					p.filtered.Add(1)
 					break
@@ -451,11 +550,52 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		return sendChunk(chunk)
 	}
 
+	// The sweep ticker gives window-based stages (Dedup, the detectors)
+	// a clock-driven eviction pass, so expired bursts summarize and idle
+	// sources evict even when no traffic arrives to trigger the stages'
+	// own lazy sweeps.
+	var sweepers []interface{ Sweep(now time.Time) int }
+	for _, s := range chain {
+		if sw, ok := stageHooks(s).(interface{ Sweep(now time.Time) int }); ok {
+			sweepers = append(sweepers, sw)
+		}
+	}
+	stopSweep := make(chan struct{})
+	var sweepWG sync.WaitGroup
+	if len(sweepers) > 0 && p.cfg.SweepInterval > 0 {
+		sweepWG.Add(1)
+		go func() {
+			defer sweepWG.Done()
+			tick := time.NewTicker(p.cfg.SweepInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSweep:
+					return
+				case <-tick.C:
+					for _, sw := range sweepers {
+						sw.Sweep(time.Now())
+					}
+				}
+			}
+		}()
+	}
+
 	var err error
 	if bs, ok := p.Source.(BatchSource); ok {
 		err = bs.RunBatch(ctx, emit, emitBatch)
 	} else {
 		err = p.Source.Run(ctx, emit)
+	}
+	// Close lifecycle: with the source stopped and the queue still open,
+	// stages flush whatever they are holding (pending dedup summaries)
+	// so it is delivered instead of lost.
+	close(stopSweep)
+	sweepWG.Wait()
+	for _, s := range chain {
+		if cl, ok := stageHooks(s).(interface{ Close() }); ok {
+			cl.Close()
+		}
 	}
 	close(queue)
 	wg.Wait()

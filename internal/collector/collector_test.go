@@ -421,10 +421,26 @@ func TestDedupInPipeline(t *testing.T) {
 		}
 		ch <- record("cn7", "ipmiseld", "different event", syslog.Critical)
 	})
-	if got := len(sink.Records()); got != 2 {
-		t.Fatalf("delivered = %d, want 2 (first + distinct)", got)
+	// Three records: the burst's first occurrence, the distinct event,
+	// and the "repeated 9" summary the Close lifecycle hook flushes at
+	// shutdown (the burst's window never expired while running).
+	if got := len(sink.Records()); got != 3 {
+		t.Fatalf("delivered = %d, want 3 (first + distinct + shutdown summary)", got)
 	}
-	if p.Stats().Filtered != 9 {
-		t.Errorf("filtered = %d", p.Stats().Filtered)
+	summaries := 0
+	for _, r := range sink.Records() {
+		if r.Meta["repeated"] == "9" {
+			summaries++
+		}
+	}
+	if summaries != 1 {
+		t.Errorf("shutdown summaries = %d, want 1", summaries)
+	}
+	s := p.Stats()
+	if s.Filtered != 9 {
+		t.Errorf("filtered = %d", s.Filtered)
+	}
+	if s.Ingested != s.Filtered+s.Flushed+s.Dropped+s.Spooled {
+		t.Errorf("invariant violated: %+v", s)
 	}
 }

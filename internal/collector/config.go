@@ -64,6 +64,12 @@ type Config struct {
 	// ReplayInterval is how often the replayer polls the spool for
 	// frames to push back into the sink (default 50ms).
 	ReplayInterval time.Duration
+	// SweepInterval is how often the pipeline calls Sweep(now) on stages
+	// implementing the sweep lifecycle hook (default 1s). Negative
+	// disables the ticker, leaving such stages to their own lazy sweeps;
+	// it is therefore the one duration knob where a negative value is
+	// meaningful rather than invalid.
+	SweepInterval time.Duration
 }
 
 // Validate checks the configuration and returns every violation joined
@@ -185,6 +191,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplayInterval <= 0 {
 		c.ReplayInterval = 50 * time.Millisecond
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = time.Second
 	}
 	return c
 }

@@ -3,6 +3,7 @@ package collector
 import (
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetsyslog/internal/obs"
@@ -42,6 +43,9 @@ type Dedup struct {
 	last      map[string]*dedupEntry
 	lastSweep time.Time
 	emit      func(Record)
+	// emitSet lets Process skip the emit-install lock once one is
+	// wired, keeping the per-record path at a single lock acquisition.
+	emitSet atomic.Bool
 }
 
 type dedupEntry struct {
@@ -93,6 +97,24 @@ func (d *Dedup) SetEmit(emit func(Record)) {
 	d.mu.Lock()
 	d.emit = emit
 	d.mu.Unlock()
+	d.emitSet.Store(emit != nil)
+}
+
+// Process implements Stage with the same semantics as Apply. The first
+// call retains emit for summary delivery from Apply/Sweep/Close (the
+// pipeline passes a stable closure, see Stage).
+func (d *Dedup) Process(r Record, emit func(Record)) (Record, bool) {
+	if emit != nil && !d.emitSet.Load() {
+		d.SetEmit(emit)
+	}
+	return d.Apply(r)
+}
+
+// Close implements the Stage close lifecycle hook: it flushes every
+// tracked burst — all entries expire as of now+Window — so suppressed
+// repeats are summarized at pipeline shutdown rather than lost.
+func (d *Dedup) Close() {
+	d.Sweep(d.now().Add(d.Window))
 }
 
 // Apply implements Filter. The first occurrence passes; duplicates inside
@@ -207,3 +229,5 @@ func (d *Dedup) Tracked() int {
 
 var _ Filter = (*Dedup)(nil)
 var _ EmittingFilter = (*Dedup)(nil)
+var _ SweepingStage = (*Dedup)(nil)
+var _ ClosingStage = (*Dedup)(nil)

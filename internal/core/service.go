@@ -321,6 +321,19 @@ func (s *Service) classify(r collector.Record) (taxonomy.Category, bool) {
 	if r.Msg == nil {
 		return "", false
 	}
+	// Detector-injected alert records arrive pre-labeled
+	// (Meta["category"], set by internal/detect): a valid label skips
+	// the model so the alert is stored under the category the detector
+	// chose, not whatever the classifier makes of the alert text.
+	if pre, ok := r.Meta["category"]; ok {
+		if cat := taxonomy.Category(pre); taxonomy.Valid(cat) {
+			s.classified.Inc()
+			if taxonomy.Actionable(cat) {
+				s.actionable.Inc()
+			}
+			return cat, true
+		}
+	}
 	var start time.Time
 	if s.classifyLat != nil {
 		start = time.Now()
@@ -359,6 +372,16 @@ func (s *Service) predictCategory(text string) taxonomy.Category {
 	return taxonomy.Category(s.Classifier.Labels[label])
 }
 
+// CategoryOf classifies one message text through the cached fast path
+// and returns its category. It is the hook the streaming detection stage
+// (internal/detect) uses to key rate baselines on the same model the
+// sink applies; the classify cache is shared, so a detector lookup is
+// usually a raw-cache hit the sink's own classify then reuses.
+func (s *Service) CategoryOf(text string) taxonomy.Category {
+	s.initMetrics()
+	return s.predictCategory(text)
+}
+
 // CacheStats reports the cache counters (hits by level, misses) — reads
 // of the same atomics /metrics exports. All zero when no cache is set.
 func (s *Service) CacheStats() (rawHits, maskedHits, misses int64) {
@@ -369,6 +392,14 @@ func (s *Service) CacheStats() (rawHits, maskedHits, misses int64) {
 // finish runs the order-sensitive tail for one classified record:
 // alert cooldown bookkeeping, then the sequence detector.
 func (s *Service) finish(r collector.Record, cat taxonomy.Category) {
+	// Detector-injected alerts were already routed through the alert
+	// manager by the detector (with confidence attached), and they are
+	// synthetic — not part of the host's real message sequence — so both
+	// tails skip them: a second Consider would double-alert and a
+	// synthetic record would pollute the host's Markov sequence.
+	if r.Meta["detector"] != "" {
+		return
+	}
 	if s.Alerts != nil {
 		t := r.Time
 		if t.IsZero() {

@@ -1,0 +1,247 @@
+package detect
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/collector"
+	"hetsyslog/internal/loggen"
+	"hetsyslog/internal/monitor"
+	"hetsyslog/internal/obs"
+	"hetsyslog/internal/store"
+	"hetsyslog/internal/taxonomy"
+)
+
+// sliceSource replays a fixed record slice and returns, letting the
+// pipeline drain and shut down cleanly.
+type sliceSource struct{ recs []collector.Record }
+
+func (s sliceSource) Run(_ context.Context, emit func(collector.Record) error) error {
+	for _, r := range s.recs {
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestDetectEndToEndAttacks is the acceptance scenario from the issue:
+// each scripted loggen attack shape, replayed through a real pipeline
+// with the detection stage, must fire exactly the expected alerts — as
+// synthetic records that land in the store like any other message, and
+// as ring entries behind GET /alerts — with the accounting invariant
+// intact.
+func TestDetectEndToEndAttacks(t *testing.T) {
+	cases := []struct {
+		kind loggen.AttackKind
+		want map[string]int // detector name -> fired alerts
+	}{
+		{loggen.AttackBurst, map[string]int{"burst": 1}},
+		// Spray attempts are auth failures too, so a spray fires the
+		// burst detector alongside.
+		{loggen.AttackSpray, map[string]int{"spray": 1, "burst": 1}},
+		{loggen.AttackScan, map[string]int{"scan": 1}},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.kind), func(t *testing.T) {
+			gen := loggen.NewGenerator(42)
+			target := gen.Cluster.Nodes[0]
+			const n = 20
+			examples, err := gen.Attack(tc.kind, target, n, 30*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := make([]collector.Record, 0, n)
+			for _, ex := range examples {
+				recs = append(recs, collector.Record{
+					Tag: "syslog." + ex.Node.Name, Time: ex.Time, Msg: ex.Message(),
+				})
+			}
+
+			st := store.New(2)
+			am := &monitor.AlertManager{}
+			reg := obs.NewRegistry()
+			det, err := New(Config{Window: time.Minute, Alerts: am, Metrics: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe := &collector.Pipeline{
+				Source:  sliceSource{recs: recs},
+				Stages:  []collector.Stage{det},
+				Sink:    &collector.StoreSink{Store: st},
+				Metrics: reg,
+				Config:  &collector.Config{BatchSize: 8, FlushInterval: time.Millisecond},
+			}
+			if err := pipe.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+
+			wantAlerts := 0
+			for _, c := range tc.want {
+				wantAlerts += c
+			}
+			for name, want := range tc.want {
+				k := -1
+				for i, kn := range kindNames {
+					if kn == name {
+						k = i
+					}
+				}
+				if got := det.fired[k].Value(); got != int64(want) {
+					t.Errorf("%s fired %d, want %d", name, got, want)
+				}
+			}
+			if got := det.fired[kindRate].Value(); got != 0 {
+				t.Errorf("rate fired %d on a cold baseline, want 0", got)
+			}
+
+			// The synthetic alert records are stored alongside the attack
+			// traffic, so they are queryable like any other record.
+			if got := st.Count(); got != n+wantAlerts {
+				t.Errorf("store holds %d docs, want %d attack + %d alerts", got, n, wantAlerts)
+			}
+
+			// Accounting: detector emissions count as Ingested, and every
+			// record lands in exactly one bucket.
+			s := pipe.Stats()
+			if s.Ingested != int64(n+wantAlerts) {
+				t.Errorf("Ingested = %d, want %d (source) + %d (detector emissions)", s.Ingested, n, wantAlerts)
+			}
+			if s.Ingested != s.Filtered+s.Flushed+s.Dropped+s.Spooled {
+				t.Errorf("invariant broken: %+v", s)
+			}
+
+			// GET /alerts serves the same firings with attribution.
+			w := httptest.NewRecorder()
+			am.ServeAlerts(w, httptest.NewRequest("GET", "/alerts", nil))
+			if w.Code != 200 {
+				t.Fatalf("/alerts status %d: %s", w.Code, w.Body)
+			}
+			var served []monitor.Alert
+			if err := json.Unmarshal(w.Body.Bytes(), &served); err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]int{}
+			for _, a := range served {
+				got[a.Detector]++
+				if a.Node != target.Name {
+					t.Errorf("alert names node %q, want target %q", a.Node, target.Name)
+				}
+				if a.Category != taxonomy.IntrusionDetection {
+					t.Errorf("alert category %q, want %q", a.Category, taxonomy.IntrusionDetection)
+				}
+				if a.Confidence <= 0 || a.Confidence >= 1 {
+					t.Errorf("alert confidence %v outside (0, 1)", a.Confidence)
+				}
+			}
+			for name, want := range tc.want {
+				if got[name] != want {
+					t.Errorf("/alerts served %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// burstBatchSource hammers emitBatch from several goroutines, each
+// replaying auth failures against its own host — the concurrent-ingest
+// shape the syslog listener produces.
+type burstBatchSource struct {
+	workers, batches, batchLen int
+}
+
+func (s burstBatchSource) Run(ctx context.Context, emit func(collector.Record) error) error {
+	return s.RunBatch(ctx, emit, func(rs []collector.Record) error {
+		for _, r := range rs {
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (s burstBatchSource) RunBatch(_ context.Context, _ func(collector.Record) error,
+	emitBatch func([]collector.Record) error) error {
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			host := fmt.Sprintf("cn%03d", w)
+			batch := make([]collector.Record, s.batchLen)
+			for i := range batch {
+				batch[i] = rec(host, "sshd",
+					"Failed password for root from 203.0.113.9 port 40123 ssh2")
+			}
+			for b := 0; b < s.batches; b++ {
+				if emitBatch(batch) != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// TestDetectStageAccountingInvariant is the property test from the
+// issue, run under -race in CI: with several goroutines driving batched
+// ingest through the detection stage and the detector injecting alert
+// records mid-stream, the exact relation
+//
+//	Ingested == source records + detector emissions
+//	Ingested == Filtered + Flushed + Dropped + Spooled
+//
+// must hold once the pipeline drains — no record double-counted or lost,
+// however the emissions interleave.
+func TestDetectStageAccountingInvariant(t *testing.T) {
+	// A short window lapses the per-source cooldown mid-run, so each
+	// host fires repeatedly while its worker is still emitting.
+	det, err := New(Config{Window: 12 * time.Millisecond, Buckets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	src := burstBatchSource{workers: 4, batches: 300, batchLen: 8}
+	pipe := &collector.Pipeline{
+		Source: src,
+		Stages: []collector.Stage{det},
+		Sink: collector.SinkFunc(func(_ context.Context, batch []collector.Record) error {
+			delivered.Add(int64(len(batch)))
+			return nil
+		}),
+		Config: &collector.Config{
+			BatchSize: 16, FlushInterval: time.Millisecond,
+			FlushWorkers: 2, SweepInterval: 5 * time.Millisecond,
+		},
+	}
+	if err := pipe.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	sourceRecords := int64(src.workers * src.batches * src.batchLen)
+	var emitted int64
+	for k := 0; k < numKinds; k++ {
+		emitted += det.fired[k].Value()
+	}
+	if emitted == 0 {
+		t.Fatal("detector never fired; the property is vacuous")
+	}
+	s := pipe.Stats()
+	if s.Ingested != sourceRecords+emitted {
+		t.Errorf("Ingested = %d, want %d source + %d emitted", s.Ingested, sourceRecords, emitted)
+	}
+	if s.Ingested != s.Filtered+s.Flushed+s.Dropped+s.Spooled {
+		t.Errorf("invariant broken: %+v", s)
+	}
+	if s.Flushed != delivered.Load() {
+		t.Errorf("Flushed = %d but sink saw %d", s.Flushed, delivered.Load())
+	}
+}

@@ -1,0 +1,114 @@
+package detect
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// DetectorCounts is one detector's fired/suppressed tally in a State.
+type DetectorCounts struct {
+	Detector   string `json:"detector"`
+	Fired      int64  `json:"fired"`
+	Suppressed int64  `json:"suppressed"`
+}
+
+// SourceActivity describes one tracked rate source for the noisiest-N
+// view: its current-window volume against its learned baseline.
+type SourceActivity struct {
+	Host        string  `json:"host"`
+	Category    string  `json:"category"`
+	WindowCount int     `json:"window_count"`
+	Baseline    float64 `json:"baseline_per_bucket"`
+	ZScore      float64 `json:"zscore"`
+}
+
+// State is the /detect/state document.
+type State struct {
+	Evaluated  int64            `json:"evaluated"`
+	Sources    int              `json:"sources"`
+	Evicted    int64            `json:"evicted"`
+	Detectors  []DetectorCounts `json:"detectors"`
+	TopSources []SourceActivity `json:"top_sources"`
+}
+
+// State snapshots the detector: per-detector counters plus the topN
+// noisiest rate sources by current-window volume.
+func (d *Detector) State(topN int) State {
+	st := State{
+		Evaluated:  d.evaluated.Value(),
+		Sources:    d.Sources(),
+		Evicted:    d.evicted.Value(),
+		Detectors:  make([]DetectorCounts, 0, numKinds),
+		TopSources: d.TopSources(topN),
+	}
+	for k := 0; k < numKinds; k++ {
+		if k == kindRate && d.rate == nil {
+			continue
+		}
+		if k != kindRate && d.sens == nil {
+			continue
+		}
+		st.Detectors = append(st.Detectors, DetectorCounts{
+			Detector:   kindNames[k],
+			Fired:      d.fired[k].Value(),
+			Suppressed: d.suppressed[k].Value(),
+		})
+	}
+	return st
+}
+
+// TopSources returns the n noisiest tracked rate sources by
+// current-window volume (the ring sum), busiest first. Diagnostics path
+// — it walks every shard and allocates freely.
+func (d *Detector) TopSources(n int) []SourceActivity {
+	out := []SourceActivity{}
+	if d.rate == nil || n <= 0 {
+		return out
+	}
+	for i := range d.rate.shards {
+		sh := &d.rate.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sources {
+			total := 0
+			for _, c := range s.counts {
+				total += int(c)
+			}
+			out = append(out, SourceActivity{
+				Host:        s.host,
+				Category:    s.category,
+				WindowCount: total,
+				Baseline:    s.mean,
+				ZScore:      (float64(s.counts[s.cur]) - s.mean) / math.Sqrt(s.vari+1),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].WindowCount > out[b].WindowCount })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ServeState handles GET /detect/state: the State document as JSON.
+// Parameter top caps the noisiest-source list (default 10, must be a
+// non-negative integer; 0 omits the list). Malformed values are rejected
+// with 400, matching the dashboard views' validation.
+func (d *Detector) ServeState(w http.ResponseWriter, r *http.Request) {
+	top := 10
+	if s := r.URL.Query().Get("top"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "bad top: must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		top = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(d.State(top)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,193 @@
+package detect
+
+import (
+	"math"
+	"strings"
+	"sync"
+)
+
+// rateTable tracks one rateSource per (host, category), sharded by key
+// hash so concurrent Process calls from batched sources contend on
+// different locks.
+type rateTable struct {
+	shards      []rateShard
+	mask        uint64
+	maxPerShard int
+}
+
+type rateShard struct {
+	mu      sync.Mutex
+	sources map[uint64]*rateSource
+}
+
+// rateSource is the O(1) per-source state of the spike detector: a ring
+// of per-bucket counts spanning one window, and an exponentially-decayed
+// mean/variance of completed buckets as the baseline. No per-minute maps
+// — the footprint never grows with time or traffic.
+type rateSource struct {
+	host     string // cloned, never aliases a message slab
+	category string // cloned
+	counts   []uint32
+	cur      int   // ring index of the bucket containing curStart
+	curStart int64 // start of the current bucket, ns
+	mean     float64
+	vari     float64
+	warm     int   // completed buckets folded into the baseline
+	lastSeen int64 // ns, drives idle eviction
+	lastFire int64 // ns, drives the per-source cooldown
+}
+
+func newRateTable(shards, maxPerShard int) *rateTable {
+	t := &rateTable{
+		shards:      make([]rateShard, shards),
+		mask:        uint64(shards - 1),
+		maxPerShard: maxPerShard,
+	}
+	for i := range t.shards {
+		t.shards[i].sources = make(map[uint64]*rateSource)
+	}
+	return t
+}
+
+// observe folds one record into its source's current bucket and checks
+// the spike condition. It appends to fired (under the shard lock) rather
+// than emitting, so delivery happens unlocked.
+func (t *rateTable) observe(d *Detector, host, category string, now int64, fired *firedList) {
+	key := hashKey(host, category)
+	sh := &t.shards[key&t.mask]
+	sh.mu.Lock()
+	s := sh.sources[key]
+	if s == nil {
+		if len(sh.sources) >= t.maxPerShard {
+			sh.evictIdlest(d)
+		}
+		s = &rateSource{
+			host:     strings.Clone(host),
+			category: strings.Clone(category),
+			counts:   make([]uint32, d.cfg.Buckets),
+			curStart: now - now%d.bucket,
+		}
+		sh.sources[key] = s
+	}
+	s.lastSeen = now
+	s.advance(now, d)
+	if s.counts[s.cur] != math.MaxUint32 {
+		s.counts[s.cur]++
+	}
+	x := float64(s.counts[s.cur])
+	// Fire only once warm (the baseline has seen a full window of
+	// completed buckets) and past the absolute floor: a z-score over an
+	// empty baseline says nothing.
+	if s.warm >= len(s.counts) && s.counts[s.cur] >= uint32(d.cfg.MinCount) {
+		// +1 in the denominator keeps z finite for a zero-variance
+		// baseline and damps significance at very low volumes.
+		z := (x - s.mean) / math.Sqrt(s.vari+1)
+		if z >= d.cfg.ZScore {
+			if now-s.lastFire >= d.window {
+				s.lastFire = now
+				fired.add(firedAlert{
+					kind:     kindRate,
+					host:     s.host,
+					category: s.category,
+					count:    int(s.counts[s.cur]),
+					baseline: s.mean,
+					z:        z,
+					conf:     z / (z + d.cfg.ZScore),
+				})
+			} else {
+				d.suppressed[kindRate].Inc()
+			}
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// advance rotates the ring to the bucket containing now, folding each
+// completed bucket into the decayed baseline:
+//
+//	diff = x - mean;  mean += α·diff;  var = (1-α)·(var + diff·α·diff)
+//
+// After an idle gap the fold is capped at two ring lengths — the ring's
+// own contents plus one window of zeros — which decays the baseline
+// toward the gap's silence without spinning proportionally to its
+// length.
+func (s *rateSource) advance(now int64, d *Detector) {
+	steps := (now - s.curStart) / d.bucket
+	if steps <= 0 {
+		return
+	}
+	fold := steps
+	if limit := int64(2 * len(s.counts)); fold > limit {
+		fold = limit
+	}
+	alpha := d.cfg.Decay
+	for i := int64(0); i < fold; i++ {
+		x := float64(s.counts[s.cur])
+		diff := x - s.mean
+		incr := alpha * diff
+		s.mean += incr
+		s.vari = (1 - alpha) * (s.vari + diff*incr)
+		if s.warm < 1<<30 {
+			s.warm++
+		}
+		s.cur++
+		if s.cur == len(s.counts) {
+			s.cur = 0
+		}
+		s.counts[s.cur] = 0
+	}
+	s.curStart += steps * d.bucket
+}
+
+// evictScan bounds how many entries an at-capacity insert examines when
+// choosing a victim: the idlest of a small sample, in O(evictScan)
+// instead of O(shard). Go's randomized map iteration supplies the
+// sampling.
+const evictScan = 8
+
+// evictIdlest drops the least-recently-seen of up to evictScan sampled
+// entries. Caller holds sh.mu and guarantees the shard is non-empty.
+func (sh *rateShard) evictIdlest(d *Detector) {
+	var victim uint64
+	oldest := int64(math.MaxInt64)
+	n := 0
+	for k, s := range sh.sources {
+		if s.lastSeen < oldest {
+			oldest, victim = s.lastSeen, k
+		}
+		n++
+		if n >= evictScan {
+			break
+		}
+	}
+	delete(sh.sources, victim)
+	d.evicted.Inc()
+}
+
+// sweep drops every source last seen before cutoff, returning how many.
+func (t *rateTable) sweep(cutoff int64) int {
+	evicted := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, s := range sh.sources {
+			if s.lastSeen < cutoff {
+				delete(sh.sources, k)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+func (t *rateTable) len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.sources)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,307 @@
+package detect
+
+import (
+	"strings"
+	"sync"
+)
+
+// sensTable tracks one sensSource per host, sharded like the rate table.
+type sensTable struct {
+	shards      []sensShard
+	mask        uint64
+	maxPerShard int
+}
+
+type sensShard struct {
+	mu      sync.Mutex
+	sources map[uint64]*sensSource
+}
+
+// sensSource holds the three windowed state machines for one host:
+// failed-password burst (a plain count), username spray (distinct
+// usernames behind a fixed-capacity hash set), and scan (distinct client
+// ports, plus an ascending-streak counter that marks sequential probing).
+// Every field is fixed-size, so a host's state never grows.
+type sensSource struct {
+	host     string // cloned
+	lastSeen int64
+
+	failStart int64
+	failCount int
+	failFire  int64
+
+	sprayStart int64
+	users      smallSet
+	sprayFire  int64
+
+	scanStart int64
+	ports     smallSet
+	lastPort  int
+	ascending int
+	scanFire  int64
+}
+
+func newSensTable(shards, maxPerShard int) *sensTable {
+	t := &sensTable{
+		shards:      make([]sensShard, shards),
+		mask:        uint64(shards - 1),
+		maxPerShard: maxPerShard,
+	}
+	for i := range t.shards {
+		t.shards[i].sources = make(map[uint64]*sensSource)
+	}
+	return t
+}
+
+// observe matches one record against the sensitive patterns and advances
+// the host's state machines. Non-matching records return before taking
+// any lock — the common case costs two substring probes.
+func (t *sensTable) observe(d *Detector, host, content string, now int64, fired *firedList) {
+	user, isFail := authFailure(content)
+	port, isConn := preauthConn(content)
+	if !isFail && !isConn {
+		return
+	}
+	key := hashKey(host, "")
+	sh := &t.shards[key&t.mask]
+	sh.mu.Lock()
+	s := sh.sources[key]
+	if s == nil {
+		if len(sh.sources) >= t.maxPerShard {
+			sh.evictIdlest(d)
+		}
+		s = &sensSource{host: strings.Clone(host)}
+		sh.sources[key] = s
+	}
+	s.lastSeen = now
+
+	if isFail {
+		if now-s.failStart >= d.window {
+			s.failStart, s.failCount = now, 0
+		}
+		s.failCount++
+		if s.failCount >= d.cfg.BurstThreshold {
+			if now-s.failFire >= d.window {
+				s.failFire = now
+				fired.add(firedAlert{
+					kind:  kindBurst,
+					host:  s.host,
+					count: s.failCount,
+					conf:  confidence(s.failCount, d.cfg.BurstThreshold),
+				})
+			} else {
+				d.suppressed[kindBurst].Inc()
+			}
+		}
+		if user != "" {
+			if now-s.sprayStart >= d.window {
+				s.sprayStart = now
+				s.users.reset()
+			}
+			s.users.add(hashString(fnvOffset64, user))
+			if int(s.users.n) >= d.cfg.SprayThreshold {
+				if now-s.sprayFire >= d.window {
+					s.sprayFire = now
+					fired.add(firedAlert{
+						kind:  kindSpray,
+						host:  s.host,
+						users: int(s.users.n),
+						conf:  confidence(int(s.users.n), d.cfg.SprayThreshold),
+					})
+				} else {
+					d.suppressed[kindSpray].Inc()
+				}
+			}
+		}
+	}
+
+	if isConn && port > 0 {
+		if now-s.scanStart >= d.window {
+			s.scanStart = now
+			s.ports.reset()
+			s.lastPort, s.ascending = 0, 0
+		}
+		if s.ports.add(uint64(port)) {
+			if s.lastPort != 0 && port > s.lastPort {
+				s.ascending++
+			}
+			s.lastPort = port
+		}
+		if int(s.ports.n) >= d.cfg.ScanThreshold {
+			if now-s.scanFire >= d.window {
+				s.scanFire = now
+				fired.add(firedAlert{
+					kind:      kindScan,
+					host:      s.host,
+					count:     int(s.ports.n),
+					ascending: s.ascending,
+					conf:      confidence(int(s.ports.n), d.cfg.ScanThreshold),
+				})
+			} else {
+				d.suppressed[kindScan].Inc()
+			}
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// confidence maps "count over threshold" into (0, 1): 0.5 right at the
+// threshold, asymptotically 1 as the count dwarfs it.
+func confidence(count, threshold int) float64 {
+	return float64(count) / float64(count+threshold)
+}
+
+func (sh *sensShard) evictIdlest(d *Detector) {
+	var victim uint64
+	oldest := int64(1<<63 - 1)
+	n := 0
+	for k, s := range sh.sources {
+		if s.lastSeen < oldest {
+			oldest, victim = s.lastSeen, k
+		}
+		n++
+		if n >= evictScan {
+			break
+		}
+	}
+	delete(sh.sources, victim)
+	d.evicted.Inc()
+}
+
+func (t *sensTable) sweep(cutoff int64) int {
+	evicted := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, s := range sh.sources {
+			if s.lastSeen < cutoff {
+				delete(sh.sources, k)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+func (t *sensTable) len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.sources)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// smallSet is a fixed-capacity open-addressing set of 64-bit values —
+// the bounded distinct-counter behind spray and scan. It saturates at
+// capacity (counts beyond it read as "many"), which is exactly what
+// keeps a single host's state O(1) no matter how wide the attack.
+type smallSet struct {
+	n     uint8
+	slots [64]uint64
+}
+
+// add inserts v, reporting whether it was new. Zero values are mapped to
+// one so an empty slot is unambiguous.
+func (s *smallSet) add(v uint64) bool {
+	if v == 0 {
+		v = 1
+	}
+	i := v & uint64(len(s.slots)-1)
+	for probes := 0; probes < len(s.slots); probes++ {
+		switch s.slots[i] {
+		case v:
+			return false
+		case 0:
+			s.slots[i] = v
+			s.n++
+			return true
+		}
+		i = (i + 1) & uint64(len(s.slots)-1)
+	}
+	return false // saturated
+}
+
+func (s *smallSet) reset() { *s = smallSet{} }
+
+// authFailure reports whether content describes an authentication
+// failure, extracting the attempted username when the phrasing carries
+// one. Matching is substring-based over the raw content — no regexp, no
+// allocation — and covers the sshd/su/sudo/pam phrasings the loggen
+// templates produce plus the classic OpenSSH forms.
+func authFailure(content string) (user string, ok bool) {
+	if i := strings.Index(content, "Failed password for "); i >= 0 {
+		rest := content[i+len("Failed password for "):]
+		rest = strings.TrimPrefix(rest, "invalid user ")
+		return cutAt(rest, " from "), true
+	}
+	if i := strings.Index(content, "Invalid user "); i >= 0 {
+		return cutAt(content[i+len("Invalid user "):], " from "), true
+	}
+	if i := strings.Index(content, "FAILED su for "); i >= 0 {
+		// "FAILED su for root by attacker ..." — the attempting user
+		// follows "by".
+		rest := content[i+len("FAILED su for "):]
+		if j := strings.Index(rest, " by "); j >= 0 {
+			return cutAt(rest[j+len(" by "):], " "), true
+		}
+		return "", true
+	}
+	if strings.Contains(content, " NOT in sudoers") {
+		// "alice : user NOT in sudoers ; TTY=..." — the user leads.
+		return cutAt(content, " : "), true
+	}
+	if strings.Contains(content, "authentication failure") {
+		if i := strings.Index(content, "user="); i >= 0 {
+			return cutAt(content[i+len("user="):], " "), true
+		}
+		return "", true
+	}
+	if strings.Contains(content, "ANOM_LOGIN_FAILURES") {
+		return "", true
+	}
+	return "", false
+}
+
+// cutAt returns s up to the first occurrence of sep (all of s when
+// absent). Pure slicing — the result aliases s.
+func cutAt(s, sep string) string {
+	if i := strings.Index(s, sep); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// preauthConn reports whether content is a pre-authentication connection
+// event — the raw material of scan detection — and extracts the client
+// port. Covers "Connection closed by HOST port N [preauth]" and the
+// timeout/disconnect variants; lines without a parseable port are not
+// scan evidence and report false.
+func preauthConn(content string) (port int, ok bool) {
+	if !strings.Contains(content, "preauth") {
+		return 0, false
+	}
+	i := strings.Index(content, " port ")
+	if i < 0 {
+		return 0, false
+	}
+	p, digits := 0, 0
+	for j := i + len(" port "); j < len(content); j++ {
+		c := content[j] - '0'
+		if c > 9 {
+			break
+		}
+		p = p*10 + int(c)
+		digits++
+		if p > 1<<30 {
+			return 0, false
+		}
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	return p, true
+}

@@ -1,0 +1,80 @@
+package loggen
+
+import (
+	"fmt"
+	"time"
+
+	"hetsyslog/internal/syslog"
+	"hetsyslog/internal/taxonomy"
+)
+
+// AttackKind names a scripted adversarial traffic shape — the workloads
+// the streaming detectors (internal/detect) are built to catch.
+type AttackKind string
+
+const (
+	// AttackBurst is a failed-password burst: one attacker hammering one
+	// account on one node.
+	AttackBurst AttackKind = "burst"
+	// AttackSpray is a username spray: auth failures across many
+	// distinct usernames on one node from one attacker.
+	AttackSpray AttackKind = "spray"
+	// AttackScan is a sequential port scan: pre-authentication
+	// connections walking ascending client ports against one node.
+	AttackScan AttackKind = "scan"
+)
+
+// AttackKinds lists every scripted shape.
+func AttackKinds() []AttackKind { return []AttackKind{AttackBurst, AttackSpray, AttackScan} }
+
+// Attack scripts n messages of one adversarial shape against target,
+// spread evenly across window (mirroring Burst's pacing), and advances
+// the generator clock past the window. The messages use the same sshd
+// phrasings as the normal template mix, so they exercise the detectors'
+// matchers, not a special-cased vocabulary. Every example is labelled
+// Intrusion Detection. Deterministic for a given generator seed.
+func (g *Generator) Attack(kind AttackKind, target Node, n int, window time.Duration) ([]Example, error) {
+	if n <= 0 {
+		n = 20
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	attacker := randIP(g.rng)
+	start := g.now
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		var text string
+		sev := syslog.Warning
+		switch kind {
+		case AttackBurst:
+			text = fmt.Sprintf("Failed password for root from %s port %d ssh2",
+				attacker, 40000+g.rng.Intn(20000))
+		case AttackSpray:
+			// Distinct username per attempt — the spray signature. These
+			// are auth failures too, so a spray implies a burst.
+			text = fmt.Sprintf("Failed password for invalid user svc%03d from %s port %d ssh2",
+				i, attacker, 40000+g.rng.Intn(20000))
+		case AttackScan:
+			sev = syslog.Info
+			// Strictly ascending client ports: sequential probing, the
+			// shape the scan detector's ascending-streak counter scores.
+			text = fmt.Sprintf("Connection closed by %s port %d [preauth]",
+				attacker, 1024+i*7)
+		default:
+			return nil, fmt.Errorf("loggen: unknown attack kind %q", kind)
+		}
+		ts := start.Add(time.Duration(float64(window) * float64(i) / float64(n)))
+		out = append(out, Example{
+			Text:     text,
+			Category: taxonomy.IntrusionDetection,
+			Node:     target,
+			App:      "sshd",
+			Severity: sev,
+			Facility: syslog.AuthPriv,
+			Time:     ts,
+		})
+	}
+	g.now = start.Add(window)
+	return out, nil
+}

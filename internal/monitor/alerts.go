@@ -1,0 +1,41 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ServeAlerts handles GET /alerts: the manager's recent-alert ring as a
+// JSON array, oldest first. Parameters:
+//
+//	limit  maximum alerts returned (default 100, must be positive)
+//	since  RFC 3339 timestamp; alerts before it are excluded
+//
+// Malformed parameters are rejected with 400 rather than silently
+// defaulted, matching the dashboard views' validation.
+func (am *AlertManager) ServeAlerts(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad limit: must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	var since time.Time
+	if s := r.URL.Query().Get("since"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = t
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(am.Recent(limit, since)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

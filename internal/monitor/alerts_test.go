@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hetsyslog/internal/taxonomy"
+)
+
+// TestAlertRingRecent covers the recent-alert ring: wrap-around at
+// RingSize keeping the newest entries, oldest-first ordering, the since
+// filter, and limit trimming from the tail.
+func TestAlertRingRecent(t *testing.T) {
+	am := &AlertManager{RingSize: 4, Notifier: NotifierFunc(func(Alert) {})}
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 7; i++ {
+		ok := am.ConsiderAlert(Alert{
+			Category: taxonomy.IntrusionDetection,
+			Node:     fmt.Sprintf("cn%d", i),
+			Text:     "alert",
+			Time:     t0.Add(time.Duration(i) * time.Minute),
+		})
+		if !ok {
+			t.Fatalf("alert %d not sent", i)
+		}
+	}
+	got := am.Recent(0, time.Time{})
+	if len(got) != 4 {
+		t.Fatalf("ring retained %d, want RingSize 4", len(got))
+	}
+	for i, a := range got {
+		if want := fmt.Sprintf("cn%d", i+3); a.Node != want {
+			t.Errorf("recent[%d] = %s, want %s (oldest first, newest retained)", i, a.Node, want)
+		}
+	}
+	if got := am.Recent(2, time.Time{}); len(got) != 2 || got[1].Node != "cn6" {
+		t.Errorf("limit 2 returned %+v, want the 2 newest", got)
+	}
+	if got := am.Recent(0, t0.Add(5*time.Minute)); len(got) != 2 {
+		t.Errorf("since filter returned %d, want 2 (cn5, cn6)", len(got))
+	}
+}
+
+// TestAlertRingDisabled: a negative RingSize keeps the manager sending
+// but retains nothing for the read API.
+func TestAlertRingDisabled(t *testing.T) {
+	am := &AlertManager{RingSize: -1}
+	am.ConsiderAlert(Alert{Category: taxonomy.IntrusionDetection, Node: "cn1", Time: time.Now()})
+	if sent, _ := am.Counts(); sent != 1 {
+		t.Fatalf("sent = %d, want 1", sent)
+	}
+	if got := am.Recent(0, time.Time{}); len(got) != 0 {
+		t.Errorf("disabled ring retained %d alerts", len(got))
+	}
+}
+
+// TestServeAlertsValidation: GET /alerts rejects malformed limit/since
+// with 400 (never silently defaults) and serves the ring as JSON.
+func TestServeAlertsValidation(t *testing.T) {
+	am := &AlertManager{}
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	am.ConsiderAlert(Alert{
+		Category: taxonomy.IntrusionDetection, Node: "cn1", Text: "burst",
+		Time: now, Detector: "burst", Confidence: 0.75,
+	})
+
+	for _, bad := range []string{
+		"?limit=0", "?limit=-3", "?limit=abc", "?limit=1.5",
+		"?since=yesterday", "?since=2026-13-40",
+	} {
+		w := httptest.NewRecorder()
+		am.ServeAlerts(w, httptest.NewRequest("GET", "/alerts"+bad, nil))
+		if w.Code != 400 {
+			t.Errorf("%s: status %d, want 400", bad, w.Code)
+		}
+	}
+
+	w := httptest.NewRecorder()
+	am.ServeAlerts(w, httptest.NewRequest("GET", "/alerts?limit=10&since=2026-08-07T11:00:00Z", nil))
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var alerts []Alert
+	if err := json.Unmarshal(w.Body.Bytes(), &alerts); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Detector != "burst" || alerts[0].Confidence != 0.75 {
+		t.Errorf("served %+v", alerts)
+	}
+}

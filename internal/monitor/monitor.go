@@ -153,6 +153,13 @@ type Alert struct {
 	Node     string            `json:"node"`
 	Text     string            `json:"text"`
 	Time     time.Time         `json:"time"`
+	// Detector names the streaming detector that raised the alert
+	// ("rate", "burst", "spray", "scan"); empty for per-message
+	// classification alerts.
+	Detector string `json:"detector,omitempty"`
+	// Confidence is the detector's score in (0, 1); zero when the alert
+	// did not come from a detector.
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // String renders the alert like the notification emails of §3.
@@ -183,40 +190,107 @@ type AlertManager struct {
 	// (default 0 = alert on everything).
 	Cooldown time.Duration
 	Notifier Notifier
+	// RingSize caps the in-memory ring of recently sent alerts served by
+	// the /alerts read API: 0 means DefaultAlertRing, negative disables
+	// retention entirely. Set it before the first alert; later changes
+	// are ignored.
+	RingSize int
 
 	mu       sync.Mutex
 	lastSent map[taxonomy.Category]time.Time
 	sent     int
 	muted    int
+	ring     []Alert
+	ringNext int
+	ringLen  int
 }
+
+// DefaultAlertRing is the recent-alert ring capacity when
+// AlertManager.RingSize is left zero.
+const DefaultAlertRing = 1024
 
 // Consider evaluates one classified message and possibly notifies.
 // It reports whether a notification went out.
 func (am *AlertManager) Consider(cat taxonomy.Category, node, text string, at time.Time) bool {
+	return am.ConsiderAlert(Alert{Category: cat, Node: node, Text: text, Time: at})
+}
+
+// ConsiderAlert is Consider for pre-built alerts carrying detector
+// attribution and confidence — the streaming detectors' entry point. The
+// same category filtering and cooldown apply.
+func (am *AlertManager) ConsiderAlert(a Alert) bool {
 	if am.Enabled != nil {
-		if !am.Enabled[cat] {
+		if !am.Enabled[a.Category] {
 			return false
 		}
-	} else if !taxonomy.Actionable(cat) {
+	} else if !taxonomy.Actionable(a.Category) {
 		return false
 	}
 	am.mu.Lock()
 	if am.lastSent == nil {
 		am.lastSent = make(map[taxonomy.Category]time.Time)
 	}
-	if last, ok := am.lastSent[cat]; ok && am.Cooldown > 0 && at.Sub(last) < am.Cooldown {
+	if last, ok := am.lastSent[a.Category]; ok && am.Cooldown > 0 && a.Time.Sub(last) < am.Cooldown {
 		am.muted++
 		am.mu.Unlock()
 		return false
 	}
-	am.lastSent[cat] = at
+	am.lastSent[a.Category] = a.Time
 	am.sent++
+	am.recordLocked(a)
 	n := am.Notifier
 	am.mu.Unlock()
 	if n != nil {
-		n.Notify(Alert{Category: cat, Node: node, Text: text, Time: at})
+		n.Notify(a)
 	}
 	return true
+}
+
+// recordLocked appends a sent alert to the recent ring. Caller holds
+// am.mu.
+func (am *AlertManager) recordLocked(a Alert) {
+	if am.RingSize < 0 {
+		return
+	}
+	if am.ring == nil {
+		size := am.RingSize
+		if size == 0 {
+			size = DefaultAlertRing
+		}
+		am.ring = make([]Alert, size)
+	}
+	am.ring[am.ringNext] = a
+	am.ringNext = (am.ringNext + 1) % len(am.ring)
+	if am.ringLen < len(am.ring) {
+		am.ringLen++
+	}
+}
+
+// Recent returns up to limit of the most recently sent alerts whose time
+// is not before since, oldest first. limit <= 0 means every retained
+// alert; a zero since means no time filter.
+func (am *AlertManager) Recent(limit int, since time.Time) []Alert {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	out := make([]Alert, 0, am.ringLen)
+	if am.ringLen == 0 {
+		return out
+	}
+	start := am.ringNext - am.ringLen
+	if start < 0 {
+		start += len(am.ring)
+	}
+	for i := 0; i < am.ringLen; i++ {
+		a := am.ring[(start+i)%len(am.ring)]
+		if !since.IsZero() && a.Time.Before(since) {
+			continue
+		}
+		out = append(out, a)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
 }
 
 // Counts returns how many alerts were sent and how many were muted by the
