@@ -7,12 +7,15 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchdelta -out bench.json
 //	go test -run '^$' -bench . -benchmem ./... | benchdelta -baseline bench.json
+//	go test -run '^$' -bench . -benchmem ./... | benchdelta -baseline pr6.json,pr8.json,pr10.json
 //
 // With -out the parsed results are written as JSON. With -baseline the
 // current run is compared metric by metric against the recorded file and
 // printed as a table; the tool always exits zero, because benchmark noise
 // on shared runners must not fail a build — the delta is information, not
-// a gate.
+// a gate. A comma-separated -baseline list prints the full trajectory: one
+// numeric column per recorded file (in the order given) plus the current
+// run, with the delta computed against the last file in the list.
 package main
 
 import (
@@ -94,7 +97,7 @@ func delta(old, cur float64) string {
 
 func main() {
 	outPath := flag.String("out", "", "write parsed results as JSON to this file")
-	basePath := flag.String("baseline", "", "compare against this recorded JSON file")
+	basePath := flag.String("baseline", "", "comma-separated recorded JSON file(s) to compare against; several files print a trajectory")
 	flag.Parse()
 
 	cur, err := parseBench(os.Stdin)
@@ -120,17 +123,97 @@ func main() {
 	}
 
 	if *basePath != "" {
-		data, err := os.ReadFile(*basePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchdelta:", err)
-			os.Exit(1)
+		var labels []string
+		var bases []map[string]Result
+		for _, p := range strings.Split(*basePath, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			data, err := os.ReadFile(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchdelta:", err)
+				os.Exit(1)
+			}
+			var base File
+			if err := json.Unmarshal(data, &base); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdelta:", err)
+				os.Exit(1)
+			}
+			labels = append(labels, strings.TrimSuffix(strings.TrimPrefix(
+				p[strings.LastIndexByte(p, '/')+1:], "BENCH_"), ".json"))
+			bases = append(bases, base.Benches)
 		}
-		var base File
-		if err := json.Unmarshal(data, &base); err != nil {
-			fmt.Fprintln(os.Stderr, "benchdelta:", err)
-			os.Exit(1)
+		switch len(bases) {
+		case 0:
+		case 1:
+			printDelta(os.Stdout, bases[0], cur)
+		default:
+			printTrajectory(os.Stdout, labels, bases, cur)
 		}
-		printDelta(os.Stdout, base.Benches, cur)
+	}
+}
+
+// printTrajectory writes the multi-baseline comparison: one numeric column
+// per recorded file (oldest first, in the order given on the command
+// line), then the current run, then the current run's delta against the
+// last recorded file. Metrics a given recording lacks print as "-".
+func printTrajectory(w io.Writer, labels []string, bases []map[string]Result, cur map[string]Result) {
+	seen := make(map[string]bool)
+	var names []string
+	add := func(m map[string]Result) {
+		for n := range m {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	add(cur)
+	for _, b := range bases {
+		add(b)
+	}
+	sort.Strings(names)
+
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "%-55s %-12s", "benchmark", "metric")
+	for _, l := range labels {
+		fmt.Fprintf(tw, " %12s", l)
+	}
+	fmt.Fprintf(tw, " %12s %8s\n", "current", "delta")
+
+	last := bases[len(bases)-1]
+	for _, n := range names {
+		useen := make(map[string]bool)
+		var units []string
+		for u := range cur[n] {
+			useen[u] = true
+			units = append(units, u)
+		}
+		for _, b := range bases {
+			for u := range b[n] {
+				if !useen[u] {
+					useen[u] = true
+					units = append(units, u)
+				}
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Fprintf(tw, "%-55s %-12s", n, u)
+			for _, b := range bases {
+				if v, ok := b[n][u]; ok {
+					fmt.Fprintf(tw, " %12.1f", v)
+				} else {
+					fmt.Fprintf(tw, " %12s", "-")
+				}
+			}
+			if v, ok := cur[n][u]; ok {
+				fmt.Fprintf(tw, " %12.1f %8s\n", v, delta(last[n][u], v))
+			} else {
+				fmt.Fprintf(tw, " %12s %8s\n", "-", "")
+			}
+		}
 	}
 }
 

@@ -64,6 +64,31 @@ func TestDelta(t *testing.T) {
 	}
 }
 
+func TestPrintTrajectory(t *testing.T) {
+	pr6 := map[string]Result{
+		"BenchmarkA": {"recs/s": 1000},
+	}
+	pr8 := map[string]Result{
+		"BenchmarkA": {"recs/s": 1500},
+		"BenchmarkB": {"allocs/op": 10},
+	}
+	cur := map[string]Result{
+		"BenchmarkA": {"recs/s": 3000},
+		"BenchmarkB": {"allocs/op": 2},
+	}
+	var sb strings.Builder
+	printTrajectory(&sb, []string{"pr6", "pr8"}, []map[string]Result{pr6, pr8}, cur)
+	out := sb.String()
+	// Columns for both recordings, the current run, and delta vs the LAST
+	// recording (3000 vs pr8's 1500 = +100%); BenchmarkB is absent from
+	// pr6 so its column prints "-".
+	for _, want := range []string{"pr6", "pr8", "current", "+100.0%", "-80.0%", "1000.0", "1500.0", "3000.0", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestPrintDelta(t *testing.T) {
 	base := map[string]Result{
 		"BenchmarkA":    {"ns/op": 200, "recs/s": 1000},

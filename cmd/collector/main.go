@@ -32,6 +32,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"hetsyslog/internal/monitor"
 	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
+	"hetsyslog/internal/syslog"
 	"hetsyslog/internal/taxonomy"
 )
 
@@ -72,6 +74,7 @@ func main() {
 		ingestBatch = flag.Int("ingest-batch", 0, "max syslog messages per listener read-loop batch handed to the pipeline (0 = default 256)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file at clean shutdown (empty disables)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at clean shutdown (empty disables)")
+		gcPercent   = flag.Int("gc-percent", 0, "runtime GC target percentage (debug.SetGCPercent; 0 keeps the Go default of 100). With the store's arena-backed corpus the live heap is mostly pointer-free slabs, so higher values trade memory headroom for fewer GC cycles")
 
 		detectOn  = flag.Bool("detect", false, "enable the streaming security detectors (rate spikes + sensitive patterns) as a pipeline stage")
 		detectWin = flag.Duration("detect-window", 0, "detector sliding window and per-source alert cooldown (0 = default 1m)")
@@ -86,6 +89,10 @@ func main() {
 		queryCache   = flag.Int("query-cache-size", 0, "coordinator merged-result cache entries for count/datehist/terms (0 = default 256, negative disables)")
 	)
 	flag.Parse()
+
+	if *gcPercent > 0 {
+		debug.SetGCPercent(*gcPercent)
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -112,6 +119,7 @@ func main() {
 		tc.TrainTime.Round(time.Millisecond), tc.Vectorizer.Dims())
 
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMemStats(reg)
 	// Storage backend: an embedded store by default, or — in cluster mode —
 	// a router spreading classified documents across remote store nodes
 	// through the service's Indexer seam.
@@ -241,6 +249,11 @@ func main() {
 		Sink:    svc,
 		Config:  pipeCfg,
 		Metrics: reg,
+		// Every retention point downstream deep-copies what it keeps (the
+		// store copies into arenas, dedup/detectors/caches clone on insert),
+		// so leased syslog buffers are recycled the moment the pipeline is
+		// done with a record — the zero-garbage ingest fast path.
+		Release: func(r collector.Record) { syslog.Recycle(r.Msg) },
 	}
 	if det != nil {
 		pipe.Stages = []collector.Stage{det}

@@ -33,6 +33,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"hetsyslog/internal/monitor"
 	"hetsyslog/internal/obs"
 	"hetsyslog/internal/store"
+	"hetsyslog/internal/syslog"
 )
 
 func main() {
@@ -60,6 +62,7 @@ func main() {
 		ingestBatch = flag.Int("ingest-batch", 0, "max syslog messages per listener read-loop batch handed to the pipeline (0 = default 256)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file at clean shutdown (empty disables)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at clean shutdown (empty disables)")
+		gcPercent   = flag.Int("gc-percent", 0, "runtime GC target percentage (debug.SetGCPercent; 0 keeps the Go default of 100). The arena-backed store keeps the retained corpus in pointer-free slabs, so higher values trade memory headroom for fewer GC cycles")
 
 		detectOn  = flag.Bool("detect", false, "enable the streaming security detectors (rate spikes + sensitive patterns) as a pipeline stage; single-node mode only")
 		detectWin = flag.Duration("detect-window", 0, "detector sliding window and per-source alert cooldown (0 = default 1m)")
@@ -74,6 +77,10 @@ func main() {
 		queryCache   = flag.Int("query-cache-size", 0, "coordinator merged-result cache entries for count/datehist/terms (0 = default 256, negative disables)")
 	)
 	flag.Parse()
+
+	if *gcPercent > 0 {
+		debug.SetGCPercent(*gcPercent)
+	}
 
 	if *clusterNodes != "" {
 		if err := runClusterFront(clusterFlags{
@@ -99,6 +106,7 @@ func main() {
 	defer stopProfiles()
 
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMemStats(reg)
 	st := store.New(*shards)
 	st.Instrument(reg)
 	if *dataFile != "" {
@@ -130,6 +138,9 @@ func main() {
 		Sink:    &collector.StoreSink{Store: st},
 		Config:  pipeCfg,
 		Metrics: reg,
+		// StoreSink copies everything it retains into the store's arenas,
+		// so leased syslog buffers go straight back to the listener pool.
+		Release: func(r collector.Record) { syslog.Recycle(r.Msg) },
 	}
 
 	// Streaming detectors: tivan has no classifier, so rate baselines key

@@ -284,6 +284,22 @@ type Pipeline struct {
 	// still run standalone, so Stats() is always exact.
 	Metrics *obs.Registry
 
+	// Release, when set, is called once per record after the pipeline's
+	// final disposition of it: delivered to the sink, diverted to the
+	// spool (the spool encodes its own copy), or dropped at a shutdown
+	// enqueue. It exists to return pooled resources — wire it to
+	// syslog.Recycle and every leased listener message goes back to the
+	// listener pool instead of the GC, closing the per-record allocation
+	// loop end to end.
+	//
+	// Opt-in, because it asserts the sink retains nothing from the batch
+	// after Write returns (StoreSink qualifies: the store copies what it
+	// keeps; MemorySink does not). Records dropped mid-chain by a stage
+	// are NOT released — stages may retain them (Dedup holds its summary
+	// records) — and neither are spool replays, which are decoded heap
+	// copies.
+	Release func(r Record)
+
 	cfg     Config
 	breaker *resilience.Breaker
 	spool   *resilience.Spool
@@ -485,6 +501,7 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			// at shutdown, and tell the source to stop.
 			p.queueDepth.Add(-n)
 			p.dropped.Add(n)
+			p.releaseBatch(chunk)
 			p.putChunk(chunk)
 			return ErrPipelineClosed
 		}
@@ -698,6 +715,7 @@ func (p *Pipeline) deliver(ctx context.Context, batch []Record) {
 			p.breaker.Success()
 			p.flushed.Add(int64(len(batch)))
 			p.flushLatency.ObserveDuration(time.Since(start))
+			p.releaseBatch(batch)
 			return
 		}
 		p.breaker.Failure()
@@ -737,8 +755,11 @@ func (p *Pipeline) writeAttempt(ctx context.Context, batch []Record) error {
 
 // divert routes a batch the sink refused into the disk spill queue so
 // nothing is lost; without a spool (or when the disk fails too) the batch
-// is dropped, preserving the pre-spool behaviour.
+// is dropped, preserving the pre-spool behaviour. Either way the batch's
+// records reached their final disposition — the spool holds an encoded
+// copy, not the records — so they are released on every path.
 func (p *Pipeline) divert(batch []Record) {
+	defer p.releaseBatch(batch)
 	n := int64(len(batch))
 	if p.spool == nil {
 		p.dropped.Add(n)
@@ -760,6 +781,17 @@ func (p *Pipeline) divert(batch []Record) {
 	}
 	p.spooled.Add(n)
 	p.spooledTotal.Add(n)
+}
+
+// releaseBatch invokes the Release hook for each record of a batch that
+// reached its final disposition. No-op when the hook is unset.
+func (p *Pipeline) releaseBatch(batch []Record) {
+	if p.Release == nil {
+		return
+	}
+	for _, r := range batch {
+		p.Release(r)
+	}
 }
 
 // replayer polls the spool, draining it into the sink whenever the

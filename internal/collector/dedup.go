@@ -138,7 +138,16 @@ func (d *Dedup) Apply(r Record) (Record, bool) {
 		if ok {
 			repeated = e.suppressed
 		}
-		d.last[key] = &dedupEntry{first: now, rec: r}
+		// The entry outlives this record's trip through the pipeline (its
+		// summary may be emitted a window later), so a transient message —
+		// pooled or leased, recycled after the pipeline releases the
+		// record — must be deep-copied. One clone per burst, not per
+		// duplicate.
+		rec := r
+		if rec.Msg != nil && rec.Msg.Transient() {
+			rec.Msg = rec.Msg.Clone()
+		}
+		d.last[key] = &dedupEntry{first: now, rec: rec}
 		if repeated > 0 {
 			r = r.WithMeta("repeated", strconv.Itoa(repeated))
 		}

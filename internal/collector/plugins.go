@@ -48,10 +48,13 @@ func (s *SyslogSource) Ready() <-chan struct{} { return s.ready }
 
 // Run implements Source. When emit reports the pipeline closed, the
 // listeners shut down instead of parsing records nobody will take. The
-// listener's messages are pooled, so every retained one is Detached.
+// listener's messages are pooled, so every retained one is Leased: the
+// pipeline's Release hook (when configured) recycles it after final
+// disposition, and an unhooked pipeline simply lets it fall to the GC
+// exactly as Detach used to.
 func (s *SyslogSource) Run(ctx context.Context, emit func(Record) error) error {
 	return s.run(ctx, syslog.HandlerFunc(func(m *syslog.Message) {
-		if err := emit(Record{Tag: s.Tag, Time: m.Timestamp, Msg: m.Detach()}); err != nil {
+		if err := emit(Record{Tag: s.Tag, Time: m.Timestamp, Msg: m.Lease()}); err != nil {
 			s.stopOnce.Do(func() { close(s.stop) })
 		}
 	}))
@@ -100,7 +103,7 @@ type sourceBatchHandler struct {
 }
 
 func (h *sourceBatchHandler) HandleSyslog(m *syslog.Message) {
-	if err := h.emit(Record{Tag: h.src.Tag, Time: m.Timestamp, Msg: m.Detach()}); err != nil {
+	if err := h.emit(Record{Tag: h.src.Tag, Time: m.Timestamp, Msg: m.Lease()}); err != nil {
 		h.src.stopOnce.Do(func() { close(h.src.stop) })
 	}
 }
@@ -113,8 +116,9 @@ func (h *sourceBatchHandler) HandleSyslogBatch(ms []*syslog.Message) {
 		recs = make([]Record, 0, len(ms))
 	}
 	for _, m := range ms {
-		// Detach: the message outlives the handler inside the Record.
-		recs = append(recs, Record{Tag: h.src.Tag, Time: m.Timestamp, Msg: m.Detach()})
+		// Lease: the message outlives the handler inside the Record, and
+		// the pipeline's Release hook returns it to the listener pool.
+		recs = append(recs, Record{Tag: h.src.Tag, Time: m.Timestamp, Msg: m.Lease()})
 	}
 	err := h.emitBatch(recs)
 	recs = recs[:cap(recs)]
@@ -190,7 +194,9 @@ func TopologyEnricher(lookup func(host string) (rack, arch string, ok bool)) Fil
 // StoreSink writes batches into a Tivan store, mapping syslog fields and
 // filter metadata to document fields. Each batch reaches the store as a
 // single IndexBatch call — one id-range reservation and one lock per
-// shard — through a pooled doc staging slice.
+// shard — through a pooled doc staging slice whose per-slot Fields
+// backing arrays survive pooling, so a steady-state batch write allocates
+// nothing (the store copies everything it retains).
 type StoreSink struct {
 	Store *store.Store
 
@@ -206,16 +212,23 @@ func (s *StoreSink) Write(ctx context.Context, batch []Record) error {
 	}
 	var docs []store.Doc
 	if v := s.docsPool.Get(); v != nil {
-		docs = (*v.(*[]store.Doc))[:0]
-	} else {
-		docs = make([]store.Doc, 0, len(batch))
+		docs = *v.(*[]store.Doc)
 	}
-	for _, r := range batch {
-		docs = append(docs, RecordToDoc(r))
+	if cap(docs) < len(batch) {
+		docs = make([]store.Doc, len(batch))
+	}
+	docs = docs[:len(batch)]
+	for i, r := range batch {
+		RecordToDocInto(r, &docs[i])
 	}
 	s.Store.IndexBatch(docs)
-	docs = docs[:cap(docs)]
-	clear(docs) // pooled capacity must not pin field maps or messages
+	// Scrub the slots (pooled capacity must not pin strings or messages)
+	// while keeping each slot's Fields backing array for the next batch.
+	for i := range docs {
+		f := docs[i].Fields
+		clear(f[:cap(f)])
+		docs[i] = store.Doc{Fields: f[:0]}
+	}
 	docs = docs[:0]
 	s.docsPool.Put(&docs)
 	return nil
@@ -223,11 +236,24 @@ func (s *StoreSink) Write(ctx context.Context, batch []Record) error {
 
 // RecordToDoc converts a pipeline record to a store document.
 func RecordToDoc(r Record) store.Doc {
+	var d store.Doc
+	RecordToDocInto(r, &d)
+	return d
+}
+
+// RecordToDocInto converts a pipeline record into *d, reusing d.Fields'
+// backing array (truncated, then appended to). With a recycled slot —
+// StoreSink's doc pool, core.Service's — the conversion allocates nothing
+// beyond the first batch that sizes the slots.
+func RecordToDocInto(r Record, d *store.Doc) {
 	// Sized for the canonical field set: tag + four syslog fields +
 	// rack/arch enrichment + the category the service stamps on. One
 	// contiguous allocation, no hashing: converting a record no longer
 	// shows up as mapassign_faststr on the socket→store profile.
-	fields := make(store.Fields, 0, 8)
+	fields := d.Fields[:0]
+	if cap(fields) == 0 {
+		fields = make(store.Fields, 0, 8)
+	}
 	fields = append(fields, store.Field{K: "tag", V: r.Tag})
 	if r.Msg != nil {
 		fields = append(fields,
@@ -248,7 +274,10 @@ func RecordToDoc(r Record) store.Doc {
 	if r.Msg != nil {
 		body = r.Msg.Content
 	}
-	return store.Doc{Time: t, Fields: fields, Body: body}
+	d.ID = 0
+	d.Time = t
+	d.Fields = fields
+	d.Body = body
 }
 
 // MemorySink accumulates batches for tests and small tools. The zero value

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"sync"
 
 	"hetsyslog/internal/obs"
@@ -205,8 +206,14 @@ func (s *cacheShard) putLocked(key string, label int) bool {
 		delete(s.m, lru.key)
 		evicted = true
 	}
-	e := &cacheEntry{key: key, label: label}
-	s.m[key] = e
+	// The raw level is keyed on message Content, which may be a view of a
+	// pooled syslog slab that gets re-parsed once the record is released.
+	// Copy the key only on a true insert — the hit/refresh paths above
+	// keep the map's existing (already owned) key, so the steady state
+	// stays allocation-free.
+	k := strings.Clone(key)
+	e := &cacheEntry{key: k, label: label}
+	s.m[k] = e
 	s.pushFront(e)
 	return evicted
 }

@@ -188,16 +188,18 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 			}
 			return nil
 		}
-		docs := s.getDocs(0)
+		docs := s.getDocs(len(batch))
+		j := 0
 		for _, r := range batch {
 			cat, ok := s.classify(r)
 			if !ok {
 				continue
 			}
-			docs = appendDoc(docs, r, cat)
+			buildDocInto(&docs[j], r, cat)
+			j++
 			s.finish(r, cat)
 		}
-		err := s.indexDocs(ctx, docs)
+		err := s.indexDocs(ctx, docs[:j])
 		s.putDocs(docs)
 		return err
 	}
@@ -223,7 +225,7 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 			for i := w; i < len(batch); i += stride {
 				cats[i], valid[i] = s.classify(batch[i])
 				if valid[i] && docs != nil {
-					docs[i] = buildDoc(batch[i], cats[i])
+					buildDocInto(&docs[i], batch[i], cats[i])
 				}
 			}
 		}(w)
@@ -237,7 +239,9 @@ func (s *Service) Write(ctx context.Context, batch []collector.Record) error {
 		j := 0
 		for i := range docs {
 			if valid[i] {
-				docs[j] = docs[i]
+				// Swap rather than copy: every slot keeps a distinct Fields
+				// backing array, which putDocs preserves for the next batch.
+				docs[j], docs[i] = docs[i], docs[j]
 				j++
 			}
 		}
@@ -273,8 +277,9 @@ func (s *Service) indexDocs(ctx context.Context, docs []store.Doc) error {
 	return nil
 }
 
-// getDocs takes the pooled doc staging slice, sized to n slots (n = 0
-// for the append-style serial path).
+// getDocs takes the pooled doc staging slice, sized to n slots. Slots
+// come back from putDocs with their Fields backing arrays intact, so a
+// steady-state batch conversion allocates nothing.
 func (s *Service) getDocs(n int) []store.Doc {
 	var docs []store.Doc
 	if v := s.docsPool.Get(); v != nil {
@@ -286,29 +291,30 @@ func (s *Service) getDocs(n int) []store.Doc {
 	return docs[:n]
 }
 
-// putDocs recycles the staging slice, clearing it first so pooled
-// capacity does not pin field maps or message strings.
+// putDocs recycles the staging slice, scrubbing each slot so pooled
+// capacity does not pin message strings — but keeping each slot's Fields
+// backing array (contents cleared) for the next batch. The store copied
+// everything it retains before this is called.
 func (s *Service) putDocs(docs []store.Doc) {
 	if cap(docs) == 0 {
 		return
 	}
 	docs = docs[:cap(docs)]
-	clear(docs)
+	for i := range docs {
+		f := docs[i].Fields
+		clear(f[:cap(f)])
+		docs[i] = store.Doc{Fields: f[:0]}
+	}
 	docs = docs[:0]
 	s.docsPool.Put(&docs)
 }
 
-// buildDoc converts one classified record to its store document, with
-// the predicted category stamped as a queryable field.
-func buildDoc(r collector.Record, cat taxonomy.Category) store.Doc {
-	doc := collector.RecordToDoc(r)
-	doc.Fields = doc.Fields.Set("category", string(cat))
-	return doc
-}
-
-// appendDoc is buildDoc appending into the staging slice.
-func appendDoc(docs []store.Doc, r collector.Record, cat taxonomy.Category) []store.Doc {
-	return append(docs, buildDoc(r, cat))
+// buildDocInto converts one classified record into *d (reusing d.Fields'
+// backing array), with the predicted category stamped as a queryable
+// field.
+func buildDocInto(d *store.Doc, r collector.Record, cat taxonomy.Category) {
+	collector.RecordToDocInto(r, d)
+	d.Fields = d.Fields.Set("category", string(cat))
 }
 
 // classify runs the order-independent part of the hot path for one

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 )
 
 // Chain is a first-order Markov model over a finite state alphabet
@@ -194,8 +195,16 @@ func (d *SequenceDetector) Calibrate(sequences [][]int, margin float64) error {
 
 // Observe appends a state for a node and reports whether the node's
 // current window is anomalous (false until a full window accumulates).
+// The node string is copied on first sight, so callers may pass transient
+// strings (pooled syslog message hostnames).
 func (d *SequenceDetector) Observe(node string, state int) (surprise float64, anomalous bool, err error) {
-	buf := append(d.buf[node], state)
+	prev, known := d.buf[node]
+	if !known {
+		// A new map key is retained for the detector's lifetime; an
+		// existing key is kept as-is by the assignment below.
+		node = strings.Clone(node)
+	}
+	buf := append(prev, state)
 	if len(buf) > d.Window {
 		buf = buf[len(buf)-d.Window:]
 	}

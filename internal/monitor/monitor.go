@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -237,6 +238,12 @@ func (am *AlertManager) ConsiderAlert(a Alert) bool {
 	}
 	am.lastSent[a.Category] = a.Time
 	am.sent++
+	// The alert is retained (ring) and handed to the notifier, but its
+	// Node/Text may be views of a pooled syslog message that gets
+	// re-parsed after this record is released. Copy them here, at the
+	// post-cooldown alert rate, instead of per considered message.
+	a.Node = strings.Clone(a.Node)
+	a.Text = strings.Clone(a.Text)
 	am.recordLocked(a)
 	n := am.Notifier
 	am.mu.Unlock()

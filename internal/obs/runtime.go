@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache serializes runtime.ReadMemStats behind a staleness window:
+// the read stops the world briefly, and one Prometheus scrape asks for
+// several gauges back to back, so a scrape burst should pay for exactly
+// one read.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	snap runtime.MemStats
+}
+
+func (c *memStatsCache) load() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) >= time.Second {
+		runtime.ReadMemStats(&c.snap)
+		c.at = now
+	}
+	return &c.snap
+}
+
+// RegisterRuntimeMemStats exposes the Go runtime's memory and GC activity
+// on r, for tracking how hard the collector's retained corpus works the
+// garbage collector:
+//
+//	heap_alloc_bytes — bytes of live + not-yet-swept heap objects
+//	heap_sys_bytes   — heap memory obtained from the OS
+//	gc_pause_ns      — cumulative stop-the-world pause time
+//	gc_cycles_total  — completed GC cycles
+//
+// All four gauges share one cached runtime.ReadMemStats snapshot refreshed
+// at most once per second, so a multi-gauge scrape costs a single read.
+func RegisterRuntimeMemStats(r *Registry) {
+	if r == nil {
+		return
+	}
+	c := &memStatsCache{}
+	r.GaugeFunc("heap_alloc_bytes", "bytes of allocated heap objects",
+		func() int64 { return int64(c.load().HeapAlloc) })
+	r.GaugeFunc("heap_sys_bytes", "heap memory obtained from the OS",
+		func() int64 { return int64(c.load().HeapSys) })
+	r.GaugeFunc("gc_pause_ns", "cumulative GC stop-the-world pause time",
+		func() int64 { return int64(c.load().PauseTotalNs) })
+	r.GaugeFunc("gc_cycles_total", "completed GC cycles",
+		func() int64 { return int64(c.load().NumGC) })
+}

@@ -64,14 +64,16 @@ func (st *Store) DateHistogramSparse(q Query, interval time.Duration) []Histogra
 		interval = time.Minute
 	}
 	counts := make(map[int64]int)
+	var d Doc
+	d.Fields = make(Fields, 0, 16)
 	for _, sh := range st.shards {
 		sh.mu.RLock()
-		for i := range sh.docs {
+		for i := range sh.ents {
 			if sh.deleted(int32(i)) {
 				continue
 			}
-			d := &sh.docs[i]
-			if !q.matches(d) {
+			sh.fillDoc(int32(i), &d)
+			if !q.matches(&d) {
 				continue
 			}
 			counts[bucketIndex(d.Time, interval)]++
@@ -139,16 +141,20 @@ func (st *Store) Terms(q Query, field string, size int) []TermBucket {
 	}
 	q = prepareQuery(q)
 	counts := make(map[string]int)
+	var d Doc
+	d.Fields = make(Fields, 0, 16)
 	for _, sh := range st.shards {
 		sh.mu.RLock()
-		for i := range sh.docs {
+		for i := range sh.ents {
 			if sh.deleted(int32(i)) {
 				continue
 			}
-			d := &sh.docs[i]
-			if !q.matches(d) {
+			sh.fillDoc(int32(i), &d)
+			if !q.matches(&d) {
 				continue
 			}
+			// v is an arena view; retaining it as a map key (and later in
+			// the returned TermBucket) is safe — the view pins its block.
 			if v, ok := d.Fields.Get(field); ok {
 				counts[v]++
 			}

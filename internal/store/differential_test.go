@@ -1,0 +1,190 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// referenceMatch evaluates q over the raw document slice with the same
+// prepared-query semantics the store's entry points use — but with none
+// of the store's machinery: no arenas, no postings, no candidate-list
+// planning. Whatever the indexed evaluation answers must agree with this.
+func referenceMatch(docs []Doc, q Query) []int {
+	pq := prepareQuery(q)
+	var idx []int
+	for i := range docs {
+		if pq.matches(&docs[i]) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// diffDocKey identifies a document by content for order-insensitive hit
+// comparison (store-assigned IDs differ from corpus indices). Times
+// compare as instants — the arena store reconstructs them from (sec,
+// nsec), which must round-trip exactly, including the zero time and
+// pre-epoch timestamps.
+func diffDocKey(d *Doc) string {
+	host, _ := d.Fields.Get("hostname")
+	app, _ := d.Fields.Get("app")
+	return strconv.FormatInt(d.Time.Unix(), 10) + "." +
+		strconv.Itoa(d.Time.Nanosecond()) + "|" + host + "|" + app + "|" + d.Body
+}
+
+func refSparseHistogram(docs []Doc, ref []int, interval time.Duration) []HistogramBucket {
+	counts := map[int64]int{}
+	for _, di := range ref {
+		counts[bucketIndex(docs[di].Time, interval)]++
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	out := make([]HistogramBucket, 0, len(counts))
+	for b, c := range counts {
+		out = append(out, HistogramBucket{Start: time.Unix(0, b*int64(interval)).UTC(), Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start.Before(out[b].Start) })
+	return out
+}
+
+func refTerms(docs []Doc, ref []int, field string) []TermBucket {
+	counts := map[string]int{}
+	for _, di := range ref {
+		if v, ok := docs[di].Fields.Get(field); ok {
+			counts[v]++
+		}
+	}
+	out := make([]TermBucket, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, TermBucket{Value: v, Count: c})
+	}
+	SortTerms(out)
+	return out
+}
+
+// TestArenaStoreDifferential pins the arena/chunked-postings store to a
+// naive reference over randomized corpora: for every query shape the
+// store supports, Search, CountQuery, DateHistogramSparse and Terms must
+// answer exactly what a linear scan of the original documents answers.
+// Corpora include zero-time and pre-epoch documents (the timestamp
+// reconstruction edge cases) and, in half the trials, a retention
+// DeleteBefore + Compact pass — the arena-rebuild path.
+func TestArenaStoreDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	hosts := []string{"cn001", "cn002", "gpu01", "mgmt"}
+	apps := []string{"kernel", "slurmd", "sshd"}
+	bodies := []string{
+		"CPU temperature above threshold clock throttled",
+		"link down on port eth0",
+		"Accepted publickey for root",
+		"EDAC MC0 CE memory read error",
+		"temperature normal again",
+	}
+
+	for trial := 0; trial < 24; trial++ {
+		n := 1 + rng.Intn(160)
+		docs := make([]Doc, n)
+		for i := range docs {
+			var ts time.Time
+			switch rng.Intn(8) {
+			case 0:
+				// zero time: a record whose timestamp failed to parse
+			case 1:
+				ts = time.Unix(-1-rng.Int63n(1<<20), int64(rng.Intn(1e9)))
+			default:
+				ts = time.Unix(1700000000+rng.Int63n(1<<17), int64(rng.Intn(1e9)))
+			}
+			docs[i] = Doc{
+				Time: ts,
+				Body: bodies[rng.Intn(len(bodies))] + " " + strconv.Itoa(rng.Intn(6)),
+				Fields: F(
+					"hostname", hosts[rng.Intn(len(hosts))],
+					"app", apps[rng.Intn(len(apps))],
+				),
+			}
+		}
+		st := New(1 + rng.Intn(4))
+		st.IndexBatch(docs)
+
+		if trial%2 == 1 {
+			// Retention pass: prune, compact (arena rebuild), and shrink
+			// the reference corpus the same way.
+			cutoff := time.Unix(1700000000+rng.Int63n(1<<17), 0)
+			st.DeleteBefore(cutoff)
+			st.Compact()
+			kept := docs[:0]
+			for _, d := range docs {
+				if !d.Time.Before(cutoff) {
+					kept = append(kept, d)
+				}
+			}
+			docs = kept
+		}
+
+		from := time.Unix(1700000000+rng.Int63n(1<<17), 0)
+		queries := []Query{
+			MatchAll{},
+			Term{Field: "hostname", Value: hosts[rng.Intn(len(hosts))]},
+			Term{Field: "HOSTNAME", Value: "CN001"}, // fold-insensitive both sides
+			Term{Field: "missing", Value: "x"},
+			Match{Text: "temperature"},
+			Match{Text: "temperature threshold"},
+			Match{Text: "Temperature " + strconv.Itoa(rng.Intn(6))},
+			Match{Text: "tokens matching nothing whatsoever"},
+			TimeRange{From: from},
+			TimeRange{To: from},
+			TimeRange{From: time.Unix(-1<<21, 0), To: from},
+			Bool{
+				Must:    []Query{Match{Text: "temperature"}, Term{Field: "app", Value: apps[rng.Intn(len(apps))]}},
+				MustNot: []Query{Term{Field: "hostname", Value: hosts[0]}},
+			},
+			Bool{Should: []Query{Match{Text: "throttled"}, Term{Field: "app", Value: "sshd"}}},
+		}
+
+		for qi, q := range queries {
+			ref := referenceMatch(docs, q)
+
+			if got := st.CountQuery(q); got != len(ref) {
+				t.Fatalf("trial %d query %d (%#v): CountQuery = %d, reference = %d",
+					trial, qi, q, got, len(ref))
+			}
+
+			hits := st.Search(SearchRequest{Query: q, Size: -1})
+			want := make([]string, len(ref))
+			for i, di := range ref {
+				want[i] = diffDocKey(&docs[di])
+			}
+			got := make([]string, len(hits))
+			for i := range hits {
+				got[i] = diffDocKey(&hits[i].Doc)
+			}
+			sort.Strings(want)
+			sort.Strings(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d query %d (%#v): Search hits diverge\n got %v\nwant %v",
+					trial, qi, q, got, want)
+			}
+
+			for _, interval := range []time.Duration{time.Hour, 7*time.Minute + 13*time.Second} {
+				wantH := refSparseHistogram(docs, ref, interval)
+				gotH := st.DateHistogramSparse(q, interval)
+				if !reflect.DeepEqual(gotH, wantH) {
+					t.Fatalf("trial %d query %d (%#v) interval %v: histogram diverges\n got %v\nwant %v",
+						trial, qi, q, interval, gotH, wantH)
+				}
+			}
+
+			wantT := refTerms(docs, ref, "hostname")
+			gotT := st.Terms(q, "hostname", 0)
+			if !reflect.DeepEqual(gotT, wantT) {
+				t.Fatalf("trial %d query %d (%#v): terms diverge\n got %v\nwant %v",
+					trial, qi, q, gotT, wantT)
+			}
+		}
+	}
+}

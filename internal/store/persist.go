@@ -18,9 +18,9 @@ func (st *Store) Snapshot(w io.Writer) error {
 	var docs []Doc
 	for _, sh := range st.shards {
 		sh.mu.RLock()
-		for i := range sh.docs {
+		for i := range sh.ents {
 			if !sh.deleted(int32(i)) {
-				docs = append(docs, sh.docs[i])
+				docs = append(docs, sh.docCopy(int32(i)))
 			}
 		}
 		sh.mu.RUnlock()

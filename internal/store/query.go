@@ -269,143 +269,235 @@ func (st *Store) CountQuery(q Query) int {
 	return n
 }
 
+// candScratch carries the reusable buffers a candidate-driven query
+// evaluation needs: two int32 lists for intersection ping-pong, a list
+// staging slice, and the scratch Doc the scan loop materializes
+// candidates into. The Doc lives inside the pooled struct because its
+// address is passed through the Query interface (q.matches(&d)), which
+// would force a stack-local Doc to escape — one heap alloc per shard per
+// query. Pooled so the steady-state Term and Match paths allocate
+// nothing.
+type candScratch struct {
+	a, b  []int32
+	lists []*postings
+	doc   Doc
+}
+
+var candScratchPool = sync.Pool{New: func() any { return &candScratch{} }}
+
+// maxScratchCands caps the candidate-list capacity a pooled scratch may
+// retain; a one-off query over a huge posting list should not pin its
+// working set in the pool forever.
+const maxScratchCands = 1 << 20
+
+func putCandScratch(sc *candScratch) {
+	if cap(sc.a) > maxScratchCands {
+		sc.a = nil
+	}
+	if cap(sc.b) > maxScratchCands {
+		sc.b = nil
+	}
+	// Drop the arena views the scratch Doc held so a pooled scratch never
+	// pins a compacted-away arena block; the Fields backing array is kept.
+	f := sc.doc.Fields
+	clear(f[:cap(f)])
+	sc.doc = Doc{Fields: f[:0]}
+	candScratchPool.Put(sc)
+}
+
 // count evaluates q on one shard without materializing hits — the
 // allocation-free counterpart of search used by CountQuery.
 func (s *shard) count(q Query) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	sc := candScratchPool.Get().(*candScratch)
 	n := 0
-	if cand, ok := s.candidates(q); ok {
-		for _, off := range cand {
-			if !s.deleted(off) && q.matches(&s.docs[off]) {
-				n++
-			}
-		}
-		return n
-	}
-	for i := range s.docs {
-		if !s.deleted(int32(i)) && q.matches(&s.docs[i]) {
-			n++
-		}
-	}
-	return n
-}
-
-// search evaluates q on one shard, using postings where the query shape
-// allows and falling back to a filtered scan otherwise.
-func (s *shard) search(q Query) []Hit {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if cand, ok := s.candidates(q); ok {
-		hits := make([]Hit, 0, len(cand))
+	d := &sc.doc
+	if cand, ok := s.candList(q, sc); ok {
 		for _, off := range cand {
 			if s.deleted(off) {
 				continue
 			}
-			d := &s.docs[off]
+			s.fillDoc(off, d)
 			if q.matches(d) {
-				hits = append(hits, Hit{Doc: *d})
+				n++
 			}
 		}
-		return hits
+	} else {
+		for i := range s.ents {
+			if s.deleted(int32(i)) {
+				continue
+			}
+			s.fillDoc(int32(i), d)
+			if q.matches(d) {
+				n++
+			}
+		}
 	}
+	putCandScratch(sc)
+	return n
+}
+
+// search evaluates q on one shard, using postings where the query shape
+// allows and falling back to a filtered scan otherwise. Candidate checks
+// run against a reused scratch Doc; only actual hits copy out.
+func (s *shard) search(q Query) []Hit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sc := candScratchPool.Get().(*candScratch)
 	var hits []Hit
-	for i := range s.docs {
-		if s.deleted(int32(i)) {
-			continue
+	d := &sc.doc
+	if cand, ok := s.candList(q, sc); ok {
+		hits = make([]Hit, 0, len(cand))
+		for _, off := range cand {
+			if s.deleted(off) {
+				continue
+			}
+			s.fillDoc(off, d)
+			if q.matches(d) {
+				hits = append(hits, Hit{Doc: s.docCopy(off)})
+			}
 		}
-		if q.matches(&s.docs[i]) {
-			hits = append(hits, Hit{Doc: s.docs[i]})
+	} else {
+		for i := range s.ents {
+			if s.deleted(int32(i)) {
+				continue
+			}
+			s.fillDoc(int32(i), d)
+			if q.matches(d) {
+				hits = append(hits, Hit{Doc: s.docCopy(int32(i))})
+			}
 		}
 	}
+	putCandScratch(sc)
 	return hits
 }
 
-// candidates returns a superset of matching doc offsets via the inverted
-// index, when the query has at least one indexable conjunct. ok=false
-// means "scan everything".
-func (s *shard) candidates(q Query) ([]int32, bool) {
+// candEstimate returns an upper bound on the candidate count q's index
+// driver would yield, without materializing anything: Bool uses it to
+// pick its most selective Must clause before a single list is staged.
+// Returns -1 when q has no indexable driver.
+func (s *shard) candEstimate(q Query) int {
 	switch t := q.(type) {
 	case Term:
-		return s.fieldPostings(t.Field, t.Value), true
+		if p := s.fieldPostings(t.Field, t.Value); p != nil {
+			return int(p.count)
+		}
+		return 0
 	case Match:
-		return s.matchCandidates(Analyze(t.Text))
+		return s.matchEstimate(Analyze(t.Text))
 	case matchPrepared:
-		return s.matchCandidates(t.want)
+		return s.matchEstimate(t.want)
 	case Bool:
-		// Use the most selective indexable Must clause as the candidate
-		// driver; correctness comes from the matches() re-check.
-		var best []int32
-		found := false
+		best := -1
 		for _, m := range t.Must {
-			if cand, ok := s.candidates(m); ok {
-				if !found || len(cand) < len(best) {
-					best, found = cand, true
-				}
+			if e := s.candEstimate(m); e >= 0 && (best < 0 || e < best) {
+				best = e
 			}
 		}
-		if found {
-			return best, true
+		return best
+	default:
+		return -1
+	}
+}
+
+// matchEstimate bounds a token conjunction by its rarest token's count;
+// an absent token means zero matches.
+func (s *shard) matchEstimate(toks []string) int {
+	if len(toks) == 0 {
+		return -1
+	}
+	best := -1
+	for _, tok := range toks {
+		p, ok := s.text[tok]
+		if !ok {
+			return 0
 		}
-		return nil, false
+		if best < 0 || int(p.count) < best {
+			best = int(p.count)
+		}
+	}
+	return best
+}
+
+// candList materializes a superset of matching doc offsets into sc's
+// scratch buffers via the inverted index, when the query has at least one
+// indexable conjunct. ok=false means "scan everything". The returned
+// slice aliases sc and is valid until the next candList call on the same
+// scratch.
+func (s *shard) candList(q Query, sc *candScratch) ([]int32, bool) {
+	switch t := q.(type) {
+	case Term:
+		p := s.fieldPostings(t.Field, t.Value)
+		if p == nil {
+			return nil, true
+		}
+		sc.a = s.appendPostings(sc.a[:0], p)
+		return sc.a, true
+	case Match:
+		return s.matchCandList(Analyze(t.Text), sc)
+	case matchPrepared:
+		return s.matchCandList(t.want, sc)
+	case Bool:
+		// Drive from the most selective indexable Must clause, chosen by
+		// estimate so only one clause is ever materialized (nested Bools
+		// share sc); correctness comes from the matches() re-check.
+		var best Query
+		bestE := -1
+		for _, m := range t.Must {
+			if e := s.candEstimate(m); e >= 0 && (bestE < 0 || e < bestE) {
+				bestE, best = e, m
+			}
+		}
+		if best == nil {
+			return nil, false
+		}
+		return s.candList(best, sc)
 	default:
 		return nil, false
 	}
 }
 
-// matchCandidates intersects the body postings of the analyzed tokens,
-// rarest list first.
-func (s *shard) matchCandidates(toks []string) ([]int32, bool) {
+// matchCandList intersects the body postings of the analyzed tokens,
+// rarest list first: the rarest list is materialized into scratch, then
+// each remaining chunked list is merged against it in place.
+func (s *shard) matchCandList(toks []string, sc *candScratch) ([]int32, bool) {
 	if len(toks) == 0 {
 		return nil, false
 	}
 	if len(toks) == 1 {
 		// Single-token fast path: no list staging, no intersection.
-		if p, ok := s.text[toks[0]]; ok {
-			return p.offs, true
+		p, ok := s.text[toks[0]]
+		if !ok {
+			return nil, true
 		}
-		return nil, true
+		sc.a = s.appendPostings(sc.a[:0], p)
+		return sc.a, true
 	}
-	lists := make([][]int32, 0, len(toks))
+	sc.lists = sc.lists[:0]
 	for _, tok := range toks {
 		p, ok := s.text[tok]
 		if !ok {
 			return nil, true // a required token is absent: no matches
 		}
-		lists = append(lists, p.offs)
+		sc.lists = append(sc.lists, p)
 	}
-	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
-	acc := lists[0]
-	for _, l := range lists[1:] {
-		acc = intersect(acc, l)
+	// Insertion sort by count: token lists are few, and sort.Slice would
+	// allocate its closure on every query.
+	for i := 1; i < len(sc.lists); i++ {
+		for j := i; j > 0 && sc.lists[j].count < sc.lists[j-1].count; j-- {
+			sc.lists[j], sc.lists[j-1] = sc.lists[j-1], sc.lists[j]
+		}
+	}
+	acc := s.appendPostings(sc.a[:0], sc.lists[0])
+	sc.a = acc
+	for _, p := range sc.lists[1:] {
+		sc.b = s.intersectIter(acc, p, sc.b[:0])
+		sc.a, sc.b = sc.b, sc.a
+		acc = sc.a
 		if len(acc) == 0 {
 			return nil, true
 		}
 	}
 	return acc, true
-}
-
-func intersect(a, b []int32) []int32 {
-	out := make([]int32, 0, min(len(a), len(b)))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

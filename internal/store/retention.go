@@ -10,11 +10,12 @@ import "time"
 // DeleteBefore tombstones all documents older than cutoff and returns how
 // many were marked.
 func (st *Store) DeleteBefore(cutoff time.Time) int {
+	cutSec, cutNsec := cutoff.Unix(), int32(cutoff.Nanosecond())
 	n := 0
 	for _, sh := range st.shards {
 		sh.mu.Lock()
-		for i := range sh.docs {
-			if !sh.deleted(int32(i)) && sh.docs[i].Time.Before(cutoff) {
+		for i := range sh.ents {
+			if !sh.deleted(int32(i)) && sh.entBefore(int32(i), cutSec, cutNsec) {
 				sh.tombstone(int32(i))
 				n++
 			}
@@ -53,29 +54,91 @@ func (st *Store) Deleted() int {
 }
 
 // Compact rebuilds every shard without its tombstoned documents,
-// reclaiming postings memory. Document ids are preserved.
+// reclaiming postings, arena and interning memory (this is also the only
+// point where arena bytes orphaned by bodyMemo resets are released).
+// Document ids are preserved.
+//
+// The rebuild recycles everything it does not read: the map buckets
+// (cleared, not reallocated) and the chunk and postings blocks (rewritten
+// in place — the rebuild walks ents and the arena, never the old posting
+// lists). Only byte arenas are always replaced, because handed-out query
+// results hold string views into the old blocks and those must stay
+// immutable. Under a steady retention cycle — delete the expired window,
+// compact, keep ingesting — a shard therefore reaches a fixed set of
+// allocations and reuses it forever.
 func (st *Store) Compact() {
 	for _, sh := range st.shards {
 		sh.mu.Lock()
-		if len(sh.dead) == 0 {
-			sh.mu.Unlock()
-			continue
-		}
-		live := make([]Doc, 0, len(sh.docs)-len(sh.dead))
-		for i := range sh.docs {
-			if !sh.deleted(int32(i)) {
-				live = append(live, sh.docs[i])
-			}
-		}
-		fresh := newShard()
-		for _, d := range live {
-			fresh.indexLocked(d)
-		}
-		sh.docs = fresh.docs
-		sh.text = fresh.text
-		sh.field = fresh.field
-		sh.bodyMemo = fresh.bodyMemo
-		sh.dead = nil
+		sh.compactLocked()
 		sh.mu.Unlock()
 	}
+}
+
+// compactLocked rebuilds one shard without its tombstoned documents; the
+// caller holds the write lock.
+func (sh *shard) compactLocked() {
+	if len(sh.dead) == 0 {
+		return
+	}
+	live := len(sh.ents) - len(sh.dead)
+	if live == 0 {
+		// Everything expired at once — the common shape when retention
+		// fires on a quiet shard. Reset in place: no rebuild loop, no
+		// fresh maps, no new blocks.
+		sh.ents = sh.ents[:0]
+		sh.fieldSpans = sh.fieldSpans[:0]
+		sh.arena = arena{}
+		clear(sh.text)
+		clear(sh.field)
+		clear(sh.bodyMemo)
+		clear(sh.intern)
+		clear(sh.fieldMemo)
+		sh.nChunks = 0
+		sh.nPost = 0
+		sh.dead = nil
+		return
+	}
+	// Re-index each live doc into a fresh shard through a scratch Doc:
+	// indexLocked copies every retained byte into the fresh arena, so the
+	// scratch's views into the old arena are read-only inputs. The fresh
+	// shard adopts the old shard's maps (cleared) and block storage — the
+	// rebuild never reads the old postings, only ents and the arena.
+	clear(sh.text)
+	clear(sh.field)
+	clear(sh.bodyMemo)
+	clear(sh.intern)
+	clear(sh.fieldMemo)
+	fresh := &shard{
+		ents:        make([]docEnt, 0, live),
+		text:        sh.text,
+		field:       sh.field,
+		bodyMemo:    sh.bodyMemo,
+		intern:      sh.intern,
+		fieldMemo:   sh.fieldMemo,
+		chunkBlocks: sh.chunkBlocks,
+		postBlocks:  sh.postBlocks,
+		tokScratch:  sh.tokScratch,
+		keyScratch:  sh.keyScratch,
+		lowScratch:  sh.lowScratch,
+	}
+	var d Doc
+	d.Fields = make(Fields, 0, 16)
+	for i := range sh.ents {
+		if sh.deleted(int32(i)) {
+			continue
+		}
+		sh.fillDoc(int32(i), &d)
+		fresh.indexLocked(d)
+	}
+	sh.ents = fresh.ents
+	sh.fieldSpans = fresh.fieldSpans
+	sh.arena = fresh.arena
+	sh.chunkBlocks = fresh.chunkBlocks
+	sh.nChunks = fresh.nChunks
+	sh.postBlocks = fresh.postBlocks
+	sh.nPost = fresh.nPost
+	sh.tokScratch = fresh.tokScratch
+	sh.keyScratch = fresh.keyScratch
+	sh.lowScratch = fresh.lowScratch
+	sh.dead = nil
 }

@@ -3,6 +3,12 @@
 // with an inverted index over message text and metadata fields, boolean and
 // time-range queries, and the aggregations (date histogram, terms) that the
 // monitoring views consume. Shards are searched in parallel.
+//
+// Storage is arena-backed (see arena.go): IndexBatch copies every retained
+// byte — bodies and field strings — into shard-owned slabs, so callers keep
+// ownership of everything they pass in. The syslog fast path leans on that:
+// pooled messages are recycled right after indexing instead of detaching a
+// fresh heap copy per record.
 package store
 
 import (
@@ -15,7 +21,10 @@ import (
 	"hetsyslog/internal/obs"
 )
 
-// Doc is one stored log record.
+// Doc is one stored log record. Docs passed to Index/IndexBatch are copied
+// into the shard arenas — the store retains no reference to the caller's
+// strings or Fields slice. Docs returned from queries hold stable views
+// into those arenas (or fresh copies, for Search hits and Get).
 type Doc struct {
 	ID   int64     `json:"id"`
 	Time time.Time `json:"time"`
@@ -96,54 +105,113 @@ func lowerToken(s string) string {
 	return s
 }
 
-// postings is one term's posting list: doc offsets, ascending and
-// deduplicated. The shard maps hold *postings so the steady-state insert
-// — a term the index has already seen — is a map read plus an in-place
-// append; the per-token map assignment it replaces (mapassign_faststr)
-// was the single hottest call on the socket→store profile.
-type postings struct {
-	offs []int32
+// docEnt is a stored document's pointer-free representation: the id, the
+// timestamp decomposed into (sec, nsec), the body span, and the range of
+// this doc's entries in the shard's fieldSpans. One shard's corpus is
+// therefore three flat pointer-less arrays (ents, fieldSpans, arena
+// blocks) no matter how many documents it holds — the GC mark phase skips
+// all of it, where the previous []Doc layout put four string headers plus
+// a Fields slice per document on the scan queue.
+type docEnt struct {
+	id   int64
+	sec  int64
+	nsec int32
+	body span
+	fOff uint32
+	fN   uint32
+}
+
+// fieldPair is one stored field: interned key and value spans.
+type fieldPair struct {
+	k span
+	v span
+}
+
+// bodyEntry memoizes one distinct body: the interned body span and the
+// resolved posting list of each deduplicated token. A memo hit indexes a
+// document without copying the body again — the Zipf traffic shape the
+// paper leans on (§4.4.1) stores each template's text exactly once.
+type bodyEntry struct {
+	body  span
+	lists []*postings
+}
+
+// fieldEntry memoizes one distinct field pair: the interned key and value
+// spans plus the pair's resolved posting list. A memo hit turns addField's
+// steady state — three string-map probes (key intern, value intern,
+// field-postings lookup) per field per document — into a single probe
+// followed by two in-place appends.
+type fieldEntry struct {
+	k, v span
+	post *postings
 }
 
 // shard is one index partition. All access goes through its lock.
 type shard struct {
-	mu   sync.RWMutex
-	docs []Doc
+	mu sync.RWMutex
+	// ents holds the stored documents; fieldSpans their field pairs,
+	// contiguous per document. Both are pointer-free.
+	ents       []docEnt
+	fieldSpans []fieldPair
+	// arena owns every retained byte: bodies, field keys and values.
+	arena arena
 	// body postings: token -> posting list
 	text map[string]*postings
 	// field postings: "field\x00lower(value)" -> posting list
 	field map[string]*postings
-	// bodyMemo caches the resolved posting lists of a body's deduplicated
-	// tokens, keyed by the body text (the key aliases the copy retained in
-	// docs). Real syslog traffic repeats a small set of message shapes
-	// (§4.4.1), so the steady-state body insert skips tokenization and the
+	// bodyMemo caches each distinct body's interned span and resolved
+	// posting lists, keyed by the arena-backed body view. Real syslog
+	// traffic repeats a small set of message shapes (§4.4.1), so the
+	// steady-state body insert skips the arena copy, tokenization and the
 	// per-token map probes entirely: one lookup, then one in-place append
 	// per list. Cleared wholesale when it reaches maxBodyMemo entries.
-	bodyMemo map[string][]*postings
+	bodyMemo map[string]bodyEntry
+	// intern dedups field keys and values, keyed by the arena-backed view.
+	// Syslog metadata draws from tiny vocabularies (hostnames, apps,
+	// severities), so steady-state field storage is a map hit per pair.
+	intern map[string]span
+	// fieldMemo caches each distinct (key, value) pair's interned spans and
+	// posting list, keyed by the exact-case "key\x00value" bytes (arena
+	// view). It collapses the per-field triple map probe into one lookup —
+	// on the profile that triple was the single largest consumer of the
+	// index stage. Cleared wholesale at maxBodyMemo entries, like bodyMemo.
+	fieldMemo map[string]fieldEntry
+	// chunkBlocks backs the shard's posting chunks; nChunks is the global
+	// allocation cursor (see arena.go). postBlocks/nPost do the same for
+	// the postings headers themselves.
+	chunkBlocks [][]pchunk
+	nChunks     int32
+	postBlocks  [][]postings
+	nPost       int32
 	// dead holds tombstoned offsets awaiting Compact.
 	dead map[int32]struct{}
-	// tokScratch and keyScratch are reused across indexLocked calls
-	// (always under the write lock) so indexing allocates neither a token
-	// slice nor a field-key string per doc.
+	// tokScratch, keyScratch and lowScratch are reused across indexLocked
+	// calls (always under the write lock) so indexing allocates neither a
+	// token slice nor a field-key string per doc: keyScratch stages the
+	// exact-case memo key, lowScratch the folded postings key.
 	tokScratch []string
 	keyScratch []byte
+	lowScratch []byte
+	// memoHits/memoMisses count bodyMemo outcomes, for Stats.
+	memoHits   int64
+	memoMisses int64
 }
 
 // offByID locates a document's offset by binary search: ids are assigned
-// monotonically and documents append in id order, so each shard's docs
+// monotonically and documents append in id order, so each shard's ents
 // are sorted by ID. Read-path searches replace the per-doc byID map
 // assignment that was pure overhead on the index hot path.
 func (s *shard) offByID(id int64) (int, bool) {
-	lo, hi := 0, len(s.docs)
+	lo, hi := 0, len(s.ents)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if s.docs[mid].ID < id {
+		if s.ents[mid].id < id {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(s.docs) && s.docs[lo].ID == id {
+	if lo < len(s.ents) && s.ents[lo].id == id {
 		return lo, true
 	}
 	return -1, false
@@ -165,10 +233,50 @@ func (s *shard) tombstone(off int32) {
 
 func newShard() *shard {
 	return &shard{
-		text:     make(map[string]*postings),
-		field:    make(map[string]*postings),
-		bodyMemo: make(map[string][]*postings),
+		text:      make(map[string]*postings),
+		field:     make(map[string]*postings),
+		bodyMemo:  make(map[string]bodyEntry),
+		intern:    make(map[string]span),
+		fieldMemo: make(map[string]fieldEntry),
 	}
+}
+
+// fillDoc materializes the document at off into d, reusing d.Fields'
+// backing array. The strings are arena views — stable for the shard's
+// lifetime, but d must not outlive the arena (i.e. survive past Compact);
+// hot scan loops reuse one scratch Doc per query, and anything handed to
+// a caller goes through docCopy instead.
+func (s *shard) fillDoc(off int32, d *Doc) {
+	e := &s.ents[off]
+	d.ID = e.id
+	d.Time = time.Unix(e.sec, int64(e.nsec)).UTC()
+	d.Body = s.arena.view(e.body)
+	fs := d.Fields[:0]
+	for _, fp := range s.fieldSpans[e.fOff : e.fOff+uint32(e.fN)] {
+		fs = append(fs, Field{K: s.arena.view(fp.k), V: s.arena.view(fp.v)})
+	}
+	d.Fields = fs
+}
+
+// docCopy materializes the document at off with a freshly allocated
+// Fields slice, safe to hand outside the shard lock. The strings remain
+// zero-copy arena views (immutable, alive as long as anything references
+// them — each view retains its block).
+func (s *shard) docCopy(off int32) Doc {
+	e := &s.ents[off]
+	var d Doc
+	if e.fN > 0 {
+		d.Fields = make(Fields, 0, e.fN)
+	}
+	s.fillDoc(off, &d)
+	return d
+}
+
+// entBefore reports whether the document at off has Time < cutoff,
+// straight off the stored (sec, nsec) pair — no Doc materialization.
+func (s *shard) entBefore(off int32, cutSec int64, cutNsec int32) bool {
+	e := &s.ents[off]
+	return e.sec < cutSec || (e.sec == cutSec && e.nsec < cutNsec)
 }
 
 // appendFieldKey appends the field-postings key "field\x00lower(value)"
@@ -201,28 +309,46 @@ func (s *shard) index(d Doc) {
 	s.indexLocked(d)
 }
 
-// indexLocked adds a document; the caller holds the write lock (or owns
-// the shard exclusively, as Compact does).
+// indexLocked adds a document, copying every retained byte into the
+// shard's arena; the caller holds the write lock (or owns the shard
+// exclusively, as Compact does) and keeps ownership of d's strings.
 func (s *shard) indexLocked(d Doc) {
-	off := int32(len(s.docs))
-	s.docs = append(s.docs, d)
-	if lists, ok := s.bodyMemo[d.Body]; ok {
-		// Memoized body: every token's posting list is already resolved.
-		for _, p := range lists {
-			p.offs = append(p.offs, off)
+	off := int32(len(s.ents))
+	e := docEnt{
+		id:   d.ID,
+		sec:  d.Time.Unix(),
+		nsec: int32(d.Time.Nanosecond()),
+		fOff: uint32(len(s.fieldSpans)),
+		fN:   uint32(len(d.Fields)),
+	}
+	if be, ok := s.bodyMemo[d.Body]; ok {
+		// Memoized body: reuse the interned text and the already-resolved
+		// posting lists — no copy, no tokenization, no map probes.
+		s.memoHits++
+		e.body = be.body
+		for _, p := range be.lists {
+			s.postAppend(p, off)
 		}
 	} else {
-		s.indexBody(d.Body, off)
+		s.memoMisses++
+		e.body = s.indexBody(d.Body, off)
 	}
 	for _, fv := range d.Fields {
 		s.addField(fv.K, fv.V, off)
 	}
+	s.ents = append(s.ents, e)
 }
 
-// indexBody analyzes a body the shard has not memoized, adds its text
-// postings, and memoizes the resolved lists for the repeats to come.
-func (s *shard) indexBody(body string, off int32) {
-	s.tokScratch = AnalyzeInto(body, s.tokScratch[:0])
+// indexBody copies a body the shard has not memoized into the arena,
+// analyzes it, adds its text postings, and memoizes the interned span and
+// resolved lists for the repeats to come. Returns the body's span.
+func (s *shard) indexBody(body string, off int32) span {
+	bsp := s.arena.copy(body)
+	view := s.arena.view(bsp)
+	// Tokenize the arena view, not the caller's body: lowercase-ASCII
+	// tokens are substrings, so new text-map keys alias arena bytes that
+	// live as long as the map entry does.
+	s.tokScratch = AnalyzeInto(view, s.tokScratch[:0])
 	toks := s.tokScratch
 	lists := make([]*postings, 0, len(toks))
 	if len(toks) <= maxScanDedup {
@@ -250,48 +376,89 @@ func (s *shard) indexBody(body string, off int32) {
 		}
 	}
 	if len(s.bodyMemo) >= maxBodyMemo {
+		// Wholesale reset; the dropped entries' arena bytes stay reserved
+		// until the next Compact rebuilds the shard.
 		clear(s.bodyMemo)
 	}
-	s.bodyMemo[body] = lists
+	s.bodyMemo[view] = bodyEntry{body: bsp, lists: lists}
+	return bsp
 }
 
 // addText appends off to tok's body postings and returns the list. Only
 // a brand-new term allocates (its posting list); a known term appends in
-// place. The key may alias the document body (AnalyzeInto returns
-// substrings), which is safe: the body itself is retained in s.docs for
-// the shard's lifetime.
+// place. The key may alias the document body's arena bytes (AnalyzeInto
+// returns substrings), which is safe: the arena is append-only and lives
+// as long as the map.
 func (s *shard) addText(tok string, off int32) *postings {
 	if p, ok := s.text[tok]; ok {
-		p.offs = append(p.offs, off)
+		s.postAppend(p, off)
 		return p
 	}
-	p := &postings{offs: []int32{off}}
+	p := s.newPostings()
+	s.postAppend(p, off)
 	s.text[tok] = p
 	return p
 }
 
-// addField appends off to the field=value postings, building the lookup
-// key in the shard's scratch buffer. The steady-state insert — a
-// field/value pair the index has seen before, i.e. every canonical doc —
-// is allocation-free; only a new pair copies the key out of scratch.
+// internStr returns an arena span holding v's bytes, copying them in only
+// the first time a distinct value is seen.
+func (s *shard) internStr(v string) span {
+	if len(v) == 0 {
+		return span{}
+	}
+	if sp, ok := s.intern[v]; ok {
+		return sp
+	}
+	sp := s.arena.copy(v)
+	s.intern[s.arena.view(sp)] = sp
+	return sp
+}
+
+// appendRawFieldKey appends the exact-case memo key "field\x00value" to
+// dst — two memmoves, no case folding, because the memo keys on the bytes
+// as the caller sent them (two casings of one value memoize separately but
+// share the fold-insensitive posting list).
+func appendRawFieldKey(dst []byte, field, value string) []byte {
+	dst = append(dst, field...)
+	dst = append(dst, 0)
+	return append(dst, value...)
+}
+
+// addField records the fieldPair and appends off to the field=value
+// postings. The steady state — a pair the shard has already stored, i.e.
+// every field of every canonical doc — is one fieldMemo probe and two
+// in-place appends, allocation-free. Only a brand-new pair runs the full
+// intern + fold + postings-map path, and both map keys it inserts are
+// arena views, so even the miss path adds no standalone heap strings.
 func (s *shard) addField(f, v string, off int32) {
-	s.keyScratch = appendFieldKey(s.keyScratch[:0], f, v)
-	if p, ok := s.field[string(s.keyScratch)]; ok {
-		p.offs = append(p.offs, off)
+	s.keyScratch = appendRawFieldKey(s.keyScratch[:0], f, v)
+	if fe, ok := s.fieldMemo[string(s.keyScratch)]; ok {
+		s.fieldSpans = append(s.fieldSpans, fieldPair{k: fe.k, v: fe.v})
+		s.postAppend(fe.post, off)
 		return
 	}
-	s.field[string(s.keyScratch)] = &postings{offs: []int32{off}}
+	fe := fieldEntry{k: s.internStr(f), v: s.internStr(v)}
+	s.lowScratch = appendFieldKey(s.lowScratch[:0], f, v)
+	p, ok := s.field[string(s.lowScratch)]
+	if !ok {
+		p = s.newPostings()
+		s.field[s.arena.view(s.arena.copyBytes(s.lowScratch))] = p
+	}
+	fe.post = p
+	s.postAppend(p, off)
+	s.fieldSpans = append(s.fieldSpans, fieldPair{k: fe.k, v: fe.v})
+	if len(s.fieldMemo) >= maxBodyMemo {
+		clear(s.fieldMemo)
+	}
+	s.fieldMemo[s.arena.view(s.arena.copyBytes(s.keyScratch))] = fe
 }
 
 // fieldPostings returns the posting list for field=value, building the
 // key in a stack buffer so the Term query path does not allocate.
-func (s *shard) fieldPostings(field, value string) []int32 {
+func (s *shard) fieldPostings(field, value string) *postings {
 	var buf [64]byte
 	k := appendFieldKey(buf[:0], field, value)
-	if p, ok := s.field[string(k)]; ok {
-		return p.offs
-	}
-	return nil
+	return s.field[string(k)]
 }
 
 // maxScanDedup bounds the quadratic scan dedup during indexing; larger
@@ -324,8 +491,9 @@ type Store struct {
 }
 
 // Instrument publishes the store's metrics — index/query counters and
-// latency histograms, plus a docs gauge — into r. Call it once, before
-// concurrent use (typically right after New). A nil registry is a no-op.
+// latency histograms, plus docs and memory gauges — into r. Call it once,
+// before concurrent use (typically right after New). A nil registry is a
+// no-op.
 func (st *Store) Instrument(r *obs.Registry) {
 	if r == nil {
 		return
@@ -348,6 +516,13 @@ func (st *Store) Instrument(r *obs.Registry) {
 		"query latency across all operations", obs.LatencyBuckets)
 	r.GaugeFunc("store_docs", "live documents in the index",
 		func() int64 { return int64(st.Count()) })
+	r.GaugeFunc("store_arena_bytes", "bytes reserved by the shard string arenas",
+		func() int64 { return st.Stats().ArenaBytes })
+	r.GaugeFunc("store_posting_chunks", "posting-list chunks allocated across shards",
+		func() int64 { return st.Stats().PostingChunks })
+	r.GaugeFuncFloat("store_body_memo_hit_ratio",
+		"fraction of indexed docs whose body was already interned",
+		func() float64 { return st.Stats().BodyMemoHitRatio() })
 }
 
 // observeQuery records one query of the given op; it returns immediately
@@ -385,7 +560,8 @@ func New(nShards int) *Store {
 func (st *Store) NumShards() int { return len(st.shards) }
 
 // Index stores a document and returns its assigned id. Documents are
-// routed to shards round-robin by id, so time ranges spread evenly.
+// routed to shards round-robin by id, so time ranges spread evenly. The
+// caller keeps ownership of d's strings.
 func (st *Store) Index(d Doc) int64 {
 	var start time.Time
 	if st.indexLat != nil {
@@ -410,6 +586,10 @@ func (st *Store) Index(d Doc) int64 {
 // len(docs) mutex acquisitions and each shard's write lock is taken once
 // per batch instead of once per document, so a flushed pipeline batch
 // reaches the postings with a handful of lock operations total.
+//
+// The store copies everything it retains, so when IndexBatch returns the
+// caller may recycle the docs, their Fields slices, and the pooled
+// messages whose slabs back the strings.
 func (st *Store) IndexBatch(docs []Doc) (firstID int64) {
 	if len(docs) == 0 {
 		return -1
@@ -426,29 +606,72 @@ func (st *Store) IndexBatch(docs []Doc) (firstID int64) {
 		docs[i].ID = firstID + int64(i)
 	}
 	nsh := int64(len(st.shards))
-	for si := int64(0); si < nsh && si < int64(len(docs)); si++ {
-		// Doc i routes to shard (firstID+i) % nsh, matching Index; si is
-		// the smallest doc index landing on this shard.
-		sh := st.shards[(firstID+si)%nsh]
-		cnt := (len(docs) - int(si) + int(nsh) - 1) / int(nsh)
-		sh.mu.Lock()
-		// Grow the docs slice once for the whole batch share instead of
-		// amortizing inside the append loop.
-		if need := len(sh.docs) + cnt; need > cap(sh.docs) {
-			grown := make([]Doc, len(sh.docs), need+need/4)
-			copy(grown, sh.docs)
-			sh.docs = grown
+	if int64(len(docs)) >= parallelBatchMin*nsh && nsh > 1 {
+		st.indexParallel(docs, firstID, nsh)
+	} else {
+		for si := int64(0); si < nsh && si < int64(len(docs)); si++ {
+			st.indexStripe(docs, firstID, si, nsh)
 		}
-		for i := si; i < int64(len(docs)); i += nsh {
-			sh.indexLocked(docs[i])
-		}
-		sh.mu.Unlock()
 	}
 	st.indexTotal.Add(int64(len(docs)))
 	if st.indexBatchLat != nil {
 		st.indexBatchLat.ObserveDuration(time.Since(start))
 	}
 	return firstID
+}
+
+// parallelBatchMin is the per-shard stripe size (docs per shard) at which
+// IndexBatch fans the stripes out to goroutines instead of walking them
+// serially.
+const parallelBatchMin = 8
+
+// indexParallel indexes the batch's shard stripes concurrently. Stripes
+// share nothing — each touches exactly one shard under that shard's own
+// lock — and per-shard doc order (ascending id) is preserved because one
+// goroutine owns the whole stripe. It lives in its own function (not
+// inline in IndexBatch) so the WaitGroup and goroutine closures, which
+// escape, are only allocated when a batch is actually large enough to fan
+// out; small flushes stay on IndexBatch's serial, allocation-free path.
+func (st *Store) indexParallel(docs []Doc, firstID, nsh int64) {
+	var wg sync.WaitGroup
+	for si := int64(0); si < nsh; si++ {
+		wg.Add(1)
+		go func(si int64) {
+			defer wg.Done()
+			st.indexStripe(docs, firstID, si, nsh)
+		}(si)
+	}
+	wg.Wait()
+}
+
+// indexStripe indexes every doc in the batch that routes to shard
+// (firstID+si) % nsh — doc i routes to shard (firstID+i) % nsh, matching
+// Index, so si is the smallest doc index landing on this shard.
+func (st *Store) indexStripe(docs []Doc, firstID, si, nsh int64) {
+	sh := st.shards[(firstID+si)%nsh]
+	cnt := 0
+	nf := 0
+	for i := si; i < int64(len(docs)); i += nsh {
+		cnt++
+		nf += len(docs[i].Fields)
+	}
+	sh.mu.Lock()
+	// Grow the flat arrays once for the whole batch share instead of
+	// amortizing inside the append loops.
+	if need := len(sh.ents) + cnt; need > cap(sh.ents) {
+		grown := make([]docEnt, len(sh.ents), need+need/4)
+		copy(grown, sh.ents)
+		sh.ents = grown
+	}
+	if need := len(sh.fieldSpans) + nf; need > cap(sh.fieldSpans) {
+		grown := make([]fieldPair, len(sh.fieldSpans), need+need/4)
+		copy(grown, sh.fieldSpans)
+		sh.fieldSpans = grown
+	}
+	for i := si; i < int64(len(docs)); i += nsh {
+		sh.indexLocked(docs[i])
+	}
+	sh.mu.Unlock()
 }
 
 // Get returns the document with the given id.
@@ -463,7 +686,7 @@ func (st *Store) Get(id int64) (Doc, bool) {
 	if !ok || sh.deleted(int32(off)) {
 		return Doc{}, false
 	}
-	return sh.docs[off], true
+	return sh.docCopy(int32(off)), true
 }
 
 // Count returns the total number of indexed documents.
@@ -471,26 +694,51 @@ func (st *Store) Count() int {
 	n := 0
 	for _, sh := range st.shards {
 		sh.mu.RLock()
-		n += len(sh.docs) - len(sh.dead)
+		n += len(sh.ents) - len(sh.dead)
 		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// Stats summarizes the store.
+// Stats summarizes the store, including the memory accounting the arena
+// layout makes legible: slab reservation, posting-chunk count, and how
+// often the body memo is absorbing repeats.
 type Stats struct {
 	Docs      int `json:"docs"`
 	Shards    int `json:"shards"`
 	TextTerms int `json:"text_terms"`
+	// ArenaBytes is the total capacity reserved by the shard string
+	// arenas (bodies, field keys/values).
+	ArenaBytes int64 `json:"arena_bytes"`
+	// PostingChunks is the number of fixed-size posting chunks allocated
+	// across all shards (each postChunkLen doc offsets).
+	PostingChunks int64 `json:"posting_chunks"`
+	// BodyMemoHits/Misses count indexed docs whose body was/wasn't
+	// already interned.
+	BodyMemoHits   int64 `json:"body_memo_hits"`
+	BodyMemoMisses int64 `json:"body_memo_misses"`
 }
 
-// Stats reports document, shard and distinct-term counts.
+// BodyMemoHitRatio returns hits/(hits+misses), 0 when nothing indexed.
+func (s Stats) BodyMemoHitRatio() float64 {
+	tot := s.BodyMemoHits + s.BodyMemoMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.BodyMemoHits) / float64(tot)
+}
+
+// Stats reports document, shard, term and memory-accounting counts.
 func (st *Store) Stats() Stats {
 	s := Stats{Shards: len(st.shards)}
 	for _, sh := range st.shards {
 		sh.mu.RLock()
-		s.Docs += len(sh.docs) - len(sh.dead)
+		s.Docs += len(sh.ents) - len(sh.dead)
 		s.TextTerms += len(sh.text)
+		s.ArenaBytes += sh.arena.reserved
+		s.PostingChunks += int64(sh.nChunks)
+		s.BodyMemoHits += sh.memoHits
+		s.BodyMemoMisses += sh.memoMisses
 		sh.mu.RUnlock()
 	}
 	return s

@@ -240,7 +240,7 @@ func TestShardDistribution(t *testing.T) {
 	}
 	for i, sh := range st.shards {
 		sh.mu.RLock()
-		n := len(sh.docs)
+		n := len(sh.ents)
 		sh.mu.RUnlock()
 		if n != 25 {
 			t.Errorf("shard %d has %d docs, want 25", i, n)

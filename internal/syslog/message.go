@@ -117,10 +117,21 @@ type StructuredData map[string]map[string]string
 // Ownership: a Message delivered by a Server's Handler (or BatchHandler)
 // comes from an internal pool and is valid only until the handler
 // returns. A handler that retains the message — stores it, enqueues it,
-// sends it to another goroutine — must call Detach first; the server then
-// leaves that message alone and its string fields stay valid forever.
+// sends it to another goroutine — has two options:
+//
+//   - Lease: the server skips recycling and ownership transfers to the
+//     handler, which must call Recycle exactly once when it is done with
+//     the message (typically right after indexing, which copies every
+//     retained byte into the store's arenas). This is the fast path — the
+//     message and its slab go back to the pool instead of being replaced
+//     by a fresh allocation per record.
+//   - Detach: the server forgets the message permanently and its string
+//     fields stay valid forever. Use when the message's lifetime is
+//     unbounded (retained in analysis state, returned to a caller).
+//
 // Messages obtained any other way (literals, the string parsers, Clone)
-// are ordinary heap values and never recycled.
+// are ordinary heap values and never recycled; Lease, Detach and Recycle
+// are no-ops on them.
 type Message struct {
 	Facility   Facility
 	Severity   Severity
@@ -145,8 +156,12 @@ type Message struct {
 	// them; SD materializes on first use.
 	sdRaw string
 	// pooled marks a message currently owned by a Server pool. Detach
-	// clears it.
+	// and Lease clear it.
 	pooled bool
+	// leased marks a pool-origin message whose ownership was transferred
+	// to the handler via Lease; Recycle (and only Recycle) returns it to
+	// the pool.
+	leased bool
 }
 
 // Reset clears the message for reuse, retaining the materialization slab
@@ -162,8 +177,30 @@ func (m *Message) Reset() {
 // Calling Detach on a message that never came from a pool is a no-op.
 func (m *Message) Detach() *Message {
 	m.pooled = false
+	m.leased = false
 	return m
 }
+
+// Lease transfers ownership of a pool-owned message from the Server to
+// the handler: the server will not recycle it after the handler returns,
+// and the new owner must call Recycle exactly once when the message's
+// strings are no longer referenced. It returns m for chaining. On a
+// message that is not currently server-owned, Lease is Detach: a plain
+// heap value stays a plain heap value.
+func (m *Message) Lease() *Message {
+	if m.pooled {
+		m.leased = true
+		m.pooled = false
+	}
+	return m
+}
+
+// Transient reports whether the message's strings have a bounded
+// lifetime — it is pool-owned or leased, so it will be re-parsed after
+// the current processing step releases it. Consumers that retain message
+// strings beyond that point (dedup state, analysis rings) must Clone a
+// transient message first.
+func (m *Message) Transient() bool { return m.pooled || m.leased }
 
 // SD returns the message's structured data, materializing it on first
 // use: the byte parsers validate the SD section during parsing but defer
@@ -216,6 +253,7 @@ func (m *Message) Clone() *Message {
 	c := *m
 	c.buf = nil
 	c.pooled = false
+	c.leased = false
 	if len(m.buf) > 0 {
 		c.Hostname = strings.Clone(m.Hostname)
 		c.AppName = strings.Clone(m.AppName)

@@ -51,11 +51,29 @@ var messagePool = sync.Pool{New: func() any { return &Message{pooled: true} }}
 
 func getMessage() *Message { return messagePool.Get().(*Message) }
 
-// putMessage returns m to the pool unless a handler detached it.
+// putMessage returns m to the pool unless a handler detached or leased it.
 func putMessage(m *Message) {
 	if m.pooled {
 		messagePool.Put(m)
 	}
+}
+
+// Recycle returns a leased message (see Message.Lease) to the server pool
+// once its owner no longer references any of its strings — for the
+// indexed path, the moment IndexBatch returns, since the store copies
+// everything it retains. Calling Recycle on a non-leased message (a plain
+// heap value, a Clone, a detached message) is a no-op, so release hooks
+// can call it unconditionally. Recycle must be called at most once per
+// lease and never while any string field is still held: the message slab
+// is re-parsed into by the next frame that draws it from the pool.
+func Recycle(m *Message) {
+	if m == nil || !m.leased {
+		return
+	}
+	m.leased = false
+	m.pooled = true
+	m.Reset()
+	messagePool.Put(m)
 }
 
 // Server listens for syslog traffic on UDP and/or TCP and dispatches parsed
